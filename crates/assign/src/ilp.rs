@@ -1,0 +1,436 @@
+//! Exact track assignment: branch-and-bound over the multicommodity model.
+//!
+//! The paper formulates short-polygon-avoiding track assignment as an ILP
+//! over a multicommodity flow graph (eqs. 5–9) and solves it with CPLEX.
+//! CPLEX is proprietary, so this module solves the same model with an
+//! exact branch-and-bound search:
+//!
+//! * Each segment (commodity) picks a **path**: a main track plus optional
+//!   end-tile doglegs `(lo_track, main_track, hi_track)` — the path family
+//!   the flow graph of Fig. 10 expresses (source edge, track run, target
+//!   edge), with path cost `Σ w(u,v) = |lo−main| + |hi−main|` matching the
+//!   track-difference edge weights of the objective (eq. 5).
+//! * Source/target edges into bad-end tracks are removed (the paper's bad
+//!   end rule); when a segment has *no* clean candidate, bad ends are
+//!   re-admitted with a large penalty so the instance stays feasible.
+//! * Vertex capacity (eq. 8) and crossing prevention (eq. 9) are enforced
+//!   pairwise during search.
+//!
+//! The search is exact given the node budget; exceeding the budget
+//! anywhere reports a timeout, mirroring the `> 100000 s` "NA" entries of
+//! Table VII on the big circuits.
+
+use crate::panels::{Continuation, PanelSegment};
+use crate::track::{is_bad_track, AssignedSeg, TrackResult};
+use mebl_geom::Coord;
+use mebl_stitch::StitchPlan;
+
+/// Penalty for an unavoidable bad end (kept finite so saturated panels
+/// stay feasible, dominating any wirelength cost).
+const BAD_END_PENALTY: i64 = 1_000;
+/// Penalty for dropping a segment entirely (net failure).
+const DROP_PENALTY: i64 = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    lo_t: usize,
+    main_t: usize,
+    hi_t: usize,
+    cost: i64,
+}
+
+/// Track of candidate `c` of a segment at row `r`.
+fn track_at(c: &Candidate, seg: &PanelSegment, r: u32) -> usize {
+    if r == seg.lo {
+        c.lo_t
+    } else if r == seg.hi {
+        c.hi_t
+    } else {
+        c.main_t
+    }
+}
+
+/// Whether two placed candidates conflict: shared (row, track) vertex
+/// (eq. 8) or crossing jogs at the same row boundary (eq. 9).
+fn conflicts(a: &Candidate, sa: &PanelSegment, b: &Candidate, sb: &PanelSegment) -> bool {
+    let lo = sa.lo.max(sb.lo);
+    let hi = sa.hi.min(sb.hi);
+    if lo > hi {
+        return false;
+    }
+    for r in lo..=hi {
+        if track_at(a, sa, r) == track_at(b, sb, r) {
+            return true;
+        }
+    }
+    // Jogs between consecutive rows: interval overlap means a crossing (or
+    // a touch, which the grid cannot realise either).
+    let jogs = |c: &Candidate, s: &PanelSegment| -> Vec<(u32, usize, usize)> {
+        let mut v = Vec::new();
+        if s.lo != s.hi {
+            if c.lo_t != c.main_t {
+                v.push((s.lo, c.lo_t.min(c.main_t), c.lo_t.max(c.main_t)));
+            }
+            if c.hi_t != c.main_t {
+                v.push((s.hi - 1, c.hi_t.min(c.main_t), c.hi_t.max(c.main_t)));
+            }
+        }
+        v
+    };
+    for (ra, alo, ahi) in jogs(a, sa) {
+        for &(rb, blo, bhi) in &jogs(b, sb) {
+            if ra == rb && alo <= bhi && blo <= ahi {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Builds the candidate list of one segment, cheapest first.
+fn candidates(
+    seg: &PanelSegment,
+    tracks: &[Coord],
+    plan: &StitchPlan,
+) -> Vec<Candidate> {
+    let t_count = tracks.len();
+    let clean = |t: usize, cont: Continuation| !is_bad_track(plan, tracks[t], cont);
+    let mut out = Vec::new();
+    let single_tile = seg.lo == seg.hi;
+    for main in 0..t_count {
+        let lo_choices: Vec<usize> = if single_tile {
+            vec![main]
+        } else {
+            (0..t_count).collect()
+        };
+        for &lo_t in &lo_choices {
+            let hi_choices: Vec<usize> = if single_tile {
+                vec![main]
+            } else {
+                (0..t_count).collect()
+            };
+            for &hi_t in &hi_choices {
+                let mut cost =
+                    (lo_t.abs_diff(main) + hi_t.abs_diff(main)) as i64;
+                if !clean(lo_t, seg.lo_cont) {
+                    cost += BAD_END_PENALTY;
+                }
+                if !clean(hi_t, seg.hi_cont) {
+                    cost += BAD_END_PENALTY;
+                }
+                out.push(Candidate {
+                    lo_t,
+                    main_t: main,
+                    hi_t,
+                    cost,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|c| c.cost);
+    // Keep the search tractable: a dogleg further than the unfriendly
+    // width + 2 tracks from the main run never helps the objective.
+    let span = plan.config().epsilon as usize + 2;
+    out.retain(|c| c.lo_t.abs_diff(c.main_t) <= span && c.hi_t.abs_diff(c.main_t) <= span);
+    out
+}
+
+struct Search<'a> {
+    segs: &'a [&'a PanelSegment],
+    cands: Vec<Vec<Candidate>>,
+    /// Minimum candidate cost per segment (admissible completion bound).
+    min_cost: Vec<i64>,
+    chosen: Vec<Option<usize>>,
+    best: Option<(i64, Vec<Option<usize>>)>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    fn run(&mut self) {
+        self.dfs(0, 0);
+    }
+
+    fn dfs(&mut self, depth: usize, cost: i64) {
+        if self.nodes >= self.budget {
+            return;
+        }
+        if depth == self.segs.len() {
+            if self.best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                self.best = Some((cost, self.chosen.clone()));
+            }
+            return;
+        }
+        // Bound: optimistic completion of remaining segments.
+        let bound: i64 = self.min_cost[depth..].iter().sum();
+        if let Some((b, _)) = &self.best {
+            if cost + bound >= *b {
+                return;
+            }
+        }
+        // Try candidates cheapest-first, then dropping the segment. The
+        // node budget meters *candidate attempts* — the unit of real work.
+        for ci in 0..self.cands[depth].len() {
+            self.nodes += 1;
+            if self.nodes >= self.budget {
+                return;
+            }
+            let cand = self.cands[depth][ci];
+            if let Some((b, _)) = &self.best {
+                if cost + cand.cost + bound - self.min_cost[depth] >= *b {
+                    break; // candidates are sorted: nothing cheaper follows
+                }
+            }
+            let clash = (0..depth).any(|j| {
+                self.chosen[j].is_some_and(|cj| {
+                    conflicts(&self.cands[j][cj], self.segs[j], &cand, self.segs[depth])
+                })
+            });
+            if clash {
+                continue;
+            }
+            self.chosen[depth] = Some(ci);
+            self.dfs(depth + 1, cost + cand.cost);
+            self.chosen[depth] = None;
+            if self.nodes >= self.budget {
+                return;
+            }
+        }
+        // Dropping the segment (net failure) keeps the model feasible.
+        self.chosen[depth] = None;
+        self.dfs(depth + 1, cost + DROP_PENALTY);
+        self.chosen[depth] = None;
+    }
+}
+
+/// Solves one (column, layer) group exactly. Returns `true` when the node
+/// budget was exhausted (timeout).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assign_group_exact(
+    col: u32,
+    layer_color: usize,
+    members: &[&PanelSegment],
+    _rows: u32,
+    tracks: &[Coord],
+    plan: &StitchPlan,
+    node_budget: u64,
+    result: &mut TrackResult,
+) -> bool {
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    // Longer segments first: they are the most constrained commodities.
+    order.sort_by_key(|&i| (std::cmp::Reverse(members[i].tile_len()), members[i].lo));
+    let segs: Vec<&PanelSegment> = order.iter().map(|&i| members[i]).collect();
+
+    let cands: Vec<Vec<Candidate>> = segs
+        .iter()
+        .map(|s| candidates(s, tracks, plan))
+        .collect();
+    let min_cost: Vec<i64> = cands
+        .iter()
+        .map(|c| c.first().map_or(DROP_PENALTY, |c0| c0.cost))
+        .collect();
+
+    let mut search = Search {
+        segs: &segs,
+        cands,
+        min_cost,
+        chosen: vec![None; segs.len()],
+        best: None,
+        nodes: 0,
+        budget: node_budget,
+    };
+    search.run();
+    let timed_out = search.nodes >= search.budget;
+
+    let Some((_, chosen)) = search.best else {
+        // Budget hit before any leaf: fall back to dropping everything.
+        for s in &segs {
+            result.failed_nets.insert(s.net);
+        }
+        return true;
+    };
+
+    for (k, s) in segs.iter().enumerate() {
+        match chosen[k] {
+            Some(ci) => {
+                let c = search.cands[k][ci];
+                let mut pieces: Vec<(u32, u32, Coord)> = Vec::new();
+                if s.lo == s.hi {
+                    pieces.push((s.lo, s.hi, tracks[c.main_t]));
+                } else {
+                    if c.lo_t != c.main_t {
+                        pieces.push((s.lo, s.lo, tracks[c.lo_t]));
+                    }
+                    let main_lo = if c.lo_t != c.main_t { s.lo + 1 } else { s.lo };
+                    let main_hi = if c.hi_t != c.main_t { s.hi - 1 } else { s.hi };
+                    // Both ends doglegged on a 2-tile segment leaves no
+                    // middle piece.
+                    if main_lo <= main_hi {
+                        pieces.push((main_lo, main_hi, tracks[c.main_t]));
+                    }
+                    if c.hi_t != c.main_t {
+                        pieces.push((s.hi, s.hi, tracks[c.hi_t]));
+                    }
+                }
+                result.segments.push(AssignedSeg {
+                    net: s.net,
+                    horizontal: false,
+                    panel: col,
+                    layer_color,
+                    lo: s.lo,
+                    hi: s.hi,
+                    pieces,
+                    lo_cont: s.lo_cont,
+                    hi_cont: s.hi_cont,
+                });
+            }
+            None => {
+                result.failed_nets.insert(s.net);
+            }
+        }
+    }
+    timed_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::{assign_tracks, TrackConfig, TrackMode};
+    use crate::Panels;
+    use mebl_geom::Rect;
+    use mebl_global::TileGraph;
+    use mebl_stitch::{StitchConfig, StitchPlan};
+
+    fn setup() -> (StitchPlan, TileGraph) {
+        let outline = Rect::new(0, 0, 89, 89);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let graph = TileGraph::new(outline, 15, 3, &plan, true);
+        (plan, graph)
+    }
+
+    fn vseg(net: usize, col: u32, lo: u32, hi: u32, lc: Continuation, hc: Continuation) -> PanelSegment {
+        PanelSegment { net, panel: col, lo, hi, lo_cont: lc, hi_cont: hc }
+    }
+
+    fn ilp_config() -> TrackConfig {
+        TrackConfig {
+            track_mode: TrackMode::IlpExact { node_budget: 200_000 },
+            ..TrackConfig::default()
+        }
+    }
+
+    fn run(cols: Vec<Vec<PanelSegment>>, cfg: &TrackConfig) -> crate::TrackResult {
+        let (plan, graph) = setup();
+        let panels = Panels {
+            columns: {
+                let mut v = vec![Vec::new(); graph.cols() as usize];
+                for (i, c) in cols.into_iter().enumerate() {
+                    v[i] = c;
+                }
+                v
+            },
+            rows: vec![Vec::new(); graph.rows() as usize],
+        };
+        assign_tracks(&panels, &graph, &plan, 3, cfg)
+    }
+
+    #[test]
+    fn single_segment_gets_zero_cost_straight_track() {
+        let res = run(
+            vec![vec![], vec![vseg(0, 1, 0, 4, Continuation::None, Continuation::None)]],
+            &ilp_config(),
+        );
+        assert!(!res.timed_out);
+        assert_eq!(res.segments.len(), 1);
+        assert_eq!(res.segments[0].pieces.len(), 1, "no dogleg needed");
+        assert_eq!(res.bad_ends, 0);
+    }
+
+    #[test]
+    fn ilp_avoids_bad_end_with_dogleg() {
+        // hi end continues Left: bad if placed at x=16 etc. With a free
+        // column the ILP must find a clean solution.
+        let res = run(
+            vec![vec![], vec![vseg(0, 1, 0, 4, Continuation::None, Continuation::Left)]],
+            &ilp_config(),
+        );
+        assert!(!res.timed_out);
+        assert_eq!(res.segments.len(), 1);
+        assert_eq!(res.bad_ends, 0);
+    }
+
+    #[test]
+    fn ilp_matches_heuristic_on_clean_instances() {
+        let segs = vec![
+            vseg(0, 1, 0, 5, Continuation::None, Continuation::Left),
+            vseg(1, 1, 1, 4, Continuation::Right, Continuation::None),
+            vseg(2, 1, 2, 5, Continuation::Both, Continuation::Both),
+        ];
+        let ilp = run(vec![vec![], segs.clone()], &ilp_config());
+        let heur = run(vec![vec![], segs], &TrackConfig::default());
+        assert!(!ilp.timed_out);
+        assert_eq!(ilp.segments.len(), 3);
+        assert_eq!(ilp.bad_ends, 0);
+        // The heuristic may or may not reach zero, but never beats exact.
+        assert!(heur.bad_ends >= ilp.bad_ends);
+    }
+
+    #[test]
+    fn tiny_budget_times_out() {
+        let segs: Vec<PanelSegment> = (0..8)
+            .map(|i| vseg(i, 1, 0, 5, Continuation::Both, Continuation::Both))
+            .collect();
+        let res = run(
+            vec![vec![], segs],
+            &TrackConfig {
+                track_mode: TrackMode::IlpExact { node_budget: 3 },
+                ..TrackConfig::default()
+            },
+        );
+        assert!(res.timed_out);
+    }
+
+    #[test]
+    fn crossing_jogs_rejected() {
+        // Two 2-tile segments that would both jog at the same boundary in
+        // crossing directions if naively assigned; the exact solver must
+        // produce a conflict-free solution.
+        let segs = vec![
+            vseg(0, 1, 0, 1, Continuation::Left, Continuation::Right),
+            vseg(1, 1, 0, 1, Continuation::Right, Continuation::Left),
+        ];
+        let res = run(vec![vec![], segs], &ilp_config());
+        assert_eq!(res.segments.len(), 2);
+        // Verify no shared (row, track).
+        for r in 0..=1u32 {
+            assert_ne!(
+                res.segments[0].track_at(r),
+                res.segments[1].track_at(r),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_panel_accepts_bad_ends_over_drops() {
+        // 14 usable tracks, 14 segments with Both continuations: every
+        // track near the lines is bad, but dropping is worse. Saturated
+        // panels are exactly where exact search explodes, so a timeout is
+        // an acceptable outcome (the paper's CPLEX "NA" cases); otherwise
+        // the solution must keep every segment and carry bad ends.
+        let segs: Vec<PanelSegment> = (0..14)
+            .map(|i| vseg(i, 1, 0, 3, Continuation::Both, Continuation::Both))
+            .collect();
+        let res = run(
+            vec![vec![], segs],
+            &TrackConfig {
+                track_mode: TrackMode::IlpExact { node_budget: 300_000 },
+                ..TrackConfig::default()
+            },
+        );
+        if !res.timed_out {
+            assert!(res.failed_nets.is_empty(), "failed: {:?}", res.failed_nets);
+            assert!(res.bad_ends > 0, "a full panel cannot be bad-end-free");
+        }
+    }
+}

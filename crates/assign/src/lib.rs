@@ -1,0 +1,41 @@
+//! Stitch-aware layer assignment and short-polygon-avoiding track
+//! assignment (paper §III-B and §III-C).
+//!
+//! After 2-D global routing, every net's route decomposes into maximal
+//! straight **runs** over global tiles. This crate:
+//!
+//! 1. Extracts [`PanelSegment`]s — the runs of each column (or row)
+//!    panel — with their horizontal **continuations** at each end
+//!    ([`panels`]), which determine whether an end can become a *bad end*.
+//! 2. Builds the **segment conflict graph** with the eq. (4) weights
+//!    `w = D_segment + D_end` ([`conflict`]).
+//! 3. Performs **layer assignment** by max-cut k-coloring: the
+//!    maximum-spanning-tree baseline of Chen et al. \[4\] and the paper's
+//!    iterated maximum-weight-k-colorable-subset heuristic with
+//!    bipartite-matching group merges ([`layer`]).
+//! 4. Performs **track assignment** within each (panel, layer): a
+//!    conventional stitch-oblivious baseline, the paper's graph-based
+//!    heuristic with dogleg bad-end resolution driven by min/max track
+//!    constraint graphs, and an exact branch-and-bound substitute for the
+//!    CPLEX ILP of eqs. (5)–(9) ([`track`], [`ilp`]).
+//!
+//! Random layer-assignment instances for the Table V/VI experiments live
+//! in [`instances`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod ilp;
+pub mod instances;
+pub mod layer;
+pub mod panels;
+pub mod track;
+
+pub use conflict::{ConflictGraph, SegmentInterval};
+pub use instances::{instance_stats, random_instances, InstanceStats};
+pub use layer::{assignment_cost, layer_assign_mst, layer_assign_ours};
+pub use panels::{extract_panels, Continuation, PanelSegment, Panels};
+pub use track::{
+    assign_tracks, AssignedSeg, LayerMode, TrackConfig, TrackMode, TrackResult,
+};

@@ -1,0 +1,253 @@
+//! Panel extraction: per-column / per-row segments with continuations.
+
+use mebl_global::{GlobalResult, TileRun};
+
+/// How a vertical segment continues horizontally at one of its ends.
+///
+/// The continuation decides whether a track position makes the end a *bad
+/// end*: an end is only dangerous when the attached horizontal wire is cut
+/// by the stitching line whose unfriendly region the end sits in
+/// (Fig. 7(b), segment C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Continuation {
+    /// The net terminates here (pin tile) — no horizontal wire to cut.
+    None,
+    /// A horizontal run leaves toward smaller columns.
+    Left,
+    /// A horizontal run leaves toward larger columns.
+    Right,
+    /// Horizontal runs leave in both directions (T/X junction).
+    Both,
+}
+
+impl Continuation {
+    /// Merges a newly discovered direction into the current value.
+    fn with(self, right: bool) -> Self {
+        match (self, right) {
+            (Continuation::None, false) => Continuation::Left,
+            (Continuation::None, true) => Continuation::Right,
+            (Continuation::Left, true) | (Continuation::Right, false) => Continuation::Both,
+            (c, _) => c,
+        }
+    }
+
+    /// Whether a horizontal wire attached here would cross a stitching
+    /// line located to the **left** of the end's track.
+    pub fn crosses_left(self) -> bool {
+        matches!(self, Continuation::Left | Continuation::Both)
+    }
+
+    /// Whether a horizontal wire attached here would cross a stitching
+    /// line located to the **right** of the end's track.
+    pub fn crosses_right(self) -> bool {
+        matches!(self, Continuation::Right | Continuation::Both)
+    }
+}
+
+/// A vertical (column-panel) or horizontal (row-panel) segment: one global
+/// run of one net, with end metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PanelSegment {
+    /// Net index in the circuit.
+    pub net: usize,
+    /// Panel index: column for vertical segments, row for horizontal.
+    pub panel: u32,
+    /// First covered tile index along the panel (row for vertical
+    /// segments, column for horizontal), inclusive.
+    pub lo: u32,
+    /// Last covered tile index, inclusive; always `> lo`.
+    pub hi: u32,
+    /// Continuation at the `lo` end (vertical segments only; horizontal
+    /// segments carry [`Continuation::None`]).
+    pub lo_cont: Continuation,
+    /// Continuation at the `hi` end.
+    pub hi_cont: Continuation,
+}
+
+impl PanelSegment {
+    /// Number of tiles covered.
+    pub fn tile_len(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether two segments of the same panel overlap in some tile.
+    pub fn overlaps(&self, other: &PanelSegment) -> bool {
+        debug_assert_eq!(self.panel, other.panel);
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// All panel segments of a routed circuit, grouped by direction.
+#[derive(Debug, Clone, Default)]
+pub struct Panels {
+    /// Vertical segments, grouped per column panel (index = column).
+    pub columns: Vec<Vec<PanelSegment>>,
+    /// Horizontal segments, grouped per row panel (index = row).
+    pub rows: Vec<Vec<PanelSegment>>,
+}
+
+impl Panels {
+    /// Total number of vertical segments.
+    pub fn vertical_count(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of horizontal segments.
+    pub fn horizontal_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+/// Decomposes every net's global route into panel segments.
+///
+/// A vertical run covering tile rows `r0..=r1` in column `c` becomes a
+/// vertical [`PanelSegment`]; its continuations record whether the same
+/// net has a horizontal run touching the junction tile on either side.
+pub fn extract_panels(global: &GlobalResult) -> Panels {
+    let graph = &global.graph;
+    let mut panels = Panels {
+        columns: vec![Vec::new(); graph.cols() as usize],
+        rows: vec![Vec::new(); graph.rows() as usize],
+    };
+
+    for (net, route) in global.routes.iter().enumerate() {
+        let runs = route.runs(graph);
+        // Horizontal coverage per (row, col) junction for continuation
+        // lookup: for each horizontal run, which columns it touches.
+        let h_runs: Vec<&TileRun> = runs.iter().filter(|r| r.horizontal).collect();
+        let cont_at = |col: u32, row: u32| -> Continuation {
+            let mut c = Continuation::None;
+            for h in &h_runs {
+                if h.fixed == row && h.lo <= col && col <= h.hi {
+                    if col > h.lo {
+                        c = c.with(false);
+                    }
+                    if col < h.hi {
+                        c = c.with(true);
+                    }
+                }
+            }
+            c
+        };
+
+        for run in &runs {
+            if run.horizontal {
+                panels.rows[run.fixed as usize].push(PanelSegment {
+                    net,
+                    panel: run.fixed,
+                    lo: run.lo,
+                    hi: run.hi,
+                    lo_cont: Continuation::None,
+                    hi_cont: Continuation::None,
+                });
+            } else {
+                panels.columns[run.fixed as usize].push(PanelSegment {
+                    net,
+                    panel: run.fixed,
+                    lo: run.lo,
+                    hi: run.hi,
+                    lo_cont: cont_at(run.fixed, run.lo),
+                    hi_cont: cont_at(run.fixed, run.hi),
+                });
+            }
+        }
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::{Layer, Point, Rect};
+    use mebl_netlist::{Circuit, Net, Pin};
+    use mebl_stitch::{StitchConfig, StitchPlan};
+
+    fn pin(x: i32, y: i32) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(0))
+    }
+
+    fn route(nets: Vec<Net>) -> GlobalResult {
+        let outline = Rect::new(0, 0, 89, 89);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let c = Circuit::new("t", outline, 3, nets);
+        mebl_global::route_circuit(&c, &plan, &mebl_global::GlobalConfig::default())
+    }
+
+    #[test]
+    fn continuation_merge_table() {
+        use Continuation::*;
+        assert_eq!(None.with(false), Left);
+        assert_eq!(None.with(true), Right);
+        assert_eq!(Left.with(true), Both);
+        assert_eq!(Right.with(false), Both);
+        assert_eq!(Both.with(true), Both);
+        assert_eq!(Left.with(false), Left);
+    }
+
+    #[test]
+    fn crossing_predicates() {
+        use Continuation::*;
+        assert!(Left.crosses_left() && !Left.crosses_right());
+        assert!(Right.crosses_right() && !Right.crosses_left());
+        assert!(Both.crosses_left() && Both.crosses_right());
+        assert!(!None.crosses_left() && !None.crosses_right());
+    }
+
+    #[test]
+    fn l_shaped_net_has_one_v_and_one_h_segment() {
+        // Pins at tiles (0,0) and (4,4): route is L-shaped (or staircase).
+        let res = route(vec![Net::new("a", vec![pin(2, 2), pin(70, 70)])]);
+        let p = extract_panels(&res);
+        assert!(p.vertical_count() >= 1);
+        assert!(p.horizontal_count() >= 1);
+        // Every vertical segment spans > 0 tiles and lives in its column.
+        for (c, col) in p.columns.iter().enumerate() {
+            for s in col {
+                assert_eq!(s.panel as usize, c);
+                assert!(s.hi > s.lo);
+            }
+        }
+    }
+
+    #[test]
+    fn straight_vertical_net_ends_have_no_continuation() {
+        let res = route(vec![Net::new("a", vec![pin(2, 2), pin(2, 80)])]);
+        let p = extract_panels(&res);
+        assert_eq!(p.vertical_count(), 1);
+        assert_eq!(p.horizontal_count(), 0);
+        let seg = &p.columns[0][0];
+        assert_eq!(seg.lo_cont, Continuation::None);
+        assert_eq!(seg.hi_cont, Continuation::None);
+    }
+
+    #[test]
+    fn corner_junction_gets_directional_continuation() {
+        // L route: vertical in one column then horizontal to the right.
+        let res = route(vec![Net::new("a", vec![pin(2, 2), pin(80, 80)])]);
+        let p = extract_panels(&res);
+        // At least one vertical end must see a horizontal continuation.
+        let any_cont = p
+            .columns
+            .iter()
+            .flatten()
+            .any(|s| s.lo_cont != Continuation::None || s.hi_cont != Continuation::None);
+        assert!(any_cont, "L-shaped route must have a junction continuation");
+    }
+
+    #[test]
+    fn overlap_is_tilewise() {
+        let a = PanelSegment {
+            net: 0,
+            panel: 1,
+            lo: 0,
+            hi: 3,
+            lo_cont: Continuation::None,
+            hi_cont: Continuation::None,
+        };
+        let b = PanelSegment { net: 1, lo: 3, hi: 5, ..a };
+        let c = PanelSegment { net: 2, lo: 4, hi: 5, ..a };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.tile_len(), 4);
+    }
+}

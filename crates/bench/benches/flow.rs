@@ -1,0 +1,27 @@
+//! End-to-end flow benchmark: baseline vs stitch-aware framework
+//! (the runtime comparison behind Table III's CPU columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+
+fn bench_flow(c: &mut Criterion) {
+    let circuit = BenchmarkSpec::by_name("S9234")
+        .expect("known benchmark")
+        .generate(&GenerateConfig::quick(2013));
+    let mut group = c.benchmark_group("full_flow_s9234_quick");
+    group.sample_size(10);
+    for (label, config) in [
+        ("baseline", RouterConfig::baseline()),
+        ("stitch_aware", RouterConfig::stitch_aware()),
+    ] {
+        let router = Router::new(config);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| router.route(&circuit));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion benches for the individual routing stages.
+//!
+//! One group per paper experiment: global routing (Table IV), layer
+//! assignment heuristics (Table VI), track assignment algorithms
+//! (Table VII) and detailed routing (Table VIII), each at a small fixed
+//! scale so `cargo bench` completes quickly while preserving the relative
+//! runtimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mebl_assign::{
+    assign_tracks, extract_panels, layer_assign_mst, layer_assign_ours, random_instances,
+    ConflictGraph, LayerMode, TrackConfig, TrackMode,
+};
+use mebl_detailed::{route_detailed, DetailedConfig};
+use mebl_global::{route_circuit, GlobalConfig};
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
+use mebl_stitch::{StitchConfig, StitchPlan};
+
+fn quick(name: &str) -> (Circuit, StitchPlan) {
+    let circuit = BenchmarkSpec::by_name(name)
+        .expect("known benchmark")
+        .generate(&GenerateConfig::quick(2013));
+    let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+    (circuit, plan)
+}
+
+fn bench_global(c: &mut Criterion) {
+    let (circuit, plan) = quick("S9234");
+    let mut group = c.benchmark_group("global_routing");
+    group.sample_size(10);
+    for (label, line_end_cost) in [("wo_line_end", false), ("w_line_end", true)] {
+        let config = GlobalConfig {
+            line_end_cost,
+            ..GlobalConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| route_circuit(&circuit, &plan, &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_assignment(c: &mut Criterion) {
+    let instances = random_instances(10, 25, 30, 2013);
+    let graphs: Vec<ConflictGraph> = instances
+        .iter()
+        .map(|iv| ConflictGraph::build(iv, 30, true))
+        .collect();
+    let mut group = c.benchmark_group("layer_assignment_k3");
+    group.bench_function("max_spanning_tree", |b| {
+        b.iter(|| {
+            graphs
+                .iter()
+                .map(|g| layer_assign_mst(g, 3))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("ours_kcolorable_subset", |b| {
+        b.iter(|| {
+            graphs
+                .iter()
+                .map(|g| layer_assign_ours(g, 3))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_track_assignment(c: &mut Criterion) {
+    let (circuit, plan) = quick("S5378");
+    let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
+    let panels = extract_panels(&global);
+    let mut group = c.benchmark_group("track_assignment");
+    group.sample_size(10);
+    let modes: [(&str, TrackMode); 3] = [
+        ("baseline", TrackMode::Baseline),
+        ("graph_heuristic", TrackMode::GraphHeuristic),
+        ("ilp_exact", TrackMode::IlpExact { node_budget: 200_000 }),
+    ];
+    for (label, track_mode) in modes {
+        let config = TrackConfig {
+            layer_mode: LayerMode::Ours,
+            track_mode,
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| assign_tracks(&panels, &global.graph, &plan, circuit.layer_count(), &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detailed(c: &mut Criterion) {
+    let (circuit, plan) = quick("S9234");
+    let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
+    let panels = extract_panels(&global);
+    let tracks = assign_tracks(
+        &panels,
+        &global.graph,
+        &plan,
+        circuit.layer_count(),
+        &TrackConfig::default(),
+    );
+    let mut group = c.benchmark_group("detailed_routing");
+    group.sample_size(10);
+    for (label, config) in [
+        ("wo_stitch", DetailedConfig::without_stitch_consideration()),
+        ("w_stitch", DetailedConfig::default()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| route_detailed(&circuit, &plan, &global.graph, &tracks, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_global,
+    bench_layer_assignment,
+    bench_track_assignment,
+    bench_detailed
+);
+criterion_main!(benches);

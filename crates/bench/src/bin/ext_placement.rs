@@ -1,0 +1,53 @@
+//! Extension experiment: stitch-aware placement (the paper's future
+//! work, §V) — nudge pins off stitching lines before routing and measure
+//! the via-violation reduction.
+//!
+//! Columns: #VV and routability with and without the placement pass, per
+//! circuit. Expected shape: #VV drops to ~0 with negligible displacement
+//! and unchanged routability.
+
+use mebl_bench::Options;
+use mebl_place::{adjust_pins, PlaceConfig};
+use mebl_route::{Router, RouterConfig};
+use mebl_stitch::{StitchConfig, StitchPlan};
+
+fn main() {
+    let opt = Options::parse(std::env::args().skip(1));
+    let cfg = opt.generate_config();
+
+    println!("Extension: stitch-aware placement (pin adjustment before routing)");
+    let header = format!(
+        "{:<10} | {:>8} {:>6} {:>6} | {:>8} {:>6} {:>6} | {:>7} {:>7} {:>7}",
+        "Circuit", "Rout.(%)", "#VV", "#SP", "Rout.(%)", "#VV", "#SP", "moved", "stuck", "disp"
+    );
+    println!(
+        "{:<10} | {:^22} | {:^22} | {:^23}",
+        "", "fixed pins (paper)", "adjusted pins", "placement stats"
+    );
+    println!("{header}");
+    mebl_bench::rule(&header);
+
+    let router = Router::new(RouterConfig::stitch_aware());
+    for spec in &opt.suite {
+        let circuit = spec.generate(&cfg);
+        let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+        let fixed = router.route(&circuit).report;
+
+        let placed = adjust_pins(&circuit, &plan, &PlaceConfig::default());
+        let adjusted = router.route(&placed.circuit).report;
+
+        println!(
+            "{:<10} | {:>8.2} {:>6} {:>6} | {:>8.2} {:>6} {:>6} | {:>7} {:>7} {:>7}",
+            spec.name,
+            fixed.routability() * 100.0,
+            fixed.via_violations,
+            fixed.short_polygons,
+            adjusted.routability() * 100.0,
+            adjusted.via_violations,
+            adjusted.short_polygons,
+            placed.moved,
+            placed.stuck,
+            placed.total_displacement,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 15: full routed layout of S38417 under the stitch-aware
+//! framework, written as an SVG.
+
+use mebl_bench::Options;
+use mebl_netlist::BenchmarkSpec;
+use mebl_route::{Router, RouterConfig};
+
+fn main() {
+    let mut opt = Options::parse(std::env::args().skip(1));
+    // The figure is a single circuit; default to a reduced scale so the
+    // SVG stays viewable, overridable via --scale.
+    if (opt.scale - 1.0).abs() < f64::EPSILON {
+        opt.scale = 0.15;
+    }
+    let spec = BenchmarkSpec::by_name("S38417").expect("suite circuit");
+    let circuit = spec.generate(&opt.generate_config());
+
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    println!("S38417 @ scale {:.2}: {}", opt.scale, out.report);
+
+    let svg = mebl_viz::layout_svg(&circuit, &out.plan, &out.detailed.geometry, 2.0);
+    std::fs::create_dir_all(&opt.out).expect("create output dir");
+    let path = format!("{}/fig15_s38417.svg", opt.out);
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {path}");
+
+    // Companion heatmaps: global congestion and line-end utilisation.
+    for (tag, values) in [
+        ("congestion", &out.global.tile_congestion),
+        ("line_ends", &out.global.vertex_utilization),
+    ] {
+        let svg = mebl_viz::congestion_svg(&out.global.graph, &out.plan, values, 2.0);
+        let path = format!("{}/fig15_{tag}.svg", opt.out);
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Figures 3–4: rasterization with error diffusion and the short-polygon
+//! defect.
+//!
+//! Renders (a) a long wire and (b) a stitch-cut short polygon, both
+//! sub-pixel misaligned against the second beam's pixel grid, dithers them
+//! with error diffusion, prints the bitmaps as ASCII art and reports the
+//! relative defect score of each feature.
+
+use mebl_raster::{defect_score, render, BitMap, FRect, GrayMap};
+
+fn ascii(gray: &GrayMap, bw: &BitMap) -> String {
+    let mut s = String::new();
+    for y in (0..bw.height()).rev() {
+        for x in 0..bw.width() {
+            let ideal = gray.get(x, y) >= 0.5;
+            let got = bw.get(x, y);
+            s.push(match (ideal, got) {
+                (true, true) => '#',
+                (false, false) => '.',
+                (true, false) => 'o', // missing exposure
+                (false, true) => 'x', // spurious exposure
+            });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn show(title: &str, feature: FRect, width: usize, height: usize) -> f64 {
+    let gray = render(&[feature], width, height);
+    let bw = gray.dither();
+    let score = defect_score(&gray, &bw);
+    println!("{title}");
+    println!("{}", ascii(&gray, &bw));
+    println!("defect score: {score:.3}  (fraction of feature pixels printed wrongly)\n");
+    score
+}
+
+fn main() {
+    println!("Fig. 3/4 reproduction: dithering with error diffusion\n");
+    println!("legend: '#' correct exposure, '.' correct blank, 'o' missing, 'x' spurious\n");
+
+    // A long wire with the same 0.45-pixel overlay misalignment.
+    let long = show(
+        "(a) long wire, 0.45-pixel overlay misalignment:",
+        FRect::new(0.0, 1.45, 28.0, 2.45),
+        30,
+        5,
+    );
+
+    // The short polygon a stitching line cut off the same wire.
+    let short = show(
+        "(b) short polygon (stitch-cut stub), same misalignment:",
+        FRect::new(0.0, 1.45, 3.0, 2.45),
+        30,
+        5,
+    );
+
+    // A grid-aligned wire prints perfectly.
+    let aligned = show(
+        "(c) grid-aligned wire (no overlay error):",
+        FRect::new(0.0, 1.0, 28.0, 2.0),
+        30,
+        5,
+    );
+
+    println!("summary: aligned {aligned:.3} <= long {long:.3}; short polygon {short:.3}");
+    println!(
+        "the misaligned short polygon loses {:.0}% of its pixels — the defect of Fig. 4",
+        short * 100.0
+    );
+}

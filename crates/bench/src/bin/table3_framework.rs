@@ -1,0 +1,69 @@
+//! Table III: the full stitch-aware routing framework vs the baseline
+//! router, over the whole MCNC + Faraday suite.
+//!
+//! Columns per router: Rout. (%), #VV, #SP, CPU (s). The paper's result:
+//! the stitch-aware framework removes ~98 % of short polygons with
+//! slightly better routability and ~10 % runtime overhead.
+
+use mebl_bench::{geomean, Options};
+use mebl_route::{Router, RouterConfig};
+
+fn main() {
+    let opt = Options::parse(std::env::args().skip(1));
+    let cfg = opt.generate_config();
+
+    println!("Table III: baseline router vs stitch-aware routing framework");
+    let header = format!(
+        "{:<10} | {:>8} {:>6} {:>6} {:>8} | {:>8} {:>6} {:>6} {:>8}",
+        "Circuit", "Rout.(%)", "#VV", "#SP", "CPU(s)", "Rout.(%)", "#VV", "#SP", "CPU(s)"
+    );
+    println!(
+        "{:<10} | {:^31} | {:^31}",
+        "", "Baseline", "Stitch-aware framework"
+    );
+    println!("{header}");
+    mebl_bench::rule(&header);
+
+    let baseline = Router::new(RouterConfig::baseline());
+    let aware = Router::new(RouterConfig::stitch_aware());
+
+    let mut rows = Vec::new();
+    for spec in &opt.suite {
+        let circuit = spec.generate(&cfg);
+        let b = baseline.route(&circuit).report;
+        let a = aware.route(&circuit).report;
+        assert!(b.hard_clean() && a.hard_clean(), "hard violation on {}", spec.name);
+        println!(
+            "{:<10} | {:>8.2} {:>6} {:>6} {:>8.2} | {:>8.2} {:>6} {:>6} {:>8.2}",
+            spec.name,
+            b.routability() * 100.0,
+            b.via_violations,
+            b.short_polygons,
+            b.elapsed.as_secs_f64(),
+            a.routability() * 100.0,
+            a.via_violations,
+            a.short_polygons,
+            a.elapsed.as_secs_f64(),
+        );
+        rows.push((b, a));
+    }
+
+    println!();
+    let rout = geomean(
+        rows.iter()
+            .map(|(b, a)| a.routability() / b.routability().max(1e-9)),
+        1e-6,
+    );
+    let sp = geomean(
+        rows.iter()
+            .map(|(b, a)| (a.short_polygons as f64).max(0.5) / (b.short_polygons as f64).max(0.5)),
+        1e-6,
+    );
+    let cpu = geomean(
+        rows.iter()
+            .map(|(b, a)| a.elapsed.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)),
+        1e-6,
+    );
+    println!("Comp. (stitch-aware / baseline): Rout. {rout:.3}  #SP {sp:.3}  CPU {cpu:.2}");
+    println!("(#VV stems from fixed pins on stitching lines and is not normalised, as in the paper)");
+}

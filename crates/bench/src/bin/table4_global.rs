@@ -1,0 +1,72 @@
+//! Table IV: stitch-aware global routing with vs without line-end
+//! consideration, on the six "hard" MCNC benchmarks.
+//!
+//! Columns: TVOF (total vertex overflow), MVOF (max vertex overflow),
+//! WL (wirelength), CPU (s). The paper's result: line-end consideration
+//! drives vertex overflow to ~zero at ~1.5 % wirelength cost.
+
+use mebl_bench::{geomean, Options};
+use mebl_global::{route_circuit, GlobalConfig};
+use mebl_netlist::BenchmarkSpec;
+use mebl_stitch::{StitchConfig, StitchPlan};
+use std::time::Instant;
+
+fn main() {
+    let mut opt = Options::parse(std::env::args().skip(1));
+    opt.suite.retain(BenchmarkSpec::is_hard_mcnc);
+    let cfg = opt.generate_config();
+
+    println!("Table IV: global routing, line-end consideration ablation");
+    let header = format!(
+        "{:<10} | {:>7} {:>5} {:>9} {:>8} | {:>7} {:>5} {:>9} {:>8}",
+        "Circuit", "TVOF", "MVOF", "WL", "CPU(s)", "TVOF", "MVOF", "WL", "CPU(s)"
+    );
+    println!(
+        "{:<10} | {:^32} | {:^32}",
+        "", "w/o line end consideration", "w/ line end consideration"
+    );
+    println!("{header}");
+    mebl_bench::rule(&header);
+
+    let mut rows: Vec<[f64; 8]> = Vec::new();
+    for spec in &opt.suite {
+        let circuit = spec.generate(&cfg);
+        let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+
+        let mut row = [0.0f64; 8];
+        for (i, line_end_cost) in [(0usize, false), (4usize, true)] {
+            let config = GlobalConfig {
+                line_end_cost,
+                ..GlobalConfig::default()
+            };
+            let t = Instant::now();
+            let res = route_circuit(&circuit, &plan, &config);
+            let cpu = t.elapsed().as_secs_f64();
+            row[i] = res.metrics.total_vertex_overflow as f64;
+            row[i + 1] = res.metrics.max_vertex_overflow as f64;
+            row[i + 2] = res.metrics.wirelength as f64;
+            row[i + 3] = cpu;
+        }
+        println!(
+            "{:<10} | {:>7.0} {:>5.0} {:>9.0} {:>8.3} | {:>7.0} {:>5.0} {:>9.0} {:>8.3}",
+            spec.name, row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
+        );
+        rows.push(row);
+    }
+
+    // "Comp." row: ratios w/ vs w/o, geometric mean.
+    let ratio = |i: usize, j: usize| {
+        geomean(
+            rows.iter().map(|r| (r[j].max(1e-3)) / (r[i].max(1e-3))),
+            1e-6,
+        )
+    };
+    println!();
+    println!(
+        "Comp. (w/ divided by w/o): TVOF {:.3}  MVOF {:.3}  WL {:.3}  CPU {:.3}",
+        ratio(0, 4),
+        ratio(1, 5),
+        ratio(2, 6),
+        ratio(3, 7)
+    );
+}

@@ -1,0 +1,82 @@
+//! Tables V–VI: layer-assignment instance statistics and the comparison
+//! between the maximum-spanning-tree heuristic of [4] and the paper's
+//! k-colorable-subset heuristic, for k = 2..5 available layers.
+
+use mebl_assign::{
+    assignment_cost, instance_stats, layer_assign_mst, layer_assign_ours, random_instances,
+    ConflictGraph,
+};
+use mebl_bench::Options;
+
+const INSTANCES: usize = 50;
+const SEGMENTS: usize = 25;
+const ROWS: u32 = 30;
+
+fn main() {
+    let opt = Options::parse(std::env::args().skip(1));
+    let instances = random_instances(INSTANCES, SEGMENTS, ROWS, opt.seed);
+
+    // Table V.
+    let stats = instance_stats(&instances, ROWS);
+    println!("Table V: characteristics of the {INSTANCES} layer assignment instances");
+    println!(
+        "{:<10} | {:>22} | {:>22}",
+        "#Instance", "Segment density", "Line end density"
+    );
+    println!(
+        "{:<10} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "Max", "Avg.", "Max", "Avg."
+    );
+    println!(
+        "{:<10} | {:>10.2} {:>11.2} | {:>10.2} {:>11.2}",
+        INSTANCES,
+        stats.max_segment_density,
+        stats.avg_segment_density,
+        stats.max_end_density,
+        stats.avg_end_density
+    );
+
+    // Table VI.
+    println!("\nTable VI: average layer assignment cost (total same-layer conflict weight)");
+    let header = format!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "Heuristic", "k=2", "k=3", "k=4", "k=5"
+    );
+    println!("{header}");
+    mebl_bench::rule(&header);
+
+    let graphs: Vec<ConflictGraph> = instances
+        .iter()
+        .map(|iv| ConflictGraph::build(iv, ROWS, true))
+        .collect();
+
+    let mut mst_avg = [0.0f64; 4];
+    let mut ours_avg = [0.0f64; 4];
+    for (ki, k) in (2..=5).enumerate() {
+        for g in &graphs {
+            mst_avg[ki] += assignment_cost(g, &layer_assign_mst(g, k)) as f64;
+            ours_avg[ki] += assignment_cost(g, &layer_assign_ours(g, k)) as f64;
+        }
+        mst_avg[ki] /= graphs.len() as f64;
+        ours_avg[ki] /= graphs.len() as f64;
+    }
+
+    println!(
+        "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+        "Max. Spanning Tree [4]", mst_avg[0], mst_avg[1], mst_avg[2], mst_avg[3]
+    );
+    println!(
+        "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+        "Ours", ours_avg[0], ours_avg[1], ours_avg[2], ours_avg[3]
+    );
+    print!("{:<24}", "Improvement");
+    for ki in 0..4 {
+        let imp = if mst_avg[ki] > 0.0 {
+            (mst_avg[ki] - ours_avg[ki]) / mst_avg[ki] * 100.0
+        } else {
+            0.0
+        };
+        print!(" {imp:>9.2}%");
+    }
+    println!();
+}

@@ -1,0 +1,107 @@
+//! Table VII: track assignment ablation — stitch-oblivious baseline vs
+//! the exact ILP substitute vs the graph-based heuristic, with identical
+//! stitch-aware algorithms in every other stage.
+//!
+//! The exact solver runs under a per-panel node budget; circuits that
+//! exhaust it anywhere print "NA", mirroring the paper's `> 100000 s`
+//! CPLEX timeouts on S38417/S38584.
+
+use mebl_assign::{LayerMode, TrackConfig, TrackMode};
+use mebl_bench::{geomean, Options};
+use mebl_route::{Router, RouterConfig};
+
+/// Node budget per panel group for the exact solver. Kept deliberately
+/// modest: the point of Table VII is that exact search does not scale.
+const ILP_NODE_BUDGET: u64 = 1_000_000;
+
+fn config_with(track_mode: TrackMode) -> RouterConfig {
+    RouterConfig {
+        track: TrackConfig {
+            layer_mode: LayerMode::Ours,
+            track_mode,
+        },
+        ..RouterConfig::stitch_aware()
+    }
+}
+
+fn main() {
+    let opt = Options::parse(std::env::args().skip(1));
+    let cfg = opt.generate_config();
+
+    println!("Table VII: track assignment algorithms");
+    println!("(#BE = bad ends left by track assignment, the short-polygon precursors;");
+    println!(" TA(s) = assignment-stage CPU. Our detailed router heals most bad ends,");
+    println!(" so #SP converges across columns — #BE carries the paper's contrast.)");
+    let header = format!(
+        "{:<10} | {:>8} {:>4} {:>4} {:>5} {:>7} | {:>8} {:>4} {:>4} {:>5} {:>9} | {:>8} {:>4} {:>4} {:>5} {:>7}",
+        "Circuit", "Rout.(%)", "#VV", "#SP", "#BE", "TA(s)",
+        "Rout.(%)", "#VV", "#SP", "#BE", "TA(s)",
+        "Rout.(%)", "#VV", "#SP", "#BE", "TA(s)"
+    );
+    println!(
+        "{:<10} | {:^33} | {:^35} | {:^33}",
+        "", "w/o stitch consideration", "ILP-based (exact B&B)", "Graph-based"
+    );
+    println!("{header}");
+    mebl_bench::rule(&header);
+
+    let modes = [
+        config_with(TrackMode::Baseline),
+        config_with(TrackMode::IlpExact {
+            node_budget: ILP_NODE_BUDGET,
+        }),
+        config_with(TrackMode::GraphHeuristic),
+    ];
+
+    let mut sp = [Vec::new(), Vec::new(), Vec::new()];
+    let mut bad_ends = [Vec::new(), Vec::new(), Vec::new()];
+    let mut ta_cpus = [Vec::new(), Vec::new(), Vec::new()];
+    for spec in &opt.suite {
+        let circuit = spec.generate(&cfg);
+        print!("{:<10} |", spec.name);
+        for (m, config) in modes.iter().enumerate() {
+            let out = Router::new(*config).route(&circuit);
+            let r = &out.report;
+            if out.tracks.timed_out {
+                print!(" {:>8} {:>4} {:>4} {:>5} {:>9}", "NA", "NA", "NA", "NA", ">budget");
+                if m < 2 {
+                    print!(" |");
+                }
+                continue;
+            }
+            // The w/o-stitch baseline leaves its short-polygon precursors
+            // as ripped-up nets rather than bad ends; count both.
+            let be = out.tracks.bad_ends + out.tracks.failed_nets.len();
+            sp[m].push(r.short_polygons as f64);
+            bad_ends[m].push(be as f64);
+            ta_cpus[m].push(out.timings.assignment.as_secs_f64());
+            let w = if m == 1 { 9 } else { 7 };
+            print!(
+                " {:>8.2} {:>4} {:>4} {:>5} {:>w$.3}",
+                r.routability() * 100.0,
+                r.via_violations,
+                r.short_polygons,
+                be,
+                out.timings.assignment.as_secs_f64(),
+            );
+            if m < 2 {
+                print!(" |");
+            }
+        }
+        println!();
+    }
+
+    println!();
+    for (m, name) in ["w/o stitch", "ILP", "graph"].iter().enumerate() {
+        if sp[m].is_empty() {
+            continue;
+        }
+        println!(
+            "{name:<12} geomean #SP {:8.2}  geomean #BE {:8.2}  geomean TA-CPU {:8.4}s  ({} circuits)",
+            geomean(sp[m].iter().map(|&v| v.max(0.5)), 1e-6),
+            geomean(bad_ends[m].iter().map(|&v| v.max(0.5)), 1e-6),
+            geomean(ta_cpus[m].iter().map(|&v| v.max(1e-5)), 1e-6),
+            sp[m].len()
+        );
+    }
+}

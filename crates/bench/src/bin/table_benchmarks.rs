@@ -1,0 +1,48 @@
+//! Tables I–II: benchmark circuit characteristics.
+//!
+//! Prints the published statistics of the MCNC and Faraday suites next to
+//! the generated synthetic realisation (grid size in tracks, achieved
+//! net/pin counts, stitch-line count at the default period of 15 pitches).
+
+use mebl_bench::Options;
+use mebl_netlist::Suite;
+use mebl_stitch::{StitchConfig, StitchPlan};
+
+fn main() {
+    let opt = Options::parse(std::env::args().skip(1));
+    let cfg = opt.generate_config();
+
+    for suite in [Suite::Mcnc, Suite::Faraday] {
+        println!("\nTable {}: {} benchmark circuits", if suite == Suite::Mcnc { "I" } else { "II" }, suite);
+        let header = format!(
+            "{:<10} {:>14} {:>7} {:>7} {:>8} | {:>12} {:>8} {:>8} {:>8}",
+            "Circuit", "Size (um^2)", "#Layers", "#Nets", "#Pins", "Grid (trk)", "#Nets", "#Pins", "#Stitch"
+        );
+        println!("{header}");
+        mebl_bench::rule(&header);
+        for spec in opt.suite.iter().filter(|s| s.suite == suite) {
+            let c = spec.generate(&cfg);
+            let plan = StitchPlan::new(c.outline(), StitchConfig::default());
+            println!(
+                "{:<10} {:>6.1}x{:<7.1} {:>7} {:>7} {:>8} | {:>5}x{:<6} {:>8} {:>8} {:>8}",
+                spec.name,
+                spec.width_um,
+                spec.height_um,
+                spec.layers,
+                spec.nets,
+                spec.pins,
+                c.outline().width(),
+                c.outline().height(),
+                c.net_count(),
+                c.pin_count(),
+                plan.lines().len(),
+            );
+        }
+    }
+    println!(
+        "\n(generated at scale {:.2}, seed {}; grid sized for ~{:.0} cells/pin)",
+        opt.scale,
+        opt.seed,
+        cfg.cells_per_pin
+    );
+}

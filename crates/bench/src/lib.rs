@@ -1,0 +1,147 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale <f>` — fraction of each benchmark's published net count to
+//!   generate (default 1.0 = paper scale);
+//! * `--seed <n>` — generator seed (default 2013);
+//! * `--out <dir>` — output directory for figures (default `target/figs`);
+//! * `--suite mcnc|faraday|all|hard` — which circuits to run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mebl_netlist::{faraday_suite, full_suite, mcnc_suite, BenchmarkSpec, GenerateConfig};
+
+/// Common command-line options of the table binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Net-count scale factor (1.0 = published size).
+    pub scale: f64,
+    /// Grid cells per pin (smaller = denser, harder instances).
+    pub density: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Output directory for figures.
+    pub out: String,
+    /// Circuits to run.
+    pub suite: Vec<BenchmarkSpec>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            density: 28.0,
+            seed: 2013,
+            out: "target/figs".into(),
+            suite: full_suite(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`-style flags; unknown flags abort with a
+    /// usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+        let mut opt = Options::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--scale" => opt.scale = value("--scale").parse().expect("bad --scale"),
+                "--density" => opt.density = value("--density").parse().expect("bad --density"),
+                "--seed" => opt.seed = value("--seed").parse().expect("bad --seed"),
+                "--out" => opt.out = value("--out"),
+                "--suite" => {
+                    opt.suite = match value("--suite").as_str() {
+                        "mcnc" => mcnc_suite(),
+                        "faraday" => faraday_suite(),
+                        "all" => full_suite(),
+                        "hard" => full_suite()
+                            .into_iter()
+                            .filter(BenchmarkSpec::is_hard_mcnc)
+                            .collect(),
+                        other => panic!("unknown suite {other}"),
+                    }
+                }
+                other => panic!("unknown flag {other} (known: --scale --density --seed --out --suite)"),
+            }
+        }
+        opt
+    }
+
+    /// Generator configuration for these options.
+    pub fn generate_config(&self) -> GenerateConfig {
+        GenerateConfig {
+            seed: self.seed,
+            net_scale: self.scale,
+            cells_per_pin: self.density,
+        }
+    }
+}
+
+/// Geometric-mean helper for the "Comp." rows of the paper's tables.
+/// Zero entries are clamped to `floor` so a perfect 0 (e.g. zero short
+/// polygons) doesn't zero the mean.
+pub fn geomean(values: impl IntoIterator<Item = f64>, floor: f64) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(floor).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.density, 28.0);
+        assert_eq!(o.seed, 2013);
+        assert_eq!(o.suite.len(), 14);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&["--scale", "0.25", "--seed", "9", "--suite", "hard", "--density", "16"]);
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.density, 16.0);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.suite.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean([1.0, 4.0], 1e-6);
+        assert!((g - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty(), 1e-6), 0.0);
+    }
+}

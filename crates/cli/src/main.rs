@@ -1,0 +1,163 @@
+//! `mebl` — command-line front end for the stitch-aware MEBL router.
+//!
+//! ```text
+//! mebl list                                   # show the benchmark suite
+//! mebl gen  <bench> [--scale f] [--seed n] [-o file]
+//! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
+//! ```
+
+use mebl_route::{Router, RouterConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]"
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<10} {:<8} {:>7} {:>7} {:>8}",
+        "name", "suite", "layers", "nets", "pins"
+    );
+    for spec in mebl_netlist::full_suite() {
+        println!(
+            "{:<10} {:<8} {:>7} {:>7} {:>8}",
+            spec.name,
+            spec.suite.to_string(),
+            spec.layers,
+            spec.nets,
+            spec.pins
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let bench = it.next().ok_or("gen: missing benchmark name")?;
+    let spec = mebl_netlist::BenchmarkSpec::by_name(bench)
+        .ok_or_else(|| format!("unknown benchmark '{bench}' (try `mebl list`)"))?;
+    let mut config = mebl_netlist::GenerateConfig::default();
+    let mut out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                config.net_scale = val("--scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale".to_string())?
+            }
+            "--seed" => {
+                config.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "-o" | "--out" => out = Some(val("-o")?.clone()),
+            other => return Err(format!("gen: unknown flag {other}")),
+        }
+    }
+    let circuit = spec.generate(&config);
+    let text = mebl_netlist::circuit_to_string(&circuit);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} ({} nets, {} pins, {}x{} tracks)",
+                path,
+                circuit.net_count(),
+                circuit.pin_count(),
+                circuit.outline().width(),
+                circuit.outline().height()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let path = it.next().ok_or("route: missing circuit file")?;
+    let mut baseline = false;
+    let mut svg: Option<String> = None;
+    let mut period: Option<i32> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => baseline = true,
+            "--svg" => {
+                svg = Some(
+                    it.next()
+                        .ok_or("missing value for --svg")?
+                        .clone(),
+                )
+            }
+            "--period" => {
+                period = Some(
+                    it.next()
+                        .ok_or("missing value for --period")?
+                        .parse()
+                        .map_err(|_| "bad --period".to_string())?,
+                )
+            }
+            other => return Err(format!("route: unknown flag {other}")),
+        }
+    }
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let circuit = mebl_netlist::circuit_from_str(&text).map_err(|e| e.to_string())?;
+
+    let mut config = if baseline {
+        RouterConfig::baseline()
+    } else {
+        RouterConfig::stitch_aware()
+    };
+    if let Some(p) = period {
+        if p <= 1 {
+            return Err("--period must be > 1".into());
+        }
+        config.stitch.period = p;
+        config.global.tile_size = p;
+    }
+
+    let outcome = Router::new(config).route(&circuit);
+    println!(
+        "{} [{}]: {}",
+        circuit.name(),
+        if baseline { "baseline" } else { "stitch-aware" },
+        outcome.report
+    );
+    if !outcome.report.hard_clean() {
+        return Err("hard MEBL violation in result (bug)".into());
+    }
+    if let Some(svg_path) = svg {
+        let doc = mebl_viz::layout_svg(&circuit, &outcome.plan, &outcome.detailed.geometry, 4.0);
+        std::fs::write(&svg_path, doc).map_err(|e| format!("writing {svg_path}: {e}"))?;
+        eprintln!("wrote {svg_path}");
+    }
+    Ok(())
+}

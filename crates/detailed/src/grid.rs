@@ -1,0 +1,212 @@
+//! The detailed routing grid: occupancy and legal moves.
+
+use mebl_geom::{Coord, GridPoint, Layer, Rect};
+
+/// The full 3-D track grid with per-cell net occupancy.
+///
+/// Cells are addressed by compact node ids. Occupancy stores `net + 1`
+/// (0 = free). Layer directions follow the global convention: even layers
+/// carry x-wires, odd layers y-wires; z-moves (vias) connect adjacent
+/// layers.
+#[derive(Debug, Clone)]
+pub struct DetailedGrid {
+    outline: Rect,
+    width: u32,
+    height: u32,
+    layers: u8,
+    occupancy: Vec<u32>,
+}
+
+impl DetailedGrid {
+    /// Creates an empty grid over `outline` with `layers` routing layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers < 2`.
+    pub fn new(outline: Rect, layers: u8) -> Self {
+        assert!(layers >= 2, "need at least two layers");
+        let width = outline.width() as u32;
+        let height = outline.height() as u32;
+        Self {
+            outline,
+            width,
+            height,
+            layers,
+            occupancy: vec![0; width as usize * height as usize * layers as usize],
+        }
+    }
+
+    /// Chip outline.
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> u8 {
+        self.layers
+    }
+
+    /// Grid width in tracks.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in tracks.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Compact node id of a grid point.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the point is outside the grid.
+    pub fn node(&self, p: GridPoint) -> u32 {
+        let x = (p.x - self.outline.x0()) as u32;
+        let y = (p.y - self.outline.y0()) as u32;
+        debug_assert!(x < self.width && y < self.height, "point outside grid");
+        debug_assert!(p.layer.index() < self.layers);
+        (u32::from(p.layer.index()) * self.height + y) * self.width + x
+    }
+
+    /// Grid point of a node id.
+    pub fn point(&self, node: u32) -> GridPoint {
+        let x = node % self.width;
+        let rest = node / self.width;
+        let y = rest % self.height;
+        let l = rest / self.height;
+        GridPoint::new(
+            self.outline.x0() + x as Coord,
+            self.outline.y0() + y as Coord,
+            Layer::new(l as u8),
+        )
+    }
+
+    /// Net occupying a node (`None` = free).
+    pub fn occupant(&self, node: u32) -> Option<u32> {
+        let v = self.occupancy[node as usize];
+        (v != 0).then(|| v - 1)
+    }
+
+    /// Marks a node as occupied by `net`.
+    pub fn occupy(&mut self, node: u32, net: u32) {
+        self.occupancy[node as usize] = net + 1;
+    }
+
+    /// Frees a node.
+    pub fn free(&mut self, node: u32) {
+        self.occupancy[node as usize] = 0;
+    }
+
+    /// Whether `node` is free or already owned by `net`.
+    pub fn passable(&self, node: u32, net: u32) -> bool {
+        let v = self.occupancy[node as usize];
+        v == 0 || v == net + 1
+    }
+
+    /// The legal neighbour nodes of `p` respecting layer directions:
+    /// x-moves on horizontal layers, y-moves on vertical layers, z-moves
+    /// between adjacent layers. Bounds-checked; occupancy is *not*
+    /// checked here.
+    pub fn moves(&self, p: GridPoint) -> impl Iterator<Item = GridPoint> + '_ {
+        let horizontal = p.layer.is_horizontal();
+        let candidates = [
+            // x moves (horizontal layers only)
+            horizontal.then(|| GridPoint::new(p.x - 1, p.y, p.layer)),
+            horizontal.then(|| GridPoint::new(p.x + 1, p.y, p.layer)),
+            // y moves (vertical layers only)
+            (!horizontal).then(|| GridPoint::new(p.x, p.y - 1, p.layer)),
+            (!horizontal).then(|| GridPoint::new(p.x, p.y + 1, p.layer)),
+            // z moves
+            p.layer.below().map(|l| GridPoint::new(p.x, p.y, l)),
+            (p.layer.index() + 1 < self.layers)
+                .then(|| GridPoint::new(p.x, p.y, p.layer.above())),
+        ];
+        candidates
+            .into_iter()
+            .flatten()
+            .filter(|q| self.outline.contains(q.point()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::Point;
+
+    fn grid() -> DetailedGrid {
+        DetailedGrid::new(Rect::new(0, 0, 9, 7), 3)
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let g = grid();
+        for l in 0..3u8 {
+            for y in 0..8 {
+                for x in 0..10 {
+                    let p = GridPoint::new(x, y, Layer::new(l));
+                    assert_eq!(g.point(g.node(p)), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_origin_roundtrip() {
+        let g = DetailedGrid::new(Rect::new(5, 3, 14, 10), 2);
+        let p = GridPoint::new(7, 9, Layer::new(1));
+        assert_eq!(g.point(g.node(p)), p);
+    }
+
+    #[test]
+    fn occupancy_lifecycle() {
+        let mut g = grid();
+        let n = g.node(GridPoint::new(2, 3, Layer::new(1)));
+        assert_eq!(g.occupant(n), None);
+        assert!(g.passable(n, 7));
+        g.occupy(n, 7);
+        assert_eq!(g.occupant(n), Some(7));
+        assert!(g.passable(n, 7), "own cells stay passable");
+        assert!(!g.passable(n, 8));
+        g.free(n);
+        assert_eq!(g.occupant(n), None);
+    }
+
+    #[test]
+    fn moves_respect_layer_direction() {
+        let g = grid();
+        // Horizontal layer 0 at interior point: x±1 and z+1 = 3 moves.
+        let m: Vec<GridPoint> = g.moves(GridPoint::new(5, 3, Layer::new(0))).collect();
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|q| q.y == 3));
+        // Vertical layer 1: y±1, z±1 = 4 moves.
+        let m: Vec<GridPoint> = g.moves(GridPoint::new(5, 3, Layer::new(1))).collect();
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|q| q.x == 5));
+    }
+
+    #[test]
+    fn moves_clipped_at_boundary() {
+        let g = grid();
+        let m: Vec<GridPoint> = g.moves(GridPoint::new(0, 0, Layer::new(0))).collect();
+        // x+1 and z+1 only.
+        assert_eq!(m.len(), 2);
+        let m: Vec<GridPoint> = g.moves(GridPoint::new(9, 7, Layer::new(2))).collect();
+        // layer 2 horizontal: x-1 and z-1.
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&GridPoint::new(8, 7, Layer::new(2))));
+        assert!(m.contains(&GridPoint::new(9, 7, Layer::new(1))));
+    }
+
+    #[test]
+    fn point_contains_check() {
+        let g = DetailedGrid::new(Rect::new(0, 0, 4, 4), 2);
+        assert_eq!(g.cell_count(), 50);
+        assert_eq!(g.point(0), GridPoint::new(0, 0, Layer::new(0)));
+    }
+}

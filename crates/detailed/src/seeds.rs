@@ -1,0 +1,139 @@
+//! Seeding the detailed grid with track-assigned segments.
+
+use mebl_assign::AssignedSeg;
+use mebl_geom::{Coord, GridPoint, Layer};
+use mebl_global::TileGraph;
+
+/// Converts an assigned segment into concrete grid cells.
+///
+/// A vertical segment's pieces are realised as wire from the centre of its
+/// first tile to the centre of its last tile on the piece's track; a
+/// doglegged segment yields one cell run per piece (the jog between pieces
+/// is left to detailed routing, which performs the segment-to-segment
+/// connection with proper vias). Horizontal segments are realised
+/// symmetrically. The n-th colour of an orientation maps to the n-th layer
+/// of that orientation (vertical colours → layers 1, 3, 5…; horizontal →
+/// 0, 2, 4…).
+///
+/// Each returned inner `Vec` is one connected cell run (a seed component).
+pub fn realize_seeds(seg: &AssignedSeg, graph: &TileGraph) -> Vec<Vec<GridPoint>> {
+    let layer = if seg.horizontal {
+        Layer::new(2 * seg.layer_color as u8)
+    } else {
+        Layer::new(2 * seg.layer_color as u8 + 1)
+    };
+    let mut components = Vec::with_capacity(seg.pieces.len());
+    for &(tile_lo, tile_hi, track) in &seg.pieces {
+        debug_assert!(tile_lo <= tile_hi, "empty assigned piece");
+        let start = tile_center(graph, seg.horizontal, tile_lo);
+        let end = tile_center(graph, seg.horizontal, tile_hi);
+        if end < start {
+            continue;
+        }
+        let mut cells = Vec::with_capacity((end - start + 1) as usize);
+        for c in start..=end {
+            let p = if seg.horizontal {
+                GridPoint::new(c, track, layer)
+            } else {
+                GridPoint::new(track, c, layer)
+            };
+            cells.push(p);
+        }
+        components.push(cells);
+    }
+    components
+}
+
+/// The realised anchor coordinate at tile `t`: the tile centre. Exact
+/// junction points are refined by detailed routing's segment-to-segment
+/// connection.
+fn tile_center(graph: &TileGraph, horizontal: bool, t: u32) -> Coord {
+    let span = if horizontal {
+        graph.col_span(t)
+    } else {
+        graph.row_span(t)
+    };
+    (span.lo() + span.hi()) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_assign::Continuation;
+    use mebl_geom::Rect;
+    use mebl_stitch::{StitchConfig, StitchPlan};
+
+    fn graph() -> TileGraph {
+        let outline = Rect::new(0, 0, 89, 89);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        TileGraph::new(outline, 15, 3, &plan, true)
+    }
+
+    fn vseg(pieces: Vec<(u32, u32, i32)>, lo: u32, hi: u32) -> AssignedSeg {
+        AssignedSeg {
+            net: 0,
+            horizontal: false,
+            panel: 1,
+            layer_color: 0,
+            lo,
+            hi,
+            pieces,
+            lo_cont: Continuation::None,
+            hi_cont: Continuation::None,
+        }
+    }
+
+    #[test]
+    fn straight_vertical_seed_spans_tile_centres() {
+        let g = graph();
+        let seg = vseg(vec![(0, 3, 20)], 0, 3);
+        let comps = realize_seeds(&seg, &g);
+        assert_eq!(comps.len(), 1);
+        let cells = &comps[0];
+        // Tile row 0 centre y = 7, tile row 3 centre y = 52.
+        assert_eq!(cells.first().unwrap().y, 7);
+        assert_eq!(cells.last().unwrap().y, 52);
+        assert!(cells.iter().all(|c| c.x == 20));
+        assert!(cells.iter().all(|c| c.layer == Layer::new(1)));
+        assert_eq!(cells.len(), 46);
+    }
+
+    #[test]
+    fn dogleg_yields_two_components() {
+        let g = graph();
+        let seg = vseg(vec![(0, 2, 20), (3, 3, 25)], 0, 3);
+        let comps = realize_seeds(&seg, &g);
+        assert_eq!(comps.len(), 2);
+        assert!(comps[0].iter().all(|c| c.x == 20));
+        assert!(comps[1].iter().all(|c| c.x == 25));
+    }
+
+    #[test]
+    fn horizontal_seed_on_even_layer() {
+        let g = graph();
+        let seg = AssignedSeg {
+            net: 3,
+            horizontal: true,
+            panel: 2,
+            layer_color: 1,
+            lo: 1,
+            hi: 4,
+            pieces: vec![(1, 4, 33)],
+            lo_cont: Continuation::None,
+            hi_cont: Continuation::None,
+        };
+        let comps = realize_seeds(&seg, &g);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].iter().all(|c| c.y == 33));
+        assert!(comps[0].iter().all(|c| c.layer == Layer::new(2)));
+    }
+
+    #[test]
+    fn vertical_color_maps_to_odd_layer() {
+        let g = graph();
+        let mut seg = vseg(vec![(0, 2, 20)], 0, 2);
+        seg.layer_color = 1;
+        let comps = realize_seeds(&seg, &g);
+        assert!(comps[0].iter().all(|c| c.layer == Layer::new(3)));
+    }
+}

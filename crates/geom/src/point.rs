@@ -1,0 +1,119 @@
+//! 2-D and 3-D (layered) grid points.
+
+use crate::{Coord, Layer};
+
+/// A 2-D point on the track grid.
+///
+/// ```
+/// use mebl_geom::Point;
+/// let p = Point::new(3, 4);
+/// assert_eq!(p.x, 3);
+/// assert_eq!(p.y, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal track coordinate.
+    pub x: Coord,
+    /// Vertical track coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Self { x, y }
+    }
+
+    /// Attaches a layer, producing a [`GridPoint`].
+    ///
+    /// ```
+    /// use mebl_geom::{Layer, Point};
+    /// let gp = Point::new(1, 2).on_layer(Layer::new(0));
+    /// assert_eq!(gp.layer, Layer::new(0));
+    /// ```
+    pub const fn on_layer(self, layer: Layer) -> GridPoint {
+        GridPoint {
+            x: self.x,
+            y: self.y,
+            layer,
+        }
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+/// A point on a specific routing layer (a 3-D routing grid node).
+///
+/// ```
+/// use mebl_geom::{GridPoint, Layer};
+/// let gp = GridPoint::new(5, 6, Layer::new(2));
+/// assert_eq!(gp.point(), mebl_geom::Point::new(5, 6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridPoint {
+    /// Horizontal track coordinate.
+    pub x: Coord,
+    /// Vertical track coordinate.
+    pub y: Coord,
+    /// Routing layer.
+    pub layer: Layer,
+}
+
+impl GridPoint {
+    /// Creates a grid point.
+    pub const fn new(x: Coord, y: Coord, layer: Layer) -> Self {
+        Self { x, y, layer }
+    }
+
+    /// Drops the layer, returning the 2-D projection.
+    pub const fn point(self) -> Point {
+        Point::new(self.x, self.y)
+    }
+}
+
+impl std::fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, M{})", self.x, self.y, self.layer.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip_through_layer() {
+        let p = Point::new(-3, 9);
+        let gp = p.on_layer(Layer::new(1));
+        assert_eq!(gp.point(), p);
+        assert_eq!(gp.layer, Layer::new(1));
+    }
+
+    #[test]
+    fn point_from_tuple() {
+        let p: Point = (2, 7).into();
+        assert_eq!(p, Point::new(2, 7));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(GridPoint::new(1, 2, Layer::new(0)).to_string(), "(1, 2, M0)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Point::new(0, 5) < Point::new(1, 0));
+        assert!(Point::new(1, 0) < Point::new(1, 2));
+    }
+}

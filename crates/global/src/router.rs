@@ -1,0 +1,676 @@
+//! Congestion- and line-end-aware global routing.
+
+use crate::{TileGraph, TileId};
+use mebl_geom::Coord;
+use mebl_netlist::Circuit;
+use mebl_stitch::StitchPlan;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of the global routing stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalConfig {
+    /// Global tile edge length in pitches. The default (15) matches the
+    /// stitch period so each tile column contains at most one line, the
+    /// Fig. 7 geometry.
+    pub tile_size: Coord,
+    /// Account for stitching lines in edge/vertex capacities. `false`
+    /// models a conventional router's resource estimate.
+    pub stitch_aware_capacity: bool,
+    /// Include the vertex (line-end congestion) term `ψv` in path costs —
+    /// the switch studied in Table IV.
+    pub line_end_cost: bool,
+    /// Negotiation-style rip-up/reroute passes after the initial pass.
+    pub reroute_passes: usize,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        Self {
+            tile_size: 15,
+            stitch_aware_capacity: true,
+            line_end_cost: true,
+            reroute_passes: 3,
+        }
+    }
+}
+
+impl GlobalConfig {
+    /// The conventional baseline: wire-density cost only, blind capacities.
+    pub fn baseline() -> Self {
+        Self {
+            stitch_aware_capacity: false,
+            line_end_cost: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// A maximal straight run of a net's global route, in tile coordinates.
+///
+/// Runs are the "segments" consumed by layer and track assignment: a
+/// vertical run in a column panel, a horizontal run in a row panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRun {
+    /// `true` for a run along a tile row (horizontal wiring).
+    pub horizontal: bool,
+    /// Row index for horizontal runs, column index for vertical runs.
+    pub fixed: u32,
+    /// First tile index along the run (column for horizontal, row for
+    /// vertical), inclusive.
+    pub lo: u32,
+    /// Last tile index along the run, inclusive. Always `> lo`.
+    pub hi: u32,
+}
+
+/// A net's global route: the Steiner-tree tiles and edges it occupies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalRoute {
+    /// Occupied tiles (sorted, deduplicated). Never empty for a routed
+    /// net; a net local to one tile has one tile and no edges.
+    pub tiles: Vec<TileId>,
+    /// Tree edges between adjacent tiles, normalised `(min, max)`.
+    pub edges: Vec<(TileId, TileId)>,
+}
+
+impl GlobalRoute {
+    /// Decomposes the route's edges into maximal straight [`TileRun`]s.
+    pub fn runs(&self, graph: &TileGraph) -> Vec<TileRun> {
+        let mut h_edges: Vec<(u32, u32)> = Vec::new(); // (row, left col)
+        let mut v_edges: Vec<(u32, u32)> = Vec::new(); // (col, lower row)
+        for &(a, b) in &self.edges {
+            let (ac, ar) = graph.tile_coords(a);
+            let (bc, br) = graph.tile_coords(b);
+            if ar == br {
+                h_edges.push((ar, ac.min(bc)));
+            } else {
+                v_edges.push((ac, ar.min(br)));
+            }
+        }
+        let mut runs = Vec::new();
+        collect_runs(&mut h_edges, true, &mut runs);
+        collect_runs(&mut v_edges, false, &mut runs);
+        runs
+    }
+
+    /// Tile-level wirelength: number of tile-boundary crossings.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+fn collect_runs(edges: &mut Vec<(u32, u32)>, horizontal: bool, out: &mut Vec<TileRun>) {
+    edges.sort_unstable();
+    let mut i = 0;
+    while i < edges.len() {
+        let (fixed, start) = edges[i];
+        let mut end = start;
+        while i + 1 < edges.len() && edges[i + 1] == (fixed, end + 1) {
+            end += 1;
+            i += 1;
+        }
+        out.push(TileRun {
+            horizontal,
+            fixed,
+            lo: start,
+            hi: end + 1, // edge (fixed, end) spans tiles end..end+1
+        });
+        i += 1;
+    }
+}
+
+/// Quality metrics of a global routing solution (Table IV columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalMetrics {
+    /// Total vertex overflow (`TVOF`): Σ max(0, dv − cv).
+    pub total_vertex_overflow: u64,
+    /// Maximum vertex overflow over all tiles (`MVOF`).
+    pub max_vertex_overflow: u32,
+    /// Total edge overflow: Σ max(0, de − ce).
+    pub total_edge_overflow: u64,
+    /// Maximum edge overflow over all edges.
+    pub max_edge_overflow: u32,
+    /// Wirelength in pitches (tile crossings × tile size).
+    pub wirelength: u64,
+}
+
+/// Output of [`route_circuit`].
+#[derive(Debug, Clone)]
+pub struct GlobalResult {
+    /// Per-net routes, indexed by net id.
+    pub routes: Vec<GlobalRoute>,
+    /// The tile graph the routes live on.
+    pub graph: TileGraph,
+    /// Congestion/overflow metrics.
+    pub metrics: GlobalMetrics,
+    /// Per-tile congestion `max(demand/capacity)` over the tile's four
+    /// edges (1.0 = full), for heatmap rendering.
+    pub tile_congestion: Vec<f64>,
+    /// Per-tile line-end utilisation `dv / cv`.
+    pub vertex_utilization: Vec<f64>,
+}
+
+/// Mutable routing state: demands and negotiation history.
+struct State {
+    h_demand: Vec<u32>,
+    v_demand: Vec<u32>,
+    vertex_demand: Vec<u32>,
+    h_history: Vec<f64>,
+    v_history: Vec<f64>,
+    vertex_history: Vec<f64>,
+}
+
+impl State {
+    fn new(graph: &TileGraph) -> Self {
+        Self {
+            h_demand: vec![0; graph.h_edge_count()],
+            v_demand: vec![0; graph.v_edge_count()],
+            vertex_demand: vec![0; graph.tile_count()],
+            h_history: vec![0.0; graph.h_edge_count()],
+            v_history: vec![0.0; graph.v_edge_count()],
+            vertex_history: vec![0.0; graph.tile_count()],
+        }
+    }
+
+    fn apply_route(&mut self, graph: &TileGraph, route: &GlobalRoute, sign: i64) {
+        for &(a, b) in &route.edges {
+            let (idx, is_h) = graph.edge_between(a, b).expect("route edge adjacency");
+            let slot = if is_h {
+                &mut self.h_demand[idx]
+            } else {
+                &mut self.v_demand[idx]
+            };
+            *slot = (*slot as i64 + sign) as u32;
+        }
+        // Each vertical run deposits a line end in both its terminal tiles.
+        for run in route.runs(graph) {
+            if run.horizontal {
+                continue;
+            }
+            for row in [run.lo, run.hi] {
+                let t = graph.tile_at(run.fixed, row);
+                let d = &mut self.vertex_demand[t.0 as usize];
+                *d = (*d as i64 + sign) as u32;
+            }
+        }
+    }
+}
+
+/// Congestion cost `ψ(x) = 2^x − 1` (eqs. 1–2).
+fn psi(demand: u32, capacity: u32) -> f64 {
+    if capacity == 0 {
+        // A zero-capacity resource is effectively blocked but must stay
+        // finite so fully blocked regions remain traversable as a last
+        // resort (overflow shows up in the metrics instead).
+        return 1.0e6;
+    }
+    (f64::from(demand) / f64::from(capacity)).exp2() - 1.0
+}
+
+/// Routes every net of `circuit` on the global tile graph.
+///
+/// Nets are processed in bottom-up multilevel order (smallest bounding box
+/// first), then `config.reroute_passes` negotiation rounds rip up and
+/// reroute the nets crossing overflowed resources.
+pub fn route_circuit(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    config: &GlobalConfig,
+) -> GlobalResult {
+    let graph = TileGraph::new(
+        circuit.outline(),
+        config.tile_size,
+        circuit.layer_count(),
+        plan,
+        config.stitch_aware_capacity,
+    );
+    let mut state = State::new(&graph);
+
+    // Bottom-up multilevel ordering: route the nets that are local at the
+    // finest coarsening level first, then coarser levels — the two-pass
+    // bottom-up framework of [3] (see `CoarseningLadder`).
+    let ladder = crate::CoarseningLadder::build(circuit, &graph);
+    let order: Vec<usize> = ladder.order().to_vec();
+
+    let mut routes: Vec<GlobalRoute> = vec![GlobalRoute::default(); circuit.net_count()];
+    for &i in &order {
+        routes[i] = route_net(circuit, i, &graph, &mut state, config);
+    }
+
+    // Negotiation: penalise overflowed resources and reroute their nets.
+    for _ in 0..config.reroute_passes {
+        let metrics = compute_metrics(&graph, &state, &routes);
+        if metrics.total_edge_overflow == 0 && metrics.total_vertex_overflow == 0 {
+            break;
+        }
+        let mut h_over = vec![false; graph.h_edge_count()];
+        let mut v_over = vec![false; graph.v_edge_count()];
+        for idx in 0..graph.h_edge_count() {
+            if state.h_demand[idx] > graph.h_edge_capacity(idx) {
+                h_over[idx] = true;
+                state.h_history[idx] += 1.0;
+            }
+        }
+        for idx in 0..graph.v_edge_count() {
+            if state.v_demand[idx] > graph.v_edge_capacity(idx) {
+                v_over[idx] = true;
+                state.v_history[idx] += 1.0;
+            }
+        }
+        let mut vertex_over = vec![false; graph.tile_count()];
+        if config.line_end_cost {
+            for t in 0..graph.tile_count() {
+                if state.vertex_demand[t] > graph.vertex_capacity(TileId(t as u32)) {
+                    vertex_over[t] = true;
+                    state.vertex_history[t] += 1.0;
+                }
+            }
+        }
+        let victims: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| {
+                routes[i].edges.iter().any(|&(a, b)| {
+                    let (idx, is_h) = graph.edge_between(a, b).expect("adjacency");
+                    if is_h {
+                        h_over[idx]
+                    } else {
+                        v_over[idx]
+                    }
+                }) || routes[i].tiles.iter().any(|t| vertex_over[t.0 as usize])
+            })
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        for &i in &victims {
+            state.apply_route(&graph, &routes[i], -1);
+            routes[i] = GlobalRoute::default();
+        }
+        for &i in &victims {
+            routes[i] = route_net(circuit, i, &graph, &mut state, config);
+        }
+    }
+
+    let metrics = compute_metrics(&graph, &state, &routes);
+    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state);
+    GlobalResult {
+        routes,
+        graph,
+        metrics,
+        tile_congestion,
+        vertex_utilization,
+    }
+}
+
+/// Per-tile congestion and line-end utilisation maps.
+fn utilization_maps(graph: &TileGraph, state: &State) -> (Vec<f64>, Vec<f64>) {
+    let ratio = |d: u32, c: u32| {
+        if c == 0 {
+            if d == 0 { 0.0 } else { f64::INFINITY }
+        } else {
+            f64::from(d) / f64::from(c)
+        }
+    };
+    let mut congestion = vec![0.0f64; graph.tile_count()];
+    for t in 0..graph.tile_count() as u32 {
+        let tile = TileId(t);
+        let mut worst = 0.0f64;
+        for n in graph.neighbors(tile) {
+            let (idx, is_h) = graph.edge_between(tile, n).expect("adjacent");
+            let u = if is_h {
+                ratio(state.h_demand[idx], graph.h_edge_capacity(idx))
+            } else {
+                ratio(state.v_demand[idx], graph.v_edge_capacity(idx))
+            };
+            worst = worst.max(u);
+        }
+        congestion[t as usize] = worst;
+    }
+    let vertex = (0..graph.tile_count() as u32)
+        .map(|t| ratio(state.vertex_demand[t as usize], graph.vertex_capacity(TileId(t))))
+        .collect();
+    (congestion, vertex)
+}
+
+fn compute_metrics(graph: &TileGraph, state: &State, routes: &[GlobalRoute]) -> GlobalMetrics {
+    let mut m = GlobalMetrics::default();
+    for idx in 0..graph.h_edge_count() {
+        let over = state.h_demand[idx].saturating_sub(graph.h_edge_capacity(idx));
+        m.total_edge_overflow += u64::from(over);
+        m.max_edge_overflow = m.max_edge_overflow.max(over);
+    }
+    for idx in 0..graph.v_edge_count() {
+        let over = state.v_demand[idx].saturating_sub(graph.v_edge_capacity(idx));
+        m.total_edge_overflow += u64::from(over);
+        m.max_edge_overflow = m.max_edge_overflow.max(over);
+    }
+    for t in 0..graph.tile_count() {
+        let over =
+            state.vertex_demand[t].saturating_sub(graph.vertex_capacity(TileId(t as u32)));
+        m.total_vertex_overflow += u64::from(over);
+        m.max_vertex_overflow = m.max_vertex_overflow.max(over);
+    }
+    m.wirelength = routes
+        .iter()
+        .map(|r| r.edge_count() as u64 * graph.tile_size() as u64)
+        .sum();
+    m
+}
+
+/// Routes one net: MST decomposition over pin tiles, then multi-source A\*
+/// per connection with the Ψ(P) cost of eq. (3).
+fn route_net(
+    circuit: &Circuit,
+    net_idx: usize,
+    graph: &TileGraph,
+    state: &mut State,
+    config: &GlobalConfig,
+) -> GlobalRoute {
+    let net = &circuit.nets()[net_idx];
+    let mut pin_tiles: Vec<TileId> = net
+        .pins()
+        .iter()
+        .map(|p| graph.tile_of(p.position))
+        .collect();
+    pin_tiles.sort_unstable();
+    pin_tiles.dedup();
+
+    let mut route = GlobalRoute {
+        tiles: vec![pin_tiles[0]],
+        edges: Vec::new(),
+    };
+    if pin_tiles.len() == 1 {
+        return route;
+    }
+
+    // Greedy nearest-target order (Prim-style MST decomposition).
+    let mut remaining: Vec<TileId> = pin_tiles[1..].to_vec();
+    while !remaining.is_empty() {
+        // Pick the remaining pin tile nearest to the current tree.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| {
+                route
+                    .tiles
+                    .iter()
+                    .map(|&s| tile_dist(graph, s, t))
+                    .min()
+                    .expect("tree non-empty")
+            })
+            .expect("remaining non-empty");
+        let target = remaining.swap_remove(pos);
+        if route.tiles.contains(&target) {
+            continue;
+        }
+        let path = astar_tiles(graph, state, config, &route.tiles, target);
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let e = (a.min(b), a.max(b));
+            if !route.edges.contains(&e) {
+                route.edges.push(e);
+                let (idx, is_h) = graph.edge_between(a, b).expect("path adjacency");
+                if is_h {
+                    state.h_demand[idx] += 1;
+                } else {
+                    state.v_demand[idx] += 1;
+                }
+            }
+            if !route.tiles.contains(&b) {
+                route.tiles.push(b);
+            }
+        }
+    }
+    route.tiles.sort_unstable();
+    route.tiles.dedup();
+    route.edges.sort_unstable();
+
+    // Line-end demand: both terminals of every vertical run.
+    for run in route.runs(graph) {
+        if run.horizontal {
+            continue;
+        }
+        for row in [run.lo, run.hi] {
+            let t = graph.tile_at(run.fixed, row);
+            state.vertex_demand[t.0 as usize] += 1;
+        }
+    }
+    route
+}
+
+fn tile_dist(graph: &TileGraph, a: TileId, b: TileId) -> u32 {
+    let (ac, ar) = graph.tile_coords(a);
+    let (bc, br) = graph.tile_coords(b);
+    ac.abs_diff(bc) + ar.abs_diff(br)
+}
+
+/// Fixed-point scale for f64 costs in the binary heap.
+const COST_SCALE: f64 = 1024.0;
+
+/// Multi-source A\* over the tile graph from the net's current tree to
+/// `target`. Returns the tile path from a tree tile to the target.
+fn astar_tiles(
+    graph: &TileGraph,
+    state: &State,
+    config: &GlobalConfig,
+    sources: &[TileId],
+    target: TileId,
+) -> Vec<TileId> {
+    let n = graph.tile_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let h = |t: TileId| -> u64 { (tile_dist(graph, t, target) as f64 * COST_SCALE) as u64 };
+
+    for &s in sources {
+        dist[s.0 as usize] = 0;
+        heap.push(Reverse((h(s), s.0)));
+    }
+    while let Some(Reverse((_, u))) = heap.pop() {
+        let ut = TileId(u);
+        if ut == target {
+            break;
+        }
+        let du = dist[u as usize];
+        for v in graph.neighbors(ut) {
+            let (idx, is_h) = graph.edge_between(ut, v).expect("neighbor adjacency");
+            let (cap, dem, hist) = if is_h {
+                (
+                    graph.h_edge_capacity(idx),
+                    state.h_demand[idx],
+                    state.h_history[idx],
+                )
+            } else {
+                (
+                    graph.v_edge_capacity(idx),
+                    state.v_demand[idx],
+                    state.v_history[idx],
+                )
+            };
+            // Prospective congestion of taking this edge (demand + 1).
+            let mut step = 1.0 + psi(dem + 1, cap) + hist;
+            // Vertex (line-end) cost ψv of eq. (2): charged on vertical
+            // moves — the moves whose endpoints can deposit the line ends
+            // that dv counts — so a crowded tile can still be entered
+            // horizontally for free and the router steers final approaches
+            // accordingly (Fig. 7(b), segment C).
+            if config.line_end_cost && !is_h {
+                step += psi(
+                    state.vertex_demand[v.0 as usize] + 1,
+                    graph.vertex_capacity(v),
+                ) + state.vertex_history[v.0 as usize];
+            }
+            let nd = du + (step * COST_SCALE) as u64;
+            if nd < dist[v.0 as usize] {
+                dist[v.0 as usize] = nd;
+                prev[v.0 as usize] = u;
+                heap.push(Reverse((nd + h(v), v.0)));
+            }
+        }
+    }
+
+    // Reconstruct from target back to a source.
+    let mut path = vec![target];
+    let mut cur = target.0;
+    while prev[cur as usize] != u32::MAX {
+        cur = prev[cur as usize];
+        path.push(TileId(cur));
+    }
+    path.reverse();
+    debug_assert!(sources.contains(&path[0]), "path must start at the tree");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::{Layer, Point, Rect};
+    use mebl_netlist::{Circuit, Net, Pin};
+    use mebl_stitch::{StitchConfig, StitchPlan};
+
+    fn pin(x: i32, y: i32) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(0))
+    }
+
+    fn tiny_circuit(nets: Vec<Net>) -> (Circuit, StitchPlan) {
+        let outline = Rect::new(0, 0, 89, 59);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        (Circuit::new("t", outline, 3, nets), plan)
+    }
+
+    #[test]
+    fn local_net_occupies_one_tile() {
+        let (c, plan) = tiny_circuit(vec![Net::new("a", vec![pin(1, 1), pin(3, 4)])]);
+        let res = route_circuit(&c, &plan, &GlobalConfig::default());
+        assert_eq!(res.routes[0].tiles.len(), 1);
+        assert!(res.routes[0].edges.is_empty());
+    }
+
+    #[test]
+    fn two_pin_net_connects_its_tiles() {
+        let (c, plan) = tiny_circuit(vec![Net::new("a", vec![pin(1, 1), pin(80, 50)])]);
+        let res = route_circuit(&c, &plan, &GlobalConfig::default());
+        let r = &res.routes[0];
+        // Path between tile (0,0) and tile (5,3): at least 8 edges.
+        assert!(r.edges.len() >= 8, "edges: {}", r.edges.len());
+        let t0 = res.graph.tile_of(Point::new(1, 1));
+        let t1 = res.graph.tile_of(Point::new(80, 50));
+        assert!(r.tiles.contains(&t0) && r.tiles.contains(&t1));
+        assert_route_connected(r);
+    }
+
+    #[test]
+    fn multi_pin_net_forms_connected_tree() {
+        let (c, plan) = tiny_circuit(vec![Net::new(
+            "a",
+            vec![pin(1, 1), pin(80, 5), pin(40, 55), pin(85, 58)],
+        )]);
+        let res = route_circuit(&c, &plan, &GlobalConfig::default());
+        assert_route_connected(&res.routes[0]);
+    }
+
+    fn assert_route_connected(r: &GlobalRoute) {
+        if r.tiles.len() <= 1 {
+            return;
+        }
+        let mut uf = mebl_graph_lite::UnionFindLite::new(r.tiles.len());
+        let index = |t: TileId| r.tiles.binary_search(&t).expect("tile in route");
+        for &(a, b) in &r.edges {
+            uf.union(index(a), index(b));
+        }
+        let root = uf.find(0);
+        for i in 1..r.tiles.len() {
+            assert_eq!(uf.find(i), root, "route not connected");
+        }
+    }
+
+    /// Minimal local union-find to avoid a dev-dependency cycle.
+    mod mebl_graph_lite {
+        pub struct UnionFindLite {
+            parent: Vec<usize>,
+        }
+        impl UnionFindLite {
+            pub fn new(n: usize) -> Self {
+                Self {
+                    parent: (0..n).collect(),
+                }
+            }
+            pub fn find(&mut self, x: usize) -> usize {
+                if self.parent[x] != x {
+                    let r = self.find(self.parent[x]);
+                    self.parent[x] = r;
+                }
+                self.parent[x]
+            }
+            pub fn union(&mut self, a: usize, b: usize) {
+                let (ra, rb) = (self.find(a), self.find(b));
+                self.parent[ra] = rb;
+            }
+        }
+    }
+
+    #[test]
+    fn runs_decompose_l_shaped_route() {
+        let (c, plan) = tiny_circuit(vec![Net::new("a", vec![pin(1, 1), pin(80, 50)])]);
+        let res = route_circuit(&c, &plan, &GlobalConfig::default());
+        let runs = res.routes[0].runs(&res.graph);
+        assert!(!runs.is_empty());
+        // Total run length equals edge count.
+        let total: u32 = runs.iter().map(|r| r.hi - r.lo).sum();
+        assert_eq!(total as usize, res.routes[0].edges.len());
+        for r in &runs {
+            assert!(r.hi > r.lo);
+        }
+    }
+
+    #[test]
+    fn line_end_cost_reduces_vertex_overflow() {
+        // Many vertical connections terminating in the same tile column.
+        let mut nets = Vec::new();
+        for i in 0..40 {
+            let x = 16 + (i % 3);
+            nets.push(Net::new(
+                format!("n{i}"),
+                vec![pin(x, 1 + (i % 10)), pin(x + (i % 2), 40 + (i % 15))],
+            ));
+        }
+        let (c, plan) = tiny_circuit(nets);
+        let aware = route_circuit(&c, &plan, &GlobalConfig::default());
+        let blind = route_circuit(
+            &c,
+            &plan,
+            &GlobalConfig {
+                line_end_cost: false,
+                ..GlobalConfig::default()
+            },
+        );
+        assert!(
+            aware.metrics.total_vertex_overflow <= blind.metrics.total_vertex_overflow,
+            "aware {} vs blind {}",
+            aware.metrics.total_vertex_overflow,
+            blind.metrics.total_vertex_overflow
+        );
+    }
+
+    #[test]
+    fn wirelength_accounts_tile_size() {
+        let (c, plan) = tiny_circuit(vec![Net::new("a", vec![pin(1, 1), pin(80, 1)])]);
+        let res = route_circuit(&c, &plan, &GlobalConfig::default());
+        assert_eq!(
+            res.metrics.wirelength,
+            res.routes[0].edges.len() as u64 * 15
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (c, plan) = tiny_circuit(vec![
+            Net::new("a", vec![pin(1, 1), pin(80, 50)]),
+            Net::new("b", vec![pin(5, 50), pin(85, 2)]),
+        ]);
+        let r1 = route_circuit(&c, &plan, &GlobalConfig::default());
+        let r2 = route_circuit(&c, &plan, &GlobalConfig::default());
+        assert_eq!(r1.routes, r2.routes);
+    }
+}

@@ -1,0 +1,327 @@
+//! Global tile graph with stitch-adjusted capacities.
+
+use mebl_geom::{Coord, Interval, Point, Rect};
+use mebl_stitch::StitchPlan;
+
+/// Identifier of a global tile: `row * cols + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub u32);
+
+/// The global routing graph: a grid of tiles with edge and vertex
+/// capacities (Fig. 7).
+///
+/// Horizontal edges connect laterally adjacent tiles and carry horizontal
+/// wiring; vertical edges connect vertically adjacent tiles. Capacities
+/// aggregate all layers of the respective direction. When built
+/// stitch-aware, vertical edge capacity excludes tracks occupied by
+/// stitching lines and the vertex (line-end) capacity counts only tracks
+/// outside stitch unfriendly regions.
+///
+/// ```
+/// use mebl_geom::Rect;
+/// use mebl_stitch::{StitchConfig, StitchPlan};
+/// use mebl_global::TileGraph;
+///
+/// let outline = Rect::new(0, 0, 59, 29);
+/// let plan = StitchPlan::new(outline, StitchConfig::default());
+/// let g = TileGraph::new(outline, 15, 3, &plan, true);
+/// assert_eq!((g.cols(), g.rows()), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileGraph {
+    outline: Rect,
+    tile_size: Coord,
+    cols: u32,
+    rows: u32,
+    /// Capacity of edge ((c,r),(c+1,r)): index r * (cols-1) + c.
+    h_edge_cap: Vec<u32>,
+    /// Capacity of edge ((c,r),(c,r+1)): index r * cols + c.
+    v_edge_cap: Vec<u32>,
+    /// Line-end capacity per tile.
+    vertex_cap: Vec<u32>,
+}
+
+impl TileGraph {
+    /// Builds the tile graph over `outline` with square tiles of
+    /// `tile_size` pitches (edge tiles may be smaller).
+    ///
+    /// `stitch_aware` controls whether capacities account for stitching
+    /// lines; pass `false` to model a conventional (stitch-oblivious)
+    /// resource estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size <= 0` or `layers < 2`.
+    pub fn new(
+        outline: Rect,
+        tile_size: Coord,
+        layers: u8,
+        plan: &StitchPlan,
+        stitch_aware: bool,
+    ) -> Self {
+        assert!(tile_size > 0, "tile size must be positive");
+        assert!(layers >= 2, "need at least two layers");
+        let cols = ((outline.width() as Coord + tile_size - 1) / tile_size).max(1) as u32;
+        let rows = ((outline.height() as Coord + tile_size - 1) / tile_size).max(1) as u32;
+        // Even layers horizontal, odd vertical.
+        let h_layers = u32::from(layers).div_ceil(2);
+        let v_layers = u32::from(layers) / 2;
+
+        let mut graph = Self {
+            outline,
+            tile_size,
+            cols,
+            rows,
+            h_edge_cap: vec![0; ((cols - 1) * rows).max(0) as usize],
+            v_edge_cap: vec![0; (cols * (rows - 1)).max(0) as usize],
+            vertex_cap: vec![0; (cols * rows) as usize],
+        };
+
+        for r in 0..rows {
+            let ys = graph.row_span(r);
+            for c in 0..cols {
+                let xs = graph.col_span(c);
+                // Horizontal edge to the right: limited by horizontal
+                // tracks (rows of the tile) times horizontal layers.
+                if c + 1 < cols {
+                    graph.h_edge_cap[(r * (cols - 1) + c) as usize] =
+                        ys.count() as u32 * h_layers;
+                }
+                // Vertical edge upward: vertical tracks not on stitch
+                // lines, times vertical layers.
+                let usable_v = if stitch_aware {
+                    plan.vertical_track_capacity(xs)
+                } else {
+                    xs.count()
+                };
+                if r + 1 < rows {
+                    graph.v_edge_cap[(r * cols + c) as usize] = usable_v as u32 * v_layers;
+                }
+                // Vertex capacity: friendly vertical tracks.
+                let friendly = if stitch_aware {
+                    plan.friendly_track_capacity(xs)
+                } else {
+                    xs.count()
+                };
+                graph.vertex_cap[(r * cols + c) as usize] = friendly as u32 * v_layers;
+            }
+        }
+        graph
+    }
+
+    /// Chip outline.
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// Nominal tile edge length in pitches.
+    pub fn tile_size(&self) -> Coord {
+        self.tile_size
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// The tile containing a grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is outside the outline.
+    pub fn tile_of(&self, p: Point) -> TileId {
+        assert!(self.outline.contains(p), "point outside outline");
+        let c = ((p.x - self.outline.x0()) / self.tile_size) as u32;
+        let r = ((p.y - self.outline.y0()) / self.tile_size) as u32;
+        TileId(r * self.cols + c)
+    }
+
+    /// `(col, row)` of a tile.
+    pub fn tile_coords(&self, t: TileId) -> (u32, u32) {
+        (t.0 % self.cols, t.0 / self.cols)
+    }
+
+    /// Tile id from `(col, row)`.
+    pub fn tile_at(&self, col: u32, row: u32) -> TileId {
+        debug_assert!(col < self.cols && row < self.rows);
+        TileId(row * self.cols + col)
+    }
+
+    /// The x extent of tile column `c`.
+    pub fn col_span(&self, c: u32) -> Interval {
+        let lo = self.outline.x0() + c as Coord * self.tile_size;
+        let hi = (lo + self.tile_size - 1).min(self.outline.x1());
+        Interval::new(lo, hi)
+    }
+
+    /// The y extent of tile row `r`.
+    pub fn row_span(&self, r: u32) -> Interval {
+        let lo = self.outline.y0() + r as Coord * self.tile_size;
+        let hi = (lo + self.tile_size - 1).min(self.outline.y1());
+        Interval::new(lo, hi)
+    }
+
+    /// The rectangle covered by a tile.
+    pub fn tile_rect(&self, t: TileId) -> Rect {
+        let (c, r) = self.tile_coords(t);
+        Rect::from_intervals(self.col_span(c), self.row_span(r))
+    }
+
+    /// Index of the undirected edge between two adjacent tiles, along with
+    /// whether it is horizontal. Returns `None` for non-adjacent tiles.
+    pub fn edge_between(&self, a: TileId, b: TileId) -> Option<(usize, bool)> {
+        let (ac, ar) = self.tile_coords(a);
+        let (bc, br) = self.tile_coords(b);
+        if ar == br && ac.abs_diff(bc) == 1 {
+            let c = ac.min(bc);
+            Some(((ar * (self.cols - 1) + c) as usize, true))
+        } else if ac == bc && ar.abs_diff(br) == 1 {
+            let r = ar.min(br);
+            Some(((r * self.cols + ac) as usize, false))
+        } else {
+            None
+        }
+    }
+
+    /// Capacity of the horizontal edge with the given index.
+    pub fn h_edge_capacity(&self, idx: usize) -> u32 {
+        self.h_edge_cap[idx]
+    }
+
+    /// Capacity of the vertical edge with the given index.
+    pub fn v_edge_capacity(&self, idx: usize) -> u32 {
+        self.v_edge_cap[idx]
+    }
+
+    /// Line-end capacity of a tile.
+    pub fn vertex_capacity(&self, t: TileId) -> u32 {
+        self.vertex_cap[t.0 as usize]
+    }
+
+    /// Number of horizontal edges.
+    pub fn h_edge_count(&self) -> usize {
+        self.h_edge_cap.len()
+    }
+
+    /// Number of vertical edges.
+    pub fn v_edge_count(&self) -> usize {
+        self.v_edge_cap.len()
+    }
+
+    /// The four-neighbourhood of a tile.
+    pub fn neighbors(&self, t: TileId) -> impl Iterator<Item = TileId> + '_ {
+        let (c, r) = self.tile_coords(t);
+        let cols = self.cols;
+        let rows = self.rows;
+        [
+            (c > 0).then(|| TileId(r * cols + c - 1)),
+            (c + 1 < cols).then(|| TileId(r * cols + c + 1)),
+            (r > 0).then(|| TileId((r - 1) * cols + c)),
+            (r + 1 < rows).then(|| TileId((r + 1) * cols + c)),
+        ]
+        .into_iter()
+        .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_stitch::StitchConfig;
+
+    fn setup(stitch_aware: bool) -> TileGraph {
+        let outline = Rect::new(0, 0, 59, 29);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        TileGraph::new(outline, 15, 3, &plan, stitch_aware)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = setup(true);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.tile_count(), 8);
+        assert_eq!(g.h_edge_count(), 6);
+        assert_eq!(g.v_edge_count(), 4);
+    }
+
+    #[test]
+    fn tile_lookup_roundtrip() {
+        let g = setup(true);
+        let t = g.tile_of(Point::new(31, 16));
+        assert_eq!(g.tile_coords(t), (2, 1));
+        assert!(g.tile_rect(t).contains(Point::new(31, 16)));
+        assert_eq!(g.tile_at(2, 1), t);
+    }
+
+    #[test]
+    fn stitch_aware_capacities_shrink() {
+        let aware = setup(true);
+        let blind = setup(false);
+        // Tile column 1 covers x in [15, 29]: line 15 inside => one track
+        // blocked; unfriendly region removes 14..=16 intersected: 15, 16.
+        let t = aware.tile_at(1, 0);
+        let v_edge = (0 * aware.cols() + 1) as usize;
+        assert_eq!(blind.v_edge_capacity(v_edge), 15); // 15 tracks, 1 V layer
+        assert_eq!(aware.v_edge_capacity(v_edge), 14);
+        assert_eq!(blind.vertex_capacity(t), 15);
+        // Unfriendly tracks inside [15, 29]: 15, 16 (line 15) and 29 (line 30).
+        assert_eq!(aware.vertex_capacity(t), 12);
+    }
+
+    #[test]
+    fn horizontal_capacity_unaffected_by_stitches() {
+        let aware = setup(true);
+        let blind = setup(false);
+        for i in 0..aware.h_edge_count() {
+            assert_eq!(aware.h_edge_capacity(i), blind.h_edge_capacity(i));
+        }
+        // Row height 15, two horizontal layers (M0, M2) for 3-layer stack.
+        assert_eq!(aware.h_edge_capacity(0), 30);
+    }
+
+    #[test]
+    fn edge_between_adjacent_only() {
+        let g = setup(true);
+        let a = g.tile_at(0, 0);
+        let b = g.tile_at(1, 0);
+        let c = g.tile_at(0, 1);
+        let d = g.tile_at(1, 1);
+        assert_eq!(g.edge_between(a, b).map(|e| e.1), Some(true));
+        assert_eq!(g.edge_between(a, c).map(|e| e.1), Some(false));
+        assert_eq!(g.edge_between(a, d), None);
+        assert_eq!(g.edge_between(a, a), None);
+        // Symmetric.
+        assert_eq!(g.edge_between(a, b), g.edge_between(b, a));
+    }
+
+    #[test]
+    fn neighbors_of_corner_and_center() {
+        let g = setup(true);
+        let corner: Vec<TileId> = g.neighbors(g.tile_at(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let mid: Vec<TileId> = g.neighbors(g.tile_at(1, 1)).collect();
+        assert_eq!(mid.len(), 3); // 2-row grid: no tile above
+    }
+
+    #[test]
+    fn ragged_edge_tiles() {
+        let outline = Rect::new(0, 0, 36, 36); // 37x37: tiles 15,15,7
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let g = TileGraph::new(outline, 15, 3, &plan, true);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.col_span(2), Interval::new(30, 36));
+        let t = g.tile_of(Point::new(36, 36));
+        assert_eq!(g.tile_coords(t), (2, 2));
+    }
+}

@@ -1,0 +1,174 @@
+//! Generic A\* search over implicit graphs.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// Heap entry ordered by `(f, tie)` only, so `N` needs no `Ord`.
+struct Entry<N> {
+    f: u64,
+    tie: u64,
+    node: N,
+}
+
+impl<N> PartialEq for Entry<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f && self.tie == other.tie
+    }
+}
+impl<N> Eq for Entry<N> {}
+impl<N> PartialOrd for Entry<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<N> Ord for Entry<N> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (f, tie).
+        (other.f, other.tie).cmp(&(self.f, self.tie))
+    }
+}
+
+/// A\* shortest path over an implicitly defined graph.
+///
+/// * `start` — initial node.
+/// * `neighbors` — yields `(successor, step_cost)` pairs.
+/// * `heuristic` — admissible lower bound on the remaining cost to any goal
+///   (pass `|_| 0` for plain Dijkstra).
+/// * `is_goal` — goal predicate.
+///
+/// Returns the node path (including both endpoints) and its total cost, or
+/// `None` if no goal is reachable.
+///
+/// ```
+/// use mebl_graph::astar;
+/// // Grid walk from 0 to 9 over integers, moving +1 or +3.
+/// let path = astar(
+///     0i32,
+///     |&n| vec![(n + 1, 1u64), (n + 3, 2u64)],
+///     |&n| ((9 - n).max(0) as u64) / 3,
+///     |&n| n == 9,
+/// ).unwrap();
+/// assert_eq!(path.1, 6); // three +3 hops
+/// ```
+pub fn astar<N, FN, I, FH, FG>(
+    start: N,
+    mut neighbors: FN,
+    heuristic: FH,
+    is_goal: FG,
+) -> Option<(Vec<N>, u64)>
+where
+    N: Eq + Hash + Clone,
+    FN: FnMut(&N) -> I,
+    I: IntoIterator<Item = (N, u64)>,
+    FH: Fn(&N) -> u64,
+    FG: Fn(&N) -> bool,
+{
+    let mut dist: HashMap<N, u64> = HashMap::new();
+    let mut came: HashMap<N, N> = HashMap::new();
+    let mut heap: BinaryHeap<Entry<N>> = BinaryHeap::new();
+    let mut tie = 0u64;
+
+    dist.insert(start.clone(), 0);
+    heap.push(Entry {
+        f: heuristic(&start),
+        tie,
+        node: start,
+    });
+
+    while let Some(Entry { node, .. }) = heap.pop() {
+        let d = *dist.get(&node)?;
+        if is_goal(&node) {
+            // Reconstruct.
+            let mut path = vec![node.clone()];
+            let mut cur = node;
+            while let Some(prev) = came.get(&cur) {
+                path.push(prev.clone());
+                cur = prev.clone();
+            }
+            path.reverse();
+            return Some((path, d));
+        }
+        for (next, step) in neighbors(&node) {
+            let nd = d + step;
+            if dist.get(&next).is_none_or(|&old| nd < old) {
+                dist.insert(next.clone(), nd);
+                came.insert(next.clone(), node.clone());
+                tie += 1;
+                let f = nd + heuristic(&next);
+                heap.push(Entry { f, tie, node: next });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let (path, cost) = astar(
+            0u32,
+            |&n| if n < 5 { vec![(n + 1, 1)] } else { vec![] },
+            |_| 0,
+            |&n| n == 5,
+        )
+        .unwrap();
+        assert_eq!(cost, 5);
+        assert_eq!(path, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unreachable_goal() {
+        let result = astar(0u32, |_| Vec::<(u32, u64)>::new(), |_| 0, |&n| n == 1);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn start_is_goal() {
+        let (path, cost) = astar(7u32, |_| Vec::<(u32, u64)>::new(), |_| 0, |&n| n == 7).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(path, vec![7]);
+    }
+
+    #[test]
+    fn picks_cheaper_of_two_routes() {
+        // 0 -> 1 -> 3 costs 10; 0 -> 2 -> 3 costs 4.
+        let (path, cost) = astar(
+            0u8,
+            |&n| match n {
+                0 => vec![(1, 5), (2, 2)],
+                1 => vec![(3, 5)],
+                2 => vec![(3, 2)],
+                _ => vec![],
+            },
+            |_| 0,
+            |&n| n == 3,
+        )
+        .unwrap();
+        assert_eq!(cost, 4);
+        assert_eq!(path, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn heuristic_does_not_change_optimality() {
+        // 2-D grid with manhattan heuristic.
+        let goal = (4i32, 3i32);
+        let (path, cost) = astar(
+            (0i32, 0i32),
+            |&(x, y)| {
+                [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+                    .into_iter()
+                    .filter(|&(a, b)| (0..6).contains(&a) && (0..6).contains(&b))
+                    .map(|p| (p, 1u64))
+                    .collect::<Vec<_>>()
+            },
+            |&(x, y)| (goal.0.abs_diff(x) + goal.1.abs_diff(y)) as u64,
+            |&p| p == goal,
+        )
+        .unwrap();
+        assert_eq!(cost, 7);
+        assert_eq!(path.len(), 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Longest paths in a weighted DAG.
+
+/// Computes longest-path distances from a set of sources in a directed
+/// acyclic graph.
+///
+/// * `n` — number of nodes (`0..n`).
+/// * `edges` — directed weighted edges `(from, to, weight)`.
+/// * `sources` — `(node, initial_distance)` pairs.
+///
+/// Returns `None` if a cycle is reachable (detected via Kahn's algorithm),
+/// otherwise the distance vector where unreachable nodes hold `i64::MIN`.
+///
+/// The track-assignment heuristic uses this on its *minimum track
+/// constraint graph* and *maximum track constraint graph* (Fig. 11(d)) to
+/// compute the feasible track range `[m, M]` of every interval.
+///
+/// ```
+/// use mebl_graph::longest_paths;
+/// // 0 -> 1 -> 2 with weights 1, and a shortcut 0 -> 2 of weight 5.
+/// let dist = longest_paths(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)], &[(0, 0)]).unwrap();
+/// assert_eq!(dist, vec![0, 1, 5]);
+/// ```
+pub fn longest_paths(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    sources: &[(usize, i64)],
+) -> Option<Vec<i64>> {
+    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        adj[u].push((v, w));
+        indeg[v] += 1;
+    }
+
+    let mut dist = vec![i64::MIN; n];
+    for &(s, d0) in sources {
+        assert!(s < n, "source out of range");
+        dist[s] = dist[s].max(d0);
+    }
+
+    // Kahn topological order.
+    let mut stack: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(u) = stack.pop() {
+        visited += 1;
+        for &(v, w) in &adj[u] {
+            if dist[u] != i64::MIN && dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+            }
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    (visited == n).then_some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diamond_takes_heavier_side() {
+        //   1
+        //  / \
+        // 0   3
+        //  \ /
+        //   2
+        let dist = longest_paths(4, &[(0, 1, 1), (0, 2, 4), (1, 3, 1), (2, 3, 1)], &[(0, 0)])
+            .unwrap();
+        assert_eq!(dist[3], 5);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        assert!(longest_paths(2, &[(0, 1, 1), (1, 0, 1)], &[(0, 0)]).is_none());
+    }
+
+    #[test]
+    fn unreachable_is_min() {
+        let dist = longest_paths(3, &[(0, 1, 1)], &[(0, 0)]).unwrap();
+        assert_eq!(dist[2], i64::MIN);
+    }
+
+    #[test]
+    fn multiple_sources_take_max() {
+        let dist = longest_paths(3, &[(0, 2, 1), (1, 2, 10)], &[(0, 0), (1, 0)]).unwrap();
+        assert_eq!(dist[2], 10);
+    }
+
+    #[test]
+    fn negative_weights_supported() {
+        let dist = longest_paths(3, &[(0, 1, -2), (1, 2, -3)], &[(0, 0)]).unwrap();
+        assert_eq!(dist, vec![0, -2, -5]);
+    }
+
+    proptest! {
+        /// On a random DAG built from a random order, longest path must
+        /// dominate every single edge relaxation.
+        #[test]
+        fn prop_triangle_inequality(
+            n in 2usize..8,
+            raw in proptest::collection::vec((0usize..8, 0usize..8, 0i64..10), 1..20),
+        ) {
+            // Force edges forward in index order to guarantee a DAG.
+            let edges: Vec<(usize, usize, i64)> = raw
+                .into_iter()
+                .map(|(a, b, w)| {
+                    let (u, v) = ((a % n).min(b % n), (a % n).max(b % n));
+                    (u, v, w)
+                })
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let dist = longest_paths(n, &edges, &[(0, 0)]).unwrap();
+            for &(u, v, w) in &edges {
+                if dist[u] != i64::MIN {
+                    prop_assert!(dist[v] >= dist[u] + w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Maximum-weight k-colorable subset of intervals (Carlisle–Lloyd).
+
+use crate::MinCostFlow;
+
+/// A closed integer interval with a selection weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightedInterval {
+    /// Lower endpoint (inclusive).
+    pub lo: i64,
+    /// Upper endpoint (inclusive).
+    pub hi: i64,
+    /// Selection weight (must be the value gained by including it).
+    pub weight: i64,
+}
+
+impl WeightedInterval {
+    /// Creates a weighted interval, normalising endpoint order.
+    pub fn new(lo: i64, hi: i64, weight: i64) -> Self {
+        if lo <= hi {
+            Self { lo, hi, weight }
+        } else {
+            Self { lo: hi, hi: lo, weight }
+        }
+    }
+
+    /// Whether two closed intervals share a point.
+    pub fn overlaps(&self, other: &WeightedInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Result of [`max_weight_k_colorable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorableSelection {
+    /// Indices (into the input slice) of the selected intervals.
+    pub selected: Vec<usize>,
+    /// `colors[i]` is the colour (`0..k`) of `selected[i]`.
+    pub colors: Vec<usize>,
+    /// Total weight of the selection.
+    pub total_weight: i64,
+}
+
+/// Finds a maximum-weight subset of intervals such that no point is covered
+/// by more than `k` of them — equivalently, a maximum-weight k-colorable
+/// induced subgraph of the interval graph — and k-colours the selection.
+///
+/// This is the polynomial kernel (Carlisle & Lloyd, *On the k-coloring of
+/// intervals*, 1995) that the paper's layer-assignment heuristic invokes
+/// repeatedly: "find a set of k-colorable vertices with the maximum total
+/// vertex weight … solved in polynomial time for interval graphs by using a
+/// minimum cost flow algorithm".
+///
+/// Intervals with non-positive weight are never selected (selecting them
+/// cannot improve the objective).
+///
+/// ```
+/// use mebl_graph::{max_weight_k_colorable, WeightedInterval};
+/// // Three pairwise-overlapping intervals, k = 2: drop the lightest.
+/// let iv = [
+///     WeightedInterval::new(0, 10, 3),
+///     WeightedInterval::new(0, 10, 5),
+///     WeightedInterval::new(0, 10, 4),
+/// ];
+/// let sel = max_weight_k_colorable(&iv, 2);
+/// assert_eq!(sel.total_weight, 9);
+/// assert_eq!(sel.selected, vec![1, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn max_weight_k_colorable(intervals: &[WeightedInterval], k: usize) -> ColorableSelection {
+    assert!(k > 0, "k must be positive");
+    let candidates: Vec<usize> = (0..intervals.len())
+        .filter(|&i| intervals[i].weight > 0)
+        .collect();
+    if candidates.is_empty() {
+        return ColorableSelection {
+            selected: Vec::new(),
+            colors: Vec::new(),
+            total_weight: 0,
+        };
+    }
+
+    // Coordinate-compress endpoints. Interval [lo, hi] occupies the line
+    // from position(lo) to position(hi + 1).
+    let mut coords: Vec<i64> = Vec::with_capacity(candidates.len() * 2);
+    for &i in &candidates {
+        coords.push(intervals[i].lo);
+        coords.push(intervals[i].hi + 1);
+    }
+    coords.sort_unstable();
+    coords.dedup();
+    let pos = |c: i64| coords.binary_search(&c).expect("compressed coord");
+
+    let m = coords.len();
+    // Nodes: 0..m line nodes, m = source, m + 1 = sink.
+    let source = m;
+    let sink = m + 1;
+    let mut net = MinCostFlow::new(m + 2);
+    let kf = k as i64;
+    net.add_edge(source, 0, kf, 0);
+    net.add_edge(m - 1, sink, kf, 0);
+    for i in 0..m - 1 {
+        net.add_edge(i, i + 1, kf, 0);
+    }
+    let arc_ids: Vec<crate::EdgeId> = candidates
+        .iter()
+        .map(|&i| {
+            let iv = intervals[i];
+            net.add_edge(pos(iv.lo), pos(iv.hi + 1), 1, -iv.weight)
+        })
+        .collect();
+
+    net.flow(source, sink, kf);
+
+    let mut selected: Vec<usize> = candidates
+        .iter()
+        .zip(&arc_ids)
+        .filter(|&(_, &id)| net.edge_flow(id) > 0)
+        .map(|(&i, _)| i)
+        .collect();
+    selected.sort_by_key(|&i| (intervals[i].lo, intervals[i].hi, i));
+
+    // Sweep colouring: max overlap of the selection is <= k by construction.
+    let mut colors = vec![usize::MAX; selected.len()];
+    let mut free: Vec<usize> = (0..k).rev().collect();
+    // (hi, slot) of active intervals.
+    let mut active: Vec<(i64, usize)> = Vec::new();
+    for (slot, &i) in selected.iter().enumerate() {
+        let iv = intervals[i];
+        active.retain(|&(hi, s)| {
+            if hi < iv.lo {
+                free.push(colors[s]);
+                false
+            } else {
+                true
+            }
+        });
+        let c = free.pop().expect("selection exceeds k overlap — flow model bug");
+        colors[slot] = c;
+        active.push((iv.hi, slot));
+    }
+
+    let total_weight = selected.iter().map(|&i| intervals[i].weight).sum();
+    ColorableSelection {
+        selected,
+        colors,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_valid(intervals: &[WeightedInterval], k: usize, sel: &ColorableSelection) {
+        // Same colour never overlaps.
+        for a in 0..sel.selected.len() {
+            for b in (a + 1)..sel.selected.len() {
+                if sel.colors[a] == sel.colors[b] {
+                    assert!(
+                        !intervals[sel.selected[a]].overlaps(&intervals[sel.selected[b]]),
+                        "same-colour overlap"
+                    );
+                }
+            }
+        }
+        for &c in &sel.colors {
+            assert!(c < k);
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_all_selected() {
+        let iv = [
+            WeightedInterval::new(0, 1, 2),
+            WeightedInterval::new(3, 4, 2),
+            WeightedInterval::new(6, 7, 2),
+        ];
+        let sel = max_weight_k_colorable(&iv, 1);
+        assert_eq!(sel.selected, vec![0, 1, 2]);
+        assert_eq!(sel.total_weight, 6);
+        check_valid(&iv, 1, &sel);
+    }
+
+    #[test]
+    fn k1_picks_max_weight_independent_set() {
+        // Overlapping chain: [0,5] w=4, [4,9] w=4, [8,12] w=4. Best with k=1
+        // is the two ends (weight 8).
+        let iv = [
+            WeightedInterval::new(0, 5, 4),
+            WeightedInterval::new(4, 9, 4),
+            WeightedInterval::new(8, 12, 4),
+        ];
+        let sel = max_weight_k_colorable(&iv, 1);
+        assert_eq!(sel.total_weight, 8);
+        assert_eq!(sel.selected, vec![0, 2]);
+        check_valid(&iv, 1, &sel);
+    }
+
+    #[test]
+    fn zero_weight_intervals_ignored() {
+        let iv = [WeightedInterval::new(0, 3, 0), WeightedInterval::new(1, 2, 5)];
+        let sel = max_weight_k_colorable(&iv, 3);
+        assert_eq!(sel.selected, vec![1]);
+        assert_eq!(sel.total_weight, 5);
+    }
+
+    #[test]
+    fn closed_interval_touching_counts_as_overlap() {
+        // [0,5] and [5,9] share point 5: with k=1 only one fits.
+        let iv = [WeightedInterval::new(0, 5, 3), WeightedInterval::new(5, 9, 2)];
+        let sel = max_weight_k_colorable(&iv, 1);
+        assert_eq!(sel.total_weight, 3);
+        assert_eq!(sel.selected, vec![0]);
+    }
+
+    /// Exhaustive optimum by trying all subsets and checking max overlap.
+    fn brute_force(intervals: &[WeightedInterval], k: usize) -> i64 {
+        let n = intervals.len();
+        let mut best = 0i64;
+        'subset: for mask in 0u32..(1 << n) {
+            let mut w = 0i64;
+            let chosen: Vec<&WeightedInterval> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| &intervals[i])
+                .collect();
+            for iv in &chosen {
+                w += iv.weight;
+                // Max overlap at each interval start point.
+                let cover = chosen.iter().filter(|o| o.lo <= iv.lo && iv.lo <= o.hi).count();
+                if cover > k {
+                    continue 'subset;
+                }
+            }
+            best = best.max(w);
+        }
+        best
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            k in 1usize..4,
+            raw in proptest::collection::vec((0i64..15, 0i64..15, 1i64..10), 1..9),
+        ) {
+            let iv: Vec<WeightedInterval> = raw
+                .into_iter()
+                .map(|(a, b, w)| WeightedInterval::new(a, b, w))
+                .collect();
+            let sel = max_weight_k_colorable(&iv, k);
+            check_valid(&iv, k, &sel);
+            prop_assert_eq!(sel.total_weight, brute_force(&iv, k));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Hungarian algorithm for min-cost perfect bipartite matching.
+
+/// Solves the assignment problem on a square cost matrix.
+///
+/// `cost[i][j]` is the cost of matching left vertex `i` to right vertex `j`.
+/// Returns, for each left vertex, the index of its matched right vertex, and
+/// the total cost. Runs in `O(n^3)`.
+///
+/// Used by the stitch-aware layer assignment to merge the colour groups of
+/// two k-colorable vertex sets with minimum total conflict-edge weight
+/// (Fig. 9(d) of the paper).
+///
+/// ```
+/// use mebl_graph::min_cost_perfect_matching;
+/// let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+/// let (assign, total) = min_cost_perfect_matching(&cost);
+/// assert_eq!(total, 5); // 1 + 2 + 2
+/// assert_eq!(assign, vec![1, 0, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or is empty.
+pub fn min_cost_perfect_matching(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = cost.len();
+    assert!(n > 0, "empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+
+    // Classic O(n^3) Hungarian with 1-based sentinel column 0.
+    const INF: i64 = i64::MAX / 4;
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row matched to column j (1-based)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    let total = (0..n).map(|i| cost[i][assign[i]]).sum();
+    (assign, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_when_diagonal_is_cheapest() {
+        let cost = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
+        let (assign, total) = min_cost_perfect_matching(&cost);
+        assert_eq!(assign, vec![0, 1, 2]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let (assign, total) = min_cost_perfect_matching(&[vec![7]]);
+        assert_eq!(assign, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5, 0], vec![0, -5]];
+        let (_, total) = min_cost_perfect_matching(&cost);
+        assert_eq!(total, -10);
+    }
+
+    fn brute_force(cost: &[Vec<i64>]) -> i64 {
+        fn rec(cost: &[Vec<i64>], row: usize, used: &mut Vec<bool>) -> i64 {
+            let n = cost.len();
+            if row == n {
+                return 0;
+            }
+            let mut best = i64::MAX;
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    let sub = rec(cost, row + 1, used);
+                    if sub != i64::MAX {
+                        best = best.min(cost[row][j] + sub);
+                    }
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        rec(cost, 0, &mut vec![false; cost.len()])
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            n in 1usize..6,
+            values in proptest::collection::vec(-50i64..50, 36),
+        ) {
+            let cost: Vec<Vec<i64>> = (0..n)
+                .map(|i| (0..n).map(|j| values[i * 6 + j]).collect())
+                .collect();
+            let (assign, total) = min_cost_perfect_matching(&cost);
+            // Permutation property.
+            let mut seen = vec![false; n];
+            for &j in &assign {
+                prop_assert!(!seen[j]);
+                seen[j] = true;
+            }
+            prop_assert_eq!(total, brute_force(&cost));
+        }
+    }
+}

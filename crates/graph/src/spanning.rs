@@ -1,0 +1,140 @@
+//! Kruskal maximum spanning tree / forest.
+
+use crate::UnionFind;
+
+/// A weighted undirected edge for spanning-tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: usize,
+    /// Other endpoint.
+    pub v: usize,
+    /// Edge weight.
+    pub weight: i64,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub const fn new(u: usize, v: usize, weight: i64) -> Self {
+        Self { u, v, weight }
+    }
+}
+
+/// Computes a maximum spanning forest of the graph on `n` vertices.
+///
+/// Returns the indices (into `edges`) of the chosen edges. For a connected
+/// graph this is a maximum spanning *tree* with `n - 1` edges; otherwise one
+/// tree per connected component. Self-loops are never selected.
+///
+/// This is the kernel of the baseline layer-assignment heuristic of Chen et
+/// al. \[4\]: build a maximum spanning tree of the segment conflict graph and
+/// k-colour the tree by level.
+///
+/// ```
+/// use mebl_graph::{maximum_spanning_tree, Edge};
+/// let edges = [Edge::new(0, 1, 5), Edge::new(1, 2, 3), Edge::new(0, 2, 10)];
+/// let picked = maximum_spanning_tree(3, &edges);
+/// let total: i64 = picked.iter().map(|&i| edges[i].weight).sum();
+/// assert_eq!(total, 15); // edges (0,2) and (0,1)
+/// ```
+pub fn maximum_spanning_tree(n: usize, edges: &[Edge]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    // Sort by descending weight; ties broken by index for determinism.
+    order.sort_by_key(|&i| (std::cmp::Reverse(edges[i].weight), i));
+    let mut uf = UnionFind::new(n);
+    let mut picked = Vec::new();
+    for i in order {
+        let e = edges[i];
+        if e.u != e.v && uf.union(e.u, e.v) {
+            picked.push(i);
+            if picked.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tree_on_connected_graph_has_n_minus_1_edges() {
+        let edges = [
+            Edge::new(0, 1, 1),
+            Edge::new(1, 2, 2),
+            Edge::new(2, 3, 3),
+            Edge::new(3, 0, 4),
+            Edge::new(0, 2, 5),
+        ];
+        let picked = maximum_spanning_tree(4, &edges);
+        assert_eq!(picked.len(), 3);
+        // Kruskal takes (0,2,5) and (3,0,4); (2,3,3) then closes a cycle,
+        // so (1,2,2) completes the tree.
+        let total: i64 = picked.iter().map(|&i| edges[i].weight).sum();
+        assert_eq!(total, 5 + 4 + 2);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let edges = [Edge::new(0, 1, 7), Edge::new(2, 3, 9)];
+        let picked = maximum_spanning_tree(4, &edges);
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let edges = [Edge::new(0, 0, 100), Edge::new(0, 1, 1)];
+        let picked = maximum_spanning_tree(2, &edges);
+        assert_eq!(picked, vec![1]);
+    }
+
+    /// Brute-force max spanning tree weight by trying all edge subsets.
+    fn brute_force_mst_weight(n: usize, edges: &[Edge]) -> i64 {
+        let mut best = i64::MIN;
+        let full_components = {
+            let mut uf = UnionFind::new(n);
+            for e in edges {
+                uf.union(e.u, e.v);
+            }
+            uf.component_count()
+        };
+        for mask in 0u32..(1 << edges.len()) {
+            let mut uf = UnionFind::new(n);
+            let mut w = 0i64;
+            let mut count = 0usize;
+            for (i, e) in edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if e.u == e.v || !uf.union(e.u, e.v) {
+                        w = i64::MIN; // cycle or loop: invalid forest
+                        break;
+                    }
+                    w += e.weight;
+                    count += 1;
+                }
+            }
+            if w != i64::MIN && uf.component_count() == full_components && count == n - full_components {
+                best = best.max(w);
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            n in 2usize..6,
+            raw in proptest::collection::vec((0usize..6, 0usize..6, -20i64..20), 1..10),
+        ) {
+            let edges: Vec<Edge> = raw
+                .into_iter()
+                .map(|(u, v, w)| Edge::new(u % n, v % n, w))
+                .collect();
+            let picked = maximum_spanning_tree(n, &edges);
+            let total: i64 = picked.iter().map(|&i| edges[i].weight).sum();
+            prop_assert_eq!(total, brute_force_mst_weight(n, &edges));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Circuit, net and pin data structures.
+
+use mebl_geom::{Layer, Point, Rect};
+
+/// Index of a net within its [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A fixed pin: a grid position on a routing layer.
+///
+/// Pins sit on layer 0 in the generated benchmarks (standard-cell pins on
+/// the lowest metal). Pins are *fixed*: the router may not move them, which
+/// is why via violations can only be tolerated at pins (paper, Problem 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// Grid position.
+    pub position: Point,
+    /// Layer the pin belongs to.
+    pub layer: Layer,
+}
+
+impl Pin {
+    /// Creates a pin.
+    pub const fn new(position: Point, layer: Layer) -> Self {
+        Self { position, layer }
+    }
+}
+
+/// A net: a set of pins that must be electrically connected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+    pins: Vec<Pin>,
+}
+
+impl Net {
+    /// Creates a net from a name and its pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two pins are supplied — a routable net needs at
+    /// least a source and a sink.
+    pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> Self {
+        assert!(pins.len() >= 2, "a net needs at least two pins");
+        Self {
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// Net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pins of the net.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Number of pins.
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Bounding box of the pin positions.
+    pub fn bounding_box(&self) -> Rect {
+        Rect::bounding(self.pins.iter().map(|p| p.position))
+            .expect("net has at least two pins")
+    }
+
+    /// Half-perimeter wirelength of the pin bounding box.
+    pub fn hpwl(&self) -> u64 {
+        let bb = self.bounding_box();
+        (bb.width() - 1) + (bb.height() - 1)
+    }
+}
+
+/// A circuit: an outline, a layer stack and a list of nets.
+///
+/// ```
+/// use mebl_geom::{Layer, Point, Rect};
+/// use mebl_netlist::{Circuit, Net, Pin};
+///
+/// let net = Net::new("a", vec![
+///     Pin::new(Point::new(0, 0), Layer::new(0)),
+///     Pin::new(Point::new(5, 5), Layer::new(0)),
+/// ]);
+/// let c = Circuit::new("demo", Rect::new(0, 0, 9, 9), 3, vec![net]);
+/// assert_eq!(c.pin_count(), 2);
+/// assert_eq!(c.total_hpwl(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    outline: Rect,
+    layer_count: u8,
+    nets: Vec<Net>,
+}
+
+impl Circuit {
+    /// Creates a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_count < 2` (routing needs at least one horizontal
+    /// and one vertical layer) or if any pin lies outside the outline or on
+    /// a layer `>= layer_count`.
+    pub fn new(
+        name: impl Into<String>,
+        outline: Rect,
+        layer_count: u8,
+        nets: Vec<Net>,
+    ) -> Self {
+        assert!(layer_count >= 2, "need at least two routing layers");
+        for net in &nets {
+            for pin in net.pins() {
+                assert!(
+                    outline.contains(pin.position),
+                    "pin {:?} of net {} outside outline {}",
+                    pin.position,
+                    net.name(),
+                    outline
+                );
+                assert!(
+                    pin.layer.index() < layer_count,
+                    "pin layer above the stack"
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            outline,
+            layer_count,
+            nets,
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Chip outline in track coordinates.
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// Number of routing layers.
+    pub fn layer_count(&self) -> u8 {
+        self.layer_count
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Iterates `(id, net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Total number of pins over all nets.
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(Net::degree).sum()
+    }
+
+    /// Sum of per-net half-perimeter wirelengths (a routing demand proxy).
+    pub fn total_hpwl(&self) -> u64 {
+        self.nets.iter().map(Net::hpwl).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin(x: i32, y: i32) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(0))
+    }
+
+    #[test]
+    fn net_bbox_and_hpwl() {
+        let n = Net::new("x", vec![pin(1, 2), pin(6, 9), pin(3, 3)]);
+        assert_eq!(n.bounding_box(), Rect::new(1, 2, 6, 9));
+        assert_eq!(n.hpwl(), 5 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pins")]
+    fn single_pin_net_rejected() {
+        let _ = Net::new("bad", vec![pin(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside outline")]
+    fn out_of_outline_pin_rejected() {
+        let net = Net::new("a", vec![pin(0, 0), pin(50, 50)]);
+        let _ = Circuit::new("c", Rect::new(0, 0, 9, 9), 3, vec![net]);
+    }
+
+    #[test]
+    fn circuit_counts() {
+        let nets = vec![
+            Net::new("a", vec![pin(0, 0), pin(1, 1)]),
+            Net::new("b", vec![pin(2, 2), pin(3, 3), pin(4, 4)]),
+        ];
+        let c = Circuit::new("c", Rect::new(0, 0, 9, 9), 3, nets);
+        assert_eq!(c.net_count(), 2);
+        assert_eq!(c.pin_count(), 5);
+        assert_eq!(c.net(NetId(1)).degree(), 3);
+        let ids: Vec<NetId> = c.iter_nets().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![NetId(0), NetId(1)]);
+    }
+}

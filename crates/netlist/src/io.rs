@@ -1,0 +1,237 @@
+//! Plain-text serialisation of circuits.
+//!
+//! A minimal, diff-friendly line format (a stand-in for the LEF/DEF pair
+//! of a production flow) so generated benchmarks and hand-made designs
+//! can be saved, versioned and re-routed:
+//!
+//! ```text
+//! circuit <name> <x0> <y0> <x1> <y1> <layers>
+//! net <name> <x>,<y>,<layer> <x>,<y>,<layer> ...
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored.
+
+use crate::{Circuit, Net, Pin};
+use mebl_geom::{Layer, Point, Rect};
+use std::fmt::Write as _;
+
+/// Error produced when parsing a circuit file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    /// 1-based line number of the offending line (0 = structural error).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCircuitError {}
+
+/// Serialises a circuit to the text format.
+///
+/// ```
+/// use mebl_geom::{Layer, Point, Rect};
+/// use mebl_netlist::{circuit_from_str, circuit_to_string, Circuit, Net, Pin};
+///
+/// let net = Net::new("a", vec![
+///     Pin::new(Point::new(0, 0), Layer::new(0)),
+///     Pin::new(Point::new(5, 5), Layer::new(0)),
+/// ]);
+/// let c = Circuit::new("demo", Rect::new(0, 0, 9, 9), 3, vec![net]);
+/// let text = circuit_to_string(&c);
+/// let back = circuit_from_str(&text).unwrap();
+/// assert_eq!(c, back);
+/// ```
+pub fn circuit_to_string(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let o = circuit.outline();
+    let _ = writeln!(
+        out,
+        "circuit {} {} {} {} {} {}",
+        circuit.name(),
+        o.x0(),
+        o.y0(),
+        o.x1(),
+        o.y1(),
+        circuit.layer_count()
+    );
+    for net in circuit.nets() {
+        let _ = write!(out, "net {}", net.name());
+        for pin in net.pins() {
+            let _ = write!(
+                out,
+                " {},{},{}",
+                pin.position.x,
+                pin.position.y,
+                pin.layer.index()
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a circuit from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseCircuitError`] with the offending line number on any
+/// syntax or semantic problem (missing header, malformed pin, net with
+/// fewer than two pins, pin outside the outline).
+pub fn circuit_from_str(text: &str) -> Result<Circuit, ParseCircuitError> {
+    let err = |line: usize, message: &str| ParseCircuitError {
+        line,
+        message: message.to_string(),
+    };
+
+    let mut header: Option<(String, Rect, u8)> = None;
+    let mut nets: Vec<Net> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("circuit") => {
+                if header.is_some() {
+                    return Err(err(lineno, "duplicate circuit header"));
+                }
+                let name = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing circuit name"))?
+                    .to_string();
+                let mut coord = |what: &str| -> Result<i32, ParseCircuitError> {
+                    tok.next()
+                        .ok_or_else(|| err(lineno, &format!("missing {what}")))?
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("bad {what}")))
+                };
+                let (x0, y0, x1, y1) =
+                    (coord("x0")?, coord("y0")?, coord("x1")?, coord("y1")?);
+                let layers: u8 = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing layer count"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad layer count"))?;
+                if layers < 2 {
+                    return Err(err(lineno, "need at least two layers"));
+                }
+                header = Some((name, Rect::new(x0, y0, x1, y1), layers));
+            }
+            Some("net") => {
+                let (_, outline, layers) = header
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "net before circuit header"))?;
+                let name = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing net name"))?
+                    .to_string();
+                let mut pins = Vec::new();
+                for piece in tok {
+                    let parts: Vec<&str> = piece.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(err(lineno, "pin must be x,y,layer"));
+                    }
+                    let x: i32 = parts[0].parse().map_err(|_| err(lineno, "bad pin x"))?;
+                    let y: i32 = parts[1].parse().map_err(|_| err(lineno, "bad pin y"))?;
+                    let l: u8 = parts[2].parse().map_err(|_| err(lineno, "bad pin layer"))?;
+                    if !outline.contains(Point::new(x, y)) {
+                        return Err(err(lineno, "pin outside outline"));
+                    }
+                    if l >= *layers {
+                        return Err(err(lineno, "pin layer above stack"));
+                    }
+                    pins.push(Pin::new(Point::new(x, y), Layer::new(l)));
+                }
+                if pins.len() < 2 {
+                    return Err(err(lineno, "net needs at least two pins"));
+                }
+                nets.push(Net::new(name, pins));
+            }
+            Some(other) => {
+                return Err(err(lineno, &format!("unknown directive '{other}'")));
+            }
+            None => unreachable!("blank lines filtered"),
+        }
+    }
+
+    let (name, outline, layers) =
+        header.ok_or_else(|| err(0, "missing circuit header"))?;
+    Ok(Circuit::new(name, outline, layers, nets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchmarkSpec, GenerateConfig};
+
+    #[test]
+    fn roundtrip_generated_benchmark() {
+        let c = BenchmarkSpec::by_name("S9234")
+            .unwrap()
+            .generate(&GenerateConfig::quick(5));
+        let text = circuit_to_string(&c);
+        let back = circuit_from_str(&text).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\ncircuit t 0 0 9 9 3\n\nnet a 0,0,0 5,5,0\n";
+        let c = circuit_from_str(text).unwrap();
+        assert_eq!(c.net_count(), 1);
+        assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn error_on_missing_header() {
+        let e = circuit_from_str("net a 0,0,0 1,1,0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before circuit header"));
+    }
+
+    #[test]
+    fn error_on_bad_pin() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nnet a 0,0 1,1,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("x,y,layer"));
+    }
+
+    #[test]
+    fn error_on_pin_outside() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nnet a 0,0,0 50,1,0\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn error_on_one_pin_net() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nnet a 0,0,0\n").unwrap_err();
+        assert!(e.message.contains("at least two pins"));
+    }
+
+    #[test]
+    fn error_on_unknown_directive() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nblob\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = circuit_from_str("bogus\n").unwrap_err();
+        assert!(e.to_string().starts_with("line 1:"));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let e = circuit_from_str("circuit a 0 0 9 9 3\ncircuit b 0 0 9 9 3\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+}

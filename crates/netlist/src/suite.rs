@@ -1,0 +1,177 @@
+//! Published benchmark statistics (Tables I–II of the paper).
+
+use crate::{Circuit, GenerateConfig};
+
+/// Which published suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// The nine MCNC circuits (Table I), 3 routing layers, 36 nm features.
+    Mcnc,
+    /// The five Faraday industry circuits (Table II), 6 layers, 32 nm.
+    Faraday,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Mcnc => write!(f, "MCNC"),
+            Suite::Faraday => write!(f, "Faraday"),
+        }
+    }
+}
+
+/// Published statistics of one benchmark circuit.
+///
+/// `width_um`/`height_um` are the physical dimensions from the paper; the
+/// generator uses only their *aspect ratio* and derives the track grid from
+/// the pin count at a target utilisation (see [`GenerateConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Circuit name as printed in the paper.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Published width in µm.
+    pub width_um: f64,
+    /// Published height in µm.
+    pub height_um: f64,
+    /// Number of routing layers.
+    pub layers: u8,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+}
+
+impl BenchmarkSpec {
+    /// Looks a benchmark up by its (case-insensitive) published name.
+    ///
+    /// ```
+    /// use mebl_netlist::BenchmarkSpec;
+    /// assert!(BenchmarkSpec::by_name("dma").is_some());
+    /// assert!(BenchmarkSpec::by_name("nope").is_none());
+    /// ```
+    pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+        full_suite()
+            .into_iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Aspect ratio width/height.
+    pub fn aspect(&self) -> f64 {
+        self.width_um / self.height_um
+    }
+
+    /// Generates the synthetic circuit for this spec.
+    pub fn generate(&self, config: &GenerateConfig) -> Circuit {
+        crate::generate::generate(self, config)
+    }
+
+    /// The six "hard" MCNC benchmarks used in Table IV (the s-circuits,
+    /// which are the only ones with vertex overflow in global routing).
+    pub fn is_hard_mcnc(&self) -> bool {
+        matches!(
+            self.name,
+            "S5378" | "S9234" | "S13207" | "S15850" | "S38417" | "S38584"
+        )
+    }
+}
+
+/// The nine MCNC benchmarks of Table I.
+pub fn mcnc_suite() -> Vec<BenchmarkSpec> {
+    use Suite::Mcnc;
+    vec![
+        spec("Struct", Mcnc, 4903.0, 4904.0, 3, 1920, 5471),
+        spec("Primary1", Mcnc, 7522.0, 4988.0, 3, 904, 2941),
+        spec("Primary2", Mcnc, 10438.0, 6488.0, 3, 3029, 11226),
+        spec("S5378", Mcnc, 435.0, 239.0, 3, 1694, 4818),
+        spec("S9234", Mcnc, 404.0, 225.0, 3, 1486, 4260),
+        spec("S13207", Mcnc, 660.0, 365.0, 3, 3781, 10776),
+        spec("S15850", Mcnc, 705.0, 389.0, 3, 4472, 12793),
+        spec("S38417", Mcnc, 1144.0, 619.0, 3, 11309, 32344),
+        spec("S38584", Mcnc, 1295.0, 672.0, 3, 14754, 42931),
+    ]
+}
+
+/// The five Faraday benchmarks of Table II.
+pub fn faraday_suite() -> Vec<BenchmarkSpec> {
+    use Suite::Faraday;
+    vec![
+        spec("DMA", Faraday, 408.4, 408.4, 6, 13256, 73982),
+        spec("DSP1", Faraday, 706.0, 706.0, 6, 28447, 144872),
+        spec("DSP2", Faraday, 642.8, 642.8, 6, 28431, 144703),
+        spec("RISC1", Faraday, 1003.6, 1003.6, 6, 34034, 196677),
+        spec("RISC2", Faraday, 959.6, 959.6, 6, 34034, 196670),
+    ]
+}
+
+/// All fourteen benchmarks, MCNC first (paper table order).
+pub fn full_suite() -> Vec<BenchmarkSpec> {
+    let mut v = mcnc_suite();
+    v.extend(faraday_suite());
+    v
+}
+
+fn spec(
+    name: &'static str,
+    suite: Suite,
+    width_um: f64,
+    height_um: f64,
+    layers: u8,
+    nets: usize,
+    pins: usize,
+) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name,
+        suite,
+        width_um,
+        height_um,
+        layers,
+        nets,
+        pins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(mcnc_suite().len(), 9);
+        assert_eq!(faraday_suite().len(), 5);
+        assert_eq!(full_suite().len(), 14);
+    }
+
+    #[test]
+    fn hard_benchmarks_are_the_six_s_circuits() {
+        let hard: Vec<&str> = full_suite()
+            .into_iter()
+            .filter(BenchmarkSpec::is_hard_mcnc)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(
+            hard,
+            vec!["S5378", "S9234", "S13207", "S15850", "S38417", "S38584"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_case_insensitive() {
+        let s = BenchmarkSpec::by_name("risc1").unwrap();
+        assert_eq!(s.nets, 34034);
+        assert_eq!(s.layers, 6);
+    }
+
+    #[test]
+    fn aspect_ratio() {
+        let s = BenchmarkSpec::by_name("Primary1").unwrap();
+        assert!((s.aspect() - 7522.0 / 4988.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pin_totals_match_table() {
+        let total_mcnc: usize = mcnc_suite().iter().map(|s| s.pins).sum();
+        assert_eq!(total_mcnc, 5471 + 2941 + 11226 + 4818 + 4260 + 10776 + 12793 + 32344 + 42931);
+    }
+}

@@ -1,0 +1,314 @@
+//! Stitch-aware placement adjustment — the paper's stated future work.
+//!
+//! The routing framework tolerates via violations only at fixed pins,
+//! because a pin sitting *on* a stitching line forces any via stack above
+//! it onto the line (paper §V: "to remove the via violations due to the
+//! fixed pin positions of nets, stitch-aware algorithms should also be
+//! desirable in the placement stage").
+//!
+//! This crate implements that stage as a pre-routing **pin adjustment
+//! pass**: every pin lying on a stitching line (optionally: anywhere in a
+//! stitch unfriendly region) is nudged to the nearest free grid position
+//! off the line, within a bounded displacement window — the legalisation
+//! freedom a placer has when it shifts a cell by a site or two. Pins that
+//! cannot move (window exhausted) stay put and remain tolerated
+//! violations.
+//!
+//! ```
+//! use mebl_geom::{Layer, Point, Rect};
+//! use mebl_netlist::{Circuit, Net, Pin};
+//! use mebl_place::{adjust_pins, PlaceConfig};
+//! use mebl_stitch::{StitchConfig, StitchPlan};
+//!
+//! let outline = Rect::new(0, 0, 59, 29);
+//! let net = Net::new("a", vec![
+//!     Pin::new(Point::new(15, 5), Layer::new(0)),  // on the line x = 15
+//!     Pin::new(Point::new(40, 5), Layer::new(0)),
+//! ]);
+//! let circuit = Circuit::new("demo", outline, 3, vec![net]);
+//! let plan = StitchPlan::new(outline, StitchConfig::default());
+//!
+//! let adjusted = adjust_pins(&circuit, &plan, &PlaceConfig::default());
+//! assert_eq!(adjusted.moved, 1);
+//! let new_pin = adjusted.circuit.nets()[0].pins()[0];
+//! assert!(!plan.is_on_line(new_pin.position.x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mebl_geom::{Coord, Point};
+use mebl_netlist::{Circuit, Net, Pin};
+use mebl_stitch::StitchPlan;
+use std::collections::HashSet;
+
+/// Configuration of the pin-adjustment pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaceConfig {
+    /// Maximum displacement (Chebyshev distance) a pin may move.
+    pub max_displacement: Coord,
+    /// Also evacuate pins from stitch *unfriendly regions*, not only from
+    /// the lines themselves. More aggressive; costs more displacement.
+    pub clear_unfriendly: bool,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        Self {
+            max_displacement: 3,
+            clear_unfriendly: false,
+        }
+    }
+}
+
+/// Result of [`adjust_pins`].
+#[derive(Debug, Clone)]
+pub struct PlaceResult {
+    /// The adjusted circuit (same nets, possibly moved pins).
+    pub circuit: Circuit,
+    /// Pins that were moved.
+    pub moved: usize,
+    /// Offending pins that could not be moved within the window.
+    pub stuck: usize,
+    /// Total Manhattan displacement over all moved pins.
+    pub total_displacement: u64,
+}
+
+/// Whether a pin position offends the stitch plan under `config`.
+fn offends(plan: &StitchPlan, config: &PlaceConfig, p: Point) -> bool {
+    if config.clear_unfriendly {
+        plan.in_unfriendly_region(p.x)
+    } else {
+        plan.is_on_line(p.x)
+    }
+}
+
+/// Moves offending pins off stitching lines (see crate docs).
+///
+/// Deterministic: pins are visited in netlist order and candidate targets
+/// in increasing (displacement, x, y) order. Never moves a pin onto
+/// another pin, outside the outline, or onto an offending position.
+pub fn adjust_pins(circuit: &Circuit, plan: &StitchPlan, config: &PlaceConfig) -> PlaceResult {
+    let outline = circuit.outline();
+    let mut used: HashSet<Point> = circuit
+        .nets()
+        .iter()
+        .flat_map(|n| n.pins().iter().map(|p| p.position))
+        .collect();
+
+    let mut moved = 0usize;
+    let mut stuck = 0usize;
+    let mut total_displacement = 0u64;
+
+    let nets: Vec<Net> = circuit
+        .nets()
+        .iter()
+        .map(|net| {
+            let pins: Vec<Pin> = net
+                .pins()
+                .iter()
+                .map(|pin| {
+                    if !offends(plan, config, pin.position) {
+                        return *pin;
+                    }
+                    // Candidate targets by growing Chebyshev ring.
+                    let mut best: Option<Point> = None;
+                    'ring: for d in 1..=config.max_displacement {
+                        let mut ring: Vec<Point> = Vec::new();
+                        for dx in -d..=d {
+                            for dy in -d..=d {
+                                if dx.abs().max(dy.abs()) == d {
+                                    ring.push(Point::new(
+                                        pin.position.x + dx,
+                                        pin.position.y + dy,
+                                    ));
+                                }
+                            }
+                        }
+                        ring.sort_by_key(|q| {
+                            (
+                                (q.x - pin.position.x).abs() + (q.y - pin.position.y).abs(),
+                                q.x,
+                                q.y,
+                            )
+                        });
+                        for q in ring {
+                            if outline.contains(q)
+                                && !offends(plan, config, q)
+                                && !used.contains(&q)
+                            {
+                                best = Some(q);
+                                break 'ring;
+                            }
+                        }
+                    }
+                    match best {
+                        Some(q) => {
+                            used.remove(&pin.position);
+                            used.insert(q);
+                            moved += 1;
+                            total_displacement += ((q.x - pin.position.x).abs()
+                                + (q.y - pin.position.y).abs())
+                                as u64;
+                            Pin::new(q, pin.layer)
+                        }
+                        None => {
+                            stuck += 1;
+                            *pin
+                        }
+                    }
+                })
+                .collect();
+            Net::new(net.name(), pins)
+        })
+        .collect();
+
+    PlaceResult {
+        circuit: Circuit::new(circuit.name(), outline, circuit.layer_count(), nets),
+        moved,
+        stuck,
+        total_displacement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::{Layer, Rect};
+    use mebl_stitch::StitchConfig;
+    use proptest::prelude::*;
+
+    fn pin(x: i32, y: i32) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(0))
+    }
+
+    fn setup(pins: Vec<Vec<Pin>>) -> (Circuit, StitchPlan) {
+        let outline = Rect::new(0, 0, 59, 29);
+        let nets = pins
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Net::new(format!("n{i}"), p))
+            .collect();
+        (
+            Circuit::new("t", outline, 3, nets),
+            StitchPlan::new(outline, StitchConfig::default()),
+        )
+    }
+
+    #[test]
+    fn clean_pins_untouched() {
+        let (c, plan) = setup(vec![vec![pin(2, 2), pin(40, 20)]]);
+        let r = adjust_pins(&c, &plan, &PlaceConfig::default());
+        assert_eq!(r.moved, 0);
+        assert_eq!(r.stuck, 0);
+        assert_eq!(r.circuit, c);
+    }
+
+    #[test]
+    fn on_line_pin_moves_minimally() {
+        let (c, plan) = setup(vec![vec![pin(30, 10), pin(5, 5)]]);
+        let r = adjust_pins(&c, &plan, &PlaceConfig::default());
+        assert_eq!(r.moved, 1);
+        let p = r.circuit.nets()[0].pins()[0];
+        assert!(!plan.is_on_line(p.position.x));
+        assert_eq!(r.total_displacement, 1);
+    }
+
+    #[test]
+    fn never_moves_onto_other_pin() {
+        // Both direct lateral neighbours of (15, 10) are taken.
+        let (c, plan) = setup(vec![
+            vec![pin(15, 10), pin(50, 5)],
+            vec![pin(14, 10), pin(16, 10)],
+        ]);
+        let r = adjust_pins(&c, &plan, &PlaceConfig::default());
+        assert_eq!(r.moved, 1);
+        let moved = r.circuit.nets()[0].pins()[0].position;
+        let mut all: Vec<Point> = r
+            .circuit
+            .nets()
+            .iter()
+            .flat_map(|n| n.pins().iter().map(|p| p.position))
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "pin collision after adjustment");
+        assert!(!plan.is_on_line(moved.x));
+    }
+
+    #[test]
+    fn stuck_when_window_exhausted() {
+        // Wall the pin in completely within the displacement window.
+        let mut blockers = Vec::new();
+        for dx in -3i32..=3 {
+            for dy in -3i32..=3 {
+                if (dx, dy) != (0, 0) {
+                    blockers.push(pin(15 + dx, 10 + dy));
+                }
+            }
+        }
+        // Blockers need valid nets: chunk them in pairs.
+        let mut nets: Vec<Vec<Pin>> = vec![vec![pin(15, 10), pin(50, 25)]];
+        for chunk in blockers.chunks(2) {
+            if chunk.len() == 2 {
+                nets.push(chunk.to_vec());
+            }
+        }
+        let (c, plan) = setup(nets);
+        let r = adjust_pins(&c, &plan, &PlaceConfig::default());
+        assert_eq!(r.stuck, 1);
+        assert_eq!(r.circuit.nets()[0].pins()[0].position, Point::new(15, 10));
+    }
+
+    #[test]
+    fn clear_unfriendly_mode_evacuates_region() {
+        let (c, plan) = setup(vec![vec![pin(16, 10), pin(50, 5)]]);
+        // Default mode: 16 is not on a line, stays.
+        let lax = adjust_pins(&c, &plan, &PlaceConfig::default());
+        assert_eq!(lax.moved, 0);
+        // Aggressive mode: 16 is unfriendly, moves out.
+        let strict = adjust_pins(
+            &c,
+            &plan,
+            &PlaceConfig {
+                clear_unfriendly: true,
+                ..PlaceConfig::default()
+            },
+        );
+        assert_eq!(strict.moved, 1);
+        let p = strict.circuit.nets()[0].pins()[0];
+        assert!(!plan.in_unfriendly_region(p.position.x));
+    }
+
+    proptest! {
+        /// Adjustment preserves net structure, keeps pins unique and in
+        /// the outline, and moved pins are never worse than before.
+        #[test]
+        fn prop_adjustment_invariants(
+            xs in proptest::collection::vec((0i32..60, 0i32..30), 4..24),
+        ) {
+            let mut seen = HashSet::new();
+            let pins: Vec<Pin> = xs
+                .into_iter()
+                .filter(|&(x, y)| seen.insert((x, y)))
+                .map(|(x, y)| pin(x.min(59), y.min(29)))
+                .collect();
+            prop_assume!(pins.len() >= 4);
+            let nets: Vec<Vec<Pin>> = pins.chunks(2).filter(|c| c.len() == 2).map(<[Pin]>::to_vec).collect();
+            let (c, plan) = setup(nets);
+            let r = adjust_pins(&c, &plan, &PlaceConfig::default());
+            prop_assert_eq!(r.circuit.net_count(), c.net_count());
+            prop_assert_eq!(r.circuit.pin_count(), c.pin_count());
+            let mut unique = HashSet::new();
+            for net in r.circuit.nets() {
+                for p in net.pins() {
+                    prop_assert!(c.outline().contains(p.position));
+                    prop_assert!(unique.insert(p.position));
+                }
+            }
+            prop_assert_eq!(r.moved + r.stuck,
+                c.nets().iter().flat_map(|n| n.pins()).filter(|p| plan.is_on_line(p.position.x)).count());
+        }
+    }
+}

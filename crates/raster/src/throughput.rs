@@ -1,0 +1,132 @@
+//! MEBL throughput model (the paper's motivation, §I).
+//!
+//! Single-beam EBL cannot reach volume manufacturing because writing a
+//! wafer pixel-by-pixel with one beam takes hours; MEBL's answer is
+//! massive parallelism (thousands to millions of beams). This module
+//! provides the first-order writing-time model behind that claim, so the
+//! repository can quantify *why* stitching lines exist at all: the layout
+//! is split into stripes written concurrently by different beams, and the
+//! stripe boundaries are the stitching lines the router must respect.
+
+/// A (simplified) multi-beam writer: identical beams exposing fixed-size
+/// pixels at a common pixel clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamArray {
+    /// Number of parallel beams.
+    pub beams: u64,
+    /// Pixels exposed per second per beam.
+    pub pixel_rate_hz: f64,
+    /// Pixel edge length in nanometres.
+    pub pixel_nm: f64,
+}
+
+impl BeamArray {
+    /// A single-beam Gaussian EBL tool (mask-shop class).
+    pub fn single_beam() -> Self {
+        Self {
+            beams: 1,
+            pixel_rate_hz: 50.0e6,
+            pixel_nm: 16.0,
+        }
+    }
+
+    /// A MAPPER-class massively parallel writer (\[20\]: ~13 000 beams).
+    pub fn mapper_class() -> Self {
+        Self {
+            beams: 13_000,
+            pixel_rate_hz: 50.0e6,
+            pixel_nm: 16.0,
+        }
+    }
+
+    /// Pixels in an exposure area of `area_mm2` square millimetres.
+    pub fn pixels_for_area(&self, area_mm2: f64) -> f64 {
+        let pixel_area_nm2 = self.pixel_nm * self.pixel_nm;
+        area_mm2 * 1.0e12 / pixel_area_nm2
+    }
+
+    /// Seconds to write `area_mm2` with every beam busy (upper-bound
+    /// throughput; ignores resist sensitivity, deflection settling and
+    /// stage moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has zero beams or a non-positive pixel rate.
+    pub fn write_time_s(&self, area_mm2: f64) -> f64 {
+        assert!(self.beams > 0, "no beams");
+        assert!(self.pixel_rate_hz > 0.0, "non-positive pixel rate");
+        self.pixels_for_area(area_mm2) / (self.beams as f64 * self.pixel_rate_hz)
+    }
+
+    /// Wafers per hour for a wafer of `wafer_area_mm2` (300 mm wafer ≈
+    /// 70 685 mm²), ignoring overheads.
+    pub fn wafers_per_hour(&self, wafer_area_mm2: f64) -> f64 {
+        3600.0 / self.write_time_s(wafer_area_mm2)
+    }
+
+    /// Number of write stripes (and hence stitching-line count + 1) needed
+    /// to cover `chip_width_nm` with stripes of `stripe_width_nm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_width_nm <= 0`.
+    pub fn stripes_for_width(chip_width_nm: f64, stripe_width_nm: f64) -> u64 {
+        assert!(stripe_width_nm > 0.0, "stripe width must be positive");
+        (chip_width_nm / stripe_width_nm).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAFER_300MM_MM2: f64 = 70_685.0;
+
+    #[test]
+    fn single_beam_is_hopelessly_slow() {
+        let t = BeamArray::single_beam().write_time_s(WAFER_300MM_MM2);
+        // ~2.76e14 pixels / 5e7 px/s ≈ 5.5e6 s ≈ two months per wafer.
+        assert!(t > 1.0e6, "single beam: {t} s");
+    }
+
+    #[test]
+    fn mapper_class_reaches_practical_throughput() {
+        let mapper = BeamArray::mapper_class();
+        let single = BeamArray::single_beam();
+        let speedup =
+            single.write_time_s(WAFER_300MM_MM2) / mapper.write_time_s(WAFER_300MM_MM2);
+        assert!((speedup - 13_000.0).abs() < 1.0, "speedup {speedup}");
+        assert!(mapper.wafers_per_hour(WAFER_300MM_MM2) > 0.0);
+    }
+
+    #[test]
+    fn pixels_scale_with_area_and_pixel_size() {
+        let a = BeamArray::single_beam();
+        assert!((a.pixels_for_area(2.0) / a.pixels_for_area(1.0) - 2.0).abs() < 1e-9);
+        let fine = BeamArray {
+            pixel_nm: 8.0,
+            ..BeamArray::single_beam()
+        };
+        // Halving the pixel edge quadruples the pixel count.
+        assert!((fine.pixels_for_area(1.0) / a.pixels_for_area(1.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stripe_count_matches_router_setting() {
+        // Paper setup: stripe width = 15 routing pitches. At a 72 nm pitch
+        // a 1 mm-wide block needs ~926 stripes.
+        let stripes = BeamArray::stripes_for_width(1.0e6, 15.0 * 72.0);
+        assert_eq!(stripes, 926);
+        assert_eq!(BeamArray::stripes_for_width(100.0, 1000.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no beams")]
+    fn zero_beams_rejected() {
+        let broken = BeamArray {
+            beams: 0,
+            ..BeamArray::single_beam()
+        };
+        let _ = broken.write_time_s(1.0);
+    }
+}

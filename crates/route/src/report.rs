@@ -1,0 +1,109 @@
+//! Aggregated routing metrics in the paper's table format.
+
+use std::time::Duration;
+
+/// The per-circuit metrics reported in Tables III, VII and VIII:
+/// routability, via violations (`#VV`), short polygons (`#SP`), plus
+/// wirelength, via count and CPU time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteReport {
+    /// Nets in the circuit.
+    pub total_nets: usize,
+    /// Successfully routed nets.
+    pub routed_nets: usize,
+    /// Vias on stitching lines over routed nets (`#VV`).
+    pub via_violations: usize,
+    /// Via violations not at a fixed pin (must be 0 for a legal run).
+    pub via_violations_off_pin: usize,
+    /// Vertical wires riding a stitching line (must be 0).
+    pub vertical_violations: usize,
+    /// Short polygons over routed nets (`#SP`).
+    pub short_polygons: usize,
+    /// Total routed wirelength in pitches.
+    pub wirelength: u64,
+    /// Total via count.
+    pub vias: usize,
+    /// Wall-clock routing time.
+    pub elapsed: Duration,
+}
+
+impl RouteReport {
+    /// Routability: routed / total nets (1.0 for an empty circuit).
+    pub fn routability(&self) -> f64 {
+        if self.total_nets == 0 {
+            1.0
+        } else {
+            self.routed_nets as f64 / self.total_nets as f64
+        }
+    }
+
+    /// `true` when no hard MEBL constraint is violated.
+    pub fn hard_clean(&self) -> bool {
+        self.vertical_violations == 0 && self.via_violations_off_pin == 0
+    }
+
+    /// Formats one table row: `Rout.(%)  #VV  #SP  CPU(s)`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:6.2} {:6} {:6} {:8.2}",
+            self.routability() * 100.0,
+            self.via_violations,
+            self.short_polygons,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+impl std::fmt::Display for RouteReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "routed {}/{} ({:.2}%), #VV {}, #SP {}, WL {}, vias {}, {:.2}s",
+            self.routed_nets,
+            self.total_nets,
+            self.routability() * 100.0,
+            self.via_violations,
+            self.short_polygons,
+            self.wirelength,
+            self.vias,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routability_fraction() {
+        let r = RouteReport {
+            total_nets: 200,
+            routed_nets: 199,
+            ..RouteReport::default()
+        };
+        assert!((r.routability() - 0.995).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_fully_routable() {
+        assert_eq!(RouteReport::default().routability(), 1.0);
+    }
+
+    #[test]
+    fn hard_clean_logic() {
+        let mut r = RouteReport::default();
+        assert!(r.hard_clean());
+        r.via_violations = 5; // tolerated pin violations
+        assert!(r.hard_clean());
+        r.vertical_violations = 1;
+        assert!(!r.hard_clean());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let r = RouteReport::default();
+        assert!(r.to_string().contains("routed"));
+        assert!(!r.table_row().is_empty());
+    }
+}

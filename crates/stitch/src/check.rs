@@ -1,0 +1,347 @@
+//! Violation detection for routed geometry.
+
+use crate::StitchPlan;
+use mebl_geom::{Point, RouteGeometry, Segment};
+use std::collections::HashMap;
+
+/// Violation counts and basic quality metrics for routed geometry.
+///
+/// Aggregate with [`Violations::merge`] to build the per-circuit numbers
+/// reported in the paper's tables (`#VV`, `#SP`, wirelength).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Violations {
+    /// Vias on a stitching line (`#VV`). The paper tolerates these only at
+    /// fixed pins, where the router has no freedom.
+    pub via_violations: usize,
+    /// Subset of [`Violations::via_violations`] *not* at a fixed pin.
+    /// A correct stitch-aware router always reports zero here.
+    pub via_violations_off_pin: usize,
+    /// Vertical wires riding a stitching line (hard constraint; must be 0).
+    pub vertical_violations: usize,
+    /// Short-polygon violations (`#SP`): cut horizontal wires with a
+    /// via-landing line end inside the cutting line's unfriendly region.
+    pub short_polygons: usize,
+    /// Total routed wirelength in pitches.
+    pub wirelength: u64,
+    /// Total number of vias.
+    pub via_count: usize,
+}
+
+impl Violations {
+    /// Accumulates another report into this one.
+    pub fn merge(&mut self, other: &Violations) {
+        self.via_violations += other.via_violations;
+        self.via_violations_off_pin += other.via_violations_off_pin;
+        self.vertical_violations += other.vertical_violations;
+        self.short_polygons += other.short_polygons;
+        self.wirelength += other.wirelength;
+        self.via_count += other.via_count;
+    }
+
+    /// `true` when no hard constraint is violated (vertical riding or
+    /// off-pin via on a stitching line).
+    pub fn hard_clean(&self) -> bool {
+        self.vertical_violations == 0 && self.via_violations_off_pin == 0
+    }
+}
+
+/// Merges collinear touching/overlapping horizontal segments into maximal
+/// runs (per layer and per y track). Vertical segments are dropped.
+///
+/// Short-polygon detection must look at *wires* — maximal drawn shapes —
+/// not at the individual A\*/assignment segments that compose them, because
+/// a line end is a property of the final polygon.
+///
+/// ```
+/// use mebl_geom::{Layer, Segment};
+/// use mebl_stitch::merge_horizontal_runs;
+/// let runs = merge_horizontal_runs(&[
+///     Segment::horizontal(Layer::new(0), 3, 0, 5),
+///     Segment::horizontal(Layer::new(0), 3, 5, 9),
+///     Segment::horizontal(Layer::new(0), 7, 0, 2),
+/// ]);
+/// assert_eq!(runs.len(), 2);
+/// assert_eq!(runs[0], Segment::horizontal(Layer::new(0), 3, 0, 9));
+/// ```
+pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
+    let mut by_track: HashMap<(u8, i32), Vec<Segment>> = HashMap::new();
+    for seg in segments {
+        if seg.is_horizontal() {
+            by_track
+                .entry((seg.layer.index(), seg.track))
+                .or_default()
+                .push(*seg);
+        }
+    }
+    let mut runs = Vec::new();
+    let mut keys: Vec<(u8, i32)> = by_track.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let mut segs = by_track.remove(&key).expect("key from map");
+        segs.sort_by_key(|s| (s.span.lo(), s.span.hi()));
+        let mut cur = segs[0];
+        for s in &segs[1..] {
+            if s.span.lo() <= cur.span.hi() {
+                cur.span = cur.span.hull(s.span);
+            } else {
+                runs.push(cur);
+                cur = *s;
+            }
+        }
+        runs.push(cur);
+    }
+    runs
+}
+
+/// Checks one net's routed geometry against a stitch plan.
+///
+/// `is_pin` must return `true` for grid positions occupied by the net's
+/// fixed pins; it is used to classify via violations as tolerated (at a
+/// pin) or hard (anywhere else).
+///
+/// Short-polygon rule (paper §II-A, Fig. 5(c)): for every maximal
+/// horizontal run, for each of its two line ends, the end is a violation
+/// when (1) some stitching line strictly cuts the run, (2) the end lies in
+/// *that* line's unfriendly region, and (3) a via lands on the end. Each
+/// offending end counts as one short polygon.
+pub fn check_geometry(
+    plan: &StitchPlan,
+    geometry: &RouteGeometry,
+    is_pin: impl Fn(Point) -> bool,
+) -> Violations {
+    let mut v = Violations {
+        wirelength: geometry.wirelength(),
+        via_count: geometry.via_count(),
+        ..Violations::default()
+    };
+
+    for via in geometry.vias() {
+        if plan.is_on_line(via.x) {
+            v.via_violations += 1;
+            if !is_pin(via.point()) {
+                v.via_violations_off_pin += 1;
+            }
+        }
+    }
+
+    for seg in geometry.segments() {
+        if !seg.is_horizontal() && !seg.is_empty() && plan.is_on_line(seg.track) {
+            // Adjacent fixed pins on the line each carry a (tolerated)
+            // via stack; geometry extraction fuses those landing pads
+            // into a short "segment". That is a via cluster — already
+            // counted under via violations — not a wire routed along the
+            // line, so it only counts here if any covered point is not a
+            // fixed pin.
+            let all_pins = seg.points().all(|gp| is_pin(gp.point()));
+            if !all_pins {
+                v.vertical_violations += 1;
+            }
+        }
+    }
+
+    let eps = plan.config().epsilon;
+    for run in merge_horizontal_runs(geometry.segments()) {
+        let cutting = plan.lines_cutting(run.span);
+        if cutting.is_empty() {
+            continue;
+        }
+        let (lo_end, hi_end) = run.endpoints();
+        for end in [lo_end, hi_end] {
+            // The relevant line is the cutting line nearest this end.
+            let near = cutting
+                .iter()
+                .copied()
+                .min_by_key(|&l| (end.x - l).abs())
+                .expect("non-empty cutting set");
+            if (end.x - near).abs() <= eps && geometry.has_via_at(end, run.layer) {
+                v.short_polygons += 1;
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StitchConfig;
+    use mebl_geom::{Layer, Rect, Via};
+
+    fn plan() -> StitchPlan {
+        StitchPlan::new(Rect::new(0, 0, 59, 29), StitchConfig::default())
+    }
+
+    fn no_pin(_: Point) -> bool {
+        false
+    }
+
+    #[test]
+    fn clean_geometry_reports_clean() {
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 12));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v, Violations { wirelength: 9, ..Default::default() });
+        assert!(v.hard_clean());
+    }
+
+    #[test]
+    fn via_on_line_is_violation_pin_exempts_hardness() {
+        let mut g = RouteGeometry::new();
+        g.push_via(Via::new(15, 5, Layer::new(0)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.via_violations, 1);
+        assert_eq!(v.via_violations_off_pin, 1);
+        assert!(!v.hard_clean());
+
+        let v2 = check_geometry(&plan(), &g, |p| p == Point::new(15, 5));
+        assert_eq!(v2.via_violations, 1);
+        assert_eq!(v2.via_violations_off_pin, 0);
+        assert!(v2.hard_clean());
+    }
+
+    #[test]
+    fn vertical_wire_riding_line_is_violation() {
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::vertical(Layer::new(1), 30, 2, 9));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.vertical_violations, 1);
+        assert!(!v.hard_clean());
+    }
+
+    #[test]
+    fn fused_pin_via_stacks_on_line_are_not_riding() {
+        // Two adjacent fixed pins on the line, both carrying via stacks:
+        // extraction fuses the landing pads into a 2-cell segment.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::vertical(Layer::new(1), 30, 16, 17));
+        g.push_via(Via::new(30, 16, Layer::new(0)));
+        g.push_via(Via::new(30, 17, Layer::new(0)));
+        let pins = [Point::new(30, 16), Point::new(30, 17)];
+        let v = check_geometry(&plan(), &g, |p| pins.contains(&p));
+        assert_eq!(v.vertical_violations, 0, "via cluster, not wire");
+        assert_eq!(v.via_violations, 2, "still tolerated via violations");
+        assert!(v.hard_clean());
+        // With even one non-pin point it IS a riding violation.
+        let v2 = check_geometry(&plan(), &g, |p| p == Point::new(30, 16));
+        assert_eq!(v2.vertical_violations, 1);
+    }
+
+    #[test]
+    fn vertical_wire_next_to_line_is_fine() {
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::vertical(Layer::new(1), 29, 2, 9));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.vertical_violations, 0);
+    }
+
+    #[test]
+    fn short_polygon_detected_at_cut_end_with_via() {
+        // Wire [3,16] on y=5 cut by line 15; end at 16 is in unfriendly
+        // region with a landing via.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 16));
+        g.push_via(Via::new(16, 5, Layer::new(0)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 1);
+    }
+
+    #[test]
+    fn no_short_polygon_without_via() {
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 16));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 0);
+    }
+
+    #[test]
+    fn no_short_polygon_when_not_cut() {
+        // Wire entirely between lines; via at its end in nobody's
+        // unfriendly region... and even near a line, uncut wires are safe.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 16, 29));
+        g.push_via(Via::new(16, 5, Layer::new(0)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 0, "line at 15 does not cut [16,29]");
+    }
+
+    #[test]
+    fn no_short_polygon_when_end_far_from_cut() {
+        // Cut by 15 but the end at 20 is outside epsilon = 1.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 20));
+        g.push_via(Via::new(20, 5, Layer::new(0)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 0);
+    }
+
+    #[test]
+    fn both_ends_can_violate() {
+        // Wire [14, 31]: cut by 15 and 30; both ends in unfriendly regions
+        // with vias.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 14, 31));
+        g.push_via(Via::new(14, 5, Layer::new(0)));
+        g.push_via(Via::new(31, 5, Layer::new(0)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 2);
+    }
+
+    #[test]
+    fn split_segments_merge_before_checking() {
+        // The same cut wire drawn as two abutting segments must still be
+        // seen as one run: its interior junction at x=10 is not an end.
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 10));
+        g.push_segment(Segment::horizontal(Layer::new(0), 5, 10, 16));
+        g.push_via(Via::new(10, 5, Layer::new(0))); // via mid-run: harmless
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 0);
+    }
+
+    #[test]
+    fn runs_on_different_layers_do_not_merge() {
+        let runs = merge_horizontal_runs(&[
+            Segment::horizontal(Layer::new(0), 3, 0, 5),
+            Segment::horizontal(Layer::new(2), 3, 5, 9),
+        ]);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn merge_handles_contained_segments() {
+        let runs = merge_horizontal_runs(&[
+            Segment::horizontal(Layer::new(0), 3, 0, 9),
+            Segment::horizontal(Layer::new(0), 3, 2, 4),
+        ]);
+        assert_eq!(runs, vec![Segment::horizontal(Layer::new(0), 3, 0, 9)]);
+    }
+
+    #[test]
+    fn merge_reports_violations_summed() {
+        let mut a = Violations::default();
+        let b = Violations {
+            via_violations: 1,
+            via_violations_off_pin: 1,
+            vertical_violations: 2,
+            short_polygons: 3,
+            wirelength: 10,
+            via_count: 4,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.short_polygons, 6);
+        assert_eq!(a.wirelength, 20);
+        assert_eq!(a.via_count, 8);
+        assert!(!a.hard_clean());
+    }
+
+    #[test]
+    fn via_via_upper_layer_counts_for_landing() {
+        // Horizontal run on M2 (layer index 2); via below it (lower = 1).
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(2), 5, 3, 16));
+        g.push_via(Via::new(16, 5, Layer::new(1)));
+        let v = check_geometry(&plan(), &g, no_pin);
+        assert_eq!(v.short_polygons, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Stitching-line model and MEBL violation checking.
+//!
+//! MEBL splits a layout into vertical stripes; the stripe boundaries are
+//! **stitching lines**. This crate owns the geometry of those lines
+//! ([`StitchPlan`]) and the detection of the paper's three bad-pattern
+//! classes ([`check_geometry`], [`Violations`]):
+//!
+//! 1. **Via violations** — vias on a stitching line (hard; tolerated only
+//!    at fixed pins).
+//! 2. **Vertical routing violations** — vertical wires riding a stitching
+//!    line (hard; never allowed).
+//! 3. **Short polygons** — a horizontal wire cut by a stitching line whose
+//!    line end lies inside the line's *stitch unfriendly region* with a
+//!    landing via (soft; minimised, reported as `#SP`).
+//!
+//! ```
+//! use mebl_geom::{Layer, Rect, RouteGeometry, Segment, Via};
+//! use mebl_stitch::{StitchConfig, StitchPlan};
+//!
+//! let plan = StitchPlan::new(Rect::new(0, 0, 59, 29), StitchConfig::default());
+//! assert_eq!(plan.lines(), &[15, 30, 45]);
+//!
+//! // A horizontal wire cut by the line at x=15, ending at x=16 (inside the
+//! // unfriendly region) with a landing via: one short polygon.
+//! let mut g = RouteGeometry::new();
+//! g.push_segment(Segment::horizontal(Layer::new(0), 5, 3, 16));
+//! g.push_via(Via::new(16, 5, Layer::new(0)));
+//! let v = mebl_stitch::check_geometry(&plan, &g, |_| false);
+//! assert_eq!(v.short_polygons, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod plan;
+
+pub use check::{check_geometry, merge_horizontal_runs, Violations};
+pub use plan::{StitchConfig, StitchPlan};

@@ -1,0 +1,264 @@
+//! SVG rendering of routed layouts (Figs. 15–16 of the paper).
+//!
+//! [`layout_svg`] draws the chip outline, the stitching lines (dashed),
+//! per-layer wires (one colour per layer) and vias, producing a
+//! self-contained SVG string the bench binaries write to disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mebl_geom::RouteGeometry;
+use mebl_netlist::Circuit;
+use mebl_stitch::StitchPlan;
+use std::fmt::Write as _;
+
+/// Per-layer wire colours (cycled when the stack is deeper).
+const LAYER_COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// Renders a routed circuit as an SVG document.
+///
+/// `geometry` is indexed by net (as in
+/// [`mebl_detailed::DetailedResult::geometry`]); `scale` is pixels per
+/// routing pitch.
+///
+/// ```
+/// use mebl_geom::{Layer, Point, Rect, RouteGeometry, Segment};
+/// use mebl_netlist::{Circuit, Net, Pin};
+/// use mebl_stitch::{StitchConfig, StitchPlan};
+///
+/// let outline = Rect::new(0, 0, 29, 29);
+/// let net = Net::new("a", vec![
+///     Pin::new(Point::new(1, 1), Layer::new(0)),
+///     Pin::new(Point::new(9, 1), Layer::new(0)),
+/// ]);
+/// let circuit = Circuit::new("demo", outline, 3, vec![net]);
+/// let plan = StitchPlan::new(outline, StitchConfig::default());
+/// let mut g = RouteGeometry::new();
+/// g.push_segment(Segment::horizontal(Layer::new(0), 1, 1, 9));
+/// let svg = mebl_viz::layout_svg(&circuit, &plan, &[g], 4.0);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// ```
+pub fn layout_svg(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    geometry: &[RouteGeometry],
+    scale: f64,
+) -> String {
+    let outline = circuit.outline();
+    let w = outline.width() as f64 * scale;
+    let h = outline.height() as f64 * scale;
+    let x = |c: i32| (c - outline.x0()) as f64 * scale;
+    // SVG y grows downward; flip so the layout origin is bottom-left.
+    let y = |c: i32| h - (c - outline.y0()) as f64 * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect x="0" y="0" width="{w:.0}" height="{h:.0}" fill="white" stroke="black"/>"#
+    );
+
+    // Stitching lines.
+    for &line in plan.lines() {
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{0:.1}" y1="0" x2="{0:.1}" y2="{h:.1}" stroke="#888" stroke-dasharray="6,4" stroke-width="1"/>"##,
+            x(line)
+        );
+    }
+
+    // Wires, lowest layer first so upper layers draw on top.
+    let stroke = (scale * 0.6).max(0.5);
+    for layer in 0..circuit.layer_count() {
+        let color = LAYER_COLORS[layer as usize % LAYER_COLORS.len()];
+        for geom in geometry {
+            for seg in geom.segments() {
+                if seg.layer.index() != layer {
+                    continue;
+                }
+                let (a, b) = seg.endpoints();
+                let _ = writeln!(
+                    svg,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="{stroke:.1}" stroke-linecap="round"/>"#,
+                    x(a.x),
+                    y(a.y),
+                    x(b.x),
+                    y(b.y)
+                );
+            }
+        }
+    }
+
+    // Vias.
+    let r = (scale * 0.45).max(0.5);
+    for geom in geometry {
+        for via in geom.vias() {
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="black"/>"#,
+                x(via.x) - r / 2.0,
+                y(via.y) - r / 2.0,
+                r,
+                r
+            );
+        }
+    }
+
+    // Pins.
+    for net in circuit.nets() {
+        for pin in net.pins() {
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="none" stroke="#444" stroke-width="0.6"/>"##,
+                x(pin.position.x),
+                y(pin.position.y),
+                r * 0.8
+            );
+        }
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a per-tile heatmap (e.g. congestion or line-end utilisation
+/// from [`mebl_global::GlobalResult`]) as an SVG document.
+///
+/// `values` are clamped to `[0, 1.25]`; 0 renders white, 1 deep red and
+/// anything above 1 (overflow) purple. Stitching lines are drawn on top.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the graph's tile count.
+pub fn congestion_svg(
+    graph: &mebl_global::TileGraph,
+    plan: &StitchPlan,
+    values: &[f64],
+    scale: f64,
+) -> String {
+    assert_eq!(values.len(), graph.tile_count(), "one value per tile");
+    let outline = graph.outline();
+    let w = outline.width() as f64 * scale;
+    let h = outline.height() as f64 * scale;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    for row in 0..graph.rows() {
+        for col in 0..graph.cols() {
+            let t = graph.tile_at(col, row);
+            let rect = graph.tile_rect(t);
+            let v = values[t.0 as usize];
+            let color = if !v.is_finite() || v > 1.0 {
+                "#7b1fa2".to_string() // overflow: purple
+            } else {
+                // White -> red ramp.
+                let g = ((1.0 - v.clamp(0.0, 1.0)) * 255.0) as u8;
+                format!("#ff{g:02x}{g:02x}")
+            };
+            let x = (rect.x0() - outline.x0()) as f64 * scale;
+            // Flip y: SVG origin is top-left.
+            let y = h - (rect.y1() - outline.y0() + 1) as f64 * scale;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{color}" stroke="#ddd" stroke-width="0.4"/>"##,
+                rect.width() as f64 * scale,
+                rect.height() as f64 * scale,
+            );
+        }
+    }
+    for &line in plan.lines() {
+        let x = (line - outline.x0()) as f64 * scale;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="0" x2="{x:.1}" y2="{h:.1}" stroke="#555" stroke-dasharray="6,4"/>"##
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::{Layer, Point, Rect, Segment, Via};
+    use mebl_netlist::{Net, Pin};
+    use mebl_stitch::StitchConfig;
+
+    fn setup() -> (Circuit, StitchPlan) {
+        let outline = Rect::new(0, 0, 44, 29);
+        let net = Net::new(
+            "a",
+            vec![
+                Pin::new(Point::new(1, 1), Layer::new(0)),
+                Pin::new(Point::new(20, 20), Layer::new(0)),
+            ],
+        );
+        (
+            Circuit::new("t", outline, 3, vec![net]),
+            StitchPlan::new(outline, StitchConfig::default()),
+        )
+    }
+
+    #[test]
+    fn svg_contains_stitch_lines_and_wires() {
+        let (c, plan) = setup();
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 1, 1, 20));
+        g.push_segment(Segment::vertical(Layer::new(1), 20, 1, 20));
+        g.push_via(Via::new(20, 1, Layer::new(0)));
+        let svg = layout_svg(&c, &plan, &[g], 4.0);
+        assert!(svg.contains("stroke-dasharray"), "stitch lines rendered");
+        assert!(svg.matches("<line").count() >= 4, "wires + lines rendered");
+        assert!(svg.contains("<rect"), "via rendered");
+        assert!(svg.contains("<circle"), "pins rendered");
+    }
+
+    #[test]
+    fn empty_geometry_still_valid_svg() {
+        let (c, plan) = setup();
+        let svg = layout_svg(&c, &plan, &[], 2.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn congestion_heatmap_renders_tiles_and_overflow() {
+        let outline = Rect::new(0, 0, 44, 29);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let graph = mebl_global::TileGraph::new(outline, 15, 3, &plan, true);
+        let mut values = vec![0.0; graph.tile_count()];
+        values[0] = 0.5;
+        values[1] = 1.2; // overflow
+        let svg = congestion_svg(&graph, &plan, &values, 4.0);
+        assert_eq!(svg.matches("<rect").count(), graph.tile_count());
+        assert!(svg.contains("#7b1fa2"), "overflow tile is purple");
+        assert!(svg.contains("stroke-dasharray"), "stitch lines drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per tile")]
+    fn congestion_heatmap_validates_length() {
+        let outline = Rect::new(0, 0, 44, 29);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let graph = mebl_global::TileGraph::new(outline, 15, 3, &plan, true);
+        let _ = congestion_svg(&graph, &plan, &[0.0], 4.0);
+    }
+
+    #[test]
+    fn y_axis_flipped() {
+        let (c, plan) = setup();
+        let mut g = RouteGeometry::new();
+        g.push_segment(Segment::horizontal(Layer::new(0), 0, 0, 5));
+        let svg = layout_svg(&c, &plan, &[g], 1.0);
+        // y=0 wire must be at the bottom: SVG y = height = 30.
+        assert!(svg.contains(r#"y1="30.0""#), "{svg}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: route a benchmark circuit with the stitch-aware framework
+//! and print the paper-style report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+
+fn main() {
+    // Generate a scaled-down synthetic S9234 (MCNC suite, Table I).
+    let spec = BenchmarkSpec::by_name("S9234").expect("known benchmark");
+    let circuit = spec.generate(&GenerateConfig {
+        seed: 42,
+        net_scale: 0.25,
+        ..GenerateConfig::default()
+    });
+    println!(
+        "circuit {}: {} nets, {} pins, grid {}x{} tracks, {} layers",
+        circuit.name(),
+        circuit.net_count(),
+        circuit.pin_count(),
+        circuit.outline().width(),
+        circuit.outline().height(),
+        circuit.layer_count()
+    );
+
+    // Route with the full stitch-aware flow (global routing -> layer/track
+    // assignment -> detailed routing, all MEBL-aware).
+    let router = Router::new(RouterConfig::stitch_aware());
+    let outcome = router.route(&circuit);
+
+    println!("stitch lines at x = {:?}", outcome.plan.lines());
+    println!("stitch-aware : {}", outcome.report);
+
+    // Compare with the conventional baseline.
+    let baseline = Router::new(RouterConfig::baseline()).route(&circuit);
+    println!("baseline     : {}", baseline.report);
+
+    let reduction = if baseline.report.short_polygons > 0 {
+        100.0 * (1.0 - outcome.report.short_polygons as f64 / baseline.report.short_polygons as f64)
+    } else {
+        0.0
+    };
+    println!("short polygons reduced by {reduction:.1}%");
+    assert!(outcome.report.hard_clean(), "no hard MEBL violations");
+}

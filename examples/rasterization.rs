@@ -1,0 +1,37 @@
+//! The MEBL data-preparation path: render a layout clip to grey levels,
+//! dither it with error diffusion, and measure how badly a stitch-cut
+//! short polygon prints compared to a healthy wire (paper Figs. 3–4).
+//!
+//! Run with: `cargo run --example rasterization`
+
+use mebl_raster::{defect_score, render, FRect};
+
+fn main() {
+    // A wire approaches the stitching line from the left. The right beam
+    // writes the remainder with an overlay error of 0.45 pixel.
+    let overlay_error = 0.45;
+
+    println!("feature length sweep at overlay error {overlay_error} px:");
+    println!("{:>8} {:>12} {:>10}", "len(px)", "defect", "verdict");
+    for len in [2, 3, 4, 6, 10, 20, 40] {
+        let stub = FRect::new(0.0, 1.0 + overlay_error, len as f64, 2.0 + overlay_error);
+        let gray = render(&[stub], 48, 5);
+        let score = defect_score(&gray, &gray.dither());
+        let verdict = if score > 0.3 {
+            "severe (short polygon)"
+        } else if score > 0.0 {
+            "distorted"
+        } else {
+            "clean"
+        };
+        println!("{len:>8} {score:>12.3} {verdict:>10}");
+    }
+
+    // Perfectly aligned features print cleanly at any size.
+    let aligned = FRect::new(0.0, 1.0, 40.0, 2.0);
+    let gray = render(&[aligned], 48, 5);
+    assert_eq!(defect_score(&gray, &gray.dither()), 0.0);
+    println!("\naligned wire: defect 0.000 — overlay error is what makes stitch cuts dangerous,");
+    println!("and error diffusion makes *small* cut-off polygons lose a large pixel fraction.");
+    println!("This is why the router forbids via-landing line ends near stitching lines.");
+}

@@ -1,0 +1,106 @@
+//! Drive the three routing stages manually and inspect the intermediate
+//! artifacts: global congestion/overflow, panel segments, layer colours,
+//! track assignment bad ends, and the final checked geometry.
+//!
+//! Run with: `cargo run --release --example stage_by_stage`
+
+use mebl_assign::{assign_tracks, extract_panels, TrackConfig};
+use mebl_detailed::{route_detailed, DetailedConfig};
+use mebl_geom::Point;
+use mebl_global::{route_circuit, GlobalConfig};
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_stitch::{StitchConfig, StitchPlan};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let circuit = BenchmarkSpec::by_name("S5378")
+        .expect("known benchmark")
+        .generate(&GenerateConfig {
+            seed: 7,
+            net_scale: 0.3,
+            ..GenerateConfig::default()
+        });
+    let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+    println!(
+        "== input: {} nets on {}x{} tracks, {} stitching lines",
+        circuit.net_count(),
+        circuit.outline().width(),
+        circuit.outline().height(),
+        plan.lines().len()
+    );
+
+    // Stage 1: global routing (eqs. 1-3).
+    let t = Instant::now();
+    let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
+    println!(
+        "\n== global routing: {:?} on a {}x{} tile graph ({:.3}s)",
+        global.metrics,
+        global.graph.cols(),
+        global.graph.rows(),
+        t.elapsed().as_secs_f64()
+    );
+
+    // Stage 2a: panel extraction.
+    let panels = extract_panels(&global);
+    println!(
+        "== panels: {} vertical segments in {} column panels, {} horizontal in {} row panels",
+        panels.vertical_count(),
+        panels.columns.iter().filter(|c| !c.is_empty()).count(),
+        panels.horizontal_count(),
+        panels.rows.iter().filter(|r| !r.is_empty()).count()
+    );
+
+    // Stage 2b: layer + track assignment (eq. 4, Fig. 11).
+    let t = Instant::now();
+    let tracks = assign_tracks(
+        &panels,
+        &global.graph,
+        &plan,
+        circuit.layer_count(),
+        &TrackConfig::default(),
+    );
+    println!(
+        "== track assignment: {} segments placed, {} nets ripped up, {} bad ends remain ({:.3}s)",
+        tracks.segments.len(),
+        tracks.failed_nets.len(),
+        tracks.bad_ends,
+        t.elapsed().as_secs_f64()
+    );
+    let doglegged = tracks
+        .segments
+        .iter()
+        .filter(|s| s.pieces.len() > 1)
+        .count();
+    println!("   ({doglegged} segments use doglegs to dodge stitch unfriendly regions)");
+
+    // Stage 3: detailed routing (eq. 10).
+    let t = Instant::now();
+    let detailed = route_detailed(&circuit, &plan, &global.graph, &tracks, &DetailedConfig::default());
+    println!(
+        "== detailed routing: {}/{} nets routed ({:.3}s)",
+        detailed.routed_count,
+        circuit.net_count(),
+        t.elapsed().as_secs_f64()
+    );
+
+    // Check.
+    let mut totals = mebl_stitch::Violations::default();
+    for (i, geom) in detailed.geometry.iter().enumerate() {
+        if !detailed.routed[i] {
+            continue;
+        }
+        let pins: HashSet<Point> = circuit.nets()[i].pins().iter().map(|p| p.position).collect();
+        totals.merge(&mebl_stitch::check_geometry(&plan, geom, |p| pins.contains(&p)));
+    }
+    println!(
+        "== final check: wl {}, vias {}, #VV {} (off-pin {}), #SP {}, vertical violations {}",
+        totals.wirelength,
+        totals.via_count,
+        totals.via_violations,
+        totals.via_violations_off_pin,
+        totals.short_polygons,
+        totals.vertical_violations
+    );
+    assert!(totals.hard_clean(), "the stitch-aware flow is always legal");
+}

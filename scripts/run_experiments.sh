@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper reproduction.
+#
+# Usage: scripts/run_experiments.sh [outdir]
+#
+# MCNC tables run at --scale 0.25, the (much larger) Faraday circuits at
+# --scale 0.1 so the whole sweep finishes on a laptop CPU; pass-through of
+# larger scales is a matter of editing the flags below. Results land in
+# $OUT/*.txt and SVG figures in target/figs/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT" target/figs
+
+cargo build --release --workspace
+
+run() { echo ">>> $*"; "$@"; }
+
+run ./target/release/table_benchmarks --scale 0.25          > "$OUT/table12.txt"
+run ./target/release/table56_layer                           > "$OUT/table56.txt"
+run ./target/release/fig34_raster                            > "$OUT/fig34.txt"
+run ./target/release/fig16_dogleg --out target/figs          > "$OUT/fig16.txt"
+run ./target/release/table4_global --scale 0.25 --density 12 > "$OUT/table4.txt"
+run ./target/release/table3_framework --scale 0.25 --suite mcnc    > "$OUT/table3_mcnc.txt"
+run ./target/release/table8_detailed  --scale 0.25 --suite mcnc    > "$OUT/table8_mcnc.txt"
+run ./target/release/table7_track     --scale 0.25 --suite mcnc    > "$OUT/table7_mcnc.txt"
+run ./target/release/table3_framework --scale 0.1  --suite faraday > "$OUT/table3_faraday.txt"
+run ./target/release/table8_detailed  --scale 0.1  --suite faraday > "$OUT/table8_faraday.txt"
+run ./target/release/ext_placement    --scale 0.1  --suite mcnc    > "$OUT/ext_placement.txt"
+run ./target/release/sweep_params                            > "$OUT/sweeps.txt"
+run ./target/release/fig15_layout --out target/figs          > "$OUT/fig15.txt"
+
+echo "all experiments recorded in $OUT/"

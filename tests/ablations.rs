@@ -1,0 +1,167 @@
+//! Integration-level ablations mirroring the paper's experiments at quick
+//! scale: each stitch-aware stage must improve (or at least not worsen)
+//! its target metric versus its conventional counterpart.
+
+use mebl_assign::{
+    assign_tracks, extract_panels, LayerMode, TrackConfig, TrackMode,
+};
+use mebl_detailed::DetailedConfig;
+use mebl_global::{route_circuit, GlobalConfig};
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+use mebl_stitch::{StitchConfig, StitchPlan};
+
+fn quick(name: &str, seed: u64) -> Circuit {
+    BenchmarkSpec::by_name(name)
+        .unwrap()
+        .generate(&GenerateConfig::quick(seed))
+}
+
+/// Table III shape: the stitch-aware framework never produces more short
+/// polygons than the baseline, at comparable routability.
+#[test]
+fn framework_reduces_short_polygons() {
+    let mut aware_total = 0usize;
+    let mut base_total = 0usize;
+    for (name, seed) in [("S5378", 1), ("S13207", 2), ("DMA", 3)] {
+        let circuit = quick(name, seed);
+        let a = Router::new(RouterConfig::stitch_aware()).route(&circuit).report;
+        let b = Router::new(RouterConfig::baseline()).route(&circuit).report;
+        assert!(
+            a.short_polygons <= b.short_polygons,
+            "{name}: aware {} > baseline {}",
+            a.short_polygons,
+            b.short_polygons
+        );
+        assert!(a.routability() >= b.routability() - 0.05, "{name}");
+        aware_total += a.short_polygons;
+        base_total += b.short_polygons;
+    }
+    // Across the mini-suite the reduction must be substantial.
+    assert!(
+        base_total == 0 || (aware_total as f64) <= 0.5 * base_total as f64,
+        "aware {aware_total} vs baseline {base_total}"
+    );
+}
+
+/// Table IV shape: vertex (line-end) cost eliminates most vertex overflow
+/// at a small wirelength cost.
+#[test]
+fn line_end_cost_controls_vertex_overflow() {
+    let mut wo = 0u64;
+    let mut with = 0u64;
+    let mut wl_ratio_sum = 0.0;
+    let mut n = 0;
+    for (name, seed) in [("S5378", 1), ("S9234", 2), ("S13207", 3)] {
+        let circuit = quick(name, seed);
+        let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+        let blind = route_circuit(
+            &circuit,
+            &plan,
+            &GlobalConfig {
+                line_end_cost: false,
+                ..GlobalConfig::default()
+            },
+        );
+        let aware = route_circuit(&circuit, &plan, &GlobalConfig::default());
+        wo += blind.metrics.total_vertex_overflow;
+        with += aware.metrics.total_vertex_overflow;
+        if blind.metrics.wirelength > 0 {
+            wl_ratio_sum += aware.metrics.wirelength as f64 / blind.metrics.wirelength as f64;
+            n += 1;
+        }
+    }
+    assert!(with <= wo, "line-end cost must not increase TVOF: {with} vs {wo}");
+    // Wirelength overhead stays small (paper: 1.5%; allow 10% at quick scale).
+    assert!(wl_ratio_sum / n as f64 <= 1.10);
+}
+
+/// Table VI shape: the paper's layer assignment beats MST on average and
+/// the gap grows with k.
+#[test]
+fn layer_assignment_beats_mst_and_gap_grows() {
+    use mebl_assign::{assignment_cost, layer_assign_mst, layer_assign_ours, ConflictGraph};
+    let instances = mebl_assign::random_instances(30, 25, 30, 2013);
+    let graphs: Vec<ConflictGraph> = instances
+        .iter()
+        .map(|iv| ConflictGraph::build(iv, 30, true))
+        .collect();
+    let avg = |k: usize, ours: bool| -> f64 {
+        graphs
+            .iter()
+            .map(|g| {
+                let colors = if ours {
+                    layer_assign_ours(g, k)
+                } else {
+                    layer_assign_mst(g, k)
+                };
+                assignment_cost(g, &colors) as f64
+            })
+            .sum::<f64>()
+            / graphs.len() as f64
+    };
+    let mut improvements = Vec::new();
+    for k in 2..=5 {
+        let mst = avg(k, false);
+        let ours = avg(k, true);
+        assert!(ours <= mst, "k={k}: ours {ours} vs mst {mst}");
+        improvements.push((mst - ours) / mst.max(1e-9));
+    }
+    assert!(
+        improvements[3] > improvements[0],
+        "gap must grow with k: {improvements:?}"
+    );
+}
+
+/// Table VII shape: stitch-aware track assignment (both exact and
+/// heuristic) leaves far fewer bad ends than the oblivious baseline.
+#[test]
+fn track_assignment_modes_ranked() {
+    let circuit = quick("S5378", 4);
+    let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+    let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
+    let panels = extract_panels(&global);
+    let run = |mode: TrackMode| {
+        assign_tracks(
+            &panels,
+            &global.graph,
+            &plan,
+            circuit.layer_count(),
+            &TrackConfig {
+                layer_mode: LayerMode::Ours,
+                track_mode: mode,
+            },
+        )
+    };
+    let base = run(TrackMode::Baseline);
+    let heur = run(TrackMode::GraphHeuristic);
+    let ilp = run(TrackMode::IlpExact { node_budget: 500_000 });
+    assert!(heur.bad_ends <= base.bad_ends);
+    if !ilp.timed_out {
+        assert!(ilp.bad_ends <= heur.bad_ends + 2, "{} vs {}", ilp.bad_ends, heur.bad_ends);
+    }
+}
+
+/// Table VIII shape: stitch-aware detailed routing cuts the remaining
+/// short polygons versus the oblivious detailed router.
+#[test]
+fn stitch_aware_detailed_cuts_remaining_sp() {
+    let mut aware_total = 0usize;
+    let mut blind_total = 0usize;
+    for (name, seed) in [("S13207", 1), ("S15850", 2)] {
+        let circuit = quick(name, seed);
+        let a = Router::new(RouterConfig::stitch_aware()).route(&circuit).report;
+        let b = Router::new(RouterConfig {
+            detailed: DetailedConfig::without_stitch_consideration(),
+            ..RouterConfig::stitch_aware()
+        })
+        .route(&circuit)
+        .report;
+        aware_total += a.short_polygons;
+        blind_total += b.short_polygons;
+    }
+    assert!(
+        aware_total <= blind_total,
+        "aware {aware_total} vs blind {blind_total}"
+    );
+}

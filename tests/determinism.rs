@@ -1,0 +1,46 @@
+//! Reproducibility: the whole stack is seeded and deterministic — the
+//! same inputs must give byte-identical outputs across runs.
+
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+
+#[test]
+fn generator_is_deterministic_across_suite() {
+    for spec in mebl_netlist::full_suite() {
+        let cfg = GenerateConfig::quick(99);
+        assert_eq!(spec.generate(&cfg), spec.generate(&cfg), "{}", spec.name);
+    }
+}
+
+#[test]
+fn full_flow_is_deterministic() {
+    let circuit = BenchmarkSpec::by_name("S9234")
+        .unwrap()
+        .generate(&GenerateConfig::quick(11));
+    let router = Router::new(RouterConfig::stitch_aware());
+    let a = router.route(&circuit);
+    let b = router.route(&circuit);
+    assert_eq!(a.detailed.geometry, b.detailed.geometry);
+    assert_eq!(a.report.short_polygons, b.report.short_polygons);
+    assert_eq!(a.report.wirelength, b.report.wirelength);
+    assert_eq!(a.tracks.segments, b.tracks.segments);
+}
+
+#[test]
+fn baseline_flow_is_deterministic() {
+    let circuit = BenchmarkSpec::by_name("S5378")
+        .unwrap()
+        .generate(&GenerateConfig::quick(12));
+    let router = Router::new(RouterConfig::baseline());
+    let a = router.route(&circuit);
+    let b = router.route(&circuit);
+    assert_eq!(a.detailed.geometry, b.detailed.geometry);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = BenchmarkSpec::by_name("S5378").unwrap();
+    let a = spec.generate(&GenerateConfig::quick(1));
+    let b = spec.generate(&GenerateConfig::quick(2));
+    assert_ne!(a, b);
+}

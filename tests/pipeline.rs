@@ -1,0 +1,167 @@
+//! End-to-end pipeline integration tests across crates: netlist
+//! generation -> global routing -> layer/track assignment -> detailed
+//! routing -> violation checking.
+
+use mebl_assign::{assign_tracks, extract_panels, TrackConfig};
+use mebl_detailed::{route_detailed, DetailedConfig};
+use mebl_geom::Point;
+use mebl_global::{route_circuit, GlobalConfig};
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+use mebl_stitch::{StitchConfig, StitchPlan};
+use std::collections::HashSet;
+
+fn quick(name: &str, seed: u64) -> Circuit {
+    BenchmarkSpec::by_name(name)
+        .unwrap()
+        .generate(&GenerateConfig::quick(seed))
+}
+
+#[test]
+fn full_flow_small_mcnc() {
+    let circuit = quick("S5378", 1);
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    assert!(out.report.routability() >= 0.9, "{}", out.report);
+    assert!(out.report.hard_clean());
+    assert!(out.report.wirelength > 0);
+}
+
+#[test]
+fn full_flow_faraday_six_layers() {
+    let circuit = quick("DMA", 2);
+    assert_eq!(circuit.layer_count(), 6);
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    assert!(out.report.routability() >= 0.9, "{}", out.report);
+    assert!(out.report.hard_clean());
+}
+
+#[test]
+fn every_stage_output_is_consistent() {
+    let circuit = quick("S9234", 3);
+    let plan = StitchPlan::new(circuit.outline(), StitchConfig::default());
+    let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
+    assert_eq!(global.routes.len(), circuit.net_count());
+
+    let panels = extract_panels(&global);
+    // Every vertical panel segment's column must be within the graph.
+    for (c, col) in panels.columns.iter().enumerate() {
+        for s in col {
+            assert_eq!(s.panel as usize, c);
+            assert!(s.hi < global.graph.rows());
+        }
+    }
+
+    let tracks = assign_tracks(
+        &panels,
+        &global.graph,
+        &plan,
+        circuit.layer_count(),
+        &TrackConfig::default(),
+    );
+    // Assigned tracks always stay inside their panel span and off lines.
+    for seg in &tracks.segments {
+        for &(lo, hi, track) in &seg.pieces {
+            assert!(lo >= seg.lo && hi <= seg.hi && lo <= hi);
+            if seg.horizontal {
+                assert!(global.graph.row_span(seg.panel).contains(track));
+            } else {
+                assert!(global.graph.col_span(seg.panel).contains(track));
+                assert!(!plan.is_on_line(track), "assigned onto a stitch line");
+            }
+        }
+    }
+
+    let detailed = route_detailed(&circuit, &plan, &global.graph, &tracks, &DetailedConfig::default());
+    assert_eq!(detailed.geometry.len(), circuit.net_count());
+    assert_eq!(
+        detailed.routed_count,
+        detailed.routed.iter().filter(|&&r| r).count()
+    );
+}
+
+#[test]
+fn routed_nets_connect_all_their_pins() {
+    let circuit = quick("S13207", 4);
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    for (i, net) in circuit.nets().iter().enumerate() {
+        if !out.detailed.routed[i] {
+            continue;
+        }
+        let geom = &out.detailed.geometry[i];
+        // Build the cell set and BFS from the first pin.
+        let mut cells: HashSet<mebl_geom::GridPoint> = HashSet::new();
+        for s in geom.segments() {
+            cells.extend(s.points());
+        }
+        for v in geom.vias() {
+            cells.insert(mebl_geom::GridPoint::new(v.x, v.y, v.lower));
+            cells.insert(mebl_geom::GridPoint::new(v.x, v.y, v.upper()));
+        }
+        for p in net.pins() {
+            cells.insert(p.position.on_layer(p.layer));
+        }
+        let start = net.pins()[0].position.on_layer(net.pins()[0].layer);
+        let mut seen = HashSet::from([start]);
+        let mut queue = vec![start];
+        while let Some(p) = queue.pop() {
+            let mut push = |q: mebl_geom::GridPoint| {
+                if cells.contains(&q) && seen.insert(q) {
+                    queue.push(q);
+                }
+            };
+            push(mebl_geom::GridPoint::new(p.x - 1, p.y, p.layer));
+            push(mebl_geom::GridPoint::new(p.x + 1, p.y, p.layer));
+            push(mebl_geom::GridPoint::new(p.x, p.y - 1, p.layer));
+            push(mebl_geom::GridPoint::new(p.x, p.y + 1, p.layer));
+            if let Some(below) = p.layer.below() {
+                push(mebl_geom::GridPoint::new(p.x, p.y, below));
+            }
+            push(mebl_geom::GridPoint::new(p.x, p.y, p.layer.above()));
+        }
+        for p in net.pins() {
+            assert!(
+                seen.contains(&p.position.on_layer(p.layer)),
+                "net {i} ({}): pin {} disconnected",
+                net.name(),
+                p.position
+            );
+        }
+    }
+}
+
+#[test]
+fn no_two_nets_share_grid_cells() {
+    let circuit = quick("S9234", 5);
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    let mut owner: std::collections::HashMap<mebl_geom::GridPoint, usize> =
+        std::collections::HashMap::new();
+    for (i, geom) in out.detailed.geometry.iter().enumerate() {
+        for s in geom.segments() {
+            for p in s.points() {
+                if let Some(&o) = owner.get(&p) {
+                    assert_eq!(o, i, "short: nets {o} and {i} share {p}");
+                }
+                owner.insert(p, i);
+            }
+        }
+    }
+}
+
+#[test]
+fn report_matches_manual_recount() {
+    let circuit = quick("Primary1", 6);
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    let mut sp = 0usize;
+    let mut vv = 0usize;
+    for (i, geom) in out.detailed.geometry.iter().enumerate() {
+        if !out.detailed.routed[i] {
+            continue;
+        }
+        let pins: HashSet<Point> = circuit.nets()[i].pins().iter().map(|p| p.position).collect();
+        let v = mebl_stitch::check_geometry(&out.plan, geom, |p| pins.contains(&p));
+        sp += v.short_polygons;
+        vv += v.via_violations;
+    }
+    assert_eq!(out.report.short_polygons, sp);
+    assert_eq!(out.report.via_violations, vv);
+}

@@ -1,0 +1,95 @@
+//! Property-based end-to-end invariants: random small circuits, routed
+//! with both flows, must always satisfy the hard MEBL constraints, never
+//! short two nets, and never lose pins.
+
+use mebl_geom::{GridPoint, Layer, Point, Rect};
+use mebl_netlist::{Circuit, Net, Pin};
+use mebl_route::{Router, RouterConfig};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn pin_xy() -> impl Strategy<Value = (i32, i32)> {
+    (0i32..60, 0i32..60)
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    // 4-10 two/three-pin nets on a 60x60 grid.
+    proptest::collection::vec((pin_xy(), pin_xy(), pin_xy(), proptest::bool::ANY), 4..10).prop_map(
+        |raw| {
+            let outline = Rect::new(0, 0, 59, 59);
+            let mut used: HashSet<Point> = HashSet::new();
+            let mut nets = Vec::new();
+            for (i, (a, b, c, three)) in raw.into_iter().enumerate() {
+                let mut pins = Vec::new();
+                for (x, y) in [a, b, c].into_iter().take(if three { 3 } else { 2 }) {
+                    // Nudge into a free cell deterministically.
+                    let mut p = Point::new(x, y);
+                    let mut tries = 0;
+                    while used.contains(&p) && tries < 100 {
+                        p = Point::new((p.x + 7) % 60, (p.y + 3) % 60);
+                        tries += 1;
+                    }
+                    if used.insert(p) {
+                        pins.push(Pin::new(p, Layer::new(0)));
+                    }
+                }
+                if pins.len() >= 2 {
+                    nets.push(Net::new(format!("n{i}"), pins));
+                }
+            }
+            // Guarantee at least one net.
+            if nets.is_empty() {
+                nets.push(Net::new(
+                    "fallback",
+                    vec![
+                        Pin::new(Point::new(1, 1), Layer::new(0)),
+                        Pin::new(Point::new(50, 50), Layer::new(0)),
+                    ],
+                ));
+            }
+            Circuit::new("prop", outline, 3, nets)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_flows_always_legal(circuit in arb_circuit()) {
+        for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
+            let out = Router::new(config).route(&circuit);
+            prop_assert!(out.report.hard_clean(), "{}", out.report);
+            // No shorts between different nets.
+            let mut owner: HashMap<GridPoint, usize> = HashMap::new();
+            for (i, g) in out.detailed.geometry.iter().enumerate() {
+                for s in g.segments() {
+                    for p in s.points() {
+                        if let Some(o) = owner.insert(p, i) {
+                            prop_assert_eq!(o, i, "short at {}", p);
+                        }
+                    }
+                }
+            }
+            // Via violations only at fixed pins (tolerated class).
+            prop_assert_eq!(out.report.via_violations_off_pin, 0);
+            // Small uncongested instances must route completely.
+            prop_assert!(out.report.routability() > 0.7, "{}", out.report);
+        }
+    }
+
+    #[test]
+    fn prop_stitch_aware_never_more_sp(circuit in arb_circuit()) {
+        let aware = Router::new(RouterConfig::stitch_aware()).route(&circuit).report;
+        let base = Router::new(RouterConfig::baseline()).route(&circuit).report;
+        // On small instances the stitch-aware flow should essentially
+        // eliminate short polygons; allow slack of 1 for pathological
+        // pin placements.
+        prop_assert!(
+            aware.short_polygons <= base.short_polygons + 1,
+            "aware {} vs base {}",
+            aware.short_polygons,
+            base.short_polygons
+        );
+    }
+}

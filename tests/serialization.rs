@@ -1,0 +1,42 @@
+//! Round-trip integration: generated circuits survive text serialisation
+//! and route to identical results afterwards.
+
+use mebl_netlist::{circuit_from_str, circuit_to_string, BenchmarkSpec, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+
+#[test]
+fn serialized_circuit_routes_identically() {
+    let circuit = BenchmarkSpec::by_name("S5378")
+        .unwrap()
+        .generate(&GenerateConfig::quick(21));
+    let text = circuit_to_string(&circuit);
+    let reloaded = circuit_from_str(&text).unwrap();
+    assert_eq!(circuit, reloaded);
+
+    let router = Router::new(RouterConfig::stitch_aware());
+    let a = router.route(&circuit);
+    let b = router.route(&reloaded);
+    assert_eq!(a.report.short_polygons, b.report.short_polygons);
+    assert_eq!(a.report.wirelength, b.report.wirelength);
+    assert_eq!(a.detailed.geometry, b.detailed.geometry);
+}
+
+#[test]
+fn every_suite_member_roundtrips() {
+    for spec in mebl_netlist::full_suite() {
+        let c = spec.generate(&GenerateConfig::quick(33));
+        let back = circuit_from_str(&circuit_to_string(&c)).unwrap();
+        assert_eq!(c, back, "{}", spec.name);
+    }
+}
+
+#[test]
+fn format_is_stable_and_human_readable() {
+    let c = BenchmarkSpec::by_name("S9234")
+        .unwrap()
+        .generate(&GenerateConfig::quick(3));
+    let text = circuit_to_string(&c);
+    assert!(text.starts_with("circuit S9234 "));
+    // One header plus one line per net.
+    assert_eq!(text.lines().count(), 1 + c.net_count());
+}

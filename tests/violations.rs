@@ -1,0 +1,177 @@
+//! Integration tests of the MEBL constraint semantics: the three bad
+//! pattern classes must be enforced/minimised exactly as defined in
+//! §II-A of the paper.
+
+use mebl_geom::{Layer, Point, Rect, RouteGeometry, Segment, Via};
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig, Net, Pin};
+use mebl_route::{Router, RouterConfig};
+use mebl_stitch::{check_geometry, StitchConfig, StitchPlan};
+use std::collections::HashSet;
+
+fn pin(x: i32, y: i32) -> Pin {
+    Pin::new(Point::new(x, y), Layer::new(0))
+}
+
+/// Hard constraint 1 (via constraint): the router never produces a via on
+/// a stitching line except at a fixed pin.
+#[test]
+fn router_never_places_off_pin_vias_on_lines() {
+    for seed in [1, 2, 3] {
+        let circuit = BenchmarkSpec::by_name("S5378")
+            .unwrap()
+            .generate(&GenerateConfig::quick(seed));
+        for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
+            let out = Router::new(config).route(&circuit);
+            assert_eq!(
+                out.report.via_violations_off_pin, 0,
+                "seed {seed}: off-pin via violation"
+            );
+        }
+    }
+}
+
+/// Hard constraint 2 (vertical routing constraint): no vertical wire ever
+/// rides a stitching line, in either flow.
+#[test]
+fn router_never_routes_vertically_on_lines() {
+    for seed in [1, 2, 3] {
+        let circuit = BenchmarkSpec::by_name("S9234")
+            .unwrap()
+            .generate(&GenerateConfig::quick(seed));
+        for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
+            let out = Router::new(config).route(&circuit);
+            assert_eq!(out.report.vertical_violations, 0, "seed {seed}");
+            // Double-check directly on the geometry.
+            for geom in &out.detailed.geometry {
+                for seg in geom.segments() {
+                    if !seg.is_horizontal() && !seg.is_empty() {
+                        assert!(
+                            !out.plan.is_on_line(seg.track),
+                            "vertical wire at x = {}",
+                            seg.track
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Soft constraint (short polygons): the checker recognises exactly the
+/// Fig. 5(c) pattern.
+#[test]
+fn short_polygon_definition_matches_fig5c() {
+    let outline = Rect::new(0, 0, 59, 29);
+    let plan = StitchPlan::new(outline, StitchConfig::default());
+
+    // Upper wire of Fig. 5(c): cut by the line, line end in the
+    // unfriendly region, landing via -> one violation.
+    let mut upper = RouteGeometry::new();
+    upper.push_segment(Segment::horizontal(Layer::new(0), 20, 5, 16));
+    upper.push_via(Via::new(16, 20, Layer::new(0)));
+    assert_eq!(check_geometry(&plan, &upper, |_| false).short_polygons, 1);
+
+    // Lower wire of Fig. 5(c): the via sits outside the unfriendly
+    // region -> no violation.
+    let mut lower = RouteGeometry::new();
+    lower.push_segment(Segment::horizontal(Layer::new(0), 10, 5, 20));
+    lower.push_via(Via::new(20, 10, Layer::new(0)));
+    assert_eq!(check_geometry(&plan, &lower, |_| false).short_polygons, 0);
+}
+
+/// The unfriendly region width follows the configured epsilon.
+#[test]
+fn epsilon_controls_unfriendly_width() {
+    let outline = Rect::new(0, 0, 59, 29);
+    let wide = StitchPlan::new(
+        outline,
+        StitchConfig {
+            epsilon: 3,
+            escape_width: 4,
+            ..StitchConfig::default()
+        },
+    );
+    let mut g = RouteGeometry::new();
+    g.push_segment(Segment::horizontal(Layer::new(0), 10, 5, 18));
+    g.push_via(Via::new(18, 10, Layer::new(0)));
+    // |18 - 15| = 3 <= epsilon: violation with the wide region...
+    assert_eq!(check_geometry(&wide, &g, |_| false).short_polygons, 1);
+    // ...but not with the default epsilon = 1.
+    let narrow = StitchPlan::new(outline, StitchConfig::default());
+    assert_eq!(check_geometry(&narrow, &g, |_| false).short_polygons, 0);
+}
+
+/// A denser stitch pattern (smaller period) increases exposure: the same
+/// circuit routed under period 10 sees at least as many lines as period 15.
+#[test]
+fn stitch_period_is_configurable_end_to_end() {
+    let outline = Rect::new(0, 0, 89, 89);
+    let nets = vec![
+        Net::new("a", vec![pin(2, 2), pin(80, 70)]),
+        Net::new("b", vec![pin(5, 60), pin(75, 8)]),
+    ];
+    let circuit = Circuit::new("t", outline, 3, nets);
+    let mut dense_cfg = RouterConfig::stitch_aware();
+    dense_cfg.stitch.period = 10;
+    dense_cfg.global.tile_size = 10;
+    let dense = Router::new(dense_cfg).route(&circuit);
+    let sparse = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    assert!(dense.plan.lines().len() > sparse.plan.lines().len());
+    assert!(dense.report.hard_clean() && sparse.report.hard_clean());
+}
+
+/// Via violations are counted at pins on lines (the tolerated kind).
+/// A pin on a *vertical* layer at a line position cannot route vertically
+/// (that would ride the line), so a via at the pin is unavoidable.
+#[test]
+fn pin_on_line_yields_tolerated_via_violation() {
+    let outline = Rect::new(0, 0, 59, 59);
+    let v_pin = |x: i32, y: i32| Pin::new(Point::new(x, y), Layer::new(1));
+    let circuit = Circuit::new(
+        "t",
+        outline,
+        3,
+        vec![Net::new("a", vec![v_pin(15, 5), v_pin(15, 50)])],
+    );
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    assert_eq!(out.report.routed_nets, 1);
+    assert!(out.report.hard_clean(), "{}", out.report);
+    assert!(
+        out.report.via_violations >= 1,
+        "expected a tolerated pin via violation: {}",
+        out.report
+    );
+}
+
+/// A layer-0 pin on a line, by contrast, can be escaped horizontally —
+/// the stitch-aware router should not need any via on the line.
+#[test]
+fn horizontal_pin_on_line_escapes_without_via_violation() {
+    let outline = Rect::new(0, 0, 59, 59);
+    let circuit = Circuit::new(
+        "t",
+        outline,
+        3,
+        vec![Net::new("a", vec![pin(15, 5), pin(15, 50)])],
+    );
+    let out = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+    assert_eq!(out.report.routed_nets, 1);
+    assert!(out.report.hard_clean());
+    assert_eq!(
+        out.report.via_violations, 0,
+        "router should escape in x before dropping a via: {}",
+        out.report
+    );
+}
+
+/// The checker's is_pin predicate is what separates tolerated from hard.
+#[test]
+fn pin_predicate_gates_hardness() {
+    let outline = Rect::new(0, 0, 59, 29);
+    let plan = StitchPlan::new(outline, StitchConfig::default());
+    let mut g = RouteGeometry::new();
+    g.push_via(Via::new(30, 10, Layer::new(0)));
+    let pins: HashSet<Point> = HashSet::from([Point::new(30, 10)]);
+    assert!(check_geometry(&plan, &g, |p| pins.contains(&p)).hard_clean());
+    assert!(!check_geometry(&plan, &g, |_| false).hard_clean());
+}

@@ -7,8 +7,7 @@
 //! same density regime (max segment density ≈ 11–12, average ≈ 5–6).
 
 use crate::SegmentInterval;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mebl_testkit::{Rng, Xoshiro256pp};
 
 /// Density statistics over a set of instances (Table V columns).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -35,7 +34,7 @@ pub fn random_instances(
     seed: u64,
 ) -> Vec<Vec<SegmentInterval>> {
     assert!(rows >= 2, "need at least two tiles");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::from_seed(seed);
     (0..count)
         .map(|_| {
             (0..segments)
@@ -94,6 +93,13 @@ mod tests {
         let a = random_instances(5, 20, 30, 42);
         let b = random_instances(5, 20, 30, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = random_instances(5, 20, 30, 42);
+        let b = random_instances(5, 20, 30, 43);
+        assert_ne!(a, b);
     }
 
     #[test]

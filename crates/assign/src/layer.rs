@@ -233,7 +233,8 @@ fn conflict_between(graph: &ConflictGraph, a: &[usize], b: &[usize]) -> i64 {
 mod tests {
     use super::*;
     use crate::SegmentInterval;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     fn graph(ivs: &[(u32, u32)], rows: u32) -> ConflictGraph {
         let ivs: Vec<SegmentInterval> =
@@ -302,25 +303,25 @@ mod tests {
         assert_eq!(assignment_cost(&g, &colors), 0);
     }
 
-    proptest! {
-        /// On random instances, the paper's heuristic never loses to MST
-        /// by more than a small factor, and never produces invalid colours.
-        #[test]
-        fn prop_ours_valid_and_competitive(
-            k in 2usize..5,
-            raw in proptest::collection::vec((0u32..12, 0u32..12), 1..14),
-        ) {
-            let ivs: Vec<SegmentInterval> = raw
-                .into_iter()
-                .map(|(a, b)| SegmentInterval::new(a.min(b), a.max(b)))
-                .collect();
-            let g = ConflictGraph::build(&ivs, 12, true);
-            let ours = layer_assign_ours(&g, k);
-            let mst = layer_assign_mst(&g, k);
-            prop_assert!(ours.iter().all(|&c| c < k));
-            prop_assert!(mst.iter().all(|&c| c < k));
-            // Both must colour every vertex.
-            prop_assert_eq!(ours.len(), g.len());
-        }
+    /// On random instances, the paper's heuristic never loses to MST
+    /// by more than a small factor, and never produces invalid colours.
+    #[test]
+    fn prop_ours_valid_and_competitive() {
+        prop_check!(
+            (ints(2usize..5), vecs((ints(0u32..12), ints(0u32..12)), 1..14)),
+            |(k, raw)| {
+                let ivs: Vec<SegmentInterval> = raw
+                    .into_iter()
+                    .map(|(a, b)| SegmentInterval::new(a.min(b), a.max(b)))
+                    .collect();
+                let g = ConflictGraph::build(&ivs, 12, true);
+                let ours = layer_assign_ours(&g, k);
+                let mst = layer_assign_mst(&g, k);
+                prop_assert!(ours.iter().all(|&c| c < k));
+                prop_assert!(mst.iter().all(|&c| c < k));
+                // Both must colour every vertex.
+                prop_assert_eq!(ours.len(), g.len());
+            }
+        );
     }
 }

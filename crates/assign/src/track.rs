@@ -591,11 +591,10 @@ fn feasible_window(
     let eps = plan.config().epsilon as i64;
     let mut min_edges: Vec<(usize, usize, i64)> = Vec::new();
     let mut sources: Vec<(usize, i64)> = Vec::new();
-    for i in 0..n {
+    for (i, &(g, _)) in on_row.iter().enumerate() {
         if i + 1 < n {
             min_edges.push((i, i + 1, 1));
         }
-        let (g, _) = on_row[i];
         let c = if g == idx { cont } else { Continuation::Both };
         // Bad on the left edge of the track range?
         let left_bad = is_bad_track(plan, tracks[0], c);
@@ -606,11 +605,10 @@ fn feasible_window(
     // Maximum graph: mirrored.
     let mut max_edges: Vec<(usize, usize, i64)> = Vec::new();
     let mut max_sources: Vec<(usize, i64)> = Vec::new();
-    for i in 0..n {
+    for (i, &(g, _)) in on_row.iter().enumerate() {
         if i + 1 < n {
             max_edges.push((i + 1, i, 1));
         }
-        let (g, _) = on_row[i];
         let c = if g == idx { cont } else { Continuation::Both };
         let right_bad = is_bad_track(plan, tracks[t_count - 1], c);
         max_sources.push((i, if right_bad && g == idx { eps } else { 0 }));

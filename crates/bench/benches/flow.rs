@@ -1,27 +1,32 @@
 //! End-to-end flow benchmark: baseline vs stitch-aware framework
 //! (the runtime comparison behind Table III's CPU columns).
+//! Timings go to stderr and to `results/bench_flow.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mebl_netlist::{BenchmarkSpec, GenerateConfig};
 use mebl_route::{Router, RouterConfig};
+use mebl_testkit::bench::{BenchConfig, BenchSuite};
 
-fn bench_flow(c: &mut Criterion) {
+fn main() {
     let circuit = BenchmarkSpec::by_name("S9234")
         .expect("known benchmark")
         .generate(&GenerateConfig::quick(2013));
-    let mut group = c.benchmark_group("full_flow_s9234_quick");
-    group.sample_size(10);
+    let mut suite = BenchSuite::with_config(
+        "flow",
+        BenchConfig {
+            warmup_iters: 2,
+            samples: 10,
+        },
+    );
     for (label, config) in [
         ("baseline", RouterConfig::baseline()),
         ("stitch_aware", RouterConfig::stitch_aware()),
     ] {
         let router = Router::new(config);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| router.route(&circuit));
+        suite.bench(format!("full_flow_s9234_quick/{label}"), || {
+            router.route(&circuit)
         });
     }
-    group.finish();
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
 }
-
-criterion_group!(benches, bench_flow);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
-//! Criterion benches for the individual routing stages.
+//! Micro-benches for the individual routing stages.
 //!
 //! One group per paper experiment: global routing (Table IV), layer
 //! assignment heuristics (Table VI), track assignment algorithms
 //! (Table VII) and detailed routing (Table VIII), each at a small fixed
 //! scale so `cargo bench` completes quickly while preserving the relative
-//! runtimes.
+//! runtimes. Timings go to stderr and to `results/bench_stages.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mebl_assign::{
     assign_tracks, extract_panels, layer_assign_mst, layer_assign_ours, random_instances,
     ConflictGraph, LayerMode, TrackConfig, TrackMode,
@@ -15,6 +14,7 @@ use mebl_detailed::{route_detailed, DetailedConfig};
 use mebl_global::{route_circuit, GlobalConfig};
 use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
 use mebl_stitch::{StitchConfig, StitchPlan};
+use mebl_testkit::bench::{BenchConfig, BenchSuite};
 
 fn quick(name: &str) -> (Circuit, StitchPlan) {
     let circuit = BenchmarkSpec::by_name(name)
@@ -24,54 +24,43 @@ fn quick(name: &str) -> (Circuit, StitchPlan) {
     (circuit, plan)
 }
 
-fn bench_global(c: &mut Criterion) {
+fn bench_global(suite: &mut BenchSuite) {
     let (circuit, plan) = quick("S9234");
-    let mut group = c.benchmark_group("global_routing");
-    group.sample_size(10);
     for (label, line_end_cost) in [("wo_line_end", false), ("w_line_end", true)] {
         let config = GlobalConfig {
             line_end_cost,
             ..GlobalConfig::default()
         };
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| route_circuit(&circuit, &plan, &config));
+        suite.bench(format!("global_routing/{label}"), || {
+            route_circuit(&circuit, &plan, &config)
         });
     }
-    group.finish();
 }
 
-fn bench_layer_assignment(c: &mut Criterion) {
+fn bench_layer_assignment(suite: &mut BenchSuite) {
     let instances = random_instances(10, 25, 30, 2013);
     let graphs: Vec<ConflictGraph> = instances
         .iter()
         .map(|iv| ConflictGraph::build(iv, 30, true))
         .collect();
-    let mut group = c.benchmark_group("layer_assignment_k3");
-    group.bench_function("max_spanning_tree", |b| {
-        b.iter(|| {
-            graphs
-                .iter()
-                .map(|g| layer_assign_mst(g, 3))
-                .collect::<Vec<_>>()
-        });
+    suite.bench("layer_assignment_k3/max_spanning_tree", || {
+        graphs
+            .iter()
+            .map(|g| layer_assign_mst(g, 3))
+            .collect::<Vec<_>>()
     });
-    group.bench_function("ours_kcolorable_subset", |b| {
-        b.iter(|| {
-            graphs
-                .iter()
-                .map(|g| layer_assign_ours(g, 3))
-                .collect::<Vec<_>>()
-        });
+    suite.bench("layer_assignment_k3/ours_kcolorable_subset", || {
+        graphs
+            .iter()
+            .map(|g| layer_assign_ours(g, 3))
+            .collect::<Vec<_>>()
     });
-    group.finish();
 }
 
-fn bench_track_assignment(c: &mut Criterion) {
+fn bench_track_assignment(suite: &mut BenchSuite) {
     let (circuit, plan) = quick("S5378");
     let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
     let panels = extract_panels(&global);
-    let mut group = c.benchmark_group("track_assignment");
-    group.sample_size(10);
     let modes: [(&str, TrackMode); 3] = [
         ("baseline", TrackMode::Baseline),
         ("graph_heuristic", TrackMode::GraphHeuristic),
@@ -82,14 +71,13 @@ fn bench_track_assignment(c: &mut Criterion) {
             layer_mode: LayerMode::Ours,
             track_mode,
         };
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| assign_tracks(&panels, &global.graph, &plan, circuit.layer_count(), &config));
+        suite.bench(format!("track_assignment/{label}"), || {
+            assign_tracks(&panels, &global.graph, &plan, circuit.layer_count(), &config)
         });
     }
-    group.finish();
 }
 
-fn bench_detailed(c: &mut Criterion) {
+fn bench_detailed(suite: &mut BenchSuite) {
     let (circuit, plan) = quick("S9234");
     let global = route_circuit(&circuit, &plan, &GlobalConfig::default());
     let panels = extract_panels(&global);
@@ -100,24 +88,29 @@ fn bench_detailed(c: &mut Criterion) {
         circuit.layer_count(),
         &TrackConfig::default(),
     );
-    let mut group = c.benchmark_group("detailed_routing");
-    group.sample_size(10);
     for (label, config) in [
         ("wo_stitch", DetailedConfig::without_stitch_consideration()),
         ("w_stitch", DetailedConfig::default()),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| route_detailed(&circuit, &plan, &global.graph, &tracks, &config));
+        suite.bench(format!("detailed_routing/{label}"), || {
+            route_detailed(&circuit, &plan, &global.graph, &tracks, &config)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_global,
-    bench_layer_assignment,
-    bench_track_assignment,
-    bench_detailed
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = BenchSuite::with_config(
+        "stages",
+        BenchConfig {
+            warmup_iters: 2,
+            samples: 10,
+        },
+    );
+    bench_global(&mut suite);
+    bench_layer_assignment(&mut suite);
+    bench_track_assignment(&mut suite);
+    bench_detailed(&mut suite);
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
+}

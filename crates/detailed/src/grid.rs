@@ -137,7 +137,6 @@ impl DetailedGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mebl_geom::Point;
 
     fn grid() -> DetailedGrid {
         DetailedGrid::new(Rect::new(0, 0, 9, 7), 3)

@@ -57,6 +57,13 @@ impl Interval {
         self.hi.abs_diff(self.lo) as u64
     }
 
+    /// Whether the interval spans zero unit steps (i.e. is a point).
+    /// Intervals always contain at least one coordinate, so this is the
+    /// same as [`is_point`](Self::is_point).
+    pub fn is_empty(self) -> bool {
+        self.is_point()
+    }
+
     /// Whether the interval is a single point.
     pub fn is_point(self) -> bool {
         self.lo == self.hi
@@ -133,7 +140,8 @@ impl std::fmt::Display for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::ints;
+    use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn normalises_order() {
@@ -180,19 +188,21 @@ mod tests {
         assert!(!Interval::new(0, 10).contains_interval(Interval::new(3, 11)));
     }
 
-    proptest! {
-        #[test]
-        fn prop_intersection_commutes(a in -100i32..100, b in -100i32..100,
-                                      c in -100i32..100, d in -100i32..100) {
+    #[test]
+    fn prop_intersection_commutes() {
+        let coord = || ints(-100i32..100);
+        prop_check!((coord(), coord(), coord(), coord()), |(a, b, c, d)| {
             let x = Interval::new(a, b);
             let y = Interval::new(c, d);
             prop_assert_eq!(x.intersect(y), y.intersect(x));
             prop_assert_eq!(x.overlaps(y), x.intersect(y).is_some());
-        }
+        });
+    }
 
-        #[test]
-        fn prop_intersection_inside_hull(a in -100i32..100, b in -100i32..100,
-                                         c in -100i32..100, d in -100i32..100) {
+    #[test]
+    fn prop_intersection_inside_hull() {
+        let coord = || ints(-100i32..100);
+        prop_check!((coord(), coord(), coord(), coord()), |(a, b, c, d)| {
             let x = Interval::new(a, b);
             let y = Interval::new(c, d);
             let h = x.hull(y);
@@ -202,13 +212,15 @@ mod tests {
                 prop_assert!(x.contains_interval(i));
                 prop_assert!(y.contains_interval(i));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_contains_matches_iter(a in -50i32..50, b in -50i32..50, v in -60i32..60) {
+    #[test]
+    fn prop_contains_matches_iter() {
+        prop_check!((ints(-50i32..50), ints(-50i32..50), ints(-60i32..60)), |(a, b, v)| {
             let x = Interval::new(a, b);
             let by_iter = x.iter().any(|c| c == v);
             prop_assert_eq!(x.contains(v), by_iter);
-        }
+        });
     }
 }

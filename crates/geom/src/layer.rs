@@ -67,7 +67,7 @@ impl Layer {
 
     /// Preferred routing direction (even = horizontal, odd = vertical).
     pub const fn orientation(self) -> Orientation {
-        if self.0 % 2 == 0 {
+        if self.0.is_multiple_of(2) {
             Orientation::Horizontal
         } else {
             Orientation::Vertical
@@ -76,7 +76,7 @@ impl Layer {
 
     /// `true` if this layer routes horizontally.
     pub const fn is_horizontal(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The next layer up.

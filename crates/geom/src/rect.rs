@@ -161,7 +161,8 @@ impl std::fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::ints;
+    use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn corner_normalisation() {
@@ -198,31 +199,35 @@ mod tests {
         assert!(!a.overlaps(b));
     }
 
-    proptest! {
-        #[test]
-        fn prop_intersect_symmetric_and_contained(
-            ax in -50i32..50, ay in -50i32..50, bx in -50i32..50, by in -50i32..50,
-            cx in -50i32..50, cy in -50i32..50, dx in -50i32..50, dy in -50i32..50,
-        ) {
-            let r1 = Rect::new(ax, ay, bx, by);
-            let r2 = Rect::new(cx, cy, dx, dy);
-            prop_assert_eq!(r1.intersect(r2), r2.intersect(r1));
-            if let Some(i) = r1.intersect(r2) {
-                prop_assert!(r1.contains_rect(i));
-                prop_assert!(r2.contains_rect(i));
+    #[test]
+    fn prop_intersect_symmetric_and_contained() {
+        let coord = || ints(-50i32..50);
+        prop_check!(
+            (coord(), coord(), coord(), coord(), coord(), coord(), coord(), coord()),
+            |(ax, ay, bx, by, cx, cy, dx, dy)| {
+                let r1 = Rect::new(ax, ay, bx, by);
+                let r2 = Rect::new(cx, cy, dx, dy);
+                prop_assert_eq!(r1.intersect(r2), r2.intersect(r1));
+                if let Some(i) = r1.intersect(r2) {
+                    prop_assert!(r1.contains_rect(i));
+                    prop_assert!(r2.contains_rect(i));
+                }
+                let h = r1.hull(r2);
+                prop_assert!(h.contains_rect(r1) && h.contains_rect(r2));
             }
-            let h = r1.hull(r2);
-            prop_assert!(h.contains_rect(r1) && h.contains_rect(r2));
-        }
+        );
+    }
 
-        #[test]
-        fn prop_contains_point_matches_intervals(
-            ax in -50i32..50, ay in -50i32..50, bx in -50i32..50, by in -50i32..50,
-            px in -60i32..60, py in -60i32..60,
-        ) {
-            let r = Rect::new(ax, ay, bx, by);
-            let p = Point::new(px, py);
-            prop_assert_eq!(r.contains(p), r.xs().contains(px) && r.ys().contains(py));
-        }
+    #[test]
+    fn prop_contains_point_matches_intervals() {
+        let coord = || ints(-50i32..50);
+        prop_check!(
+            (coord(), coord(), coord(), coord(), ints(-60i32..60), ints(-60i32..60)),
+            |(ax, ay, bx, by, px, py)| {
+                let r = Rect::new(ax, ay, bx, by);
+                let p = Point::new(px, py);
+                prop_assert_eq!(r.contains(p), r.xs().contains(px) && r.ys().contains(py));
+            }
+        );
     }
 }

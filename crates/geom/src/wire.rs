@@ -279,7 +279,8 @@ impl FromIterator<Segment> for RouteGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert_eq, prop_check};
 
     #[test]
     fn horizontal_segment_geometry() {
@@ -356,26 +357,29 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_segment_points_match_contains(
-            track in -20i32..20, a in -20i32..20, b in -20i32..20,
-            px in -25i32..25, py in -25i32..25,
-        ) {
-            let s = Segment::horizontal(Layer::new(0), track, a, b);
-            let p = Point::new(px, py);
-            let on = s.points().any(|gp| gp.point() == p);
-            prop_assert_eq!(on, s.contains_point(p));
-        }
+    #[test]
+    fn prop_segment_points_match_contains() {
+        let near = || ints(-20i32..20);
+        prop_check!(
+            (near(), near(), near(), ints(-25i32..25), ints(-25i32..25)),
+            |(track, a, b, px, py)| {
+                let s = Segment::horizontal(Layer::new(0), track, a, b);
+                let p = Point::new(px, py);
+                let on = s.points().any(|gp| gp.point() == p);
+                prop_assert_eq!(on, s.contains_point(p));
+            }
+        );
+    }
 
-        #[test]
-        fn prop_wirelength_is_sum_of_spans(spans in proptest::collection::vec((0i32..30, 0i32..30), 0..8)) {
+    #[test]
+    fn prop_wirelength_is_sum_of_spans() {
+        prop_check!(vecs((ints(0i32..30), ints(0i32..30)), 0..8), |spans| {
             let g: RouteGeometry = spans
                 .iter()
                 .map(|&(a, b)| Segment::horizontal(Layer::new(0), 0, a, b))
                 .collect();
             let expect: u64 = spans.iter().map(|&(a, b)| a.abs_diff(b) as u64).sum();
             prop_assert_eq!(g.wirelength(), expect);
-        }
+        });
     }
 }

@@ -99,7 +99,7 @@ impl GlobalRoute {
     }
 }
 
-fn collect_runs(edges: &mut Vec<(u32, u32)>, horizontal: bool, out: &mut Vec<TileRun>) {
+fn collect_runs(edges: &mut [(u32, u32)], horizontal: bool, out: &mut Vec<TileRun>) {
     edges.sort_unstable();
     let mut i = 0;
     while i < edges.len() {
@@ -245,23 +245,23 @@ pub fn route_circuit(
         }
         let mut h_over = vec![false; graph.h_edge_count()];
         let mut v_over = vec![false; graph.v_edge_count()];
-        for idx in 0..graph.h_edge_count() {
+        for (idx, over) in h_over.iter_mut().enumerate() {
             if state.h_demand[idx] > graph.h_edge_capacity(idx) {
-                h_over[idx] = true;
+                *over = true;
                 state.h_history[idx] += 1.0;
             }
         }
-        for idx in 0..graph.v_edge_count() {
+        for (idx, over) in v_over.iter_mut().enumerate() {
             if state.v_demand[idx] > graph.v_edge_capacity(idx) {
-                v_over[idx] = true;
+                *over = true;
                 state.v_history[idx] += 1.0;
             }
         }
         let mut vertex_over = vec![false; graph.tile_count()];
         if config.line_end_cost {
-            for t in 0..graph.tile_count() {
+            for (t, over) in vertex_over.iter_mut().enumerate() {
                 if state.vertex_demand[t] > graph.vertex_capacity(TileId(t as u32)) {
-                    vertex_over[t] = true;
+                    *over = true;
                     state.vertex_history[t] += 1.0;
                 }
             }

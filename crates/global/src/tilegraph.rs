@@ -72,8 +72,8 @@ impl TileGraph {
             tile_size,
             cols,
             rows,
-            h_edge_cap: vec![0; ((cols - 1) * rows).max(0) as usize],
-            v_edge_cap: vec![0; (cols * (rows - 1)).max(0) as usize],
+            h_edge_cap: vec![0; ((cols - 1) * rows) as usize],
+            v_edge_cap: vec![0; (cols * (rows - 1)) as usize],
             vertex_cap: vec![0; (cols * rows) as usize],
         };
 
@@ -271,7 +271,7 @@ mod tests {
         // Tile column 1 covers x in [15, 29]: line 15 inside => one track
         // blocked; unfriendly region removes 14..=16 intersected: 15, 16.
         let t = aware.tile_at(1, 0);
-        let v_edge = (0 * aware.cols() + 1) as usize;
+        let v_edge = 1usize; // row 0 * cols + column 1
         assert_eq!(blind.v_edge_capacity(v_edge), 15); // 15 tracks, 1 V layer
         assert_eq!(aware.v_edge_capacity(v_edge), 14);
         assert_eq!(blind.vertex_capacity(t), 15);

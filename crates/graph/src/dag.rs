@@ -60,7 +60,8 @@ pub fn longest_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert, prop_check};
 
     #[test]
     fn diamond_takes_heavier_side() {
@@ -97,29 +98,29 @@ mod tests {
         assert_eq!(dist, vec![0, -2, -5]);
     }
 
-    proptest! {
-        /// On a random DAG built from a random order, longest path must
-        /// dominate every single edge relaxation.
-        #[test]
-        fn prop_triangle_inequality(
-            n in 2usize..8,
-            raw in proptest::collection::vec((0usize..8, 0usize..8, 0i64..10), 1..20),
-        ) {
-            // Force edges forward in index order to guarantee a DAG.
-            let edges: Vec<(usize, usize, i64)> = raw
-                .into_iter()
-                .map(|(a, b, w)| {
-                    let (u, v) = ((a % n).min(b % n), (a % n).max(b % n));
-                    (u, v, w)
-                })
-                .filter(|&(u, v, _)| u != v)
-                .collect();
-            let dist = longest_paths(n, &edges, &[(0, 0)]).unwrap();
-            for &(u, v, w) in &edges {
-                if dist[u] != i64::MIN {
-                    prop_assert!(dist[v] >= dist[u] + w);
+    /// On a random DAG built from a random order, longest path must
+    /// dominate every single edge relaxation.
+    #[test]
+    fn prop_triangle_inequality() {
+        prop_check!(
+            (ints(2usize..8), vecs((ints(0usize..8), ints(0usize..8), ints(0i64..10)), 1..20)),
+            |(n, raw)| {
+                // Force edges forward in index order to guarantee a DAG.
+                let edges: Vec<(usize, usize, i64)> = raw
+                    .into_iter()
+                    .map(|(a, b, w)| {
+                        let (u, v) = ((a % n).min(b % n), (a % n).max(b % n));
+                        (u, v, w)
+                    })
+                    .filter(|&(u, v, _)| u != v)
+                    .collect();
+                let dist = longest_paths(n, &edges, &[(0, 0)]).unwrap();
+                for &(u, v, w) in &edges {
+                    if dist[u] != i64::MIN {
+                        prop_assert!(dist[v] >= dist[u] + w);
+                    }
                 }
             }
-        }
+        );
     }
 }

@@ -153,7 +153,8 @@ pub fn max_weight_k_colorable(intervals: &[WeightedInterval], k: usize) -> Color
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert_eq, prop_check};
 
     fn check_valid(intervals: &[WeightedInterval], k: usize, sel: &ColorableSelection) {
         // Same colour never overlaps.
@@ -240,19 +241,19 @@ mod tests {
         best
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_brute_force(
-            k in 1usize..4,
-            raw in proptest::collection::vec((0i64..15, 0i64..15, 1i64..10), 1..9),
-        ) {
-            let iv: Vec<WeightedInterval> = raw
-                .into_iter()
-                .map(|(a, b, w)| WeightedInterval::new(a, b, w))
-                .collect();
-            let sel = max_weight_k_colorable(&iv, k);
-            check_valid(&iv, k, &sel);
-            prop_assert_eq!(sel.total_weight, brute_force(&iv, k));
-        }
+    #[test]
+    fn prop_matches_brute_force() {
+        prop_check!(
+            (ints(1usize..4), vecs((ints(0i64..15), ints(0i64..15), ints(1i64..10)), 1..9)),
+            |(k, raw)| {
+                let iv: Vec<WeightedInterval> = raw
+                    .into_iter()
+                    .map(|(a, b, w)| WeightedInterval::new(a, b, w))
+                    .collect();
+                let sel = max_weight_k_colorable(&iv, k);
+                check_valid(&iv, k, &sel);
+                prop_assert_eq!(sel.total_weight, brute_force(&iv, k));
+            }
+        );
     }
 }

@@ -95,7 +95,8 @@ pub fn min_cost_perfect_matching(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn identity_when_diagonal_is_cheapest() {
@@ -141,12 +142,9 @@ mod tests {
         rec(cost, 0, &mut vec![false; cost.len()])
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_brute_force(
-            n in 1usize..6,
-            values in proptest::collection::vec(-50i64..50, 36),
-        ) {
+    #[test]
+    fn prop_matches_brute_force() {
+        prop_check!((ints(1usize..6), vecs(ints(-50i64..50), 36usize)), |(n, values)| {
             let cost: Vec<Vec<i64>> = (0..n)
                 .map(|i| (0..n).map(|j| values[i * 6 + j]).collect())
                 .collect();
@@ -158,6 +156,6 @@ mod tests {
                 seen[j] = true;
             }
             prop_assert_eq!(total, brute_force(&cost));
-        }
+        });
     }
 }

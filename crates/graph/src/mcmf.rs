@@ -188,7 +188,8 @@ impl MinCostFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert_eq, prop_check};
 
     #[test]
     fn simple_two_paths() {
@@ -265,29 +266,29 @@ mod tests {
         (dist[t] != i64::MAX).then_some(dist[t])
     }
 
-    proptest! {
-        #[test]
-        fn prop_single_unit_matches_shortest_path(
-            n in 2usize..7,
-            raw in proptest::collection::vec((0usize..7, 0usize..7, 0i64..20), 1..15),
-        ) {
-            let edges: Vec<(usize, usize, i64)> = raw
-                .into_iter()
-                .map(|(u, v, c)| (u % n, v % n, c))
-                .filter(|&(u, v, _)| u != v)
-                .collect();
-            let mut net = MinCostFlow::new(n);
-            for &(u, v, c) in &edges {
-                net.add_edge(u, v, 1, c);
-            }
-            let (f, c) = net.flow(0, n - 1, 1);
-            match brute_force_unit_cheapest_path(n, &edges, 0, n - 1) {
-                Some(best) => {
-                    prop_assert_eq!(f, 1);
-                    prop_assert_eq!(c, best);
+    #[test]
+    fn prop_single_unit_matches_shortest_path() {
+        prop_check!(
+            (ints(2usize..7), vecs((ints(0usize..7), ints(0usize..7), ints(0i64..20)), 1..15)),
+            |(n, raw)| {
+                let edges: Vec<(usize, usize, i64)> = raw
+                    .into_iter()
+                    .map(|(u, v, c)| (u % n, v % n, c))
+                    .filter(|&(u, v, _)| u != v)
+                    .collect();
+                let mut net = MinCostFlow::new(n);
+                for &(u, v, c) in &edges {
+                    net.add_edge(u, v, 1, c);
                 }
-                None => prop_assert_eq!(f, 0),
+                let (f, c) = net.flow(0, n - 1, 1);
+                match brute_force_unit_cheapest_path(n, &edges, 0, n - 1) {
+                    Some(best) => {
+                        prop_assert_eq!(f, 1);
+                        prop_assert_eq!(c, best);
+                    }
+                    None => prop_assert_eq!(f, 0),
+                }
             }
-        }
+        );
     }
 }

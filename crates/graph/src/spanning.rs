@@ -58,7 +58,8 @@ pub fn maximum_spanning_tree(n: usize, edges: &[Edge]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert_eq, prop_check};
 
     #[test]
     fn tree_on_connected_graph_has_n_minus_1_edges() {
@@ -122,19 +123,19 @@ mod tests {
         best
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_brute_force(
-            n in 2usize..6,
-            raw in proptest::collection::vec((0usize..6, 0usize..6, -20i64..20), 1..10),
-        ) {
-            let edges: Vec<Edge> = raw
-                .into_iter()
-                .map(|(u, v, w)| Edge::new(u % n, v % n, w))
-                .collect();
-            let picked = maximum_spanning_tree(n, &edges);
-            let total: i64 = picked.iter().map(|&i| edges[i].weight).sum();
-            prop_assert_eq!(total, brute_force_mst_weight(n, &edges));
-        }
+    #[test]
+    fn prop_matches_brute_force() {
+        prop_check!(
+            (ints(2usize..6), vecs((ints(0usize..6), ints(0usize..6), ints(-20i64..20)), 1..10)),
+            |(n, raw)| {
+                let edges: Vec<Edge> = raw
+                    .into_iter()
+                    .map(|(u, v, w)| Edge::new(u % n, v % n, w))
+                    .collect();
+                let picked = maximum_spanning_tree(n, &edges);
+                let total: i64 = picked.iter().map(|&i| edges[i].weight).sum();
+                prop_assert_eq!(total, brute_force_mst_weight(n, &edges));
+            }
+        );
     }
 }

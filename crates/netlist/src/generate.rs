@@ -2,8 +2,7 @@
 
 use crate::{BenchmarkSpec, Circuit, Net, Pin};
 use mebl_geom::{Coord, Layer, Point, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mebl_testkit::{Rng, Xoshiro256pp};
 use std::collections::HashSet;
 
 /// Parameters controlling synthetic circuit generation.
@@ -60,7 +59,7 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
     assert!(config.net_scale > 0.0 && config.net_scale <= 1.0);
     assert!(config.cells_per_pin >= 4.0, "need at least 4 cells per pin");
 
-    let mut rng = StdRng::seed_from_u64(config.seed ^ fnv1a(spec.name));
+    let mut rng = Xoshiro256pp::from_seed(config.seed ^ fnv1a(spec.name));
 
     let n_nets = ((spec.nets as f64 * config.net_scale).round() as usize).max(4);
     let n_pins = ((spec.pins as f64 * config.net_scale).round() as usize).max(2 * n_nets);
@@ -80,7 +79,7 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
     let mut degrees = vec![2usize; n_nets];
     let extra = n_pins.saturating_sub(2 * n_nets);
     for _ in 0..extra {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let idx = ((u * u * u) * n_nets as f64) as usize;
         degrees[idx.min(n_nets - 1)] += 1;
     }
@@ -90,7 +89,7 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
     let mut used: HashSet<Point> = HashSet::with_capacity(n_pins * 2);
     let mut nets = Vec::with_capacity(n_nets);
     for (i, &deg) in degrees.iter().enumerate() {
-        let locality: f64 = rng.gen();
+        let locality: f64 = rng.gen_f64();
         let radius = if locality < 0.75 {
             (min_dim * 0.04).max(4.0)
         } else if locality < 0.95 {
@@ -115,7 +114,7 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
 /// unique grid position (falls back to a deterministic scan when the
 /// neighbourhood is saturated).
 fn place_pin(
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256pp,
     outline: Rect,
     cx: Coord,
     cy: Coord,

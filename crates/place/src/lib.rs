@@ -176,7 +176,8 @@ mod tests {
     use super::*;
     use mebl_geom::{Layer, Rect};
     use mebl_stitch::StitchConfig;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{ints, vecs};
+    use mebl_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
     fn pin(x: i32, y: i32) -> Pin {
         Pin::new(Point::new(x, y), Layer::new(0))
@@ -281,13 +282,11 @@ mod tests {
         assert!(!plan.in_unfriendly_region(p.position.x));
     }
 
-    proptest! {
-        /// Adjustment preserves net structure, keeps pins unique and in
-        /// the outline, and moved pins are never worse than before.
-        #[test]
-        fn prop_adjustment_invariants(
-            xs in proptest::collection::vec((0i32..60, 0i32..30), 4..24),
-        ) {
+    /// Adjustment preserves net structure, keeps pins unique and in
+    /// the outline, and moved pins are never worse than before.
+    #[test]
+    fn prop_adjustment_invariants() {
+        prop_check!(vecs((ints(0i32..60), ints(0i32..30)), 4..24), |xs| {
             let mut seen = HashSet::new();
             let pins: Vec<Pin> = xs
                 .into_iter()
@@ -309,6 +308,6 @@ mod tests {
             }
             prop_assert_eq!(r.moved + r.stuck,
                 c.nets().iter().flat_map(|n| n.pins()).filter(|p| plan.is_on_line(p.position.x)).count());
-        }
+        });
     }
 }

@@ -331,7 +331,8 @@ pub fn defect_score(ideal: &GrayMap, exposed: &BitMap) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::{f64s, vecs};
+    use mebl_testkit::{prop_assert, prop_check};
 
     #[test]
     fn full_coverage_renders_to_one() {
@@ -474,23 +475,25 @@ mod tests {
         GrayMap::new(2, 2).get(2, 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_render_intensity_in_unit_range(
-            x0 in -2.0f64..10.0, y0 in -2.0f64..10.0,
-            w in 0.0f64..8.0, h in 0.0f64..8.0,
-        ) {
-            let g = render(&[FRect::new(x0, y0, x0 + w, y0 + h)], 8, 8);
-            for y in 0..8 {
-                for x in 0..8 {
-                    let v = g.get(x, y);
-                    prop_assert!((0.0..=1.0).contains(&v));
+    #[test]
+    fn prop_render_intensity_in_unit_range() {
+        prop_check!(
+            (f64s(-2.0..10.0), f64s(-2.0..10.0), f64s(0.0..8.0), f64s(0.0..8.0)),
+            |(x0, y0, w, h)| {
+                let g = render(&[FRect::new(x0, y0, x0 + w, y0 + h)], 8, 8);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let v = g.get(x, y);
+                        prop_assert!((0.0..=1.0).contains(&v));
+                    }
                 }
             }
-        }
+        );
+    }
 
-        #[test]
-        fn prop_dither_dose_error_bounded(vals in proptest::collection::vec(0.0f64..1.0, 36)) {
+    #[test]
+    fn prop_dither_dose_error_bounded() {
+        prop_check!(vecs(f64s(0.0..1.0), 36usize), |vals| {
             // Error diffusion conserves dose up to the error pushed off the
             // boundary: |on_count - total_gray| <= perimeter-ish bound.
             let mut g = GrayMap::new(6, 6);
@@ -500,6 +503,6 @@ mod tests {
             let total: f64 = (0..36).map(|i| g.get(i % 6, i / 6)).sum();
             let on = g.dither().on_count() as f64;
             prop_assert!((on - total).abs() <= 7.0, "on {on} vs dose {total}");
-        }
+        });
     }
 }

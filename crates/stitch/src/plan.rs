@@ -155,7 +155,8 @@ impl StitchPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mebl_testkit::prop::ints;
+    use mebl_testkit::{prop_assert, prop_check};
 
     fn plan_60() -> StitchPlan {
         StitchPlan::new(Rect::new(0, 0, 59, 29), StitchConfig::default())
@@ -243,9 +244,9 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_region_nesting(width in 20i32..200, x in 0i32..200) {
+    #[test]
+    fn prop_region_nesting() {
+        prop_check!((ints(20i32..200), ints(0i32..200)), |(width, x)| {
             let p = StitchPlan::new(Rect::new(0, 0, width, 30), StitchConfig::default());
             let x = x.min(width);
             // on-line => unfriendly; unfriendly and not on-line => escape.
@@ -255,16 +256,18 @@ mod tests {
             if p.in_unfriendly_region(x) && !p.is_on_line(x) {
                 prop_assert!(p.in_escape_region(x));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_capacities_consistent(width in 20i32..200, a in 0i32..200, b in 0i32..200) {
+    #[test]
+    fn prop_capacities_consistent() {
+        prop_check!((ints(20i32..200), ints(0i32..200), ints(0i32..200)), |(width, a, b)| {
             let p = StitchPlan::new(Rect::new(0, 0, width, 30), StitchConfig::default());
             let xs = Interval::new(a.min(width), b.min(width));
             let vt = p.vertical_track_capacity(xs);
             let ft = p.friendly_track_capacity(xs);
             prop_assert!(ft <= vt);
             prop_assert!(vt <= xs.count());
-        }
+        });
     }
 }

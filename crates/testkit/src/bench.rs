@@ -1,0 +1,233 @@
+//! Tiny wall-clock micro-benchmark harness.
+//!
+//! Replaces `criterion` for the workspace's `harness = false` benches:
+//! warmup iterations followed by a fixed number of timed samples, reporting
+//! the median (robust to scheduler noise) plus mean/min/max, and writing a
+//! machine-readable JSON report so benchmark history can be diffed across
+//! commits.
+//!
+//! ```no_run
+//! use mebl_testkit::bench::BenchSuite;
+//!
+//! let mut suite = BenchSuite::new("stages");
+//! suite.bench("global_routing/wo_line_end", || 2 + 2);
+//! suite.finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+//! ```
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Timing knobs for a suite. Small by design: these benches exist to track
+/// relative stage costs, not to be a statistics engine.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed iterations before sampling (warms caches and allocator).
+    pub warmup_iters: u32,
+    /// Timed samples per benchmark; the median is the headline number.
+    pub samples: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            warmup_iters: 3,
+            samples: 15,
+        }
+    }
+}
+
+/// One benchmark's timing summary, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark id, conventionally `group/case`.
+    pub id: String,
+    pub median_ns: u64,
+    pub mean_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub samples: u32,
+}
+
+/// A named collection of benchmarks producing one JSON report.
+#[derive(Debug)]
+pub struct BenchSuite {
+    name: String,
+    config: BenchConfig,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchSuite {
+    /// New suite with default timing config.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_config(name, BenchConfig::default())
+    }
+
+    /// New suite with explicit warmup/sample counts.
+    pub fn with_config(name: impl Into<String>, config: BenchConfig) -> Self {
+        Self {
+            name: name.into(),
+            config,
+            records: Vec::new(),
+        }
+    }
+
+    /// Times `f` (warmup, then samples) and records + prints the summary.
+    /// The closure's result is passed through [`black_box`] so the work
+    /// cannot be optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: impl Into<String>, mut f: F) -> &BenchRecord {
+        let id = id.into();
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        let mut samples_ns: Vec<u64> = (0..self.config.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+            .collect();
+        samples_ns.sort_unstable();
+        let n = samples_ns.len();
+        let median_ns = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2
+        };
+        let record = BenchRecord {
+            id,
+            median_ns,
+            mean_ns: samples_ns.iter().sum::<u64>() / n as u64,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[n - 1],
+            samples: n as u32,
+        };
+        eprintln!(
+            "bench {:<44} median {:>12}  (min {}, max {}, {} samples)",
+            record.id,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            fmt_ns(record.max_ns),
+            record.samples,
+        );
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes `<dir>/bench_<suite>.json` and returns its path.
+    ///
+    /// The JSON is hand-rolled (ids are the only strings and are escaped);
+    /// keeping the testkit dependency-free is the whole point.
+    pub fn finish_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("bench_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"suite\": \"{}\",", escape_json(&self.name))?;
+        writeln!(
+            f,
+            "  \"config\": {{\"warmup_iters\": {}, \"samples\": {}}},",
+            self.config.warmup_iters, self.config.samples
+        )?;
+        writeln!(f, "  \"benchmarks\": [")?;
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            writeln!(
+                f,
+                "    {{\"id\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
+                 \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}",
+                escape_json(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        eprintln!("bench report written to {}", path.display());
+        Ok(path)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_plausible_timings() {
+        let mut suite = BenchSuite::with_config(
+            "selftest",
+            BenchConfig {
+                warmup_iters: 1,
+                samples: 5,
+            },
+        );
+        let r = suite
+            .bench("sum/1k", || (0..1000u64).sum::<u64>())
+            .clone();
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn json_report_round_trips_through_dir() {
+        let dir = std::env::temp_dir().join("mebl_testkit_bench_selftest");
+        let mut suite = BenchSuite::with_config(
+            "jsontest",
+            BenchConfig {
+                warmup_iters: 0,
+                samples: 3,
+            },
+        );
+        suite.bench("noop/\"quoted\"", || 1);
+        let path = suite.finish_to(&dir).expect("write report");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"suite\": \"jsontest\""));
+        assert!(text.contains("noop/\\\"quoted\\\""));
+        assert!(text.contains("\"median_ns\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,30 @@
+//! # mebl-testkit — hermetic test support for the MEBL router workspace
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on crates.io. This crate replaces the three external test
+//! dependencies the seed tree used, with zero dependencies of its own:
+//!
+//! * [`rng`] replaces `rand`: deterministic [`SplitMix64`] and
+//!   [`Xoshiro256pp`] generators behind a `rand`-like [`Rng`] trait
+//!   (`gen_range`, `gen_bool`, `gen_f64`, `shuffle`), pinned by published
+//!   known-answer vectors. All synthetic-circuit and random-instance
+//!   generation in the workspace is seeded through it, so every experiment
+//!   replays bit-for-bit (the determinism discipline the paper's randomized
+//!   tables require).
+//! * [`prop`] replaces `proptest`: value generators
+//!   ([`prop::ints`], [`prop::f64s`], [`prop::booleans`], [`prop::vecs`],
+//!   tuples), the [`prop_check!`] macro with configurable case count,
+//!   greedy input shrinking, and **seed reporting on failure** — a failing
+//!   property prints `MEBL_PROP_CASE_SEED=0x…`; re-running with that
+//!   environment variable replays the exact failing case.
+//! * [`bench`] replaces `criterion`: a warmup + median-of-N wall-clock
+//!   timer with JSON reports under `results/`.
+//!
+//! Policy: this workspace builds and tests fully offline. Do not add
+//! external dependencies to any crate manifest; extend this crate instead.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SplitMix64, Xoshiro256pp};

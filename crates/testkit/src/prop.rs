@@ -1,0 +1,656 @@
+//! Minimal property-based testing harness.
+//!
+//! A [`Gen`] builds random values from an explicit [`Xoshiro256pp`] stream
+//! and knows how to propose *smaller* variants of a failing value. The
+//! [`prop_check!`](crate::prop_check) macro runs a property over many
+//! generated cases; on failure it greedily shrinks the input, then panics
+//! with the minimal counterexample **and the case seed**, so the failure
+//! replays deterministically:
+//!
+//! ```text
+//! property failed ... replay with MEBL_PROP_CASE_SEED=0x1234abcd
+//! ```
+//!
+//! Environment knobs (all optional):
+//! * `MEBL_PROP_CASES` — override the per-property case count.
+//! * `MEBL_PROP_SEED` — override the base seed for every property.
+//! * `MEBL_PROP_CASE_SEED` — replay exactly one case with this seed
+//!   (accepts decimal or `0x…` hex), skipping the sweep.
+
+use crate::rng::{IntRange, Rng, SampleUniform, SplitMix64, Xoshiro256pp};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of checking a property against one generated value.
+///
+/// Produced by the `prop_assert*` / `prop_assume!` macros; test bodies fall
+/// through to [`CaseResult::Pass`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The property held.
+    Pass,
+    /// The input did not satisfy the property's precondition
+    /// (`prop_assume!`); the case is not counted.
+    Discard,
+    /// The property failed with this message.
+    Fail(String),
+}
+
+/// Tuning for a `prop_check!` run.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of passing (non-discarded) cases required.
+    pub cases: u32,
+    /// Upper bound on property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+    /// Base seed; defaults to a hash of the property's location so every
+    /// property explores a different but fixed region of input space.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_steps: 1_000,
+            seed: None,
+        }
+    }
+}
+
+impl Config {
+    /// `Config` with an explicit case count (the common override).
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generator of random test inputs with optional shrinking.
+pub trait Gen {
+    /// The value type produced; `Debug` so counterexamples print, `Clone`
+    /// so shrinking can re-run the property on candidates.
+    type Value: Clone + Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `v`, most aggressive first.
+    /// An empty list means `v` is minimal.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Uniform integer in a range; shrinks toward the in-range value closest
+/// to zero.
+#[derive(Debug, Clone, Copy)]
+pub struct IntGen<T> {
+    lo: T,
+    hi: T,
+}
+
+/// Uniform integer generator over `lo..hi` or `lo..=hi`.
+pub fn ints<T, R>(range: R) -> IntGen<T>
+where
+    T: SampleUniform + PartialOrd + Clone + Debug,
+    R: IntRange<T>,
+{
+    let (lo, hi) = range.inclusive_bounds();
+    IntGen { lo, hi }
+}
+
+impl<T> Gen for IntGen<T>
+where
+    T: SampleUniform + PartialOrd + Clone + Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        let (lo, hi, v) = (self.lo.to_i128(), self.hi.to_i128(), v.to_i128());
+        let origin = 0i128.clamp(lo, hi);
+        if v == origin {
+            return Vec::new();
+        }
+        // QuickCheck-style halving ladder: origin, then v minus successive
+        // halvings of the distance, ending at the adjacent value. Greedy
+        // descent over this list converges in O(log^2 |v - origin|) steps
+        // instead of degenerating to a linear walk.
+        let mut out = vec![origin];
+        let mut delta = (v - origin) / 2;
+        while delta != 0 {
+            let cand = v - delta;
+            if cand != origin && out.last() != Some(&cand) {
+                out.push(cand);
+            }
+            delta /= 2;
+        }
+        out.into_iter().map(T::from_i128).collect()
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward the in-range value closest
+/// to zero.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatGen {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` generator over `lo..hi` (half-open, like `proptest`'s
+/// float ranges).
+pub fn f64s(range: std::ops::Range<f64>) -> FloatGen {
+    assert!(range.start < range.end, "f64s: empty range");
+    FloatGen {
+        lo: range.start,
+        hi: range.end,
+    }
+}
+
+impl Gen for FloatGen {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> f64 {
+        self.lo + rng.gen_f64() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let origin = 0f64.clamp(self.lo, self.hi.min(f64::MAX));
+        let mut out = Vec::new();
+        if (v - origin).abs() > 1e-9 {
+            out.push(origin);
+            let mid = origin + (v - origin) / 2.0;
+            if (mid - origin).abs() > 1e-9 {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Fair coin; shrinks `true` to `false`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolGen;
+
+/// Fair boolean generator.
+pub fn booleans() -> BoolGen {
+    BoolGen
+}
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> bool {
+        rng.gen_bool(0.5)
+    }
+
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Vector of values from an element generator, with a length range.
+/// Shrinks by dropping elements (down to the minimum length), then by
+/// shrinking individual elements.
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Vector generator; `len` may be `lo..hi`, `lo..=hi`, or an exact `usize`.
+pub fn vecs<G: Gen, R: IntRange<usize>>(elem: G, len: R) -> VecGen<G> {
+    let (min_len, max_len) = len.inclusive_bounds();
+    VecGen {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Vec<G::Value> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Drop chunks first (front half, back half), then single elements.
+        if v.len() > self.min_len {
+            let keep = (v.len() / 2).max(self.min_len);
+            if keep < v.len() {
+                out.push(v[..keep].to_vec());
+                out.push(v[v.len() - keep..].to_vec());
+            }
+            for i in 0..v.len() {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Shrink elements in place.
+        for (i, item) in v.iter().enumerate() {
+            for cand in self.elem.shrink(item) {
+                let mut copy = v.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_gen_tuple {
+    ($(($($g:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut copy = v.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_gen_tuple!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, used to derive a stable per-property default seed from its
+/// source location.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}: cannot parse {raw:?} as u64 (decimal or 0x-hex)"),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Drives a property: sweep, shrink, report. Called by
+/// [`prop_check!`](crate::prop_check); not meant to be invoked directly.
+pub fn run_prop<G, F>(name: &str, config: Config, gen: &G, mut property: F)
+where
+    G: Gen,
+    F: FnMut(G::Value) -> CaseResult,
+{
+    // Panics inside the property (plain `assert!`, index OOB, …) are treated
+    // as failures too, so shrinking and seed reporting work for them; the
+    // `prop_assert*` macros just produce cleaner messages.
+    let mut check = |value: G::Value| -> CaseResult {
+        match catch_unwind(AssertUnwindSafe(|| property(value))) {
+            Ok(r) => r,
+            Err(payload) => CaseResult::Fail(panic_message(payload)),
+        }
+    };
+
+    if let Some(case_seed) = env_u64("MEBL_PROP_CASE_SEED") {
+        // Replay mode: run exactly one case with the reported seed.
+        let mut rng = Xoshiro256pp::from_seed(case_seed);
+        let value = gen.generate(&mut rng);
+        match check(value.clone()) {
+            CaseResult::Fail(msg) => fail_case(name, gen, &mut check, &config, case_seed, value, msg),
+            CaseResult::Discard => panic!(
+                "property '{name}': replay case seed {case_seed:#x} was discarded by prop_assume!"
+            ),
+            CaseResult::Pass => {
+                eprintln!("property '{name}': replay case seed {case_seed:#x} passed");
+            }
+        }
+        return;
+    }
+
+    let cases = env_u64("MEBL_PROP_CASES").map_or(config.cases, |v| v as u32);
+    let base_seed = env_u64("MEBL_PROP_SEED")
+        .or(config.seed)
+        .unwrap_or_else(|| fnv1a(name));
+    let mut seeder = SplitMix64::from_seed(base_seed);
+
+    let mut passed = 0u32;
+    let mut discarded = 0u32;
+    let budget = cases.saturating_mul(10).max(100);
+    let mut attempts = 0u32;
+    while passed < cases {
+        attempts += 1;
+        if attempts > budget {
+            panic!(
+                "property '{name}': gave up after {discarded} discards in {attempts} attempts \
+                 ({passed}/{cases} cases passed) — loosen prop_assume! or the generator"
+            );
+        }
+        let case_seed = seeder.next_u64();
+        let mut rng = Xoshiro256pp::from_seed(case_seed);
+        let value = gen.generate(&mut rng);
+        match check(value.clone()) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Discard => discarded += 1,
+            CaseResult::Fail(msg) => fail_case(name, gen, &mut check, &config, case_seed, value, msg),
+        }
+    }
+}
+
+/// Shrinks a failing case greedily and panics with the final report.
+fn fail_case<G: Gen>(
+    name: &str,
+    gen: &G,
+    check: &mut impl FnMut(G::Value) -> CaseResult,
+    config: &Config,
+    case_seed: u64,
+    original: G::Value,
+    original_msg: String,
+) -> ! {
+    let mut current = original;
+    let mut message = original_msg;
+    let mut steps = 0u32;
+    let mut shrunk = 0u32;
+    'outer: while steps < config.max_shrink_steps {
+        for candidate in gen.shrink(&current) {
+            steps += 1;
+            if let CaseResult::Fail(msg) = check(candidate.clone()) {
+                current = candidate;
+                message = msg;
+                shrunk += 1;
+                continue 'outer;
+            }
+            if steps >= config.max_shrink_steps {
+                break 'outer;
+            }
+        }
+        break; // No shrink candidate still fails: minimal.
+    }
+    panic!(
+        "property '{name}' failed: {message}\n\
+         minimal counterexample (after {shrunk} shrinks, {steps} steps): {current:?}\n\
+         replay with MEBL_PROP_CASE_SEED={case_seed:#x}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Checks a property over many generated inputs.
+///
+/// ```
+/// use mebl_testkit::prop::{self, Config};
+/// use mebl_testkit::{prop_check, prop_assert, prop_assert_eq};
+///
+/// prop_check!((prop::ints(-100i32..100), prop::ints(-100i32..100)), |(a, b)| {
+///     prop_assert_eq!(a + b, b + a);
+///     prop_assert!((a + b) - b == a);
+/// });
+///
+/// // With an explicit config:
+/// prop_check!(Config::with_cases(12), prop::ints(0u32..10), |n| {
+///     prop_assert!(n < 10);
+/// });
+/// ```
+///
+/// The closure body uses `prop_assert!` / `prop_assert_eq!` /
+/// `prop_assert_ne!` / `prop_assume!`; plain `assert!` also works (panics
+/// are caught and shrunk) but produces noisier output. On failure the
+/// harness prints the minimal counterexample and a `MEBL_PROP_CASE_SEED`
+/// value that replays it exactly.
+#[macro_export]
+macro_rules! prop_check {
+    ($gen:expr, |$pat:pat_param| $body:block) => {
+        $crate::prop_check!($crate::prop::Config::default(), $gen, |$pat| $body)
+    };
+    ($config:expr, $gen:expr, |$pat:pat_param| $body:block) => {{
+        let __gen = $gen;
+        $crate::prop::run_prop(
+            concat!(module_path!(), ":", line!()),
+            $config,
+            &__gen,
+            |__value| -> $crate::prop::CaseResult {
+                let $pat = __value;
+                $body
+                $crate::prop::CaseResult::Pass
+            },
+        );
+    }};
+}
+
+/// `assert!` for property bodies: fails the case (triggering shrinking)
+/// instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::prop::CaseResult::Fail(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return $crate::prop::CaseResult::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return $crate::prop::CaseResult::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return $crate::prop::CaseResult::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold; the
+/// harness generates a replacement (up to a 10× attempt budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::CaseResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        prop_check!(Config::with_cases(17), ints(0i32..100), |_n| {
+            count += 1;
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn generated_values_respect_generator_bounds() {
+        prop_check!((ints(-5i32..=5), f64s(0.0..1.0), booleans()), |(n, x, _b)| {
+            prop_assert!((-5..=5).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x));
+        });
+    }
+
+    #[test]
+    fn vec_generator_respects_len_and_elem_bounds() {
+        prop_check!(vecs(ints(3u8..7), 2..=9), |v| {
+            prop_assert!((2..=9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (3..7).contains(&e)));
+        });
+        // Exact-length form.
+        prop_check!(vecs(ints(0i64..2), 4usize), |v| {
+            prop_assert_eq!(v.len(), 4);
+        });
+    }
+
+    /// The harness must shrink "contains a value >= 20 somewhere in a big
+    /// vector" down to the canonical minimal counterexample `[20]`.
+    #[test]
+    fn shrinking_finds_minimal_counterexample() {
+        let gen = vecs(ints(0i32..100), 0..20);
+        let mut failure: Option<(Vec<i32>, u64)> = None;
+        // Reproduce run_prop's sweep by hand so we can inspect the shrink
+        // result instead of panicking.
+        let mut seeder = SplitMix64::from_seed(fnv1a("shrink-test"));
+        for _ in 0..200 {
+            let case_seed = seeder.next_u64();
+            let mut rng = Xoshiro256pp::from_seed(case_seed);
+            let v = gen.generate(&mut rng);
+            if v.iter().any(|&x| x >= 20) {
+                failure = Some((v, case_seed));
+                break;
+            }
+        }
+        let (mut current, _seed) = failure.expect("a failing case must appear");
+        let fails = |v: &Vec<i32>| v.iter().any(|&x| x >= 20);
+        'outer: for _ in 0..1_000 {
+            for cand in gen.shrink(&current) {
+                if fails(&cand) {
+                    current = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(current, vec![20], "greedy shrink should reach [20]");
+    }
+
+    /// End-to-end: a failing prop_check! panics, and the panic message
+    /// carries the minimal counterexample and a replayable case seed.
+    #[test]
+    fn failure_report_contains_seed_and_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            prop_check!(vecs(ints(0i32..100), 0..20), |v| {
+                prop_assert!(v.iter().all(|&x| x < 20), "saw big element");
+            });
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(msg.contains("MEBL_PROP_CASE_SEED=0x"), "no seed in: {msg}");
+        assert!(msg.contains("[20]"), "not shrunk to [20]: {msg}");
+    }
+
+    #[test]
+    fn plain_panics_are_caught_and_reported() {
+        let result = std::panic::catch_unwind(|| {
+            prop_check!(ints(0i32..10), |n| {
+                assert!(n < 100, "unreachable");
+                if n >= 0 {
+                    panic!("boom {n}");
+                }
+            });
+        });
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(msg.contains("boom"), "panic not propagated: {msg}");
+        assert!(msg.contains("MEBL_PROP_CASE_SEED"), "no seed: {msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_counting() {
+        let mut odd_seen = 0u32;
+        prop_check!(Config::with_cases(10), ints(0i32..100), |n| {
+            crate::prop_assume!(n % 2 == 1);
+            odd_seen += 1;
+            prop_assert!(n % 2 == 1);
+        });
+        assert_eq!(odd_seen, 10, "exactly 10 passing odd cases");
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_zero_in_range() {
+        let g = ints(-50i32..50);
+        assert!(g.shrink(&0).is_empty());
+        assert!(g.shrink(&37).contains(&0));
+        assert!(g.shrink(&-37).contains(&0));
+        // Range excluding zero shrinks toward the bound nearest zero.
+        let pos = ints(10i32..50);
+        assert!(pos.shrink(&30).contains(&10));
+        assert!(pos.shrink(&10).is_empty());
+    }
+}

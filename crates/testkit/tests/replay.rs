@@ -1,0 +1,74 @@
+//! End-to-end check of the failure-replay contract: a failing property
+//! prints a `MEBL_PROP_CASE_SEED`, and re-running with that seed set in the
+//! environment reproduces the identical failure in a fresh process.
+
+use std::process::Command;
+
+/// Deliberately failing property. Inert unless the driver test below
+/// re-invokes this binary with `MEBL_TESTKIT_SELFTEST=1`, so a plain
+/// `cargo test` never sees it fail.
+#[test]
+fn selftest_failing_property() {
+    if std::env::var("MEBL_TESTKIT_SELFTEST").as_deref() != Ok("1") {
+        return;
+    }
+    mebl_testkit::prop_check!(
+        mebl_testkit::prop::vecs(mebl_testkit::prop::ints(0i32..1000), 0..30),
+        |v| {
+            mebl_testkit::prop_assert!(
+                v.iter().all(|&x| x < 500),
+                "element >= 500 present"
+            );
+        }
+    );
+}
+
+fn run_selftest(extra_env: &[(&str, String)]) -> String {
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["selftest_failing_property", "--exact"])
+        .env("MEBL_TESTKIT_SELFTEST", "1");
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn test binary");
+    assert!(
+        !out.status.success(),
+        "self-test property was expected to fail"
+    );
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+#[test]
+fn printed_seed_replays_identical_failure() {
+    let first = run_selftest(&[]);
+    let seed = first
+        .split("MEBL_PROP_CASE_SEED=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no case seed in failure output:\n{first}"))
+        .to_string();
+    let minimal = first
+        .split("minimal counterexample")
+        .nth(1)
+        .and_then(|rest| rest.split(": ").nth(1))
+        .and_then(|rest| rest.lines().next())
+        .unwrap_or_else(|| panic!("no counterexample in failure output:\n{first}"))
+        .to_string();
+    // Greedy shrinking must reach the canonical minimal input.
+    assert_eq!(minimal, "[500]", "unexpected minimal counterexample");
+
+    let replay = run_selftest(&[("MEBL_PROP_CASE_SEED", seed.clone())]);
+    assert!(
+        replay.contains(&format!("MEBL_PROP_CASE_SEED={seed}")),
+        "replay with seed {seed} did not fail with the same seed:\n{replay}"
+    );
+    assert!(
+        replay.contains("[500]"),
+        "replay did not shrink to the same minimal counterexample:\n{replay}"
+    );
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs --offline: the workspace is
+# hermetic (no external crates — see mebl-testkit), so a clean checkout
+# must build and test with no network and no vendored registry.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (release, offline) ==="
+cargo build --release --offline --workspace
+
+echo "=== test (offline) ==="
+cargo test -q --offline --workspace
+
+echo "=== clippy (-D warnings, best effort) ==="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint step"
+fi
+
+echo "=== ci.sh: all gates passed ==="

@@ -5,58 +5,60 @@
 use mebl_geom::{GridPoint, Layer, Point, Rect};
 use mebl_netlist::{Circuit, Net, Pin};
 use mebl_route::{Router, RouterConfig};
-use proptest::prelude::*;
+use mebl_testkit::prop::{booleans, ints, vecs, Config};
+use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
 use std::collections::{HashMap, HashSet};
 
-fn pin_xy() -> impl Strategy<Value = (i32, i32)> {
-    (0i32..60, 0i32..60)
+/// Raw material for a random circuit: 4-10 nets, each described by three
+/// candidate pin positions and a two/three-pin flag.
+type RawNets = Vec<((i32, i32), (i32, i32), (i32, i32), bool)>;
+
+fn raw_nets_gen() -> impl mebl_testkit::prop::Gen<Value = RawNets> {
+    let pin_xy = || (ints(0i32..60), ints(0i32..60));
+    vecs((pin_xy(), pin_xy(), pin_xy(), booleans()), 4..10)
 }
 
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    // 4-10 two/three-pin nets on a 60x60 grid.
-    proptest::collection::vec((pin_xy(), pin_xy(), pin_xy(), proptest::bool::ANY), 4..10).prop_map(
-        |raw| {
-            let outline = Rect::new(0, 0, 59, 59);
-            let mut used: HashSet<Point> = HashSet::new();
-            let mut nets = Vec::new();
-            for (i, (a, b, c, three)) in raw.into_iter().enumerate() {
-                let mut pins = Vec::new();
-                for (x, y) in [a, b, c].into_iter().take(if three { 3 } else { 2 }) {
-                    // Nudge into a free cell deterministically.
-                    let mut p = Point::new(x, y);
-                    let mut tries = 0;
-                    while used.contains(&p) && tries < 100 {
-                        p = Point::new((p.x + 7) % 60, (p.y + 3) % 60);
-                        tries += 1;
-                    }
-                    if used.insert(p) {
-                        pins.push(Pin::new(p, Layer::new(0)));
-                    }
-                }
-                if pins.len() >= 2 {
-                    nets.push(Net::new(format!("n{i}"), pins));
-                }
+/// Builds a legal circuit (unique pins, >=1 net) from raw generator output;
+/// shrinking the raw vector shrinks the circuit.
+fn build_circuit(raw: RawNets) -> Circuit {
+    let outline = Rect::new(0, 0, 59, 59);
+    let mut used: HashSet<Point> = HashSet::new();
+    let mut nets = Vec::new();
+    for (i, (a, b, c, three)) in raw.into_iter().enumerate() {
+        let mut pins = Vec::new();
+        for (x, y) in [a, b, c].into_iter().take(if three { 3 } else { 2 }) {
+            // Nudge into a free cell deterministically.
+            let mut p = Point::new(x, y);
+            let mut tries = 0;
+            while used.contains(&p) && tries < 100 {
+                p = Point::new((p.x + 7) % 60, (p.y + 3) % 60);
+                tries += 1;
             }
-            // Guarantee at least one net.
-            if nets.is_empty() {
-                nets.push(Net::new(
-                    "fallback",
-                    vec![
-                        Pin::new(Point::new(1, 1), Layer::new(0)),
-                        Pin::new(Point::new(50, 50), Layer::new(0)),
-                    ],
-                ));
+            if used.insert(p) {
+                pins.push(Pin::new(p, Layer::new(0)));
             }
-            Circuit::new("prop", outline, 3, nets)
-        },
-    )
+        }
+        if pins.len() >= 2 {
+            nets.push(Net::new(format!("n{i}"), pins));
+        }
+    }
+    // Guarantee at least one net.
+    if nets.is_empty() {
+        nets.push(Net::new(
+            "fallback",
+            vec![
+                Pin::new(Point::new(1, 1), Layer::new(0)),
+                Pin::new(Point::new(50, 50), Layer::new(0)),
+            ],
+        ));
+    }
+    Circuit::new("prop", outline, 3, nets)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn prop_flows_always_legal(circuit in arb_circuit()) {
+#[test]
+fn prop_flows_always_legal() {
+    prop_check!(Config::with_cases(12), raw_nets_gen(), |raw| {
+        let circuit = build_circuit(raw);
         for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
             let out = Router::new(config).route(&circuit);
             prop_assert!(out.report.hard_clean(), "{}", out.report);
@@ -76,10 +78,13 @@ proptest! {
             // Small uncongested instances must route completely.
             prop_assert!(out.report.routability() > 0.7, "{}", out.report);
         }
-    }
+    });
+}
 
-    #[test]
-    fn prop_stitch_aware_never_more_sp(circuit in arb_circuit()) {
+#[test]
+fn prop_stitch_aware_never_more_sp() {
+    prop_check!(Config::with_cases(12), raw_nets_gen(), |raw| {
+        let circuit = build_circuit(raw);
         let aware = Router::new(RouterConfig::stitch_aware()).route(&circuit).report;
         let base = Router::new(RouterConfig::baseline()).route(&circuit).report;
         // On small instances the stitch-aware flow should essentially
@@ -91,5 +96,5 @@ proptest! {
             aware.short_polygons,
             base.short_polygons
         );
-    }
+    });
 }

@@ -528,16 +528,20 @@ fn resolve_bad_ends_with_doglegs(
             if new_t == main_t {
                 continue;
             }
+            // Shrink the end piece off the end tile and add the dogleg.
+            // Every segment covers its own end tile; if the piece list is
+            // somehow inconsistent, leave this end untouched.
+            let Some(pos) = group[idx]
+                .pieces
+                .iter()
+                .position(|&(a, b, _)| a <= end_tile && end_tile <= b)
+            else {
+                continue;
+            };
             // Re-point occupancy and split the piece.
             occupancy[row_base + main_t] = 0;
             occupancy[row_base + new_t] = idx as u32 + 1;
             let seg = &mut group[idx];
-            // Shrink the end piece off the end tile and add the dogleg.
-            let pos = seg
-                .pieces
-                .iter()
-                .position(|&(a, b, _)| a <= end_tile && end_tile <= b)
-                .expect("end tile piece");
             let (a, b, x) = seg.pieces[pos];
             if a == b {
                 // Single-tile piece (the other end was already doglegged):
@@ -579,10 +583,11 @@ fn feasible_window(
     on_row.sort_by_key(|&(_, t)| t);
 
     let n = on_row.len();
-    let me = on_row
-        .iter()
-        .position(|&(g, _)| g == idx)
-        .expect("segment occupies its end row");
+    // A segment always occupies its own end row; fall back to the
+    // unconstrained window if the occupancy map disagrees.
+    let Some(me) = on_row.iter().position(|&(g, _)| g == idx) else {
+        return (0, t_count - 1);
+    };
 
     // Minimum track constraint graph: nodes = intervals on this row in
     // track order; edge (i -> i+1) weight 1 (must be strictly right of the
@@ -600,7 +605,11 @@ fn feasible_window(
         let left_bad = is_bad_track(plan, tracks[0], c);
         sources.push((i, if left_bad && g == idx { eps } else { 0 }));
     }
-    let m_dist = mebl_graph::longest_paths(n, &min_edges, &sources).expect("chain is acyclic");
+    // The chain graph is acyclic by construction; an unconstrained window
+    // is the safe answer if longest-path analysis ever rejects it.
+    let Some(m_dist) = mebl_graph::longest_paths(n, &min_edges, &sources) else {
+        return (0, t_count - 1);
+    };
 
     // Maximum graph: mirrored.
     let mut max_edges: Vec<(usize, usize, i64)> = Vec::new();
@@ -613,8 +622,9 @@ fn feasible_window(
         let right_bad = is_bad_track(plan, tracks[t_count - 1], c);
         max_sources.push((i, if right_bad && g == idx { eps } else { 0 }));
     }
-    let max_dist =
-        mebl_graph::longest_paths(n, &max_edges, &max_sources).expect("chain is acyclic");
+    let Some(max_dist) = mebl_graph::longest_paths(n, &max_edges, &max_sources) else {
+        return (0, t_count - 1);
+    };
 
     let m = m_dist[me].max(0) as usize;
     let big_m = (t_count as i64 - 1 - max_dist[me].max(0)).max(0) as usize;

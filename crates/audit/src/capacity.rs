@@ -1,0 +1,422 @@
+//! Independent recount of the global-routing resource model (eqs. 1–3).
+//!
+//! The auditor rebuilds the Fig. 7 tile grid from the chip outline, the
+//! tile size, and the raw stitching-line positions — never through the
+//! [`TileGraph`] region helpers — and checks three things:
+//!
+//! 1. every edge and vertex capacity of the published [`TileGraph`] equals
+//!    the re-derived value (stitch-reduced vertical edges, line-end
+//!    vertices outside unfriendly regions);
+//! 2. edge demand recounted from the per-net [`GlobalRoute`]s never
+//!    exceeds capacity, and vertex (line-end) demand — re-derived by
+//!    grouping each route's vertical edges into maximal runs — never
+//!    exceeds line-end capacity (overflow is a warning: the router
+//!    tolerates and reports it);
+//! 3. the published [`GlobalMetrics`] totals match the recount exactly.
+
+use crate::finding::{AuditFinding, AuditReport, FindingKind};
+use mebl_geom::{Coord, Point, Rect};
+use mebl_global::{GlobalConfig, GlobalResult};
+use mebl_stitch::StitchPlan;
+
+/// The auditor's own tile-grid arithmetic, independent of `TileGraph`.
+struct GridModel {
+    x0: Coord,
+    y0: Coord,
+    x1: Coord,
+    y1: Coord,
+    tile_size: Coord,
+    cols: u32,
+    rows: u32,
+}
+
+impl GridModel {
+    fn new(outline: Rect, tile_size: Coord) -> Self {
+        let span = |lo: Coord, hi: Coord| {
+            let count = hi - lo + 1;
+            (((count + tile_size - 1) / tile_size).max(1)) as u32
+        };
+        Self {
+            x0: outline.x0(),
+            y0: outline.y0(),
+            x1: outline.x1(),
+            y1: outline.y1(),
+            tile_size,
+            cols: span(outline.x0(), outline.x1()),
+            rows: span(outline.y0(), outline.y1()),
+        }
+    }
+
+    fn col_range(&self, c: u32) -> (Coord, Coord) {
+        let lo = self.x0 + c as Coord * self.tile_size;
+        (lo, (lo + self.tile_size - 1).min(self.x1))
+    }
+
+    fn row_range(&self, r: u32) -> (Coord, Coord) {
+        let lo = self.y0 + r as Coord * self.tile_size;
+        (lo, (lo + self.tile_size - 1).min(self.y1))
+    }
+
+    fn tile_origin(&self, c: u32, r: u32) -> Point {
+        Point::new(self.col_range(c).0, self.row_range(r).0)
+    }
+
+    fn coords(&self, tile: u32) -> (u32, u32) {
+        (tile % self.cols, tile / self.cols)
+    }
+}
+
+/// Counts tracks in `[lo, hi]` that survive `keep`.
+fn surviving_tracks(lo: Coord, hi: Coord, keep: impl Fn(Coord) -> bool) -> u32 {
+    (lo..=hi).filter(|&x| keep(x)).count() as u32
+}
+
+/// Verifies the tile graph, the demands, and the metrics of one global
+/// routing solution against the auditor's independent model.
+pub(crate) fn check_global(
+    outline: Rect,
+    layer_count: u8,
+    plan: &StitchPlan,
+    config: &GlobalConfig,
+    result: &GlobalResult,
+    out: &mut AuditReport,
+) {
+    let model = GridModel::new(outline, config.tile_size);
+    let graph = &result.graph;
+    if (graph.cols(), graph.rows()) != (model.cols, model.rows) {
+        out.push(AuditFinding {
+            kind: FindingKind::CapacityModelMismatch,
+            net: None,
+            location: None,
+            expected: Some(u64::from(model.cols) * u64::from(model.rows)),
+            actual: Some(graph.tile_count() as u64),
+            detail: format!(
+                "tile grid {}x{} but outline/tile-size imply {}x{}",
+                graph.cols(),
+                graph.rows(),
+                model.cols,
+                model.rows
+            ),
+        });
+        return; // Nothing below is index-compatible.
+    }
+
+    let lines = plan.lines();
+    let eps = plan.config().epsilon;
+    let h_layers = u32::from(layer_count + 1) / 2;
+    let v_layers = u32::from(layer_count) / 2;
+    let on_line = |x: Coord| lines.contains(&x);
+    let unfriendly = |x: Coord| lines.iter().any(|&l| (x - l).abs() <= eps);
+
+    // 1. Capacity model (eqs. 1–2 denominators).
+    let mut mismatch = |expected: u32, actual: u32, location: Point, what: String| {
+        if expected != actual {
+            out.push(AuditFinding {
+                kind: FindingKind::CapacityModelMismatch,
+                net: None,
+                location: Some(location),
+                expected: Some(u64::from(expected)),
+                actual: Some(u64::from(actual)),
+                detail: what,
+            });
+        }
+    };
+    for r in 0..model.rows {
+        let (ylo, yhi) = model.row_range(r);
+        for c in 0..model.cols {
+            let (xlo, xhi) = model.col_range(c);
+            if c + 1 < model.cols {
+                let expected = (yhi - ylo + 1) as u32 * h_layers;
+                let idx = (r * (model.cols - 1) + c) as usize;
+                mismatch(
+                    expected,
+                    graph.h_edge_capacity(idx),
+                    model.tile_origin(c, r),
+                    format!("horizontal edge ({c},{r})-({},{r})", c + 1),
+                );
+            }
+            let usable = if config.stitch_aware_capacity {
+                surviving_tracks(xlo, xhi, |x| !on_line(x))
+            } else {
+                (xhi - xlo + 1) as u32
+            };
+            if r + 1 < model.rows {
+                let idx = (r * model.cols + c) as usize;
+                mismatch(
+                    usable * v_layers,
+                    graph.v_edge_capacity(idx),
+                    model.tile_origin(c, r),
+                    format!("vertical edge ({c},{r})-({c},{})", r + 1),
+                );
+            }
+            let friendly = if config.stitch_aware_capacity {
+                surviving_tracks(xlo, xhi, |x| !unfriendly(x))
+            } else {
+                (xhi - xlo + 1) as u32
+            };
+            mismatch(
+                friendly * v_layers,
+                graph.vertex_capacity(graph.tile_at(c, r)),
+                model.tile_origin(c, r),
+                format!("line-end capacity of tile ({c},{r})"),
+            );
+        }
+    }
+
+    // 2. Demand recount from the raw per-net routes.
+    let mut h_demand = vec![0u32; ((model.cols - 1) * model.rows) as usize];
+    let mut v_demand = vec![0u32; (model.cols * (model.rows - 1)) as usize];
+    let mut vertex_demand = vec![0u32; (model.cols * model.rows) as usize];
+    let mut crossings = 0u64;
+    for route in &result.routes {
+        crossings += route.edges.len() as u64;
+        let mut v_steps: Vec<(u32, u32)> = Vec::new(); // (col, lower row)
+        for &(a, b) in &route.edges {
+            let (ac, ar) = model.coords(a.0);
+            let (bc, br) = model.coords(b.0);
+            if ar == br && ac.abs_diff(bc) == 1 {
+                h_demand[(ar * (model.cols - 1) + ac.min(bc)) as usize] += 1;
+            } else if ac == bc && ar.abs_diff(br) == 1 {
+                v_demand[(ar.min(br) * model.cols + ac) as usize] += 1;
+                v_steps.push((ac, ar.min(br)));
+            } else {
+                out.push(AuditFinding {
+                    kind: FindingKind::GlobalMetricsMismatch,
+                    net: None,
+                    location: Some(model.tile_origin(ac, ar)),
+                    expected: None,
+                    actual: None,
+                    detail: format!(
+                        "route edge joins non-adjacent tiles ({ac},{ar}) and ({bc},{br})"
+                    ),
+                });
+            }
+        }
+        // Maximal vertical runs deposit one line end in each terminal tile.
+        v_steps.sort_unstable();
+        let mut i = 0;
+        while i < v_steps.len() {
+            let (col, start) = v_steps[i];
+            let mut end = start;
+            while i + 1 < v_steps.len() && v_steps[i + 1] == (col, end + 1) {
+                end += 1;
+                i += 1;
+            }
+            for row in [start, end + 1] {
+                vertex_demand[(row * model.cols + col) as usize] += 1;
+            }
+            i += 1;
+        }
+    }
+
+    // Overflow findings (warnings) plus recomputed metric totals.
+    let mut total_edge_over = 0u64;
+    let mut max_edge_over = 0u32;
+    let overflow = |demand: u32, capacity: u32, kind: FindingKind, location: Point,
+                        what: String,
+                        out: &mut AuditReport| {
+        if demand > capacity {
+            out.push(AuditFinding {
+                kind,
+                net: None,
+                location: Some(location),
+                expected: Some(u64::from(demand)),
+                actual: Some(u64::from(capacity)),
+                detail: what,
+            });
+        }
+        demand.saturating_sub(capacity)
+    };
+    for r in 0..model.rows {
+        for c in 0..model.cols.saturating_sub(1) {
+            let idx = (r * (model.cols - 1) + c) as usize;
+            let over = overflow(
+                h_demand[idx],
+                graph.h_edge_capacity(idx),
+                FindingKind::EdgeOverflow,
+                model.tile_origin(c, r),
+                format!("horizontal edge ({c},{r})-({},{r}) over capacity", c + 1),
+                out,
+            );
+            total_edge_over += u64::from(over);
+            max_edge_over = max_edge_over.max(over);
+        }
+    }
+    for r in 0..model.rows.saturating_sub(1) {
+        for c in 0..model.cols {
+            let idx = (r * model.cols + c) as usize;
+            let over = overflow(
+                v_demand[idx],
+                graph.v_edge_capacity(idx),
+                FindingKind::EdgeOverflow,
+                model.tile_origin(c, r),
+                format!("vertical edge ({c},{r})-({c},{}) over capacity", r + 1),
+                out,
+            );
+            total_edge_over += u64::from(over);
+            max_edge_over = max_edge_over.max(over);
+        }
+    }
+    let mut total_vertex_over = 0u64;
+    let mut max_vertex_over = 0u32;
+    for r in 0..model.rows {
+        for c in 0..model.cols {
+            let tile = (r * model.cols + c) as usize;
+            let over = overflow(
+                vertex_demand[tile],
+                graph.vertex_capacity(graph.tile_at(c, r)),
+                FindingKind::VertexOverflow,
+                model.tile_origin(c, r),
+                format!("line-end demand of tile ({c},{r}) over capacity"),
+                out,
+            );
+            total_vertex_over += u64::from(over);
+            max_vertex_over = max_vertex_over.max(over);
+        }
+    }
+
+    // 3. Published metrics must match the recount exactly.
+    let metrics = &result.metrics;
+    let metric = |expected: u64, actual: u64, what: &str, out: &mut AuditReport| {
+        if expected != actual {
+            out.push(AuditFinding {
+                kind: FindingKind::GlobalMetricsMismatch,
+                net: None,
+                location: None,
+                expected: Some(expected),
+                actual: Some(actual),
+                detail: format!("GlobalMetrics.{what}"),
+            });
+        }
+    };
+    metric(
+        total_edge_over,
+        metrics.total_edge_overflow,
+        "total_edge_overflow",
+        out,
+    );
+    metric(
+        u64::from(max_edge_over),
+        u64::from(metrics.max_edge_overflow),
+        "max_edge_overflow",
+        out,
+    );
+    metric(
+        total_vertex_over,
+        metrics.total_vertex_overflow,
+        "total_vertex_overflow",
+        out,
+    );
+    metric(
+        u64::from(max_vertex_over),
+        u64::from(metrics.max_vertex_overflow),
+        "max_vertex_overflow",
+        out,
+    );
+    metric(
+        crossings * config.tile_size as u64,
+        metrics.wirelength,
+        "wirelength",
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::Layer;
+    use mebl_netlist::{Circuit, Net, Pin};
+    use mebl_stitch::StitchConfig;
+
+    fn setup() -> (Circuit, StitchPlan, GlobalConfig, GlobalResult) {
+        let outline = Rect::new(0, 0, 89, 59);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let nets = vec![
+            Net::new(
+                "a",
+                vec![
+                    Pin::new(Point::new(1, 1), Layer::new(0)),
+                    Pin::new(Point::new(80, 50), Layer::new(0)),
+                ],
+            ),
+            Net::new(
+                "b",
+                vec![
+                    Pin::new(Point::new(5, 50), Layer::new(0)),
+                    Pin::new(Point::new(85, 2), Layer::new(0)),
+                ],
+            ),
+        ];
+        let circuit = Circuit::new("t", outline, 3, nets);
+        let config = GlobalConfig::default();
+        let result = mebl_global::route_circuit(&circuit, &plan, &config);
+        (circuit, plan, config, result)
+    }
+
+    #[test]
+    fn clean_solution_audits_clean() {
+        let (circuit, plan, config, result) = setup();
+        let mut out = AuditReport::default();
+        check_global(
+            circuit.outline(),
+            circuit.layer_count(),
+            &plan,
+            &config,
+            &result,
+            &mut out,
+        );
+        assert!(out.is_clean(), "{:#?}", out.findings);
+    }
+
+    #[test]
+    fn duplicated_route_edges_break_the_metrics() {
+        let (circuit, plan, config, mut result) = setup();
+        // Tamper: double every edge of net 0 without telling the metrics.
+        let extra = result.routes[0].edges.clone();
+        result.routes[0].edges.extend(extra);
+        let mut out = AuditReport::default();
+        check_global(
+            circuit.outline(),
+            circuit.layer_count(),
+            &plan,
+            &config,
+            &result,
+            &mut out,
+        );
+        assert!(
+            out.of_kind(FindingKind::GlobalMetricsMismatch).count() > 0,
+            "{:#?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn baseline_capacities_also_verify() {
+        let outline = Rect::new(0, 0, 89, 59);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let circuit = Circuit::new(
+            "t",
+            outline,
+            3,
+            vec![Net::new(
+                "a",
+                vec![
+                    Pin::new(Point::new(1, 1), Layer::new(0)),
+                    Pin::new(Point::new(80, 50), Layer::new(0)),
+                ],
+            )],
+        );
+        let config = GlobalConfig::baseline();
+        let result = mebl_global::route_circuit(&circuit, &plan, &config);
+        let mut out = AuditReport::default();
+        check_global(
+            circuit.outline(),
+            circuit.layer_count(),
+            &plan,
+            &config,
+            &result,
+            &mut out,
+        );
+        assert!(out.is_clean(), "{:#?}", out.findings);
+    }
+}

@@ -1,0 +1,258 @@
+//! Audit findings and the aggregated audit report.
+
+use mebl_geom::Point;
+use mebl_netlist::NetId;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A routing-quality observation (e.g. a global resource routed over
+    /// capacity). The solution is still self-consistent; the router itself
+    /// reports the same condition through its metrics.
+    Warning,
+    /// A correctness defect: an illegal pattern, malformed or disconnected
+    /// geometry, or a disagreement between the auditor's independent
+    /// recount and the numbers the router reported.
+    Error,
+}
+
+/// The class of defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A fixed pin is not covered by any drawn segment or via.
+    PinNotCovered,
+    /// A routed net's drawn geometry does not form one connected component
+    /// over all of its pins.
+    DisconnectedNet,
+    /// A segment extends outside the chip outline.
+    SegmentOutsideOutline,
+    /// A segment is drawn on a layer outside the circuit's stack.
+    SegmentLayerOutOfStack,
+    /// A zero-length segment (geometry extraction never emits these).
+    DegenerateSegment,
+    /// A via sits outside the chip outline.
+    ViaOutsideOutline,
+    /// A via's upper layer is outside the circuit's stack, so it does not
+    /// join two existing layers.
+    ViaLayerOutOfStack,
+    /// Hard MEBL violation: a via on a stitching line away from any fixed
+    /// pin of its net.
+    OffPinViaOnLine,
+    /// Hard MEBL violation: a vertical wire riding a stitching line.
+    VerticalRideOnLine,
+    /// The auditor's `#VV` recount disagrees with `check_geometry`.
+    ViaViolationMismatch,
+    /// The auditor's off-pin `#VV` recount disagrees with `check_geometry`.
+    OffPinViaMismatch,
+    /// The auditor's vertical-riding recount disagrees with
+    /// `check_geometry`.
+    VerticalRideMismatch,
+    /// The auditor's `#SP` recount disagrees with `check_geometry`.
+    ShortPolygonMismatch,
+    /// The auditor's wirelength recount disagrees with `check_geometry`.
+    WirelengthMismatch,
+    /// The auditor's via-count recount disagrees with `check_geometry`.
+    ViaCountMismatch,
+    /// An aggregate field of the published `RouteReport` disagrees with
+    /// the auditor's independent total.
+    ReportFieldMismatch,
+    /// A net is flagged unrouted but still owns drawn geometry, or the
+    /// routed-net bookkeeping is inconsistent.
+    RoutedFlagMismatch,
+    /// A tile-graph capacity disagrees with the auditor's re-derivation
+    /// from the stitch plan (eqs. 1–3 resource model).
+    CapacityModelMismatch,
+    /// Recounted global demand/overflow disagrees with `GlobalMetrics`.
+    GlobalMetricsMismatch,
+    /// Global edge demand exceeds its stitch-reduced capacity.
+    EdgeOverflow,
+    /// Global line-end demand exceeds a tile's line-end capacity.
+    VertexOverflow,
+}
+
+impl FindingKind {
+    /// The severity class of this finding kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            FindingKind::EdgeOverflow | FindingKind::VertexOverflow => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One defect found by the auditor.
+///
+/// `expected` / `actual` carry both counts when the finding reports a
+/// disagreement between the auditor's recount and the checked code's
+/// numbers (expected = auditor, actual = checked implementation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// Defect class.
+    pub kind: FindingKind,
+    /// The net the defect belongs to, when net-local.
+    pub net: Option<NetId>,
+    /// A 2-D location pinpointing the defect, when one exists.
+    pub location: Option<Point>,
+    /// The auditor's independently re-derived count, for mismatches.
+    pub expected: Option<u64>,
+    /// The checked implementation's count, for mismatches.
+    pub actual: Option<u64>,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl AuditFinding {
+    /// Severity of the finding (derived from its kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:?}",
+            match self.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.kind
+        )?;
+        if let Some(net) = self.net {
+            write!(f, " [net {net}]")?;
+        }
+        if let Some(p) = self.location {
+            write!(f, " @ {p}")?;
+        }
+        if let (Some(e), Some(a)) = (self.expected, self.actual) {
+            write!(f, " (audit {e} vs reported {a})")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// The auditor's independent recount of the paper's table metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditCounts {
+    /// Vias on stitching lines (`#VV`).
+    pub via_violations: u64,
+    /// Via violations away from any fixed pin.
+    pub via_violations_off_pin: u64,
+    /// Vertical wires riding stitching lines.
+    pub vertical_violations: u64,
+    /// Short polygons (`#SP`).
+    pub short_polygons: u64,
+    /// Total routed wirelength in pitches.
+    pub wirelength: u64,
+    /// Total via count.
+    pub via_count: u64,
+}
+
+/// Everything the auditor produced for one routing solution.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// All findings, in discovery order.
+    pub findings: Vec<AuditFinding>,
+    /// Independent recount of the solution's table metrics over routed
+    /// nets.
+    pub recount: AuditCounts,
+    /// Number of routed nets the auditor examined.
+    pub nets_audited: usize,
+}
+
+impl AuditReport {
+    /// `true` when the auditor found nothing at all (no errors, no
+    /// warnings).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
+    }
+
+    /// All findings of one kind.
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &AuditFinding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// Records a finding.
+    pub(crate) fn push(&mut self, finding: AuditFinding) {
+        self.findings.push(finding);
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "audited {} nets: {} errors, {} warnings; recount #VV {} (off-pin {}), vert {}, #SP {}, WL {}, vias {}",
+            self.nets_audited,
+            self.error_count(),
+            self.warning_count(),
+            self.recount.via_violations,
+            self.recount.via_violations_off_pin,
+            self.recount.vertical_violations,
+            self.recount.short_polygons,
+            self.recount.wirelength,
+            self.recount.via_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_split() {
+        assert_eq!(FindingKind::EdgeOverflow.severity(), Severity::Warning);
+        assert_eq!(FindingKind::DisconnectedNet.severity(), Severity::Error);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = AuditReport::default();
+        assert!(r.is_clean());
+        r.push(AuditFinding {
+            kind: FindingKind::EdgeOverflow,
+            net: None,
+            location: None,
+            expected: Some(5),
+            actual: Some(3),
+            detail: String::new(),
+        });
+        r.push(AuditFinding {
+            kind: FindingKind::DisconnectedNet,
+            net: Some(NetId(7)),
+            location: Some(Point::new(1, 2)),
+            expected: None,
+            actual: None,
+            detail: "pin unreachable".into(),
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.of_kind(FindingKind::DisconnectedNet).count(), 1);
+        let text = r.findings[1].to_string();
+        assert!(text.contains("n7"), "{text}");
+        assert!(text.contains("pin unreachable"), "{text}");
+    }
+}

@@ -8,8 +8,8 @@
 use mebl_bench::{geomean, Options};
 use mebl_global::{route_circuit, GlobalConfig};
 use mebl_netlist::BenchmarkSpec;
+use mebl_route::Stopwatch;
 use mebl_stitch::{StitchConfig, StitchPlan};
-use std::time::Instant;
 
 fn main() {
     let mut opt = Options::parse(std::env::args().skip(1));
@@ -39,7 +39,7 @@ fn main() {
                 line_end_cost,
                 ..GlobalConfig::default()
             };
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let res = route_circuit(&circuit, &plan, &config);
             let cpu = t.elapsed().as_secs_f64();
             row[i] = res.metrics.total_vertex_overflow as f64;

@@ -4,6 +4,8 @@
 //! mebl list                                   # show the benchmark suite
 //! mebl gen  <bench> [--scale f] [--seed n] [-o file]
 //! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
+//! mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f]
+//!            [--baseline] [--period n] [--strict]
 //! ```
 
 use mebl_route::{Router, RouterConfig};
@@ -15,6 +17,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -33,7 +36,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict]"
     );
 }
 
@@ -96,6 +99,95 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             );
         }
         None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Routes a circuit, then re-verifies the solution with the independent
+/// `mebl-audit` checker. Exits nonzero when the audit reports errors
+/// (with `--strict`, warnings also fail).
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().peekable();
+    let mut file: Option<String> = None;
+    let mut bench: Option<String> = None;
+    let mut gen_config = mebl_netlist::GenerateConfig::quick(1);
+    let mut baseline = false;
+    let mut period: Option<i32> = None;
+    let mut strict = false;
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--bench" => bench = Some(val("--bench")?.clone()),
+            "--seed" => {
+                gen_config.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--scale" => {
+                gen_config.net_scale = val("--scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale".to_string())?
+            }
+            "--baseline" => baseline = true,
+            "--period" => {
+                period = Some(
+                    val("--period")?
+                        .parse()
+                        .map_err(|_| "bad --period".to_string())?,
+                )
+            }
+            "--strict" => strict = true,
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("audit: unknown flag {other}")),
+        }
+    }
+
+    let circuit = match (file, bench) {
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            mebl_netlist::circuit_from_str(&text).map_err(|e| e.to_string())?
+        }
+        (None, Some(name)) => mebl_netlist::BenchmarkSpec::by_name(&name)
+            .ok_or_else(|| format!("unknown benchmark '{name}' (try `mebl list`)"))?
+            .generate(&gen_config),
+        (Some(_), Some(_)) => return Err("audit: give a file or --bench, not both".into()),
+        (None, None) => return Err("audit: missing circuit file or --bench".into()),
+    };
+
+    let mut config = if baseline {
+        RouterConfig::baseline()
+    } else {
+        RouterConfig::stitch_aware()
+    };
+    if let Some(p) = period {
+        if p <= 1 {
+            return Err("--period must be > 1".into());
+        }
+        config.stitch.period = p;
+        config.global.tile_size = p;
+    }
+
+    let outcome = Router::new(config).route(&circuit);
+    let audit = mebl_audit::audit_outcome(&circuit, &config, &outcome);
+    println!(
+        "{} [{}]: {}",
+        circuit.name(),
+        if baseline { "baseline" } else { "stitch-aware" },
+        outcome.report
+    );
+    println!("{audit}");
+    for finding in &audit.findings {
+        println!("  {finding}");
+    }
+    let errors = audit.error_count();
+    let warnings = audit.warning_count();
+    if errors > 0 || (strict && warnings > 0) {
+        return Err(format!(
+            "audit failed: {errors} error(s), {warnings} warning(s)"
+        ));
     }
     Ok(())
 }

@@ -240,8 +240,8 @@ fn route_pass(
                 &mut components,
             );
         }
-        if ok {
-            let full: HashSet<u32> = components.pop().expect("single component");
+        // `ok` implies exactly one component remains.
+        if let Some(full) = ok.then(|| components.pop()).flatten() {
             let mut cells = full.clone();
             prune_stubs(grid, &mut cells, &pin_cells[net]);
             // Free pruned cells on the shared grid.
@@ -301,9 +301,10 @@ fn connect_components(
 ) -> bool {
     while components.len() > 1 {
         // Smallest component as source.
-        let src_idx = (0..components.len())
-            .min_by_key(|&i| components[i].len())
-            .expect("non-empty");
+        let Some(src_idx) = (0..components.len()).min_by_key(|&i| components[i].len())
+        else {
+            return false; // unreachable: len() > 1
+        };
         let source = components.swap_remove(src_idx);
         let mut targets: HashSet<u32> = HashSet::new();
         for comp in components.iter() {
@@ -332,14 +333,17 @@ fn connect_components(
             return false;
         };
         // Occupy path cells and merge.
-        let reached = *path.last().expect("non-empty path");
+        let Some(&reached) = path.last() else {
+            components.push(source);
+            return false; // unreachable: A* paths are non-empty
+        };
         for &cell in &path {
             grid.occupy(cell, net);
         }
-        let dst_idx = components
-            .iter()
-            .position(|c| c.contains(&reached))
-            .expect("path ends in a target component");
+        let Some(dst_idx) = components.iter().position(|c| c.contains(&reached)) else {
+            components.push(source);
+            return false; // unreachable: the path ends in a target component
+        };
         let mut merged = source;
         merged.extend(path);
         let dst = components.swap_remove(dst_idx);
@@ -519,10 +523,9 @@ fn extract_geometry(grid: &DetailedGrid, cells: &HashSet<u32>) -> RouteGeometry 
             }
         }
     }
-    let mut keys: Vec<(u8, Coord)> = by_track.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let mut coords = by_track.remove(&key).expect("key");
+    let mut tracks: Vec<((u8, Coord), Vec<Coord>)> = by_track.into_iter().collect();
+    tracks.sort_unstable_by_key(|&(key, _)| key);
+    for (key, mut coords) in tracks {
         coords.sort_unstable();
         coords.dedup();
         let (layer_idx, track) = key;

@@ -174,7 +174,9 @@ impl State {
 
     fn apply_route(&mut self, graph: &TileGraph, route: &GlobalRoute, sign: i64) {
         for &(a, b) in &route.edges {
-            let (idx, is_h) = graph.edge_between(a, b).expect("route edge adjacency");
+            let Some((idx, is_h)) = graph.edge_between(a, b) else {
+                continue; // unreachable: routes only hold adjacent pairs
+            };
             let slot = if is_h {
                 &mut self.h_demand[idx]
             } else {
@@ -271,12 +273,9 @@ pub fn route_circuit(
             .copied()
             .filter(|&i| {
                 routes[i].edges.iter().any(|&(a, b)| {
-                    let (idx, is_h) = graph.edge_between(a, b).expect("adjacency");
-                    if is_h {
-                        h_over[idx]
-                    } else {
-                        v_over[idx]
-                    }
+                    graph
+                        .edge_between(a, b)
+                        .is_some_and(|(idx, is_h)| if is_h { h_over[idx] } else { v_over[idx] })
                 }) || routes[i].tiles.iter().any(|t| vertex_over[t.0 as usize])
             })
             .collect();
@@ -317,7 +316,9 @@ fn utilization_maps(graph: &TileGraph, state: &State) -> (Vec<f64>, Vec<f64>) {
         let tile = TileId(t);
         let mut worst = 0.0f64;
         for n in graph.neighbors(tile) {
-            let (idx, is_h) = graph.edge_between(tile, n).expect("adjacent");
+            let Some((idx, is_h)) = graph.edge_between(tile, n) else {
+                continue; // unreachable: neighbors are adjacent by construction
+            };
             let u = if is_h {
                 ratio(state.h_demand[idx], graph.h_edge_capacity(idx))
             } else {
@@ -388,18 +389,16 @@ fn route_net(
     let mut remaining: Vec<TileId> = pin_tiles[1..].to_vec();
     while !remaining.is_empty() {
         // Pick the remaining pin tile nearest to the current tree.
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| {
-                route
-                    .tiles
-                    .iter()
-                    .map(|&s| tile_dist(graph, s, t))
-                    .min()
-                    .expect("tree non-empty")
-            })
-            .expect("remaining non-empty");
+        let Some((pos, _)) = remaining.iter().enumerate().min_by_key(|&(_, &t)| {
+            route
+                .tiles
+                .iter()
+                .map(|&s| tile_dist(graph, s, t))
+                .min()
+                .unwrap_or(u32::MAX)
+        }) else {
+            break; // unreachable: the loop guard keeps `remaining` non-empty
+        };
         let target = remaining.swap_remove(pos);
         if route.tiles.contains(&target) {
             continue;
@@ -410,11 +409,13 @@ fn route_net(
             let e = (a.min(b), a.max(b));
             if !route.edges.contains(&e) {
                 route.edges.push(e);
-                let (idx, is_h) = graph.edge_between(a, b).expect("path adjacency");
-                if is_h {
-                    state.h_demand[idx] += 1;
-                } else {
-                    state.v_demand[idx] += 1;
+                // Path steps are adjacent by construction.
+                if let Some((idx, is_h)) = graph.edge_between(a, b) {
+                    if is_h {
+                        state.h_demand[idx] += 1;
+                    } else {
+                        state.v_demand[idx] += 1;
+                    }
                 }
             }
             if !route.tiles.contains(&b) {
@@ -474,7 +475,9 @@ fn astar_tiles(
         }
         let du = dist[u as usize];
         for v in graph.neighbors(ut) {
-            let (idx, is_h) = graph.edge_between(ut, v).expect("neighbor adjacency");
+            let Some((idx, is_h)) = graph.edge_between(ut, v) else {
+                continue; // unreachable: neighbors are adjacent by construction
+            };
             let (cap, dem, hist) = if is_h {
                 (
                     graph.h_edge_capacity(idx),

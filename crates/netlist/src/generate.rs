@@ -101,10 +101,14 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
         let cy = rng.gen_range(0..height);
         let mut pins = Vec::with_capacity(deg);
         for _ in 0..deg {
-            let p = place_pin(&mut rng, outline, cx, cy, radius, &mut used);
+            let Some(p) = place_pin(&mut rng, outline, cx, cy, radius, &mut used) else {
+                break; // grid exhausted: keep whatever pins the net has
+            };
             pins.push(Pin::new(p, Layer::new(0)));
         }
-        nets.push(Net::new(format!("{}_{}", spec.name.to_lowercase(), i), pins));
+        if pins.len() >= 2 {
+            nets.push(Net::new(format!("{}_{}", spec.name.to_lowercase(), i), pins));
+        }
     }
 
     Circuit::new(spec.name, outline, spec.layers, nets)
@@ -112,7 +116,9 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
 
 /// Samples a pin near `(cx, cy)` within `radius`, guaranteeing a globally
 /// unique grid position (falls back to a deterministic scan when the
-/// neighbourhood is saturated).
+/// neighbourhood is saturated). Returns `None` only when every cell of the
+/// grid is occupied; the generator sizes grids so that never happens in
+/// practice.
 fn place_pin(
     rng: &mut Xoshiro256pp,
     outline: Rect,
@@ -120,7 +126,7 @@ fn place_pin(
     cy: Coord,
     radius: f64,
     used: &mut HashSet<Point>,
-) -> Point {
+) -> Option<Point> {
     let r = radius.ceil() as Coord;
     for attempt in 0..64 {
         // Widen the window if the local area is saturated.
@@ -129,11 +135,11 @@ fn place_pin(
         let y = (cy + rng.gen_range(-w..=w)).clamp(outline.y0(), outline.y1());
         let p = Point::new(x, y);
         if used.insert(p) {
-            return p;
+            return Some(p);
         }
     }
     // Deterministic fallback: first free cell in row-major order from the
-    // centre. The generator sizes grids so this is effectively unreachable.
+    // centre.
     for dy in 0..=(outline.height() as Coord) {
         for dx in 0..=(outline.width() as Coord) {
             let p = Point::new(
@@ -141,11 +147,11 @@ fn place_pin(
                 (cy + dy).clamp(outline.y0(), outline.y1()),
             );
             if used.insert(p) {
-                return p;
+                return Some(p);
             }
         }
     }
-    panic!("no free pin position left on the grid");
+    None
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@
 
 mod report;
 
-pub use report::RouteReport;
+pub use report::{RouteReport, Stopwatch};
 
 use mebl_assign::{assign_tracks, extract_panels, TrackConfig, TrackResult};
 use mebl_detailed::{route_detailed, DetailedConfig, DetailedResult};
@@ -47,7 +47,6 @@ use mebl_global::{route_circuit, GlobalConfig, GlobalResult};
 use mebl_netlist::Circuit;
 use mebl_stitch::{StitchConfig, StitchPlan};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Configuration of the full routing flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,15 +150,15 @@ impl Router {
 
     /// Routes a circuit through all three stages and checks the result.
     pub fn route(&self, circuit: &Circuit) -> RoutingOutcome {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let plan = StitchPlan::new(circuit.outline(), self.config.stitch);
         let mut timings = StageTimings::default();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let global = route_circuit(circuit, &plan, &self.config.global);
         timings.global = t.elapsed();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let panels = extract_panels(&global);
         let tracks = assign_tracks(
             &panels,
@@ -170,11 +169,11 @@ impl Router {
         );
         timings.assignment = t.elapsed();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let detailed = route_detailed(circuit, &plan, &global.graph, &tracks, &self.config.detailed);
         timings.detailed = t.elapsed();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let mut report = build_report(circuit, &plan, &detailed, start.elapsed());
         timings.check = t.elapsed();
         // Stamp the true total (build_report ran before check finished).
@@ -194,6 +193,7 @@ impl Router {
 /// Checks every routed net and aggregates the paper's table metrics.
 /// Failed nets contribute nothing (the paper notes the baseline's lower
 /// #VV comes from exactly this).
+#[must_use]
 pub fn build_report(
     circuit: &Circuit,
     plan: &StitchPlan,

@@ -1,6 +1,33 @@
 //! Aggregated routing metrics in the paper's table format.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The one sanctioned wall-clock reader of the routing flow.
+///
+/// All stage timing goes through this type so the rest of the workspace
+/// stays free of direct `Instant::now` calls (enforced by `xtask lint`):
+/// routing output must be a pure function of its inputs, and clock reads
+/// sprinkled through library code are where nondeterminism creeps in.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
 
 /// The per-circuit metrics reported in Tables III, VII and VIII:
 /// routability, via violations (`#VV`), short polygons (`#SP`), plus
@@ -29,6 +56,7 @@ pub struct RouteReport {
 
 impl RouteReport {
     /// Routability: routed / total nets (1.0 for an empty circuit).
+    #[must_use]
     pub fn routability(&self) -> f64 {
         if self.total_nets == 0 {
             1.0
@@ -38,11 +66,13 @@ impl RouteReport {
     }
 
     /// `true` when no hard MEBL constraint is violated.
+    #[must_use]
     pub fn hard_clean(&self) -> bool {
         self.vertical_violations == 0 && self.via_violations_off_pin == 0
     }
 
     /// Formats one table row: `Rout.(%)  #VV  #SP  CPU(s)`.
+    #[must_use]
     pub fn table_row(&self) -> String {
         format!(
             "{:6.2} {:6} {:6} {:8.2}",

@@ -40,6 +40,7 @@ impl Violations {
 
     /// `true` when no hard constraint is violated (vertical riding or
     /// off-pin via on a stitching line).
+    #[must_use]
     pub fn hard_clean(&self) -> bool {
         self.vertical_violations == 0 && self.via_violations_off_pin == 0
     }
@@ -63,6 +64,7 @@ impl Violations {
 /// assert_eq!(runs.len(), 2);
 /// assert_eq!(runs[0], Segment::horizontal(Layer::new(0), 3, 0, 9));
 /// ```
+#[must_use]
 pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
     let mut by_track: HashMap<(u8, i32), Vec<Segment>> = HashMap::new();
     for seg in segments {
@@ -74,10 +76,9 @@ pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
         }
     }
     let mut runs = Vec::new();
-    let mut keys: Vec<(u8, i32)> = by_track.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let mut segs = by_track.remove(&key).expect("key from map");
+    let mut tracks: Vec<((u8, i32), Vec<Segment>)> = by_track.into_iter().collect();
+    tracks.sort_unstable_by_key(|&(key, _)| key);
+    for (_, mut segs) in tracks {
         segs.sort_by_key(|s| (s.span.lo(), s.span.hi()));
         let mut cur = segs[0];
         for s in &segs[1..] {
@@ -104,6 +105,7 @@ pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
 /// when (1) some stitching line strictly cuts the run, (2) the end lies in
 /// *that* line's unfriendly region, and (3) a via lands on the end. Each
 /// offending end counts as one short polygon.
+#[must_use]
 pub fn check_geometry(
     plan: &StitchPlan,
     geometry: &RouteGeometry,
@@ -148,11 +150,10 @@ pub fn check_geometry(
         let (lo_end, hi_end) = run.endpoints();
         for end in [lo_end, hi_end] {
             // The relevant line is the cutting line nearest this end.
-            let near = cutting
-                .iter()
-                .copied()
-                .min_by_key(|&l| (end.x - l).abs())
-                .expect("non-empty cutting set");
+            let Some(near) = cutting.iter().copied().min_by_key(|&l| (end.x - l).abs())
+            else {
+                continue; // unreachable: `cutting` checked non-empty above
+            };
             if (end.x - near).abs() <= eps && geometry.has_via_at(end, run.layer) {
                 v.short_polygons += 1;
             }

@@ -1,0 +1,611 @@
+//! A zero-dependency, line/token-based source lint for the workspace.
+//!
+//! The lint is deliberately dumb — no syn, no proc-macros, just a
+//! comment/string-stripping scanner — so it stays dependency-free and
+//! fast. Four rules:
+//!
+//! * **no-panic** — `.unwrap()`, `.expect(` and `panic!(` are banned in
+//!   library code. Tests (`#[cfg(test)]` blocks), binaries (`mebl-cli`,
+//!   `mebl-xtask`), the bench harness and the test harness (`mebl-testkit`)
+//!   are exempt. Individually justified sites live in the allowlist
+//!   (`crates/xtask/lint-allow.txt`).
+//! * **no-clock** — `Instant::now` / `SystemTime::now` make routing output
+//!   nondeterministic to observe; they are allowed only in the sanctioned
+//!   timing sites (`route/src/report.rs`, `testkit/src/bench.rs`).
+//! * **no-debug-print** — `println!`, `print!` and `dbg!` are banned in
+//!   library crates; user-facing output belongs to the binaries.
+//! * **todo-tag** — `TODO`/`FIXME` comments must carry an issue tag,
+//!   e.g. `TODO(#42): ...`, so stale notes stay traceable.
+//!
+//! Allowlist format, one entry per line:
+//!
+//! ```text
+//! crates/geom/src/layer.rs | no-panic | layer index overflow
+//! ```
+//!
+//! An entry suppresses `rule` violations in `path` on raw lines containing
+//! the substring. Entries that suppress nothing are themselves errors, so
+//! the allowlist can only shrink as sites are burned down.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Relative path of the allowlist file.
+const ALLOWLIST: &str = "crates/xtask/lint-allow.txt";
+
+/// Crates whose whole purpose is user-facing I/O or test infrastructure.
+const BINARY_CRATES: &[&str] = &["cli", "xtask"];
+const HARNESS_CRATES: &[&str] = &["bench", "testkit"];
+
+/// Files allowed to read wall clocks.
+const CLOCK_SITES: &[&str] = &["crates/route/src/report.rs", "crates/testkit/src/bench.rs"];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Explanation shown to the developer.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// An allowlist entry: suppresses `rule` in `path` on lines containing
+/// `pattern`.
+#[derive(Debug)]
+struct AllowEntry {
+    path: String,
+    rule: String,
+    pattern: String,
+    used: bool,
+}
+
+/// Runs the lint over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut allow = load_allowlist(root)?;
+    let mut files = Vec::new();
+    collect_rust_files(&root.join("crates"), &mut files);
+    collect_rust_files(&root.join("tests"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        for v in lint_source(&rel, &source) {
+            let suppressed = allow.iter_mut().find(|a| {
+                a.path == v.file
+                    && a.rule == v.rule
+                    && source
+                        .lines()
+                        .nth(v.line - 1)
+                        .is_some_and(|l| l.contains(&a.pattern))
+            });
+            match suppressed {
+                Some(entry) => entry.used = true,
+                None => violations.push(v),
+            }
+        }
+    }
+
+    for entry in &allow {
+        if !entry.used {
+            violations.push(Violation {
+                file: ALLOWLIST.to_string(),
+                line: 0,
+                rule: "stale-allowlist",
+                message: format!(
+                    "entry `{} | {} | {}` suppresses nothing; remove it",
+                    entry.path, entry.rule, entry.pattern
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join(ALLOWLIST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return Ok(Vec::new()), // no allowlist: nothing suppressed
+    };
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "{ALLOWLIST}:{}: malformed entry (want `path | rule | substring`)",
+                i + 1
+            ));
+        }
+        entries.push(AllowEntry {
+            path: parts[0].to_string(),
+            rule: parts[1].to_string(),
+            pattern: parts[2].to_string(),
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to, if any.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Whether the no-panic rule applies to this file at all.
+fn panic_rule_applies(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(c) => !BINARY_CRATES.contains(&c) && !HARNESS_CRATES.contains(&c),
+        // Root `tests/` files are test code.
+        None => false,
+    }
+}
+
+fn print_rule_applies(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(c) => !BINARY_CRATES.contains(&c) && c != "bench",
+        None => false,
+    }
+}
+
+fn clock_rule_applies(rel: &str) -> bool {
+    !CLOCK_SITES.contains(&rel)
+}
+
+/// Lints one file's source text.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let stripped = strip_comments_and_strings(source);
+    let test_mask = test_block_mask(&stripped);
+
+    let panic_tokens = [".unwrap()", ".expect(", "panic!("];
+    let clock_tokens = ["Instant::now", "SystemTime::now"];
+    let print_tokens = ["println!(", "print!(", "dbg!("];
+
+    for (idx, (raw, code)) in source.lines().zip(stripped.iter()).enumerate() {
+        let line = idx + 1;
+        let in_test = test_mask[idx];
+
+        // todo-tag looks at raw text (comments included), tests too. The
+        // linter itself is exempt: it has to spell the markers out.
+        for marker in ["TODO", "FIXME"] {
+            if rel == "crates/xtask/src/lint.rs" {
+                break;
+            }
+            if let Some(pos) = raw.find(marker) {
+                let tagged = raw[pos..].starts_with(&format!("{marker}(#"));
+                if !tagged {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "todo-tag",
+                        message: format!(
+                            "untagged {marker}; write `{marker}(#<issue>): ...`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+        if panic_rule_applies(rel) {
+            for tok in panic_tokens {
+                if contains_token(code, tok) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "no-panic",
+                        message: format!("`{tok}` in library code; handle the None/Err case"),
+                    });
+                }
+            }
+        }
+        if clock_rule_applies(rel) {
+            for tok in clock_tokens {
+                if contains_token(code, tok) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "no-clock",
+                        message: format!(
+                            "`{tok}` outside the sanctioned timing sites ({})",
+                            CLOCK_SITES.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        if print_rule_applies(rel) {
+            for tok in print_tokens {
+                if contains_token(code, tok) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "no-debug-print",
+                        message: format!("`{tok}` in a library crate; return data instead"),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// `print!(` must not fire on `println!(`; match only when the preceding
+/// character cannot extend the token to the left.
+fn contains_token(code: &str, token: &str) -> bool {
+    // Only tokens that *start* with an identifier char need the left
+    // boundary guard; `.unwrap()` legitimately follows an identifier.
+    let guard = token
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let prev_ok = !guard
+            || at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Returns the source line-by-line with comments and string-literal
+/// contents blanked out (replaced by spaces), so token scans cannot match
+/// inside documentation or data.
+fn strip_comments_and_strings(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let mut cleaned = String::with_capacity(line.len());
+        let mut i = 0;
+        // `i` always sits on a char boundary: every branch advances by the
+        // byte length of what it consumed.
+        while i < line.len() {
+            let rest = &line[i..];
+            let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+            match state {
+                State::BlockComment(depth) => {
+                    if rest.starts_with("*/") {
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else if rest.starts_with("/*") {
+                        state = State::BlockComment(depth + 1);
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else {
+                        cleaned.push(' ');
+                        i += ch_len;
+                    }
+                }
+                State::Str => {
+                    if let Some(tail) = rest.strip_prefix('\\') {
+                        let esc = tail.chars().next().map_or(0, char::len_utf8);
+                        cleaned.push_str("  ");
+                        i += 1 + esc;
+                    } else if rest.starts_with('"') {
+                        state = State::Code;
+                        cleaned.push('"');
+                        i += 1;
+                    } else {
+                        cleaned.push(' ');
+                        i += ch_len;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    let close = format!("\"{}", "#".repeat(hashes as usize));
+                    if rest.starts_with(&close) {
+                        state = State::Code;
+                        cleaned.push_str(&" ".repeat(close.len()));
+                        i += close.len();
+                    } else {
+                        cleaned.push(' ');
+                        i += ch_len;
+                    }
+                }
+                State::Code => {
+                    if rest.starts_with("//") {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    } else if rest.starts_with("/*") {
+                        state = State::BlockComment(1);
+                        cleaned.push_str("  ");
+                        i += 2;
+                    } else if rest.starts_with('"') {
+                        state = State::Str;
+                        cleaned.push('"');
+                        i += 1;
+                    } else if let Some(h) = raw_string_open(rest) {
+                        state = State::RawStr(h);
+                        let skip = 2 + h as usize; // r + hashes + quote
+                        cleaned.push_str(&" ".repeat(skip));
+                        i += skip;
+                    } else if let Some(len) = char_literal_len(rest) {
+                        // `'"'` or `'\''` must not toggle the string state.
+                        cleaned.push_str(&" ".repeat(len));
+                        i += len;
+                    } else {
+                        cleaned.push_str(&rest[..ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+        }
+        // Unterminated normal string literals do not span lines in valid
+        // Rust unless escaped; reset conservatively.
+        if state == State::Str {
+            state = State::Code;
+        }
+        out.push(cleaned);
+    }
+    out
+}
+
+/// If `s` starts a character literal (not a lifetime), returns its byte
+/// length. Handles `'x'`, `'\n'`, `'\''`, `'\\'` and unicode chars;
+/// lifetimes (`'a`, `'_`) return `None`.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let rest = s.strip_prefix('\'')?;
+    if let Some(after_esc) = rest.strip_prefix('\\') {
+        // Escape: one escaped char (possibly `\x41`/`\u{..}` — scan to the
+        // closing quote within a short window).
+        let close = after_esc.find('\'')?;
+        if close <= 8 {
+            return Some(1 + 1 + close + 1);
+        }
+        return None;
+    }
+    let mut chars = rest.chars();
+    let c = chars.next()?;
+    if chars.next()? == '\'' {
+        Some(1 + c.len_utf8() + 1)
+    } else {
+        None // lifetime such as `'a` or `'static`
+    }
+}
+
+/// If `s` starts a raw string literal (`r"`, `r#"`, ...), returns the hash
+/// count.
+fn raw_string_open(s: &str) -> Option<u32> {
+    let rest = s.strip_prefix('r')?;
+    let hashes = rest.bytes().take_while(|&b| b == b'#').count();
+    if rest[hashes..].starts_with('"') {
+        Some(hashes as u32)
+    } else {
+        None
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated blocks by brace tracking over
+/// the stripped source.
+fn test_block_mask(stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut pending = false; // saw #[cfg(test)], waiting for the block brace
+    let mut depth = 0i32; // brace depth inside the test block
+    for (idx, line) in stripped.iter().enumerate() {
+        if depth > 0 {
+            mask[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if pending {
+            mask[idx] = true;
+            if line.contains('{') {
+                pending = false;
+                depth = brace_delta(line);
+                if depth <= 0 {
+                    depth = 0; // single-line item
+                }
+            } else if line.contains(';') {
+                pending = false; // e.g. a gated `mod tests;` declaration
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            mask[idx] = true;
+            pending = true;
+        }
+    }
+    mask
+}
+
+fn brace_delta(line: &str) -> i32 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_library_code_flagged() {
+        let src = "fn f() { let x = g().unwrap(); }\n";
+        assert_eq!(rules("crates/geom/src/a.rs", src), vec!["no-panic"]);
+    }
+
+    #[test]
+    fn unwrap_in_binary_and_harness_crates_allowed() {
+        let src = "fn f() { let x = g().unwrap(); }\n";
+        assert!(rules("crates/cli/src/main.rs", src).is_empty());
+        assert!(rules("crates/testkit/src/prop.rs", src).is_empty());
+        assert!(rules("crates/bench/src/main.rs", src).is_empty());
+        assert!(rules("tests/flow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_block_allowed() {
+        let src = "\
+fn lib() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+    }
+}
+";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_block_still_linted() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+
+fn lib() { y.expect(\"boom\"); }
+";
+        let v = lint_source("crates/geom/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger() {
+        let src = "\
+/// Call `.unwrap()` at your peril. panic!(
+// x.unwrap()
+/* multi
+   .expect( panic!( */
+fn f() { let s = \".unwrap() panic!(\"; let r = r#\"dbg!(\"#; }
+";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "fn f() { g().unwrap_or(0); g().unwrap_or_else(|| 0); }\n";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_flagged_outside_sanctioned_files() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules("crates/global/src/router.rs", src), vec!["no-clock"]);
+        assert!(rules("crates/route/src/report.rs", src).is_empty());
+        assert!(rules("crates/testkit/src/bench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_print_flagged_in_libraries_only() {
+        let src = "fn f() { println!(\"x\"); dbg!(1); }\n";
+        let v = rules("crates/route/src/lib.rs", src);
+        assert_eq!(v, vec!["no-debug-print", "no-debug-print"]);
+        assert!(rules("crates/cli/src/main.rs", src).is_empty());
+        assert!(rules("crates/bench/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_does_not_match_print_token_twice() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(rules("crates/geom/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn todo_requires_issue_tag() {
+        let src = "// TODO: make this faster\n// TODO(#12): tracked\n// FIXME fix me\n";
+        let v = lint_source("crates/geom/src/a.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == "todo-tag"));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_stripped() {
+        let src = "/* a /* b */ still comment .unwrap() */ fn f() {}\n";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fn_item_gated() {
+        let src = "\
+#[cfg(test)]
+fn helper() { x.unwrap(); }
+
+fn lib() {}
+";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+}

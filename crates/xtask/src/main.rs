@@ -1,0 +1,62 @@
+//! `mebl-xtask` — workspace maintenance tasks with zero external
+//! dependencies.
+//!
+//! The only subcommand today is `lint`, a token-level source gate run by
+//! `scripts/ci.sh` (see `lint.rs` for the policy). Invoke as:
+//!
+//! ```text
+//! cargo run -p mebl-xtask -- lint
+//! ```
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: mebl-xtask lint");
+    eprintln!();
+    eprintln!("  lint   run the workspace source lint (policy in crates/xtask/src/lint.rs)");
+}
+
+fn run_lint() -> ExitCode {
+    // The binary lives in crates/xtask; the workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match lint::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

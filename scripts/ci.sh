@@ -20,4 +20,15 @@ else
     echo "clippy not installed; skipping lint step"
 fi
 
+echo "=== xtask lint (zero-dep workspace policy) ==="
+cargo run --release --offline -q -p mebl-xtask -- lint
+
+echo "=== audit smoke (independent solution verifier) ==="
+for seed in 1 2 3; do
+    cargo run --release --offline -q -p mebl-cli -- \
+        audit --bench S5378 --seed "$seed" --strict
+    cargo run --release --offline -q -p mebl-cli -- \
+        audit --bench S5378 --seed "$seed" --baseline
+done
+
 echo "=== ci.sh: all gates passed ==="

@@ -19,6 +19,7 @@
 
 use crate::panels::{Continuation, PanelSegment, Panels};
 use crate::{layer_assign_mst, layer_assign_ours, ConflictGraph, SegmentInterval};
+use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::Coord;
 use mebl_global::TileGraph;
 use mebl_stitch::StitchPlan;
@@ -50,12 +51,17 @@ pub enum TrackMode {
 }
 
 /// Configuration of the assignment stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrackConfig {
     /// Layer-assignment heuristic.
     pub layer_mode: LayerMode,
     /// Track-assignment algorithm.
     pub track_mode: TrackMode,
+    /// Cooperative cancellation/budget handle. Inert by default; when
+    /// armed, cancellation takes effect at panel-group boundaries:
+    /// skipped groups place no segments, so their nets reach detailed
+    /// routing seedless and are routed pin-to-pin.
+    pub cancel: CancelToken,
 }
 
 impl Default for TrackConfig {
@@ -63,6 +69,7 @@ impl Default for TrackConfig {
         Self {
             layer_mode: LayerMode::Ours,
             track_mode: TrackMode::GraphHeuristic,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -98,15 +105,25 @@ pub struct AssignedSeg {
 impl AssignedSeg {
     /// Track of the piece containing tile `t`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `t` is outside `[lo, hi]`.
+    /// `pieces` partitions `[lo, hi]` by construction. The function is
+    /// total anyway: for a `t` outside every piece it answers with the
+    /// nearest piece's track (and `0` for a pieceless segment, which
+    /// cannot be built through this crate's APIs), so a malformed
+    /// segment degrades to a conservative answer instead of panicking
+    /// mid-flow.
     pub fn track_at(&self, t: u32) -> Coord {
-        self.pieces
-            .iter()
-            .find(|&&(a, b, _)| a <= t && t <= b)
-            .map(|&(_, _, x)| x)
-            .expect("tile outside segment")
+        let mut nearest: Option<(u32, Coord)> = None;
+        for &(a, b, x) in &self.pieces {
+            if a <= t && t <= b {
+                return x;
+            }
+            let d = if t < a { a - t } else { t - b };
+            match nearest {
+                Some((best, _)) if best <= d => {}
+                _ => nearest = Some((d, x)),
+            }
+        }
+        nearest.map_or(0, |(_, x)| x)
     }
 
     /// Whether the end at `lo` (`end_hi == false`) or `hi` is a bad end
@@ -172,9 +189,18 @@ pub fn assign_tracks(
     let h_layers = usize::from(layers).div_ceil(2);
     let mut result = TrackResult::default();
 
+    let mut skipped_groups = 0usize;
+
     // Column panels: vertical segments, stitch-aware.
     for (col, segs) in panels.columns.iter().enumerate() {
         if segs.is_empty() {
+            continue;
+        }
+        // Cancellation commits at panel-group boundaries: a skipped group
+        // places no segments, so its nets fall through to seedless
+        // pin-to-pin detailed routing.
+        if config.cancel.is_cancelled() {
+            skipped_groups += 1;
             continue;
         }
         let colors = color_panel(segs, graph.rows(), v_layers, config.layer_mode, true);
@@ -195,6 +221,7 @@ pub fn assign_tracks(
                 graph,
                 plan,
                 config.track_mode,
+                &config.cancel,
                 &mut result,
             );
         }
@@ -204,6 +231,10 @@ pub fn assign_tracks(
     // lines are vertical and do not constrain horizontal tracks).
     for (row, segs) in panels.rows.iter().enumerate() {
         if segs.is_empty() {
+            continue;
+        }
+        if config.cancel.is_cancelled() {
+            skipped_groups += 1;
             continue;
         }
         let colors = color_panel(segs, graph.cols(), h_layers, config.layer_mode, false);
@@ -219,6 +250,15 @@ pub fn assign_tracks(
             }
             assign_row_group(row as u32, layer_color, &members, graph, &mut result);
         }
+    }
+
+    if skipped_groups > 0 {
+        config.cancel.record(Degradation::new(
+            Stage::Assign,
+            DegradationKind::BudgetExhausted,
+            None,
+            format!("{skipped_groups} panels skipped; their nets route pin-to-pin"),
+        ));
     }
 
     result.bad_ends = result
@@ -255,6 +295,7 @@ fn color_panel(
 }
 
 /// Track assignment for one (column, layer) group.
+#[allow(clippy::too_many_arguments)]
 fn assign_column_group(
     col: u32,
     layer_color: usize,
@@ -262,6 +303,7 @@ fn assign_column_group(
     graph: &TileGraph,
     plan: &StitchPlan,
     mode: TrackMode,
+    cancel: &CancelToken,
     result: &mut TrackResult,
 ) {
     let span = graph.col_span(col);
@@ -320,6 +362,7 @@ fn assign_column_group(
                 &tracks,
                 graph.rows(),
                 plan,
+                cancel,
             );
         }
         TrackMode::IlpExact { node_budget } => {
@@ -488,9 +531,9 @@ fn resolve_bad_ends_with_doglegs(
     tracks: &[Coord],
     _rows: u32,
     plan: &StitchPlan,
+    cancel: &CancelToken,
 ) {
     let t_count = tracks.len();
-    let track_index = |x: Coord| tracks.iter().position(|&t| t == x).expect("known track");
 
     for idx in 0..group.len() {
         for end_hi in [false, true] {
@@ -508,7 +551,18 @@ fn resolve_bad_ends_with_doglegs(
                 continue;
             }
             let main = group[idx].track_at(end_tile);
-            let main_t = track_index(main);
+            // Assigned tracks come from `tracks` by construction; if the
+            // lookup misses, leave the bad end in place and surface it
+            // rather than panicking.
+            let Some(main_t) = tracks.iter().position(|&t| t == main) else {
+                cancel.record(Degradation::new(
+                    Stage::Assign,
+                    DegradationKind::InternalFallback,
+                    Some(group[idx].net),
+                    format!("dogleg skipped: track {main} missing from panel track set"),
+                ));
+                continue;
+            };
 
             // Feasible window [m, M] from the constraint graphs.
             let (m, big_m) = feasible_window(group, idx, end_tile, &occupancy, t_count, plan, tracks, cont);
@@ -732,6 +786,7 @@ mod tests {
             &TrackConfig {
                 layer_mode: LayerMode::MstBaseline,
                 track_mode: TrackMode::Baseline,
+                ..TrackConfig::default()
             },
         );
         assert!(

@@ -32,7 +32,7 @@
 //!     .unwrap()
 //!     .generate(&GenerateConfig::quick(1));
 //! let config = RouterConfig::stitch_aware();
-//! let outcome = Router::new(config).route(&circuit);
+//! let outcome = Router::new(config.clone()).route(&circuit);
 //! let audit = audit_outcome(&circuit, &config, &outcome);
 //! assert_eq!(audit.error_count(), 0, "{audit}");
 //! ```

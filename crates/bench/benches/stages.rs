@@ -70,6 +70,7 @@ fn bench_track_assignment(suite: &mut BenchSuite) {
         let config = TrackConfig {
             layer_mode: LayerMode::Ours,
             track_mode,
+            ..TrackConfig::default()
         };
         suite.bench(format!("track_assignment/{label}"), || {
             assign_tracks(&panels, &global.graph, &plan, circuit.layer_count(), &config)

@@ -51,6 +51,7 @@ fn main() {
                 track: TrackConfig {
                     layer_mode: LayerMode::Ours,
                     track_mode: TrackMode::Baseline,
+                    ..TrackConfig::default()
                 },
                 detailed: DetailedConfig::without_stitch_consideration(),
                 ..RouterConfig::stitch_aware()

@@ -19,6 +19,7 @@ fn config_with(track_mode: TrackMode) -> RouterConfig {
         track: TrackConfig {
             layer_mode: LayerMode::Ours,
             track_mode,
+            ..TrackConfig::default()
         },
         ..RouterConfig::stitch_aware()
     }
@@ -60,7 +61,7 @@ fn main() {
         let circuit = spec.generate(&cfg);
         print!("{:<10} |", spec.name);
         for (m, config) in modes.iter().enumerate() {
-            let out = Router::new(*config).route(&circuit);
+            let out = Router::new(config.clone()).route(&circuit);
             let r = &out.report;
             if out.tracks.timed_out {
                 print!(" {:>8} {:>4} {:>4} {:>5} {:>9}", "NA", "NA", "NA", "NA", ">budget");

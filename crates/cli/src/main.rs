@@ -4,12 +4,42 @@
 //! mebl list                                   # show the benchmark suite
 //! mebl gen  <bench> [--scale f] [--seed n] [-o file]
 //! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
+//!            [--time-budget ms] [--max-expansions n]
 //! mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f]
 //!            [--baseline] [--period n] [--strict]
+//!            [--time-budget ms] [--max-expansions n]
 //! ```
+//!
+//! Exit codes: 0 clean, 1 usage error, 2 degraded result (a budget bound
+//! fired, or internal fallbacks were taken), 3 invalid input (unreadable
+//! or malformed circuit), 4 internal error (result violates a hard MEBL
+//! constraint).
 
-use mebl_route::{Router, RouterConfig};
+use mebl_route::{RouteError, Router, RouterConfig, RunBudget};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Typed CLI failure; the variant fixes the exit code.
+enum CliError {
+    /// Bad flags or arguments (exit 1, prints usage).
+    Usage(String),
+    /// The input circuit cannot be used (exit 3).
+    Invalid(String),
+    /// The router produced an illegal result — a bug (exit 4).
+    Internal(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+/// What a successfully-finished command reports.
+enum Outcome {
+    Clean,
+    Degraded,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,27 +50,36 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("help") | None => {
             print_usage();
-            Ok(())
+            Ok(Outcome::Clean)
         }
-        Some(other) => Err(format!("unknown command '{other}'")),
+        Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => ExitCode::from(2),
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             print_usage();
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Invalid(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Internal(msg)) => {
+            eprintln!("internal error: {msg}");
+            ExitCode::from(4)
         }
     }
 }
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict]"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n]\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<Outcome, CliError> {
     println!(
         "{:<10} {:<8} {:>7} {:>7} {:>8}",
         "name", "suite", "layers", "nets", "pins"
@@ -55,40 +94,46 @@ fn cmd_list() -> Result<(), String> {
             spec.pins
         );
     }
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<Outcome, CliError> {
     let mut it = args.iter();
-    let bench = it.next().ok_or("gen: missing benchmark name")?;
-    let spec = mebl_netlist::BenchmarkSpec::by_name(bench)
-        .ok_or_else(|| format!("unknown benchmark '{bench}' (try `mebl list`)"))?;
+    let bench = it.next().ok_or(CliError::Usage("gen: missing benchmark name".into()))?;
+    let spec = mebl_netlist::BenchmarkSpec::by_name(bench).ok_or_else(|| {
+        CliError::usage(format!("unknown benchmark '{bench}' (try `mebl list`)"))
+    })?;
     let mut config = mebl_netlist::GenerateConfig::default();
     let mut out: Option<String> = None;
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
         };
         match flag.as_str() {
             "--scale" => {
                 config.net_scale = val("--scale")?
                     .parse()
-                    .map_err(|_| "bad --scale".to_string())?
+                    .map_err(|_| CliError::usage("bad --scale"))?
             }
             "--seed" => {
                 config.seed = val("--seed")?
                     .parse()
-                    .map_err(|_| "bad --seed".to_string())?
+                    .map_err(|_| CliError::usage("bad --seed"))?
             }
             "-o" | "--out" => out = Some(val("-o")?.clone()),
-            other => return Err(format!("gen: unknown flag {other}")),
+            other => return Err(CliError::usage(format!("gen: unknown flag {other}"))),
         }
     }
-    let circuit = spec.generate(&config);
+    let (circuit, events) = spec.generate_with_events(&config);
+    for event in &events {
+        eprintln!("note: generator: {event}");
+    }
     let text = mebl_netlist::circuit_to_string(&circuit);
     match out {
         Some(path) => {
-            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, text)
+                .map_err(|e| CliError::Invalid(format!("writing {path}: {e}")))?;
             eprintln!(
                 "wrote {} ({} nets, {} pins, {}x{} tracks)",
                 path,
@@ -100,82 +145,155 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
-    Ok(())
+    Ok(Outcome::Clean)
+}
+
+/// Flags shared by `route` and `audit` that shape the router run.
+struct RunFlags {
+    baseline: bool,
+    period: Option<i32>,
+    budget: RunBudget,
+}
+
+impl RunFlags {
+    fn new() -> Self {
+        Self {
+            baseline: false,
+            period: None,
+            budget: RunBudget::default(),
+        }
+    }
+
+    /// Parses one flag if it belongs to this group. `Ok(true)` means the
+    /// flag (and possibly its value) was consumed.
+    fn parse<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a String>,
+    ) -> Result<bool, CliError> {
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
+        };
+        match flag {
+            "--baseline" => self.baseline = true,
+            "--period" => {
+                let p: i32 = val("--period")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --period"))?;
+                if p <= 1 {
+                    return Err(CliError::usage("--period must be > 1"));
+                }
+                self.period = Some(p);
+            }
+            "--time-budget" => {
+                let ms: u64 = val("--time-budget")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --time-budget (milliseconds)"))?;
+                self.budget.time = Some(Duration::from_millis(ms));
+            }
+            "--max-expansions" => {
+                self.budget.max_expansions = Some(
+                    val("--max-expansions")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --max-expansions"))?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn router_config(&self) -> RouterConfig {
+        let mut config = if self.baseline {
+            RouterConfig::baseline()
+        } else {
+            RouterConfig::stitch_aware()
+        };
+        if let Some(p) = self.period {
+            config.stitch.period = p;
+            config.global.tile_size = p;
+        }
+        config.budget = self.budget;
+        config
+    }
+
+    fn mode_name(&self) -> &'static str {
+        if self.baseline {
+            "baseline"
+        } else {
+            "stitch-aware"
+        }
+    }
 }
 
 /// Routes a circuit, then re-verifies the solution with the independent
 /// `mebl-audit` checker. Exits nonzero when the audit reports errors
 /// (with `--strict`, warnings also fail).
-fn cmd_audit(args: &[String]) -> Result<(), String> {
-    let mut it = args.iter().peekable();
+fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
+    let mut it = args.iter();
     let mut file: Option<String> = None;
     let mut bench: Option<String> = None;
     let mut gen_config = mebl_netlist::GenerateConfig::quick(1);
-    let mut baseline = false;
-    let mut period: Option<i32> = None;
+    let mut flags = RunFlags::new();
     let mut strict = false;
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
+        if flags.parse(flag, &mut it)? {
+            continue;
+        }
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
         };
         match flag.as_str() {
             "--bench" => bench = Some(val("--bench")?.clone()),
             "--seed" => {
                 gen_config.seed = val("--seed")?
                     .parse()
-                    .map_err(|_| "bad --seed".to_string())?
+                    .map_err(|_| CliError::usage("bad --seed"))?
             }
             "--scale" => {
                 gen_config.net_scale = val("--scale")?
                     .parse()
-                    .map_err(|_| "bad --scale".to_string())?
-            }
-            "--baseline" => baseline = true,
-            "--period" => {
-                period = Some(
-                    val("--period")?
-                        .parse()
-                        .map_err(|_| "bad --period".to_string())?,
-                )
+                    .map_err(|_| CliError::usage("bad --scale"))?
             }
             "--strict" => strict = true,
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
-            other => return Err(format!("audit: unknown flag {other}")),
+            other => return Err(CliError::usage(format!("audit: unknown flag {other}"))),
         }
     }
 
     let circuit = match (file, bench) {
-        (Some(path), None) => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-            mebl_netlist::circuit_from_str(&text).map_err(|e| e.to_string())?
-        }
+        (Some(path), None) => load_circuit(&path)?,
         (None, Some(name)) => mebl_netlist::BenchmarkSpec::by_name(&name)
-            .ok_or_else(|| format!("unknown benchmark '{name}' (try `mebl list`)"))?
+            .ok_or_else(|| CliError::usage(format!("unknown benchmark '{name}' (try `mebl list`)")))?
             .generate(&gen_config),
-        (Some(_), Some(_)) => return Err("audit: give a file or --bench, not both".into()),
-        (None, None) => return Err("audit: missing circuit file or --bench".into()),
-    };
-
-    let mut config = if baseline {
-        RouterConfig::baseline()
-    } else {
-        RouterConfig::stitch_aware()
-    };
-    if let Some(p) = period {
-        if p <= 1 {
-            return Err("--period must be > 1".into());
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage("audit: give a file or --bench, not both"))
         }
-        config.stitch.period = p;
-        config.global.tile_size = p;
-    }
+        (None, None) => return Err(CliError::usage("audit: missing circuit file or --bench")),
+    };
 
-    let outcome = Router::new(config).route(&circuit);
+    let config = flags.router_config();
+    let router = Router::new(config.clone());
+    let outcome = match router.try_route(&circuit) {
+        Ok(outcome) => outcome,
+        Err(e @ RouteError::BudgetExhausted) => {
+            // The input was fine and a bigger budget would succeed:
+            // same exit class as a degraded run.
+            eprintln!("degraded: {e}");
+            return Ok(Outcome::Degraded);
+        }
+        Err(e) => return Err(map_route_error(e)),
+    };
+    for d in &outcome.degradations {
+        eprintln!("degraded: {d}");
+    }
     let audit = mebl_audit::audit_outcome(&circuit, &config, &outcome);
     println!(
         "{} [{}]: {}",
         circuit.name(),
-        if baseline { "baseline" } else { "stitch-aware" },
+        flags.mode_name(),
         outcome.report
     );
     println!("{audit}");
@@ -185,71 +303,94 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let errors = audit.error_count();
     let warnings = audit.warning_count();
     if errors > 0 || (strict && warnings > 0) {
-        return Err(format!(
+        return Err(CliError::Internal(format!(
             "audit failed: {errors} error(s), {warnings} warning(s)"
-        ));
+        )));
     }
-    Ok(())
+    if outcome.is_degraded() {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Clean)
+    }
 }
 
-fn cmd_route(args: &[String]) -> Result<(), String> {
+fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     let mut it = args.iter();
-    let path = it.next().ok_or("route: missing circuit file")?;
-    let mut baseline = false;
+    let path = it
+        .next()
+        .ok_or(CliError::Usage("route: missing circuit file".into()))?;
+    let mut flags = RunFlags::new();
     let mut svg: Option<String> = None;
-    let mut period: Option<i32> = None;
     while let Some(flag) = it.next() {
+        if flags.parse(flag, &mut it)? {
+            continue;
+        }
         match flag.as_str() {
-            "--baseline" => baseline = true,
             "--svg" => {
                 svg = Some(
                     it.next()
-                        .ok_or("missing value for --svg")?
+                        .ok_or(CliError::Usage("missing value for --svg".into()))?
                         .clone(),
                 )
             }
-            "--period" => {
-                period = Some(
-                    it.next()
-                        .ok_or("missing value for --period")?
-                        .parse()
-                        .map_err(|_| "bad --period".to_string())?,
-                )
-            }
-            other => return Err(format!("route: unknown flag {other}")),
+            other => return Err(CliError::usage(format!("route: unknown flag {other}"))),
         }
     }
 
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let circuit = mebl_netlist::circuit_from_str(&text).map_err(|e| e.to_string())?;
-
-    let mut config = if baseline {
-        RouterConfig::baseline()
-    } else {
-        RouterConfig::stitch_aware()
+    let circuit = load_circuit(path)?;
+    let router = Router::new(flags.router_config());
+    let outcome = match router.try_route(&circuit) {
+        Ok(outcome) => outcome,
+        Err(e @ RouteError::BudgetExhausted) => {
+            eprintln!("degraded: {e}");
+            return Ok(Outcome::Degraded);
+        }
+        Err(e) => return Err(map_route_error(e)),
     };
-    if let Some(p) = period {
-        if p <= 1 {
-            return Err("--period must be > 1".into());
-        }
-        config.stitch.period = p;
-        config.global.tile_size = p;
+    for d in &outcome.degradations {
+        eprintln!("degraded: {d}");
     }
-
-    let outcome = Router::new(config).route(&circuit);
     println!(
         "{} [{}]: {}",
         circuit.name(),
-        if baseline { "baseline" } else { "stitch-aware" },
+        flags.mode_name(),
         outcome.report
     );
     if !outcome.report.hard_clean() {
-        return Err("hard MEBL violation in result (bug)".into());
+        return Err(CliError::Internal(
+            "hard MEBL violation in result (bug)".into(),
+        ));
     }
     if let Some(svg_path) = svg {
         let doc = mebl_viz::layout_svg(&circuit, &outcome.plan, &outcome.detailed.geometry, 4.0);
-        std::fs::write(&svg_path, doc).map_err(|e| format!("writing {svg_path}: {e}"))?;
+        std::fs::write(&svg_path, doc)
+            .map_err(|e| CliError::Invalid(format!("writing {svg_path}: {e}")))?;
         eprintln!("wrote {svg_path}");
     }
-    Ok(())
+    if outcome.is_degraded() {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Clean)
+    }
+}
+
+fn load_circuit(path: &str) -> Result<mebl_netlist::Circuit, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Invalid(format!("reading {path}: {e}")))?;
+    mebl_netlist::circuit_from_str(&text).map_err(|e| CliError::Invalid(e.to_string()))
+}
+
+/// Maps a typed router failure onto the exit-code taxonomy
+/// (`BudgetExhausted` is handled by the callers — it exits 2).
+fn map_route_error(e: RouteError) -> CliError {
+    match e {
+        RouteError::InvalidConfig(_) => CliError::Usage(e.to_string()),
+        RouteError::InvalidCircuit(ref issues) => {
+            for issue in issues.iter().filter(|i| i.is_error()) {
+                eprintln!("  {issue}");
+            }
+            CliError::Invalid(e.to_string())
+        }
+        RouteError::BudgetExhausted => CliError::Invalid(e.to_string()),
+    }
 }

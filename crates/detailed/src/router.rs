@@ -2,6 +2,7 @@
 
 use crate::{realize_seeds, DetailedGrid};
 use mebl_assign::TrackResult;
+use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::{Coord, GridPoint, Point, Rect, RouteGeometry, Segment, Via};
 use mebl_global::TileGraph;
 use mebl_netlist::Circuit;
@@ -14,7 +15,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 /// Paper defaults: α = 1, β = 10, γ = 5 (§IV-A), with β ≫ γ so vias avoid
 /// stitch unfriendly regions far more strongly than paths avoid escape
 /// regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetailedConfig {
     /// Wirelength weight α of eq. (10).
     pub alpha: u64,
@@ -35,6 +36,11 @@ pub struct DetailedConfig {
     pub node_cap: usize,
     /// Window-growth retries before a connection is declared failed.
     pub retries: usize,
+    /// Cooperative cancellation/budget handle. Inert by default; when
+    /// armed, A\* searches abort mid-expansion (the aborted net is ripped
+    /// up like any failed net) and remaining nets/rip-up rounds are
+    /// skipped, keeping partial geometry audit-clean.
+    pub cancel: CancelToken,
 }
 
 impl Default for DetailedConfig {
@@ -49,6 +55,7 @@ impl Default for DetailedConfig {
             margin: 18,
             node_cap: 60_000,
             retries: 2,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -158,8 +165,20 @@ pub fn route_detailed(
     // Final failed-net rip-up/reroute rounds: all failed nets' resources
     // are free now, and the expansion budget is raised — the "failed net
     // rip-up/rerouting" of the second bottom-up pass (Fig. 6).
-    for round in 1..=2 {
+    for round in 1..=2u32 {
         if result.routed_count == n {
+            break;
+        }
+        if config.cancel.is_cancelled_now() {
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::BudgetExhausted,
+                None,
+                format!(
+                    "rip-up/reroute rounds {round}..2 skipped ({} nets still failed)",
+                    n - result.routed_count
+                ),
+            ));
             break;
         }
         let mut failed: Vec<usize> = order
@@ -169,9 +188,9 @@ pub fn route_detailed(
             .collect();
         failed.sort_by_key(|&i| (circuit.nets()[i].hpwl(), i));
         let relaxed = DetailedConfig {
-            node_cap: config.node_cap << (2 * round),
-            margin: config.margin << round,
-            ..*config
+            node_cap: config.node_cap.checked_shl(2 * round).unwrap_or(usize::MAX),
+            margin: config.margin.checked_shl(round).unwrap_or(Coord::MAX),
+            ..config.clone()
         };
         let no_seeds: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
         route_pass(
@@ -195,8 +214,16 @@ fn route_pass(
     seed_components: &[Vec<Vec<u32>>],
     result: &mut DetailedResult,
 ) {
+    let mut skipped = 0usize;
     for &net in order {
         if result.routed[net] {
+            continue;
+        }
+        // Budget checks commit at net boundaries: a skipped net stays
+        // unrouted (pins only), which downstream reporting and the audit
+        // already treat as "failed nets contribute nothing".
+        if config.cancel.is_cancelled() {
+            skipped += 1;
             continue;
         }
         let mut components: Vec<HashSet<u32>> = Vec::new();
@@ -262,7 +289,23 @@ fn route_pass(
                     }
                 }
             }
+            if config.cancel.is_cancelled() {
+                config.cancel.record(Degradation::new(
+                    Stage::Detailed,
+                    DegradationKind::BudgetExhausted,
+                    Some(net),
+                    "net abandoned mid-search and ripped up",
+                ));
+            }
         }
+    }
+    if skipped > 0 {
+        config.cancel.record(Degradation::new(
+            Stage::Detailed,
+            DegradationKind::BudgetExhausted,
+            None,
+            format!("{skipped} nets skipped before detailed routing"),
+        ));
     }
 }
 
@@ -300,11 +343,15 @@ fn connect_components(
     components: &mut Vec<HashSet<u32>>,
 ) -> bool {
     while components.len() > 1 {
-        // Smallest component as source.
-        let Some(src_idx) = (0..components.len()).min_by_key(|&i| components[i].len())
-        else {
-            return false; // unreachable: len() > 1
-        };
+        // Smallest component as source. A plain fold (first minimum wins,
+        // matching `min_by_key`) keeps this total: the loop guard makes
+        // `components` non-empty.
+        let mut src_idx = 0usize;
+        for i in 1..components.len() {
+            if components[i].len() < components[src_idx].len() {
+                src_idx = i;
+            }
+        }
         let source = components.swap_remove(src_idx);
         let mut targets: HashSet<u32> = HashSet::new();
         for comp in components.iter() {
@@ -317,10 +364,16 @@ fn connect_components(
             // stitch-aware weighted costs flatten the search frontier, so
             // congested regions near stitching lines need more nodes.
             let relaxed = DetailedConfig {
-                node_cap: config.node_cap << (2 * attempt),
-                ..*config
+                node_cap: config
+                    .node_cap
+                    .checked_shl(2 * attempt as u32)
+                    .unwrap_or(usize::MAX),
+                ..config.clone()
             };
-            let margin = config.margin << attempt;
+            let margin = config
+                .margin
+                .checked_shl(attempt as u32)
+                .unwrap_or(Coord::MAX);
             if let Some(path) =
                 astar(grid, plan, &relaxed, net, own_pins, &source, &targets, margin)
             {
@@ -334,15 +387,31 @@ fn connect_components(
         };
         // Occupy path cells and merge.
         let Some(&reached) = path.last() else {
+            // A* paths are non-empty by construction; treat a breach as a
+            // failed connection and surface it.
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::InternalFallback,
+                Some(net as usize),
+                "connection dropped: search returned an empty path",
+            ));
             components.push(source);
-            return false; // unreachable: A* paths are non-empty
+            return false;
         };
         for &cell in &path {
             grid.occupy(cell, net);
         }
         let Some(dst_idx) = components.iter().position(|c| c.contains(&reached)) else {
+            // The path must end in a target component; treat a breach as a
+            // failed connection and surface it.
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::InternalFallback,
+                Some(net as usize),
+                "connection dropped: path ended outside every target component",
+            ));
             components.push(source);
-            return false; // unreachable: the path ends in a target component
+            return false;
         };
         let mut merged = source;
         merged.extend(path);
@@ -425,6 +494,12 @@ fn astar(
         }
         expanded += 1;
         if expanded > config.node_cap {
+            return None;
+        }
+        // Charge the run budget and honour cancellation mid-search: a
+        // `None` return rips the net up like any failed connection, so
+        // aborting here never leaves partial geometry behind.
+        if config.cancel.charge_expansions(1) {
             return None;
         }
         let du = dist[&u];

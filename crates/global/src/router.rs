@@ -1,6 +1,7 @@
 //! Congestion- and line-end-aware global routing.
 
 use crate::{TileGraph, TileId};
+use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::Coord;
 use mebl_netlist::Circuit;
 use mebl_stitch::StitchPlan;
@@ -8,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Configuration of the global routing stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalConfig {
     /// Global tile edge length in pitches. The default (15) matches the
     /// stitch period so each tile column contains at most one line, the
@@ -22,6 +23,11 @@ pub struct GlobalConfig {
     pub line_end_cost: bool,
     /// Negotiation-style rip-up/reroute passes after the initial pass.
     pub reroute_passes: usize,
+    /// Cooperative cancellation/budget handle. The inert default never
+    /// fires; when armed (see `mebl-route`'s `RunBudget`), cancellation
+    /// takes effect at net and pass boundaries so partial results stay
+    /// internally consistent.
+    pub cancel: CancelToken,
 }
 
 impl Default for GlobalConfig {
@@ -31,6 +37,7 @@ impl Default for GlobalConfig {
             stitch_aware_capacity: true,
             line_end_cost: true,
             reroute_passes: 3,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -172,10 +179,24 @@ impl State {
         }
     }
 
-    fn apply_route(&mut self, graph: &TileGraph, route: &GlobalRoute, sign: i64) {
+    fn apply_route(
+        &mut self,
+        graph: &TileGraph,
+        route: &GlobalRoute,
+        sign: i64,
+        cancel: &CancelToken,
+    ) {
         for &(a, b) in &route.edges {
             let Some((idx, is_h)) = graph.edge_between(a, b) else {
-                continue; // unreachable: routes only hold adjacent pairs
+                // Routes only hold adjacent pairs, so a missing edge is an
+                // invariant breach; skip the edge and surface it.
+                cancel.record(Degradation::new(
+                    Stage::Global,
+                    DegradationKind::InternalFallback,
+                    None,
+                    format!("demand update skipped for non-adjacent tile pair {a:?}-{b:?}"),
+                ));
+                continue;
             };
             let slot = if is_h {
                 &mut self.h_demand[idx]
@@ -235,12 +256,41 @@ pub fn route_circuit(
     let order: Vec<usize> = ladder.order().to_vec();
 
     let mut routes: Vec<GlobalRoute> = vec![GlobalRoute::default(); circuit.net_count()];
+    let mut skipped = 0usize;
     for &i in &order {
+        // Cancellation takes effect at net boundaries: a skipped net keeps
+        // its empty default route (no demand charged), so the capacity
+        // model stays consistent and the audit recount still agrees.
+        if config.cancel.is_cancelled() {
+            skipped += 1;
+            continue;
+        }
         routes[i] = route_net(circuit, i, &graph, &mut state, config);
+    }
+    if skipped > 0 {
+        config.cancel.record(Degradation::new(
+            Stage::Global,
+            DegradationKind::BudgetExhausted,
+            None,
+            format!("{skipped} nets left unrouted at tile level"),
+        ));
     }
 
     // Negotiation: penalise overflowed resources and reroute their nets.
-    for _ in 0..config.reroute_passes {
+    for pass in 0..config.reroute_passes {
+        if config.cancel.is_cancelled_now() {
+            config.cancel.record(Degradation::new(
+                Stage::Global,
+                DegradationKind::BudgetExhausted,
+                None,
+                format!(
+                    "negotiation passes {}..{} skipped",
+                    pass + 1,
+                    config.reroute_passes
+                ),
+            ));
+            break;
+        }
         let metrics = compute_metrics(&graph, &state, &routes);
         if metrics.total_edge_overflow == 0 && metrics.total_vertex_overflow == 0 {
             break;
@@ -282,8 +332,11 @@ pub fn route_circuit(
         if victims.is_empty() {
             break;
         }
+        // Rip up and reroute without an intervening cancellation point:
+        // demand removal and re-addition stay paired, so a cancelled run
+        // never leaves the capacity model out of sync with the routes.
         for &i in &victims {
-            state.apply_route(&graph, &routes[i], -1);
+            state.apply_route(&graph, &routes[i], -1, &config.cancel);
             routes[i] = GlobalRoute::default();
         }
         for &i in &victims {
@@ -292,7 +345,7 @@ pub fn route_circuit(
     }
 
     let metrics = compute_metrics(&graph, &state, &routes);
-    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state);
+    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state, &config.cancel);
     GlobalResult {
         routes,
         graph,
@@ -303,7 +356,11 @@ pub fn route_circuit(
 }
 
 /// Per-tile congestion and line-end utilisation maps.
-fn utilization_maps(graph: &TileGraph, state: &State) -> (Vec<f64>, Vec<f64>) {
+fn utilization_maps(
+    graph: &TileGraph,
+    state: &State,
+    cancel: &CancelToken,
+) -> (Vec<f64>, Vec<f64>) {
     let ratio = |d: u32, c: u32| {
         if c == 0 {
             if d == 0 { 0.0 } else { f64::INFINITY }
@@ -317,7 +374,15 @@ fn utilization_maps(graph: &TileGraph, state: &State) -> (Vec<f64>, Vec<f64>) {
         let mut worst = 0.0f64;
         for n in graph.neighbors(tile) {
             let Some((idx, is_h)) = graph.edge_between(tile, n) else {
-                continue; // unreachable: neighbors are adjacent by construction
+                // Neighbors are adjacent by construction; a miss means the
+                // tile graph disagrees with itself, so surface it.
+                cancel.record(Degradation::new(
+                    Stage::Global,
+                    DegradationKind::InternalFallback,
+                    None,
+                    format!("congestion map skipped edge {tile:?}-{n:?}"),
+                ));
+                continue;
             };
             let u = if is_h {
                 ratio(state.h_demand[idx], graph.h_edge_capacity(idx))
@@ -388,17 +453,23 @@ fn route_net(
     // Greedy nearest-target order (Prim-style MST decomposition).
     let mut remaining: Vec<TileId> = pin_tiles[1..].to_vec();
     while !remaining.is_empty() {
-        // Pick the remaining pin tile nearest to the current tree.
-        let Some((pos, _)) = remaining.iter().enumerate().min_by_key(|&(_, &t)| {
-            route
+        // Pick the remaining pin tile nearest to the current tree. A plain
+        // fold (first minimum wins, matching `min_by_key`) keeps this total
+        // without an `Option` or a sentinel distance: `route.tiles` and
+        // `remaining` are both non-empty here by construction.
+        let mut pos = 0usize;
+        let mut best = u32::MAX;
+        for (i, &t) in remaining.iter().enumerate() {
+            let d = route
                 .tiles
                 .iter()
                 .map(|&s| tile_dist(graph, s, t))
-                .min()
-                .unwrap_or(u32::MAX)
-        }) else {
-            break; // unreachable: the loop guard keeps `remaining` non-empty
-        };
+                .fold(u32::MAX, u32::min);
+            if d < best {
+                best = d;
+                pos = i;
+            }
+        }
         let target = remaining.swap_remove(pos);
         if route.tiles.contains(&target) {
             continue;
@@ -449,6 +520,21 @@ fn tile_dist(graph: &TileGraph, a: TileId, b: TileId) -> u32 {
 /// Fixed-point scale for f64 costs in the binary heap.
 const COST_SCALE: f64 = 1024.0;
 
+/// Ceiling on a single edge's congestion cost before fixed-point
+/// conversion. `ψ` is exponential in demand/capacity, so near-capacity
+/// demand can push a step cost to infinity; an unbounded `as u64` cast
+/// would saturate to `u64::MAX` and poison every accumulated path cost
+/// downstream of the edge. Clamping keeps blocked edges astronomically
+/// expensive (≫ any real path) while total costs stay far from overflow:
+/// even a million-edge path of clamped steps sums to ~1e15, four orders
+/// of magnitude under `u64::MAX`.
+const MAX_STEP_COST: f64 = 1.0e9;
+
+/// Converts an f64 step cost to saturating fixed-point heap units.
+fn fixed_cost(step: f64) -> u64 {
+    (step.clamp(0.0, MAX_STEP_COST) * COST_SCALE) as u64
+}
+
 /// Multi-source A\* over the tile graph from the net's current tree to
 /// `target`. Returns the tile path from a tree tile to the target.
 fn astar_tiles(
@@ -473,10 +559,23 @@ fn astar_tiles(
         if ut == target {
             break;
         }
+        // Charge the pop against the run's expansion budget. Global A*
+        // never aborts mid-search — an interrupted search would leave a
+        // half-built `prev` chain — so the cancellation this may latch
+        // takes effect at the next net boundary in `route_circuit`.
+        config.cancel.charge_expansions(1);
         let du = dist[u as usize];
         for v in graph.neighbors(ut) {
             let Some((idx, is_h)) = graph.edge_between(ut, v) else {
-                continue; // unreachable: neighbors are adjacent by construction
+                // Neighbors are adjacent by construction; surface the
+                // inconsistency instead of silently skipping the edge.
+                config.cancel.record(Degradation::new(
+                    Stage::Global,
+                    DegradationKind::InternalFallback,
+                    None,
+                    format!("search skipped edge {ut:?}-{v:?}"),
+                ));
+                continue;
             };
             let (cap, dem, hist) = if is_h {
                 (
@@ -504,11 +603,11 @@ fn astar_tiles(
                     graph.vertex_capacity(v),
                 ) + state.vertex_history[v.0 as usize];
             }
-            let nd = du + (step * COST_SCALE) as u64;
+            let nd = du.saturating_add(fixed_cost(step));
             if nd < dist[v.0 as usize] {
                 dist[v.0 as usize] = nd;
                 prev[v.0 as usize] = u;
-                heap.push(Reverse((nd + h(v), v.0)));
+                heap.push(Reverse((nd.saturating_add(h(v)), v.0)));
             }
         }
     }
@@ -664,6 +763,72 @@ mod tests {
             res.metrics.wirelength,
             res.routes[0].edges.len() as u64 * 15
         );
+    }
+
+    #[test]
+    fn step_cost_saturates_instead_of_poisoning() {
+        // ψ is exponential: near-capacity demand overflows f64 to +inf.
+        let blocked = psi(u32::MAX - 1, 1);
+        assert!(blocked.is_infinite());
+        let c = fixed_cost(blocked + 1.0);
+        // The fixed-point cost stays finite and far below u64::MAX, so
+        // accumulating it along a path can never wrap the total cost.
+        assert!(c < u64::MAX / 1_000_000, "cost {c} too close to u64::MAX");
+        assert_eq!(c, fixed_cost(f64::INFINITY));
+        assert_eq!(fixed_cost(-1.0), 0);
+        assert_eq!(fixed_cost(2.5), 2560);
+    }
+
+    #[test]
+    fn near_capacity_demand_still_routes_without_overflow() {
+        // Saturate every edge close to the u32 demand ceiling and route
+        // across the whole graph: before the saturating-cost fix this
+        // overflowed the accumulated path cost (debug panic / release
+        // wraparound that made blocked edges look free).
+        let outline = Rect::new(0, 0, 89, 59);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        let config = GlobalConfig::default();
+        let graph = TileGraph::new(outline, config.tile_size, 3, &plan, true);
+        let mut state = State::new(&graph);
+        for d in &mut state.h_demand {
+            *d = u32::MAX - 1;
+        }
+        for d in &mut state.v_demand {
+            *d = u32::MAX - 1;
+        }
+        for d in &mut state.vertex_demand {
+            *d = u32::MAX - 1;
+        }
+        let src = graph.tile_of(Point::new(1, 1));
+        let dst = graph.tile_of(Point::new(88, 58));
+        let path = astar_tiles(&graph, &state, &config, &[src], dst);
+        assert_eq!(path.first(), Some(&src));
+        assert_eq!(path.last(), Some(&dst));
+        // Manhattan-shortest through a uniformly blocked graph: the clamp
+        // keeps costs ordered, so the path cannot wander.
+        let expected = tile_dist(&graph, src, dst) as usize + 1;
+        assert_eq!(path.len(), expected);
+    }
+
+    #[test]
+    fn cancelled_token_skips_remaining_nets_consistently() {
+        let (c, plan) = tiny_circuit(vec![
+            Net::new("a", vec![pin(1, 1), pin(80, 50)]),
+            Net::new("b", vec![pin(5, 50), pin(85, 2)]),
+        ]);
+        let config = GlobalConfig {
+            cancel: CancelToken::armed(None, None),
+            ..GlobalConfig::default()
+        };
+        config.cancel.cancel();
+        let res = route_circuit(&c, &plan, &config);
+        // Every net skipped: empty routes, zero demand, consistent metrics.
+        assert!(res.routes.iter().all(|r| r.tiles.is_empty() && r.edges.is_empty()));
+        assert_eq!(res.metrics.wirelength, 0);
+        let events = config.cancel.take_degradations();
+        assert!(events
+            .iter()
+            .any(|d| d.kind == DegradationKind::BudgetExhausted && d.stage == Stage::Global));
     }
 
     #[test]

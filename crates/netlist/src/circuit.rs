@@ -193,6 +193,154 @@ impl Circuit {
     pub fn total_hpwl(&self) -> u64 {
         self.nets.iter().map(Net::hpwl).sum()
     }
+
+    /// Pre-flight validation: structural checks a router should run
+    /// before committing a budget to the circuit.
+    ///
+    /// `stitch_lines` are the x coordinates of the stitching lines the
+    /// run will use (pass `&[]` to skip stitch-related checks — the
+    /// netlist layer has no notion of a stitch plan of its own).
+    ///
+    /// Errors (outline degenerate or absurdly large, pin outside the
+    /// outline, pin layer above the stack) make the circuit unroutable
+    /// as given; warnings (pin on a stitching line, duplicate pin
+    /// cells across nets) are tolerated by the flow but worth
+    /// surfacing. The constructor already rejects some error cases for
+    /// circuits built through [`Circuit::new`]; `validate` re-checks
+    /// them so circuits from any future source get the same scrutiny.
+    pub fn validate(&self, stitch_lines: &[i32]) -> Vec<CircuitIssue> {
+        let mut issues = Vec::new();
+        let o = self.outline;
+
+        if o.width() < 2 || o.height() < 2 {
+            issues.push(CircuitIssue::error(
+                None,
+                format!(
+                    "degenerate outline {}x{}: routing needs at least a 2x2 grid",
+                    o.width(),
+                    o.height()
+                ),
+            ));
+        }
+        // Grid memory scales with outline area x layers; reject sizes
+        // that would exhaust memory long before any budget fires.
+        const MAX_CELLS: u64 = 1 << 28;
+        let cells = o.area().saturating_mul(u64::from(self.layer_count));
+        if cells > MAX_CELLS {
+            issues.push(CircuitIssue::error(
+                None,
+                format!("outline spans {cells} grid cells (limit {MAX_CELLS})"),
+            ));
+        }
+
+        let mut seen: std::collections::HashMap<(i32, i32, u8), usize> =
+            std::collections::HashMap::new();
+        for (idx, net) in self.nets.iter().enumerate() {
+            for pin in net.pins() {
+                let p = pin.position;
+                if !o.contains(p) {
+                    issues.push(CircuitIssue::error(
+                        Some(idx),
+                        format!("pin ({}, {}) outside outline {o}", p.x, p.y),
+                    ));
+                }
+                if pin.layer.index() >= self.layer_count {
+                    issues.push(CircuitIssue::error(
+                        Some(idx),
+                        format!(
+                            "pin layer {} above the {}-layer stack",
+                            pin.layer.index(),
+                            self.layer_count
+                        ),
+                    ));
+                }
+                if stitch_lines.contains(&p.x) {
+                    issues.push(CircuitIssue::warning(
+                        Some(idx),
+                        format!(
+                            "pin ({}, {}) sits on stitching line x={}: its via stack \
+                             will count as a tolerated violation",
+                            p.x, p.y, p.x
+                        ),
+                    ));
+                }
+                let key = (p.x, p.y, pin.layer.index());
+                if let Some(&other) = seen.get(&key) {
+                    if other != idx {
+                        issues.push(CircuitIssue::warning(
+                            Some(idx),
+                            format!(
+                                "pin ({}, {}) layer {} is shared with net {other}",
+                                p.x,
+                                p.y,
+                                pin.layer.index()
+                            ),
+                        ));
+                    }
+                } else {
+                    seen.insert(key, idx);
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// Severity of a [`CircuitIssue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueSeverity {
+    /// The circuit cannot be routed as given.
+    Error,
+    /// Tolerated by the flow, but worth surfacing.
+    Warning,
+}
+
+/// One finding of [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitIssue {
+    /// Severity class.
+    pub severity: IssueSeverity,
+    /// Net index the issue concerns, if any.
+    pub net: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CircuitIssue {
+    fn error(net: Option<usize>, message: String) -> Self {
+        Self {
+            severity: IssueSeverity::Error,
+            net,
+            message,
+        }
+    }
+
+    fn warning(net: Option<usize>, message: String) -> Self {
+        Self {
+            severity: IssueSeverity::Warning,
+            net,
+            message,
+        }
+    }
+
+    /// Whether the issue is an [`IssueSeverity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == IssueSeverity::Error
+    }
+}
+
+impl std::fmt::Display for CircuitIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            IssueSeverity::Error => "error",
+            IssueSeverity::Warning => "warning",
+        };
+        write!(f, "{sev}: ")?;
+        if let Some(net) = self.net {
+            write!(f, "net {net}: ")?;
+        }
+        f.write_str(&self.message)
+    }
 }
 
 #[cfg(test)]

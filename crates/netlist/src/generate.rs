@@ -1,6 +1,7 @@
 //! Seeded synthetic circuit generation.
 
 use crate::{BenchmarkSpec, Circuit, Net, Pin};
+use mebl_control::{Degradation, DegradationKind, Stage};
 use mebl_geom::{Coord, Layer, Point, Rect};
 use mebl_testkit::{Rng, Xoshiro256pp};
 use std::collections::HashSet;
@@ -56,6 +57,19 @@ fn fnv1a(s: &str) -> u64 {
 /// Generates the synthetic circuit for `spec` (see crate docs for the
 /// modelling rationale).
 pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
+    generate_with_events(spec, config).0
+}
+
+/// Like [`generate`], but also surfaces the shortcuts the generator took
+/// (saturated-neighbourhood pin placements, truncated or dropped nets) as
+/// [`Degradation`] records instead of taking them silently.
+///
+/// The returned circuit is bit-identical to [`generate`]'s — event
+/// collection never touches the RNG stream.
+pub fn generate_with_events(
+    spec: &BenchmarkSpec,
+    config: &GenerateConfig,
+) -> (Circuit, Vec<Degradation>) {
     assert!(config.net_scale > 0.0 && config.net_scale <= 1.0);
     assert!(config.cells_per_pin >= 4.0, "need at least 4 cells per pin");
 
@@ -88,6 +102,9 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
     let min_dim = width.min(height) as f64;
     let mut used: HashSet<Point> = HashSet::with_capacity(n_pins * 2);
     let mut nets = Vec::with_capacity(n_nets);
+    let mut fallback_pins = 0usize;
+    let mut truncated_nets = 0usize;
+    let mut dropped_nets = 0usize;
     for (i, &deg) in degrees.iter().enumerate() {
         let locality: f64 = rng.gen_f64();
         let radius = if locality < 0.75 {
@@ -101,22 +118,59 @@ pub fn generate(spec: &BenchmarkSpec, config: &GenerateConfig) -> Circuit {
         let cy = rng.gen_range(0..height);
         let mut pins = Vec::with_capacity(deg);
         for _ in 0..deg {
-            let Some(p) = place_pin(&mut rng, outline, cx, cy, radius, &mut used) else {
-                break; // grid exhausted: keep whatever pins the net has
+            // A `None` means the whole grid is exhausted: keep whatever
+            // pins the net has and surface the truncation below.
+            let Some((p, fell_back)) = place_pin(&mut rng, outline, cx, cy, radius, &mut used)
+            else {
+                break;
             };
+            fallback_pins += usize::from(fell_back);
             pins.push(Pin::new(p, Layer::new(0)));
         }
         if pins.len() >= 2 {
+            if pins.len() < deg {
+                truncated_nets += 1;
+            }
             nets.push(Net::new(format!("{}_{}", spec.name.to_lowercase(), i), pins));
+        } else {
+            dropped_nets += 1;
         }
     }
 
-    Circuit::new(spec.name, outline, spec.layers, nets)
+    let mut events = Vec::new();
+    if fallback_pins > 0 {
+        events.push(Degradation::new(
+            Stage::Generate,
+            DegradationKind::InternalFallback,
+            None,
+            format!(
+                "{fallback_pins} pins placed by row-major scan after 64 saturated samples"
+            ),
+        ));
+    }
+    if truncated_nets > 0 {
+        events.push(Degradation::new(
+            Stage::Generate,
+            DegradationKind::InternalFallback,
+            None,
+            format!("{truncated_nets} nets truncated: grid exhausted before full degree"),
+        ));
+    }
+    if dropped_nets > 0 {
+        events.push(Degradation::new(
+            Stage::Generate,
+            DegradationKind::InternalFallback,
+            None,
+            format!("{dropped_nets} nets dropped with fewer than two placeable pins"),
+        ));
+    }
+    (Circuit::new(spec.name, outline, spec.layers, nets), events)
 }
 
 /// Samples a pin near `(cx, cy)` within `radius`, guaranteeing a globally
 /// unique grid position (falls back to a deterministic scan when the
-/// neighbourhood is saturated). Returns `None` only when every cell of the
+/// neighbourhood is saturated; the boolean reports that fallback so the
+/// caller can surface it). Returns `None` only when every cell of the
 /// grid is occupied; the generator sizes grids so that never happens in
 /// practice.
 fn place_pin(
@@ -126,7 +180,7 @@ fn place_pin(
     cy: Coord,
     radius: f64,
     used: &mut HashSet<Point>,
-) -> Option<Point> {
+) -> Option<(Point, bool)> {
     let r = radius.ceil() as Coord;
     for attempt in 0..64 {
         // Widen the window if the local area is saturated.
@@ -135,7 +189,7 @@ fn place_pin(
         let y = (cy + rng.gen_range(-w..=w)).clamp(outline.y0(), outline.y1());
         let p = Point::new(x, y);
         if used.insert(p) {
-            return Some(p);
+            return Some((p, false));
         }
     }
     // Deterministic fallback: first free cell in row-major order from the
@@ -147,7 +201,7 @@ fn place_pin(
                 (cy + dy).clamp(outline.y0(), outline.y1()),
             );
             if used.insert(p) {
-                return Some(p);
+                return Some((p, true));
             }
         }
     }

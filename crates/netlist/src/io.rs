@@ -159,7 +159,9 @@ pub fn circuit_from_str(text: &str) -> Result<Circuit, ParseCircuitError> {
             Some(other) => {
                 return Err(err(lineno, &format!("unknown directive '{other}'")));
             }
-            None => unreachable!("blank lines filtered"),
+            // Blank lines are filtered above, but treating an empty token
+            // stream as a blank line keeps the parser total either way.
+            None => continue,
         }
     }
 

@@ -31,7 +31,7 @@ mod generate;
 mod io;
 mod suite;
 
-pub use circuit::{Circuit, Net, NetId, Pin};
-pub use generate::GenerateConfig;
+pub use circuit::{Circuit, CircuitIssue, IssueSeverity, Net, NetId, Pin};
+pub use generate::{generate_with_events, GenerateConfig};
 pub use io::{circuit_from_str, circuit_to_string, ParseCircuitError};
 pub use suite::{faraday_suite, full_suite, mcnc_suite, BenchmarkSpec, Suite};

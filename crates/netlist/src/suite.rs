@@ -67,6 +67,15 @@ impl BenchmarkSpec {
         crate::generate::generate(self, config)
     }
 
+    /// Like [`BenchmarkSpec::generate`], surfacing generator shortcuts
+    /// as degradation records (same circuit, bit for bit).
+    pub fn generate_with_events(
+        &self,
+        config: &GenerateConfig,
+    ) -> (Circuit, Vec<mebl_control::Degradation>) {
+        crate::generate::generate_with_events(self, config)
+    }
+
     /// The six "hard" MCNC benchmarks used in Table IV (the s-circuits,
     /// which are the only ones with vertex overflow in global routing).
     pub fn is_hard_mcnc(&self) -> bool {

@@ -1,0 +1,184 @@
+//! Run budgets and the typed failure model of the routing flow.
+
+use crate::Stopwatch;
+use mebl_control::{CancelToken, DeadlineProbe};
+use mebl_netlist::CircuitIssue;
+use std::time::Duration;
+
+/// Resource bounds for one routing run.
+///
+/// The default budget is unlimited and adds no overhead beyond one
+/// atomic load per cooperative check; results are bit-identical to an
+/// unbudgeted run. When a bound is set, the run degrades gracefully
+/// instead of failing: stages stop at net/pass boundaries, skipped work
+/// is recorded as [`Degradation`](mebl_control::Degradation)s on the
+/// outcome, and the partial result still satisfies every hard MEBL
+/// constraint (see `tests/robustness.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock deadline for the whole run. The clock starts when the
+    /// run starts; the single sanctioned clock site ([`Stopwatch`])
+    /// keeps deadline probes out of the determinism-linted crates.
+    pub time: Option<Duration>,
+    /// Wall-clock ceiling per pipeline stage. A stage that exceeds it
+    /// stops early without consuming the rest of the run's budget.
+    pub stage_time: Option<Duration>,
+    /// Cap on total search-node expansions (global + detailed A\*).
+    /// Deterministic, unlike wall-clock bounds — preferred in tests.
+    pub max_expansions: Option<u64>,
+}
+
+impl RunBudget {
+    /// No bounds (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Budget with only a wall-clock deadline.
+    pub fn with_time(limit: Duration) -> Self {
+        Self {
+            time: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// Budget with only an expansion cap.
+    pub fn with_max_expansions(cap: u64) -> Self {
+        Self {
+            max_expansions: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Whether no bound is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time.is_none() && self.stage_time.is_none() && self.max_expansions.is_none()
+    }
+
+    /// Whether the budget is spent before any work can happen.
+    pub fn is_dead_on_arrival(&self) -> bool {
+        self.time == Some(Duration::ZERO)
+            || self.stage_time == Some(Duration::ZERO)
+            || self.max_expansions == Some(0)
+    }
+
+    /// Arms a run-wide [`CancelToken`] for this budget. The deadline
+    /// clock starts now.
+    pub(crate) fn arm(&self) -> CancelToken {
+        let deadline: Option<DeadlineProbe> = self.time.map(|limit| {
+            let sw = Stopwatch::start();
+            Box::new(move || sw.elapsed() >= limit) as DeadlineProbe
+        });
+        CancelToken::armed(self.max_expansions, deadline)
+    }
+
+    /// Scopes `token` with this budget's per-stage deadline, if any.
+    /// The stage clock starts now.
+    pub(crate) fn stage_scope(&self, token: &CancelToken) -> CancelToken {
+        match self.stage_time {
+            Some(limit) => {
+                let sw = Stopwatch::start();
+                token.with_stage_deadline(Box::new(move || sw.elapsed() >= limit))
+            }
+            None => token.clone(),
+        }
+    }
+}
+
+/// Typed failure of [`Router::try_route`](crate::Router::try_route).
+///
+/// Degraded-but-usable outcomes are *not* errors — they come back as a
+/// [`RoutingOutcome`](crate::RoutingOutcome) with recorded
+/// degradations. An error means the run produced no result at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The router configuration itself is unusable (e.g. a non-positive
+    /// stitch period).
+    InvalidConfig(String),
+    /// Pre-flight validation found error-severity issues; the full list
+    /// is attached.
+    InvalidCircuit(Vec<CircuitIssue>),
+    /// The budget was exhausted before any routing could start.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RouteError::InvalidCircuit(issues) => {
+                let errors: Vec<&CircuitIssue> =
+                    issues.iter().filter(|i| i.is_error()).collect();
+                match errors.split_first() {
+                    Some((first, [])) => write!(f, "invalid circuit: {first}"),
+                    Some((first, rest)) => {
+                        write!(f, "invalid circuit: {first} (+{} more)", rest.len())
+                    }
+                    None => write!(f, "invalid circuit"),
+                }
+            }
+            RouteError::BudgetExhausted => {
+                write!(f, "budget exhausted before routing could start")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_is_default_and_not_dead() {
+        let b = RunBudget::default();
+        assert!(b.is_unlimited());
+        assert!(!b.is_dead_on_arrival());
+        assert_eq!(b, RunBudget::unlimited());
+    }
+
+    #[test]
+    fn zero_bounds_are_dead_on_arrival() {
+        assert!(RunBudget::with_time(Duration::ZERO).is_dead_on_arrival());
+        assert!(RunBudget::with_max_expansions(0).is_dead_on_arrival());
+        assert!(!RunBudget::with_max_expansions(1).is_dead_on_arrival());
+    }
+
+    #[test]
+    fn armed_token_enforces_expansion_cap() {
+        let token = RunBudget::with_max_expansions(5).arm();
+        assert!(!token.charge_expansions(4));
+        assert!(token.charge_expansions(1));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_probe_uses_the_stopwatch() {
+        // A zero deadline fires on the first unconditional probe.
+        let token = RunBudget::with_time(Duration::ZERO).arm();
+        assert!(token.is_cancelled_now());
+    }
+
+    #[test]
+    fn stage_scope_trips_only_the_scoped_clone() {
+        let budget = RunBudget {
+            stage_time: Some(Duration::ZERO),
+            ..RunBudget::default()
+        };
+        let token = budget.arm();
+        let staged = budget.stage_scope(&token);
+        assert!(staged.is_cancelled_now());
+        assert!(!token.is_cancelled_now());
+    }
+
+    #[test]
+    fn error_messages_are_single_line() {
+        for e in [
+            RouteError::InvalidConfig("stitch period must be positive".into()),
+            RouteError::BudgetExhausted,
+        ] {
+            assert!(!e.to_string().contains('\n'));
+        }
+    }
+}

@@ -36,20 +36,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod report;
 
+pub use budget::{RouteError, RunBudget};
+pub use mebl_control::{CancelReason, CancelToken, Degradation, DegradationKind, Stage};
 pub use report::{RouteReport, Stopwatch};
 
 use mebl_assign::{assign_tracks, extract_panels, TrackConfig, TrackResult};
 use mebl_detailed::{route_detailed, DetailedConfig, DetailedResult};
 use mebl_geom::Point;
 use mebl_global::{route_circuit, GlobalConfig, GlobalResult};
-use mebl_netlist::Circuit;
+use mebl_netlist::{Circuit, CircuitIssue};
 use mebl_stitch::{StitchConfig, StitchPlan};
 use std::collections::HashSet;
 
 /// Configuration of the full routing flow.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
     /// Stitching-line geometry.
     pub stitch: StitchConfig,
@@ -59,6 +62,8 @@ pub struct RouterConfig {
     pub track: TrackConfig,
     /// Detailed routing stage.
     pub detailed: DetailedConfig,
+    /// Resource bounds for the run (unlimited by default).
+    pub budget: RunBudget,
 }
 
 impl RouterConfig {
@@ -69,6 +74,7 @@ impl RouterConfig {
             global: GlobalConfig::default(),
             track: TrackConfig::default(),
             detailed: DetailedConfig::default(),
+            budget: RunBudget::default(),
         }
     }
 
@@ -85,9 +91,43 @@ impl RouterConfig {
             track: TrackConfig {
                 layer_mode: mebl_assign::LayerMode::MstBaseline,
                 track_mode: mebl_assign::TrackMode::Baseline,
+                ..TrackConfig::default()
             },
             detailed: DetailedConfig::without_stitch_consideration(),
+            budget: RunBudget::default(),
         }
+    }
+
+    /// Returns this configuration with `budget` installed.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Checks the stitch geometry parameters that [`StitchPlan::new`]
+    /// would otherwise reject by panicking.
+    fn check_stitch(&self) -> Result<(), RouteError> {
+        let s = &self.stitch;
+        if s.period <= 0 {
+            return Err(RouteError::InvalidConfig(format!(
+                "stitch period must be positive (got {})",
+                s.period
+            )));
+        }
+        if s.epsilon < 0 {
+            return Err(RouteError::InvalidConfig(format!(
+                "epsilon must be non-negative (got {})",
+                s.epsilon
+            )));
+        }
+        if s.escape_width < s.epsilon {
+            return Err(RouteError::InvalidConfig(format!(
+                "escape width {} must contain the unfriendly region {}",
+                s.escape_width, s.epsilon
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -125,6 +165,17 @@ pub struct RoutingOutcome {
     pub report: RouteReport,
     /// Per-stage wall-clock breakdown.
     pub timings: StageTimings,
+    /// Everything the run gave up or papered over, in the order it
+    /// happened. Empty for a clean, unconstrained run.
+    pub degradations: Vec<Degradation>,
+}
+
+impl RoutingOutcome {
+    /// Whether the run recorded any [`Degradation`]. A degraded outcome
+    /// is still audit-clean — it just covers less than was asked for.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
 }
 
 /// The full two-pass stitch-aware router.
@@ -149,28 +200,84 @@ impl Router {
     }
 
     /// Routes a circuit through all three stages and checks the result.
+    ///
+    /// This entry point is infallible and keeps the pre-budget contract:
+    /// with the default (unlimited) budget the output is bit-identical to
+    /// earlier releases. Budget overruns and internal shortcuts come back
+    /// as [`RoutingOutcome::degradations`], never as panics. Use
+    /// [`Router::try_route`] to also get pre-flight validation and a
+    /// typed error for runs that cannot produce a result at all.
     pub fn route(&self, circuit: &Circuit) -> RoutingOutcome {
+        self.run_with(circuit, self.config.budget.arm())
+    }
+
+    /// Validates, then routes: the fallible front door of the flow.
+    ///
+    /// Returns `Err` only when the run can produce no result at all —
+    /// a degenerate stitch configuration, a circuit that fails
+    /// [`Circuit::validate`] with error-severity issues, or a budget
+    /// that is already spent on arrival. Anything less fatal routes and
+    /// reports what was skipped via [`RoutingOutcome::degradations`].
+    pub fn try_route(&self, circuit: &Circuit) -> Result<RoutingOutcome, RouteError> {
+        self.config.check_stitch()?;
+        let issues = self.validate(circuit);
+        if issues.iter().any(CircuitIssue::is_error) {
+            return Err(RouteError::InvalidCircuit(issues));
+        }
+        if self.config.budget.is_dead_on_arrival() {
+            return Err(RouteError::BudgetExhausted);
+        }
+        let token = self.config.budget.arm();
+        if token.is_cancelled_now() {
+            // A non-zero but too-tight deadline can expire between arming
+            // and the first stage; surface that as the same typed error.
+            return Err(RouteError::BudgetExhausted);
+        }
+        Ok(self.run_with(circuit, token))
+    }
+
+    /// Pre-flight checks of `circuit` against this configuration's
+    /// stitch geometry (pins on stitching lines are found relative to
+    /// the plan the run would use).
+    pub fn validate(&self, circuit: &Circuit) -> Vec<CircuitIssue> {
+        if self.config.check_stitch().is_err() {
+            return circuit.validate(&[]);
+        }
+        let plan = StitchPlan::new(circuit.outline(), self.config.stitch);
+        circuit.validate(plan.lines())
+    }
+
+    /// Runs the three-stage flow with `token` threaded through every
+    /// stage, draining whatever the stages recorded into the outcome.
+    fn run_with(&self, circuit: &Circuit, token: CancelToken) -> RoutingOutcome {
         let start = Stopwatch::start();
         let plan = StitchPlan::new(circuit.outline(), self.config.stitch);
+        let budget = self.config.budget;
         let mut timings = StageTimings::default();
 
         let t = Stopwatch::start();
-        let global = route_circuit(circuit, &plan, &self.config.global);
+        let mut global_config = self.config.global.clone();
+        global_config.cancel = budget.stage_scope(&token);
+        let global = route_circuit(circuit, &plan, &global_config);
         timings.global = t.elapsed();
 
         let t = Stopwatch::start();
         let panels = extract_panels(&global);
+        let mut track_config = self.config.track.clone();
+        track_config.cancel = budget.stage_scope(&token);
         let tracks = assign_tracks(
             &panels,
             &global.graph,
             &plan,
             circuit.layer_count(),
-            &self.config.track,
+            &track_config,
         );
         timings.assignment = t.elapsed();
 
         let t = Stopwatch::start();
-        let detailed = route_detailed(circuit, &plan, &global.graph, &tracks, &self.config.detailed);
+        let mut detailed_config = self.config.detailed.clone();
+        detailed_config.cancel = budget.stage_scope(&token);
+        let detailed = route_detailed(circuit, &plan, &global.graph, &tracks, &detailed_config);
         timings.detailed = t.elapsed();
 
         let t = Stopwatch::start();
@@ -179,6 +286,7 @@ impl Router {
         // Stamp the true total (build_report ran before check finished).
         report.elapsed = start.elapsed();
 
+        let degradations = token.take_degradations();
         RoutingOutcome {
             plan,
             global,
@@ -186,6 +294,7 @@ impl Router {
             detailed,
             report,
             timings,
+            degradations,
         }
     }
 }
@@ -295,5 +404,70 @@ mod tests {
         assert_eq!(out.global.routes.len(), c.net_count());
         assert_eq!(out.detailed.geometry.len(), c.net_count());
         assert_eq!(out.plan.outline(), c.outline());
+    }
+
+    #[test]
+    fn unconstrained_run_records_no_degradations() {
+        let c = quick("S5378", 3);
+        let out = Router::default().route(&c);
+        assert!(!out.is_degraded(), "unexpected: {:?}", out.degradations);
+    }
+
+    #[test]
+    fn dead_budget_is_a_typed_error() {
+        let c = quick("S5378", 3);
+        let config = RouterConfig::stitch_aware().with_budget(RunBudget::with_max_expansions(0));
+        assert!(matches!(
+            Router::new(config).try_route(&c),
+            Err(RouteError::BudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn expansion_cap_degrades_instead_of_failing() {
+        let c = quick("S5378", 3);
+        let config = RouterConfig::stitch_aware().with_budget(RunBudget::with_max_expansions(500));
+        let out = Router::new(config)
+            .try_route(&c)
+            .expect("capped run still produces an outcome");
+        assert!(out.is_degraded(), "a 500-expansion cap must bite");
+        assert!(out
+            .degradations
+            .iter()
+            .any(|d| d.kind == DegradationKind::BudgetExhausted));
+        // Partial results keep their shape: one entry per net.
+        assert_eq!(out.global.routes.len(), c.net_count());
+        assert_eq!(out.detailed.geometry.len(), c.net_count());
+    }
+
+    #[test]
+    fn degenerate_stitch_config_is_reported_not_panicked() {
+        let c = quick("S5378", 3);
+        let mut config = RouterConfig::stitch_aware();
+        config.stitch.period = 0;
+        match Router::new(config).try_route(&c) {
+            Err(RouteError::InvalidConfig(msg)) => assert!(msg.contains("period")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_flags_pin_on_stitch_line_as_warning() {
+        use mebl_geom::{Layer, Point, Rect};
+        use mebl_netlist::{Net, Pin};
+        let net = Net::new(
+            "a",
+            vec![
+                Pin::new(Point::new(15, 3), Layer::new(0)),
+                Pin::new(Point::new(40, 9), Layer::new(0)),
+            ],
+        );
+        let c = Circuit::new("demo", Rect::new(0, 0, 59, 19), 3, vec![net]);
+        let router = Router::default();
+        let issues = router.validate(&c);
+        assert!(issues.iter().any(|i| !i.is_error()));
+        assert!(!issues.iter().any(CircuitIssue::is_error));
+        // Warnings alone must not block routing.
+        assert!(router.try_route(&c).is_ok());
     }
 }

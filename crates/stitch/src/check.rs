@@ -149,11 +149,16 @@ pub fn check_geometry(
         }
         let (lo_end, hi_end) = run.endpoints();
         for end in [lo_end, hi_end] {
-            // The relevant line is the cutting line nearest this end.
-            let Some(near) = cutting.iter().copied().min_by_key(|&l| (end.x - l).abs())
-            else {
-                continue; // unreachable: `cutting` checked non-empty above
-            };
+            // The relevant line is the cutting line nearest this end. A
+            // fold seeded from the first line keeps this total by
+            // construction (`cutting` is non-empty here) and matches
+            // `min_by_key`'s first-minimum tie-break.
+            let mut near = cutting[0];
+            for &l in &cutting[1..] {
+                if (end.x - l).abs() < (end.x - near).abs() {
+                    near = l;
+                }
+            }
             if (end.x - near).abs() <= eps && geometry.has_via_at(end, run.layer) {
                 v.short_polygons += 1;
             }

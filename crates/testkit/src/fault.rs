@@ -1,0 +1,194 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] enumerates hostile-but-reproducible conditions a
+//! routing run must survive: corrupted circuit files, adversarial pin
+//! placements, starved search budgets. This crate only *describes* the
+//! faults and provides the deterministic text mutators; the robustness
+//! suite (`tests/robustness.rs`) interprets each fault against the
+//! router and asserts the typed-failure contract — every fault yields a
+//! typed error or an audit-clean degraded outcome, never a panic.
+
+use crate::{Rng, SplitMix64};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Keep only the first `permille`/1000 of the circuit text.
+    TruncateText {
+        /// Thousandths of the text to keep (0–1000).
+        permille: u32,
+    },
+    /// Flip one bit of the circuit text (index taken modulo text length).
+    FlipBit {
+        /// Bit index into the text, wrapped modulo `len * 8`.
+        index: u64,
+    },
+    /// Shuffle the lines of the circuit text with a seeded RNG.
+    ShuffleLines {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Shrink routing capacity to nothing: a stitch/tile period so small
+    /// every tile boundary cuts the grid.
+    ZeroCapacity,
+    /// Cram pins into a single congested corner of the outline.
+    AdversarialPins {
+        /// Placement seed.
+        seed: u64,
+    },
+    /// Starve the detailed router's per-net search node cap.
+    TinyNodeCap {
+        /// Node cap to impose.
+        cap: usize,
+    },
+    /// A wall-clock budget that expires almost immediately.
+    NearZeroTimeBudget {
+        /// Budget in milliseconds.
+        millis: u64,
+    },
+    /// A global expansion cap far below what the circuit needs.
+    TinyExpansionCap {
+        /// Expansion cap to impose.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::TruncateText { permille } => write!(f, "truncate-text({permille}‰)"),
+            Fault::FlipBit { index } => write!(f, "flip-bit({index})"),
+            Fault::ShuffleLines { seed } => write!(f, "shuffle-lines(seed {seed})"),
+            Fault::ZeroCapacity => write!(f, "zero-capacity"),
+            Fault::AdversarialPins { seed } => write!(f, "adversarial-pins(seed {seed})"),
+            Fault::TinyNodeCap { cap } => write!(f, "tiny-node-cap({cap})"),
+            Fault::NearZeroTimeBudget { millis } => write!(f, "near-zero-budget({millis}ms)"),
+            Fault::TinyExpansionCap { cap } => write!(f, "tiny-expansion-cap({cap})"),
+        }
+    }
+}
+
+/// A reproducible set of faults to run a subject through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, in injection order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The standard battery: every fault family, with seed-derived
+    /// parameters so different seeds probe different corruptions.
+    pub fn standard(seed: u64) -> Self {
+        let mut rng = SplitMix64::from_seed(seed);
+        let mut faults = vec![
+            Fault::TruncateText {
+                permille: rng.gen_range(1u32..999),
+            },
+            Fault::TruncateText { permille: 0 },
+            Fault::ShuffleLines { seed: rng.next_u64() },
+            Fault::ZeroCapacity,
+            Fault::AdversarialPins { seed: rng.next_u64() },
+            Fault::TinyNodeCap { cap: 1 },
+            Fault::TinyNodeCap {
+                cap: rng.gen_range(2usize..64),
+            },
+            Fault::NearZeroTimeBudget { millis: 1 },
+            Fault::TinyExpansionCap { cap: 1 },
+            Fault::TinyExpansionCap {
+                cap: rng.gen_range(2u64..5_000),
+            },
+        ];
+        for _ in 0..8 {
+            faults.push(Fault::FlipBit {
+                index: rng.next_u64(),
+            });
+        }
+        Self { faults }
+    }
+}
+
+/// Keeps the first `permille`/1000 bytes of `text` (clamped to a char
+/// boundary so the result stays valid UTF-8).
+pub fn truncate_text(text: &str, permille: u32) -> String {
+    let keep = (text.len() as u64 * u64::from(permille.min(1000)) / 1000) as usize;
+    let mut keep = keep.min(text.len());
+    while keep > 0 && !text.is_char_boundary(keep) {
+        keep -= 1;
+    }
+    text[..keep].to_string()
+}
+
+/// Flips one bit of `text` (index wrapped modulo the bit length) and
+/// re-interprets the bytes lossily as UTF-8. Empty input is returned
+/// unchanged.
+pub fn flip_bit(text: &str, index: u64) -> String {
+    if text.is_empty() {
+        return String::new();
+    }
+    let mut bytes = text.as_bytes().to_vec();
+    let bit = (index % (bytes.len() as u64 * 8)) as usize;
+    bytes[bit / 8] ^= 1 << (bit % 8);
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Shuffles the lines of `text` with a seeded Fisher–Yates pass.
+pub fn shuffle_lines(text: &str, seed: u64) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    SplitMix64::from_seed(seed).shuffle(&mut lines);
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') && !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_plan_is_deterministic_and_varied() {
+        let a = FaultPlan::standard(7);
+        let b = FaultPlan::standard(7);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::standard(8));
+        assert!(a.faults.len() >= 10);
+        assert!(a
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::FlipBit { .. })));
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        let text = "net α β γ\npin δ\n";
+        for permille in [0, 250, 500, 750, 999, 1000, 5000] {
+            let t = truncate_text(text, permille);
+            assert!(text.starts_with(&t));
+        }
+        assert_eq!(truncate_text(text, 1000), text);
+        assert_eq!(truncate_text(text, 0), "");
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit_of_ascii() {
+        let text = "outline 0 0 9 9";
+        let flipped = flip_bit(text, 3);
+        assert_ne!(flipped, text);
+        // Flipping the same bit again restores the original.
+        assert_eq!(flip_bit(&flipped, 3), text);
+        assert_eq!(flip_bit("", 42), "");
+    }
+
+    #[test]
+    fn shuffle_preserves_the_multiset_of_lines() {
+        let text = "a\nb\nc\nd\ne\n";
+        let shuffled = shuffle_lines(text, 99);
+        let mut orig: Vec<&str> = text.lines().collect();
+        let mut got: Vec<&str> = shuffled.lines().collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(orig, got);
+        assert_eq!(shuffle_lines(text, 99), shuffled);
+    }
+}

@@ -24,7 +24,9 @@
 //! external dependencies to any crate manifest; extend this crate instead.
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
+pub use fault::{flip_bit, shuffle_lines, truncate_text, Fault, FaultPlan};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -2,13 +2,18 @@
 //!
 //! The lint is deliberately dumb — no syn, no proc-macros, just a
 //! comment/string-stripping scanner — so it stays dependency-free and
-//! fast. Four rules:
+//! fast. Five rules:
 //!
 //! * **no-panic** — `.unwrap()`, `.expect(` and `panic!(` are banned in
 //!   library code. Tests (`#[cfg(test)]` blocks), binaries (`mebl-cli`,
 //!   `mebl-xtask`), the bench harness and the test harness (`mebl-testkit`)
 //!   are exempt. Individually justified sites live in the allowlist
 //!   (`crates/xtask/lint-allow.txt`).
+//! * **silent-fallback** — `unreachable!(` and the `// unreachable:`
+//!   comment convention (a fallback branch asserted to never run) are
+//!   banned in library code. A branch that "cannot happen" either panics
+//!   when it does (use the typed failure model instead: record a
+//!   `Degradation` or return an error) or silently produces wrong data.
 //! * **no-clock** — `Instant::now` / `SystemTime::now` make routing output
 //!   nondeterministic to observe; they are allowed only in the sanctioned
 //!   timing sites (`route/src/report.rs`, `testkit/src/bench.rs`).
@@ -241,6 +246,19 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                         message: format!("`{tok}` in library code; handle the None/Err case"),
                     });
                 }
+            }
+            // Silent fallbacks: both the macro and the comment convention
+            // (`// unreachable: ...`) that marks a branch as impossible.
+            // The marker lives in comments, so scan the raw line.
+            if contains_token(code, "unreachable!(") || raw.contains("unreachable:") {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: "silent-fallback",
+                    message: "asserted-unreachable fallback in library code; \
+                              record a Degradation or return a typed error"
+                        .to_string(),
+                });
             }
         }
         if clock_rule_applies(rel) {
@@ -557,6 +575,24 @@ fn f() { let s = \".unwrap() panic!(\"; let r = r#\"dbg!(\"#; }
     fn unwrap_or_variants_not_flagged() {
         let src = "fn f() { g().unwrap_or(0); g().unwrap_or_else(|| 0); }\n";
         assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unreachable_macro_and_marker_flagged_in_library_code() {
+        let src = "fn f() { match x { Some(v) => v, None => unreachable!(\"no\") } }\n";
+        assert_eq!(rules("crates/geom/src/a.rs", src), vec!["silent-fallback"]);
+        let marked = "fn f() {\n    // unreachable: callers filter blanks\n    0\n}\n";
+        assert_eq!(rules("crates/geom/src/a.rs", marked), vec!["silent-fallback"]);
+        // Binaries, harnesses and tests keep their assertions.
+        assert!(rules("crates/cli/src/main.rs", src).is_empty());
+        assert!(rules("crates/testkit/src/prop.rs", src).is_empty());
+        assert!(rules("tests/flow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_of_unreachable_not_flagged() {
+        let src = "/// Distances of unreachable nodes hold `i64::MIN`.\nfn f() {}\n";
+        assert!(rules("crates/graph/src/a.rs", src).is_empty());
     }
 
     #[test]

@@ -31,4 +31,18 @@ for seed in 1 2 3; do
         audit --bench S5378 --seed "$seed" --baseline
 done
 
+echo "=== robustness (fault injection, typed failure model) ==="
+cargo test -q --release --offline -p mebl-bench --test robustness
+
+echo "=== degraded-run smoke (budget bites -> exit 2, still audit-clean) ==="
+set +e
+cargo run --release --offline -q -p mebl-cli -- \
+    audit --bench S5378 --seed 1 --max-expansions 2000 --strict
+status=$?
+set -e
+if [ "$status" -ne 2 ]; then
+    echo "expected exit 2 (degraded) from the capped audit run, got $status" >&2
+    exit 1
+fi
+
 echo "=== ci.sh: all gates passed ==="

@@ -130,6 +130,7 @@ fn track_assignment_modes_ranked() {
             &TrackConfig {
                 layer_mode: LayerMode::Ours,
                 track_mode: mode,
+                ..TrackConfig::default()
             },
         )
     };

@@ -14,8 +14,8 @@ fn quick(seed: u64) -> Circuit {
         .generate(&GenerateConfig::quick(seed))
 }
 
-fn routed(circuit: &Circuit, config: RouterConfig) -> RoutingOutcome {
-    Router::new(config).route(circuit)
+fn routed(circuit: &Circuit, config: &RouterConfig) -> RoutingOutcome {
+    Router::new(config.clone()).route(circuit)
 }
 
 /// Acceptance: the stitch-aware flow on the S5378 quick seeds audits
@@ -26,7 +26,7 @@ fn stitch_aware_quick_seeds_audit_clean() {
     for seed in [1, 2, 3] {
         let circuit = quick(seed);
         let config = RouterConfig::stitch_aware();
-        let outcome = routed(&circuit, config);
+        let outcome = routed(&circuit, &config);
         let audit = audit_outcome(&circuit, &config, &outcome);
         assert!(
             audit.is_clean(),
@@ -49,7 +49,7 @@ fn prop_audit_is_error_free_for_both_configs() {
     prop_check!(Config::with_cases(4), prop::ints(0u64..1 << 32), |seed| {
         let circuit = quick(seed);
         for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
-            let outcome = routed(&circuit, config);
+            let outcome = routed(&circuit, &config);
             let audit = audit_outcome(&circuit, &config, &outcome);
             prop_assert_eq!(audit.error_count(), 0);
             prop_assert_eq!(audit.recount.wirelength, outcome.report.wirelength);
@@ -66,7 +66,7 @@ fn prop_audit_is_error_free_for_both_configs() {
 fn mutated_base() -> (Circuit, RouterConfig, RoutingOutcome) {
     let circuit = quick(1);
     let config = RouterConfig::stitch_aware();
-    let outcome = routed(&circuit, config);
+    let outcome = routed(&circuit, &config);
     (circuit, config, outcome)
 }
 

@@ -22,6 +22,7 @@ use crate::{layer_assign_mst, layer_assign_ours, ConflictGraph, SegmentInterval}
 use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::Coord;
 use mebl_global::TileGraph;
+use mebl_par::Pool;
 use mebl_stitch::StitchPlan;
 use std::collections::BTreeSet;
 
@@ -62,6 +63,11 @@ pub struct TrackConfig {
     /// skipped groups place no segments, so their nets reach detailed
     /// routing seedless and are routed pin-to-pin.
     pub cancel: CancelToken,
+    /// Worker pool for per-panel fan-out. Panels are independent; the
+    /// ordered merge reproduces the serial segment order exactly, so
+    /// results are bit-identical regardless of worker count
+    /// (DESIGN.md §9).
+    pub pool: Pool,
 }
 
 impl Default for TrackConfig {
@@ -70,6 +76,7 @@ impl Default for TrackConfig {
             layer_mode: LayerMode::Ours,
             track_mode: TrackMode::GraphHeuristic,
             cancel: CancelToken::default(),
+            pool: Pool::serial(),
         }
     }
 }
@@ -177,6 +184,25 @@ pub struct TrackResult {
     pub timed_out: bool,
 }
 
+/// One panel's contribution to the merged [`TrackResult`].
+///
+/// Workers assign panels independently against a fresh local result;
+/// fragments are merged back in panel order, which reproduces the
+/// serial segment order exactly.
+struct PanelFragment {
+    /// Panel skipped by cancellation: contributes nothing.
+    skipped: bool,
+    /// Column panel solved by [`TrackMode::IlpExact`] — participates in
+    /// the run-wide timeout cascade at merge time.
+    exact_column: bool,
+    /// Nets of every segment this panel would have placed (colours in
+    /// range only), used to fail them when the cascade discards it.
+    member_nets: Vec<usize>,
+    segments: Vec<AssignedSeg>,
+    failed_nets: BTreeSet<usize>,
+    timed_out: bool,
+}
+
 /// Runs layer assignment then track assignment over all panels.
 pub fn assign_tracks(
     panels: &Panels,
@@ -189,23 +215,64 @@ pub fn assign_tracks(
     let h_layers = usize::from(layers).div_ceil(2);
     let mut result = TrackResult::default();
 
-    let mut skipped_groups = 0usize;
+    // Job list: every non-empty panel, column panels (vertical segments,
+    // stitch-aware) first, then row panels (horizontal segments,
+    // conventional — stitching lines are vertical and do not constrain
+    // horizontal tracks). This is the serial iteration order, which the
+    // ordered merge below reproduces.
+    struct PanelJob<'a> {
+        column: bool,
+        panel: u32,
+        segs: &'a [PanelSegment],
+    }
+    let jobs: Vec<PanelJob> = panels
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, segs)| !segs.is_empty())
+        .map(|(i, segs)| PanelJob {
+            column: true,
+            panel: i as u32,
+            segs,
+        })
+        .chain(
+            panels
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, segs)| !segs.is_empty())
+                .map(|(i, segs)| PanelJob {
+                    column: false,
+                    panel: i as u32,
+                    segs,
+                }),
+        )
+        .collect();
 
-    // Column panels: vertical segments, stitch-aware.
-    for (col, segs) in panels.columns.iter().enumerate() {
-        if segs.is_empty() {
-            continue;
-        }
-        // Cancellation commits at panel-group boundaries: a skipped group
+    let fragments: Vec<PanelFragment> = config.pool.par_map_indexed(&jobs, |_, job| {
+        // Cancellation commits at panel boundaries: a skipped panel
         // places no segments, so its nets fall through to seedless
         // pin-to-pin detailed routing.
         if config.cancel.is_cancelled() {
-            skipped_groups += 1;
-            continue;
+            return PanelFragment {
+                skipped: true,
+                exact_column: false,
+                member_nets: Vec::new(),
+                segments: Vec::new(),
+                failed_nets: BTreeSet::new(),
+                timed_out: false,
+            };
         }
-        let colors = color_panel(segs, graph.rows(), v_layers, config.layer_mode, true);
-        for layer_color in 0..v_layers {
-            let members: Vec<&PanelSegment> = segs
+        let (extent, k) = if job.column {
+            (graph.rows(), v_layers)
+        } else {
+            (graph.cols(), h_layers)
+        };
+        let colors = color_panel(job.segs, extent, k, config.layer_mode, job.column);
+        let mut local = TrackResult::default();
+        for layer_color in 0..k {
+            let members: Vec<&PanelSegment> = job
+                .segs
                 .iter()
                 .zip(&colors)
                 .filter(|&(_, &c)| c == layer_color)
@@ -214,42 +281,54 @@ pub fn assign_tracks(
             if members.is_empty() {
                 continue;
             }
-            assign_column_group(
-                col as u32,
-                layer_color,
-                &members,
-                graph,
-                plan,
-                config.track_mode,
-                &config.cancel,
-                &mut result,
-            );
+            if job.column {
+                assign_column_group(
+                    job.panel,
+                    layer_color,
+                    &members,
+                    graph,
+                    plan,
+                    config.track_mode,
+                    &config.cancel,
+                    &mut local,
+                );
+            } else {
+                assign_row_group(job.panel, layer_color, &members, graph, &mut local);
+            }
         }
-    }
+        PanelFragment {
+            skipped: false,
+            exact_column: job.column
+                && matches!(config.track_mode, TrackMode::IlpExact { .. }),
+            member_nets: job
+                .segs
+                .iter()
+                .zip(&colors)
+                .filter(|&(_, &c)| c < k)
+                .map(|(s, _)| s.net)
+                .collect(),
+            segments: local.segments,
+            failed_nets: local.failed_nets,
+            timed_out: local.timed_out,
+        }
+    });
 
-    // Row panels: horizontal segments, conventional assignment (stitching
-    // lines are vertical and do not constrain horizontal tracks).
-    for (row, segs) in panels.rows.iter().enumerate() {
-        if segs.is_empty() {
-            continue;
-        }
-        if config.cancel.is_cancelled() {
+    let mut skipped_groups = 0usize;
+    for frag in fragments {
+        if frag.skipped {
             skipped_groups += 1;
             continue;
         }
-        let colors = color_panel(segs, graph.cols(), h_layers, config.layer_mode, false);
-        for layer_color in 0..h_layers {
-            let members: Vec<&PanelSegment> = segs
-                .iter()
-                .zip(&colors)
-                .filter(|&(_, &c)| c == layer_color)
-                .map(|(s, _)| s)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            assign_row_group(row as u32, layer_color, &members, graph, &mut result);
+        if result.timed_out && frag.exact_column {
+            // Once any exact group has timed out the run is "NA"
+            // (Table VII): every later column panel's members fail, just
+            // as the serial group-by-group skip would have produced.
+            result.failed_nets.extend(frag.member_nets);
+            continue;
         }
+        result.segments.extend(frag.segments);
+        result.failed_nets.extend(frag.failed_nets);
+        result.timed_out |= frag.timed_out;
     }
 
     if skipped_groups > 0 {

@@ -1,0 +1,37 @@
+//! Serial-vs-parallel wall-clock comparison of the full routing flow.
+//!
+//! Routes two representative benchmarks (a 3-layer MCNC and a 6-layer
+//! Faraday design, quick scale) at 1, 2 and 4 workers and records the
+//! timings to `results/bench_parallel.json`. The output is bit-identical
+//! at every width (see `tests/parallel.rs`); this bench measures only
+//! the wall-clock effect of the fan-out on the host it runs on — on a
+//! single-core machine the wider runs show batching overhead instead of
+//! speedup, and the recorded numbers say so honestly.
+
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_route::{Router, RouterConfig};
+use mebl_testkit::bench::{BenchConfig, BenchSuite};
+
+fn main() {
+    let mut suite = BenchSuite::with_config(
+        "parallel",
+        BenchConfig {
+            warmup_iters: 1,
+            samples: 5,
+        },
+    );
+    for name in ["S9234", "DMA"] {
+        let circuit = BenchmarkSpec::by_name(name)
+            .expect("known benchmark")
+            .generate(&GenerateConfig::quick(2013));
+        for threads in [1usize, 2, 4] {
+            let router = Router::new(RouterConfig::stitch_aware().with_threads(threads));
+            suite.bench(format!("full_flow/{name}/threads_{threads}"), || {
+                router.route(&circuit)
+            });
+        }
+    }
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
+}

@@ -4,10 +4,10 @@
 //! mebl list                                   # show the benchmark suite
 //! mebl gen  <bench> [--scale f] [--seed n] [-o file]
 //! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
-//!            [--time-budget ms] [--max-expansions n]
+//!            [--time-budget ms] [--max-expansions n] [--threads n]
 //! mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f]
 //!            [--baseline] [--period n] [--strict]
-//!            [--time-budget ms] [--max-expansions n]
+//!            [--time-budget ms] [--max-expansions n] [--threads n]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 usage error, 2 degraded result (a budget bound
@@ -15,7 +15,7 @@
 //! or malformed circuit), 4 internal error (result violates a hard MEBL
 //! constraint).
 
-use mebl_route::{RouteError, Router, RouterConfig, RunBudget};
+use mebl_route::{Pool, RouteError, Router, RouterConfig, RunBudget};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -75,7 +75,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n]\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
@@ -153,6 +153,7 @@ struct RunFlags {
     baseline: bool,
     period: Option<i32>,
     budget: RunBudget,
+    threads: Option<usize>,
 }
 
 impl RunFlags {
@@ -161,6 +162,7 @@ impl RunFlags {
             baseline: false,
             period: None,
             budget: RunBudget::default(),
+            threads: None,
         }
     }
 
@@ -199,6 +201,15 @@ impl RunFlags {
                         .map_err(|_| CliError::usage("bad --max-expansions"))?,
                 );
             }
+            "--threads" => {
+                let n: usize = val("--threads")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --threads"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--threads must be >= 1"));
+                }
+                self.threads = Some(n);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -215,6 +226,12 @@ impl RunFlags {
             config.global.tile_size = p;
         }
         config.budget = self.budget;
+        // The CLI defaults to all available cores; the library default
+        // stays serial. Output is bit-identical either way.
+        config.pool = match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::available(),
+        };
         config
     }
 

@@ -6,6 +6,7 @@ use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::{Coord, GridPoint, Point, Rect, RouteGeometry, Segment, Via};
 use mebl_global::TileGraph;
 use mebl_netlist::Circuit;
+use mebl_par::Pool;
 use mebl_stitch::StitchPlan;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -41,6 +42,11 @@ pub struct DetailedConfig {
     /// up like any failed net) and remaining nets/rip-up rounds are
     /// skipped, keeping partial geometry audit-clean.
     pub cancel: CancelToken,
+    /// Worker pool for speculative net batches. Every pool width runs
+    /// the same batched algorithm with an ordered, conflict-checked
+    /// commit, so unbudgeted results are bit-identical regardless of
+    /// worker count (DESIGN.md §9).
+    pub pool: Pool,
 }
 
 impl Default for DetailedConfig {
@@ -56,6 +62,7 @@ impl Default for DetailedConfig {
             node_cap: 60_000,
             retries: 2,
             cancel: CancelToken::default(),
+            pool: Pool::serial(),
         }
     }
 }
@@ -201,8 +208,89 @@ pub fn route_detailed(
     result
 }
 
-/// One routing pass over `order`; skips already-routed nets and updates
-/// `result` in place.
+/// Nets per speculative batch. Fixed (never derived from the worker
+/// count) so batch membership — which determines which nets can race for
+/// the same cells — stays identical for every `--threads` value.
+const NET_BATCH: usize = 32;
+
+/// Raw occupancy of a cell: 0 = free, `net + 1` = occupied.
+fn raw_occupancy(grid: &DetailedGrid, node: u32) -> u32 {
+    grid.occupant(node).map_or(0, |net| net + 1)
+}
+
+/// Writes a raw occupancy value back to a cell.
+fn set_raw_occupancy(grid: &mut DetailedGrid, node: u32, value: u32) {
+    if value == 0 {
+        grid.free(node);
+    } else {
+        grid.occupy(node, value - 1);
+    }
+}
+
+/// Journal of grid mutations made while routing one net speculatively.
+///
+/// Every occupy/free goes through the log, which remembers the cell's
+/// prior raw occupancy, so the run can be (a) rolled back exactly and
+/// (b) summarised as a first-touch delta to replay on the master grid.
+#[derive(Default)]
+struct ChangeLog {
+    entries: Vec<(u32, u32)>,
+}
+
+impl ChangeLog {
+    fn occupy(&mut self, grid: &mut DetailedGrid, node: u32, net: u32) {
+        self.entries.push((node, raw_occupancy(grid, node)));
+        grid.occupy(node, net);
+    }
+
+    fn free(&mut self, grid: &mut DetailedGrid, node: u32) {
+        self.entries.push((node, raw_occupancy(grid, node)));
+        grid.free(node);
+    }
+
+    /// Net effect as `(node, old, new)` raw values in first-touch order,
+    /// no-op entries dropped.
+    fn delta(&self, grid: &DetailedGrid) -> Vec<(u32, u32, u32)> {
+        let mut first: HashMap<u32, u32> = HashMap::with_capacity(self.entries.len());
+        let mut out: Vec<(u32, u32, u32)> = Vec::new();
+        for &(node, old) in &self.entries {
+            if let std::collections::hash_map::Entry::Vacant(e) = first.entry(node) {
+                e.insert(old);
+                out.push((node, old, 0));
+            }
+        }
+        out.iter_mut()
+            .for_each(|entry| entry.2 = raw_occupancy(grid, entry.0));
+        out.retain(|&(_, old, new)| old != new);
+        out
+    }
+
+    /// Restores every touched cell to its pre-log value.
+    fn rollback(&self, grid: &mut DetailedGrid) {
+        for &(node, old) in self.entries.iter().rev() {
+            set_raw_occupancy(grid, node, old);
+        }
+    }
+}
+
+/// What one speculative net run wants to do to the master grid.
+struct NetAttempt {
+    routed: bool,
+    geometry: RouteGeometry,
+    delta: Vec<(u32, u32, u32)>,
+}
+
+/// One routing pass over `order` in deterministic speculative batches;
+/// skips already-routed nets and updates `result` in place.
+///
+/// Per batch, each worker routes nets against a clone of the pre-batch
+/// grid and rolls its clone back after every net; the deltas are then
+/// committed sequentially in input order. A delta whose newly claimed
+/// cells were taken by an earlier commit in the same batch is discarded
+/// and the net re-routed inline against the live grid — a decision that
+/// depends only on committed state, so the same code path yields the
+/// same result for every pool width (a serial pool runs the fan-out
+/// inline over one clone).
 #[allow(clippy::too_many_arguments)]
 fn route_pass(
     plan: &StitchPlan,
@@ -214,88 +302,69 @@ fn route_pass(
     seed_components: &[Vec<Vec<u32>>],
     result: &mut DetailedResult,
 ) {
+    let pending: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&net| !result.routed[net])
+        .collect();
     let mut skipped = 0usize;
-    for &net in order {
-        if result.routed[net] {
-            continue;
-        }
-        // Budget checks commit at net boundaries: a skipped net stays
+    for batch in pending.chunks(NET_BATCH) {
+        // Budget checks commit at batch boundaries: a skipped net stays
         // unrouted (pins only), which downstream reporting and the audit
         // already treat as "failed nets contribute nothing".
         if config.cancel.is_cancelled() {
-            skipped += 1;
+            skipped += batch.len();
             continue;
         }
-        let mut components: Vec<HashSet<u32>> = Vec::new();
-        for &cell in &pin_cells[net] {
-            components.push(HashSet::from([cell]));
-        }
-        for comp in &seed_components[net] {
-            components.push(comp.iter().copied().collect());
-        }
-        merge_touching(grid, &mut components);
-
-        let mut ok = connect_components(
-            grid,
-            plan,
-            config,
-            net as u32,
-            &pin_points[net],
-            &mut components,
+        let snapshot: &DetailedGrid = grid;
+        let attempts: Vec<NetAttempt> = config.pool.par_map_with(
+            batch,
+            || snapshot.clone(),
+            |local, _, &net| {
+                let mut log = ChangeLog::default();
+                let (routed, geometry) = route_one_net(
+                    plan, config, net, local, &mut log, pin_cells, pin_points,
+                    seed_components,
+                );
+                let delta = log.delta(local);
+                log.rollback(local);
+                NetAttempt {
+                    routed,
+                    geometry,
+                    delta,
+                }
+            },
         );
-        if !ok && !seed_components[net].is_empty() {
-            // Failed-net rip-up/reroute (second bottom-up pass of the
-            // framework): drop the net's planned segments and route the
-            // pins directly.
-            for comp in components.drain(..) {
-                for cell in comp {
-                    if !pin_cells[net].contains(&cell) {
-                        grid.free(cell);
-                    }
+        for (&net, attempt) in batch.iter().zip(attempts) {
+            // A speculative claim commits only if every cell it newly
+            // occupies is still free on the master grid; frees touch the
+            // net's own cells, which no batch peer can have changed.
+            let clean = attempt
+                .delta
+                .iter()
+                .all(|&(node, old, new)| old != 0 || new == 0 || grid.occupant(node).is_none());
+            if clean {
+                for &(node, _, new) in &attempt.delta {
+                    set_raw_occupancy(grid, node, new);
                 }
-            }
-            for &cell in &pin_cells[net] {
-                components.push(HashSet::from([cell]));
-            }
-            merge_touching(grid, &mut components);
-            ok = connect_components(
-                grid,
-                plan,
-                config,
-                net as u32,
-                &pin_points[net],
-                &mut components,
-            );
-        }
-        // `ok` implies exactly one component remains.
-        if let Some(full) = ok.then(|| components.pop()).flatten() {
-            let mut cells = full.clone();
-            prune_stubs(grid, &mut cells, &pin_cells[net]);
-            // Free pruned cells on the shared grid.
-            for &cell in &full {
-                if !cells.contains(&cell) {
-                    grid.free(cell);
+                if attempt.routed {
+                    result.geometry[net] = attempt.geometry;
+                    result.routed[net] = true;
+                    result.routed_count += 1;
                 }
-            }
-            result.geometry[net] = extract_geometry(grid, &cells);
-            result.routed[net] = true;
-            result.routed_count += 1;
-        } else {
-            // Rip up everything except the fixed pins.
-            for comp in &components {
-                for &cell in comp {
-                    if !pin_cells[net].contains(&cell) {
-                        grid.free(cell);
-                    }
+            } else {
+                // A batch peer won the race for shared cells: re-route
+                // this net inline against the live grid, keeping changes.
+                let mut log = ChangeLog::default();
+                let (routed, geometry) = route_one_net(
+                    plan, config, net, grid, &mut log, pin_cells, pin_points,
+                    seed_components,
+                );
+                if routed {
+                    result.geometry[net] = geometry;
+                    result.routed[net] = true;
+                    result.routed_count += 1;
                 }
-            }
-            if config.cancel.is_cancelled() {
-                config.cancel.record(Degradation::new(
-                    Stage::Detailed,
-                    DegradationKind::BudgetExhausted,
-                    Some(net),
-                    "net abandoned mid-search and ripped up",
-                ));
             }
         }
     }
@@ -306,6 +375,94 @@ fn route_pass(
             None,
             format!("{skipped} nets skipped before detailed routing"),
         ));
+    }
+}
+
+/// Routes a single net on `grid`, journaling every mutation in `log`.
+/// Returns whether the net was fully connected and its geometry.
+#[allow(clippy::too_many_arguments)]
+fn route_one_net(
+    plan: &StitchPlan,
+    config: &DetailedConfig,
+    net: usize,
+    grid: &mut DetailedGrid,
+    log: &mut ChangeLog,
+    pin_cells: &[Vec<u32>],
+    pin_points: &[HashSet<Point>],
+    seed_components: &[Vec<Vec<u32>>],
+) -> (bool, RouteGeometry) {
+    let mut components: Vec<HashSet<u32>> = Vec::new();
+    for &cell in &pin_cells[net] {
+        components.push(HashSet::from([cell]));
+    }
+    for comp in &seed_components[net] {
+        components.push(comp.iter().copied().collect());
+    }
+    merge_touching(grid, &mut components);
+
+    let mut ok = connect_components(
+        grid,
+        log,
+        plan,
+        config,
+        net as u32,
+        &pin_points[net],
+        &mut components,
+    );
+    if !ok && !seed_components[net].is_empty() {
+        // Failed-net rip-up/reroute (second bottom-up pass of the
+        // framework): drop the net's planned segments and route the
+        // pins directly.
+        for comp in components.drain(..) {
+            for cell in comp {
+                if !pin_cells[net].contains(&cell) {
+                    log.free(grid, cell);
+                }
+            }
+        }
+        for &cell in &pin_cells[net] {
+            components.push(HashSet::from([cell]));
+        }
+        merge_touching(grid, &mut components);
+        ok = connect_components(
+            grid,
+            log,
+            plan,
+            config,
+            net as u32,
+            &pin_points[net],
+            &mut components,
+        );
+    }
+    // `ok` implies exactly one component remains.
+    if let Some(full) = ok.then(|| components.pop()).flatten() {
+        let mut cells = full.clone();
+        prune_stubs(grid, &mut cells, &pin_cells[net]);
+        // Free pruned cells on the grid.
+        for &cell in &full {
+            if !cells.contains(&cell) {
+                log.free(grid, cell);
+            }
+        }
+        (true, extract_geometry(grid, &cells))
+    } else {
+        // Rip up everything except the fixed pins.
+        for comp in &components {
+            for &cell in comp {
+                if !pin_cells[net].contains(&cell) {
+                    log.free(grid, cell);
+                }
+            }
+        }
+        if config.cancel.is_cancelled() {
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::BudgetExhausted,
+                Some(net),
+                "net abandoned mid-search and ripped up",
+            ));
+        }
+        (false, RouteGeometry::new())
     }
 }
 
@@ -336,6 +493,7 @@ fn merge_touching(grid: &DetailedGrid, components: &mut Vec<HashSet<u32>>) {
 /// component remains, left at the back of `components`).
 fn connect_components(
     grid: &mut DetailedGrid,
+    log: &mut ChangeLog,
     plan: &StitchPlan,
     config: &DetailedConfig,
     net: u32,
@@ -399,7 +557,7 @@ fn connect_components(
             return false;
         };
         for &cell in &path {
-            grid.occupy(cell, net);
+            log.occupy(grid, cell, net);
         }
         let Some(dst_idx) = components.iter().position(|c| c.contains(&reached)) else {
             // The path must end in a target component; treat a breach as a

@@ -4,6 +4,7 @@ use crate::{TileGraph, TileId};
 use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::Coord;
 use mebl_netlist::Circuit;
+use mebl_par::Pool;
 use mebl_stitch::StitchPlan;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -28,6 +29,10 @@ pub struct GlobalConfig {
     /// takes effect at net and pass boundaries so partial results stay
     /// internally consistent.
     pub cancel: CancelToken,
+    /// Worker pool for speculative net batches. Every pool width runs
+    /// the same batched algorithm with an ordered commit, so results
+    /// are bit-identical regardless of worker count (DESIGN.md §9).
+    pub pool: Pool,
 }
 
 impl Default for GlobalConfig {
@@ -38,6 +43,7 @@ impl Default for GlobalConfig {
             line_end_cost: true,
             reroute_passes: 3,
             cancel: CancelToken::default(),
+            pool: Pool::serial(),
         }
     }
 }
@@ -158,6 +164,7 @@ pub struct GlobalResult {
 }
 
 /// Mutable routing state: demands and negotiation history.
+#[derive(Clone)]
 struct State {
     h_demand: Vec<u32>,
     v_demand: Vec<u32>,
@@ -256,17 +263,7 @@ pub fn route_circuit(
     let order: Vec<usize> = ladder.order().to_vec();
 
     let mut routes: Vec<GlobalRoute> = vec![GlobalRoute::default(); circuit.net_count()];
-    let mut skipped = 0usize;
-    for &i in &order {
-        // Cancellation takes effect at net boundaries: a skipped net keeps
-        // its empty default route (no demand charged), so the capacity
-        // model stays consistent and the audit recount still agrees.
-        if config.cancel.is_cancelled() {
-            skipped += 1;
-            continue;
-        }
-        routes[i] = route_net(circuit, i, &graph, &mut state, config);
-    }
+    let skipped = route_batched(circuit, &graph, &mut state, config, &order, &mut routes);
     if skipped > 0 {
         config.cancel.record(Degradation::new(
             Stage::Global,
@@ -332,15 +329,23 @@ pub fn route_circuit(
         if victims.is_empty() {
             break;
         }
-        // Rip up and reroute without an intervening cancellation point:
-        // demand removal and re-addition stay paired, so a cancelled run
-        // never leaves the capacity model out of sync with the routes.
+        // Rip up every victim before rerouting any: demand removal and
+        // re-addition stay paired, so a cancelled run never leaves the
+        // capacity model out of sync with the routes (a victim skipped by
+        // a mid-reroute cancellation keeps its empty default route).
         for &i in &victims {
             state.apply_route(&graph, &routes[i], -1, &config.cancel);
             routes[i] = GlobalRoute::default();
         }
-        for &i in &victims {
-            routes[i] = route_net(circuit, i, &graph, &mut state, config);
+        let skipped =
+            route_batched(circuit, &graph, &mut state, config, &victims, &mut routes);
+        if skipped > 0 {
+            config.cancel.record(Degradation::new(
+                Stage::Global,
+                DegradationKind::BudgetExhausted,
+                None,
+                format!("{skipped} ripped-up nets left unrouted in pass {}", pass + 1),
+            ));
         }
     }
 
@@ -353,6 +358,59 @@ pub fn route_circuit(
         tile_congestion,
         vertex_utilization,
     }
+}
+
+/// Nets per speculative batch. Fixed (never derived from the worker
+/// count) so batch membership — which *is* visible in the result, since
+/// nets in one batch price congestion against the same pre-batch demand
+/// — stays identical for every `--threads` value.
+const NET_BATCH: usize = 32;
+
+/// Routes `nets` (in order) in deterministic speculative batches.
+///
+/// Per batch, each worker routes nets against a clone of the pre-batch
+/// demand state and rolls its clone back after every net; the resulting
+/// routes are then committed sequentially in input order on the master
+/// state. The exact same batched code path runs for every pool width —
+/// a serial pool just executes the fan-out inline — so the output is a
+/// pure function of the input. Returns the number of nets skipped by
+/// cancellation (checked at batch boundaries; an expansion cap latches
+/// at a deterministic batch since every batch charges a fixed total).
+fn route_batched(
+    circuit: &Circuit,
+    graph: &TileGraph,
+    state: &mut State,
+    config: &GlobalConfig,
+    nets: &[usize],
+    routes: &mut [GlobalRoute],
+) -> usize {
+    let mut skipped = 0usize;
+    for batch in nets.chunks(NET_BATCH) {
+        // Cancellation takes effect at batch boundaries: a skipped net
+        // keeps its empty default route (no demand charged), so the
+        // capacity model stays consistent and the audit recount agrees.
+        if config.cancel.is_cancelled() {
+            skipped += batch.len();
+            continue;
+        }
+        let snapshot: &State = state;
+        let speculated: Vec<GlobalRoute> = config.pool.par_map_with(
+            batch,
+            || snapshot.clone(),
+            |local, _, &net| {
+                let route = route_net(circuit, net, graph, local, config);
+                // Roll the worker's state back so every net in the batch
+                // prices congestion against the same pre-batch demand.
+                local.apply_route(graph, &route, -1, &config.cancel);
+                route
+            },
+        );
+        for (&net, route) in batch.iter().zip(speculated) {
+            state.apply_route(graph, &route, 1, &config.cancel);
+            routes[net] = route;
+        }
+    }
+    skipped
 }
 
 /// Per-tile congestion and line-end utilisation maps.

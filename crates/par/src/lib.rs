@@ -1,0 +1,296 @@
+//! Deterministic parallel execution for the MEBL routing flow.
+//!
+//! The pool runs closures over slices with scoped threads
+//! ([`std::thread::scope`]) and a lock-free chunk cursor, then reduces
+//! every result **in input order**. The reduction order — and therefore
+//! the output — is a pure function of the input, never of worker count
+//! or OS scheduling. Stages that route against a snapshot and commit
+//! sequentially (see `DESIGN.md` §9) stay bit-identical for any
+//! `--threads` value.
+//!
+//! Design constraints, enforced by `xtask lint`:
+//! - zero dependencies; scoped `std` threads only, no detached spawns;
+//! - no panics in library code — worker panics are *propagated* to the
+//!   caller via [`std::panic::resume_unwind`], never swallowed;
+//! - clock-free: scheduling uses an atomic cursor, not timers.
+//!
+//! Cancellation is cooperative and stays with the caller: closures are
+//! expected to check their `CancelToken` (crate `mebl-control`) at item
+//! boundaries and return cheap placeholder results once cancelled, so a
+//! latched budget drains the fan-out instead of deadlocking it.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker chunks are sized for roughly this many chunks per worker, so
+/// the atomic cursor load-balances uneven items without shrinking
+/// chunks to single elements. Chunk *boundaries* never influence
+/// results — only which worker computes them.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A fixed-width scoped thread pool.
+///
+/// `Pool` is plain configuration data (`Copy`, `Eq`): it owns no OS
+/// threads. Each combinator call spawns scoped workers that terminate
+/// before the call returns, so borrowing the surrounding stage state
+/// (`&Circuit`, `&DetailedGrid`, …) needs no `Arc` and leaks nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Pool {
+    /// Pool with exactly `workers` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Single-worker pool: combinators run inline on the caller thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Pool sized to the machine's available parallelism (1 if that
+    /// cannot be determined).
+    #[must_use]
+    pub fn available() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(n)
+    }
+
+    /// Number of workers this pool fans out to.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether combinators run inline without spawning threads.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// Equivalent to `items.iter().enumerate().map(..).collect()` for
+    /// every worker count; `f` gets the item index so callers can keep
+    /// index-addressed side tables.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_with(items, || (), |(), i, item| f(i, item))
+    }
+
+    /// Maps `f` over `items` with a per-worker scratch context.
+    ///
+    /// `init` runs once per worker (once total in serial mode) and the
+    /// resulting context is threaded through every call that worker
+    /// makes. The contract that keeps output thread-count-invariant:
+    /// `f` must leave the context in an equivalent state after each
+    /// item (route on a snapshot clone, then roll back), so it never
+    /// matters which worker — or how many — processed an item.
+    pub fn par_map_with<T, R, C, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            let mut ctx = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut ctx, i, item))
+                .collect();
+        }
+
+        let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let mut ctx = init();
+                    let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        let mut part = Vec::with_capacity(end - start);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            part.push(f(&mut ctx, i, item));
+                        }
+                        out.push((start, part));
+                    }
+                    out
+                }));
+            }
+            let mut all: Vec<(usize, Vec<R>)> = Vec::new();
+            let mut panicked = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(worker_parts) => all.extend(worker_parts),
+                    // Keep joining the remaining workers so the scope
+                    // drains cleanly, then re-raise the first panic.
+                    Err(payload) => panicked = panicked.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
+            }
+            all
+        });
+
+        parts.sort_unstable_by_key(|&(start, _)| start);
+        let mut ordered = Vec::with_capacity(n);
+        for (_, part) in parts {
+            ordered.extend(part);
+        }
+        ordered
+    }
+
+    /// Maps `f` over fixed-size chunks of `items` (the last chunk may
+    /// be shorter), returning per-chunk results in input order.
+    ///
+    /// The chunk size is caller-fixed, independent of worker count, so
+    /// chunk boundaries — which *are* visible to `f` — are themselves
+    /// deterministic. A `chunk_size` of 0 is treated as 1.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.par_map_with(&chunks, || (), |(), i, part| f(i, part))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn clamps_to_at_least_one_worker() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert!(Pool::new(0).is_serial());
+        assert!(Pool::default().is_serial());
+        assert!(Pool::available().workers() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order_for_every_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 16, 1000, 2000] {
+            let got = Pool::new(workers).par_map_indexed(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_passes_the_item_index() {
+        let items = ["a", "b", "c", "d", "e"];
+        for workers in [1, 2, 5] {
+            let got = Pool::new(workers).par_map_indexed(&items, |i, s| format!("{i}{s}"));
+            assert_eq!(got, ["0a", "1b", "2c", "3d", "4e"], "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Pool::new(8).par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(8).par_map_indexed(&[7u32], |_, &x| x + 1), [8]);
+    }
+
+    #[test]
+    fn chunks_are_fixed_size_and_ordered() {
+        let items: Vec<u32> = (0..10).collect();
+        for workers in [1, 3, 8] {
+            let got = Pool::new(workers).par_chunks(&items, 4, |i, part| (i, part.to_vec()));
+            assert_eq!(
+                got,
+                [
+                    (0, vec![0, 1, 2, 3]),
+                    (1, vec![4, 5, 6, 7]),
+                    (2, vec![8, 9]),
+                ],
+                "workers = {workers}"
+            );
+        }
+        // Chunk size 0 is treated as 1 rather than dividing by zero.
+        let got = Pool::new(2).par_chunks(&[1u32, 2], 0, |_, part| part.len());
+        assert_eq!(got, [1, 1]);
+    }
+
+    #[test]
+    fn per_worker_context_sees_every_item_exactly_once() {
+        // Sum via per-worker accumulators: contexts are worker-local,
+        // so the global sum over all contexts must equal the serial sum
+        // regardless of how items were distributed.
+        let items: Vec<u64> = (1..=500).collect();
+        let total = AtomicU64::new(0);
+        struct Acc<'a> {
+            local: u64,
+            total: &'a AtomicU64,
+        }
+        impl Drop for Acc<'_> {
+            fn drop(&mut self) {
+                self.total.fetch_add(self.local, Ordering::Relaxed);
+            }
+        }
+        for workers in [1, 4] {
+            total.store(0, Ordering::Relaxed);
+            let results = Pool::new(workers).par_map_with(
+                &items,
+                || Acc {
+                    local: 0,
+                    total: &total,
+                },
+                |acc, _, &x| {
+                    acc.local += x;
+                    x
+                },
+            );
+            assert_eq!(results, items, "workers = {workers}");
+            assert_eq!(total.load(Ordering::Relaxed), 500 * 501 / 2);
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<u32> = (0..64).collect();
+        for workers in [1, 4] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(workers).par_map_indexed(&items, |_, &x| {
+                    assert!(x != 13, "poisoned item");
+                    x
+                })
+            }));
+            assert!(result.is_err(), "workers = {workers}");
+        }
+    }
+}

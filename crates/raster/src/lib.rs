@@ -40,6 +40,8 @@ mod throughput;
 pub use clip::{raster_clip, score_single_wire, ClipRaster, WireShape};
 pub use throughput::BeamArray;
 
+use mebl_par::Pool;
+
 /// An axis-aligned rectangle in continuous pixel coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FRect {
@@ -272,22 +274,54 @@ impl BitMap {
 /// Renders rectangles into a grey map of the given pixel dimensions.
 ///
 /// Intensity of each pixel is its total coverage by the (assumed
-/// non-overlapping) rectangles, clamped to 1.
+/// non-overlapping) rectangles, clamped to 1. Serial convenience
+/// wrapper over [`render_with`].
 pub fn render(rects: &[FRect], width: usize, height: usize) -> GrayMap {
-    let mut map = GrayMap::new(width, height);
-    for r in rects {
-        let x_lo = (r.x0.floor().max(0.0)) as usize;
-        let y_lo = (r.y0.floor().max(0.0)) as usize;
-        let x_hi = (r.x1.ceil().min(width as f64)) as usize;
-        let y_hi = (r.y1.ceil().min(height as f64)) as usize;
-        for y in y_lo..y_hi {
-            for x in x_lo..x_hi {
-                let v = map.get(x, y) + r.pixel_coverage(x, y);
-                map.set(x, y, v);
+    render_with(&Pool::serial(), rects, width, height)
+}
+
+/// Rows per parallel rendering stripe. Fixed (never derived from the
+/// worker count) so stripe boundaries are deterministic; rows are
+/// independent, so the result is bit-identical to [`render`] for every
+/// pool width anyway.
+const STRIPE_ROWS: usize = 64;
+
+/// [`render`] with row stripes fanned out over `pool`.
+///
+/// Each pixel's intensity accumulates rectangle coverage in input
+/// order with the same per-add clamp as the serial path, so the output
+/// is bit-identical for every worker count. Dithering stays serial:
+/// error diffusion is order-dependent by definition.
+pub fn render_with(pool: &Pool, rects: &[FRect], width: usize, height: usize) -> GrayMap {
+    let rows: Vec<usize> = (0..height).collect();
+    let stripes: Vec<Vec<f64>> = pool.par_chunks(&rows, STRIPE_ROWS, |_, stripe| {
+        let mut map = GrayMap::new(width, stripe.len());
+        let base = stripe.first().copied().unwrap_or(0);
+        for r in rects {
+            let x_lo = (r.x0.floor().max(0.0)) as usize;
+            let y_lo = (r.y0.floor().max(0.0)) as usize;
+            let x_hi = (r.x1.ceil().min(width as f64)) as usize;
+            let y_hi = (r.y1.ceil().min(height as f64)) as usize;
+            let s_lo = y_lo.clamp(base, base + stripe.len());
+            let s_hi = y_hi.clamp(base, base + stripe.len());
+            for y in s_lo..s_hi {
+                for x in x_lo..x_hi {
+                    let v = map.get(x, y - base) + r.pixel_coverage(x, y);
+                    map.set(x, y - base, v);
+                }
             }
         }
+        map.data
+    });
+    let mut data = Vec::with_capacity(width * height);
+    for stripe in stripes {
+        data.extend(stripe);
     }
-    map
+    GrayMap {
+        width,
+        height,
+        data,
+    }
 }
 
 /// Fraction of *feature* pixels that the dithered bitmap exposes wrongly.
@@ -473,6 +507,28 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn gray_get_bounds_checked() {
         GrayMap::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn parallel_render_is_bit_identical_to_serial() {
+        // Overlapping, misaligned, partially out-of-bounds rectangles over
+        // a map taller than one stripe.
+        let rects: Vec<FRect> = (0..40)
+            .map(|i| {
+                let f = i as f64;
+                FRect::new(
+                    -1.0 + f * 0.7,
+                    -2.0 + f * 3.3,
+                    4.5 + f * 0.9,
+                    5.25 + f * 3.4,
+                )
+            })
+            .collect();
+        let serial = render(&rects, 48, 160);
+        for workers in [1, 2, 4, 8] {
+            let par = render_with(&Pool::new(workers), &rects, 48, 160);
+            assert_eq!(serial, par, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ use mebl_detailed::{route_detailed, DetailedConfig, DetailedResult};
 use mebl_geom::Point;
 use mebl_global::{route_circuit, GlobalConfig, GlobalResult};
 use mebl_netlist::{Circuit, CircuitIssue};
+pub use mebl_par::Pool;
 use mebl_stitch::{StitchConfig, StitchPlan};
 use std::collections::HashSet;
 
@@ -64,6 +65,16 @@ pub struct RouterConfig {
     pub detailed: DetailedConfig,
     /// Resource bounds for the run (unlimited by default).
     pub budget: RunBudget,
+    /// Worker pool shared by every stage (serial by default).
+    ///
+    /// The determinism contract (DESIGN.md §9): for an **unbudgeted**
+    /// run, output is bit-identical for every pool width — every width
+    /// executes the same speculative-batch algorithm with an ordered
+    /// commit. A run with a wall-clock or expansion budget stays
+    /// audit-clean and typed at every width, but which nets a
+    /// mid-fan-out cancellation skips may vary with scheduling, so
+    /// budgeted multi-threaded runs are not byte-reproducible.
+    pub pool: Pool,
 }
 
 impl RouterConfig {
@@ -75,6 +86,7 @@ impl RouterConfig {
             track: TrackConfig::default(),
             detailed: DetailedConfig::default(),
             budget: RunBudget::default(),
+            pool: Pool::serial(),
         }
     }
 
@@ -95,6 +107,7 @@ impl RouterConfig {
             },
             detailed: DetailedConfig::without_stitch_consideration(),
             budget: RunBudget::default(),
+            pool: Pool::serial(),
         }
     }
 
@@ -102,6 +115,20 @@ impl RouterConfig {
     #[must_use]
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Returns this configuration with an `n`-worker pool installed.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.pool = Pool::new(n);
+        self
+    }
+
+    /// Returns this configuration with `pool` installed.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -168,6 +195,8 @@ pub struct RoutingOutcome {
     /// Everything the run gave up or papered over, in the order it
     /// happened. Empty for a clean, unconstrained run.
     pub degradations: Vec<Degradation>,
+    /// Number of workers the run fanned out to (1 = serial).
+    pub parallelism: usize,
 }
 
 impl RoutingOutcome {
@@ -258,6 +287,7 @@ impl Router {
         let t = Stopwatch::start();
         let mut global_config = self.config.global.clone();
         global_config.cancel = budget.stage_scope(&token);
+        global_config.pool = self.config.pool;
         let global = route_circuit(circuit, &plan, &global_config);
         timings.global = t.elapsed();
 
@@ -265,6 +295,7 @@ impl Router {
         let panels = extract_panels(&global);
         let mut track_config = self.config.track.clone();
         track_config.cancel = budget.stage_scope(&token);
+        track_config.pool = self.config.pool;
         let tracks = assign_tracks(
             &panels,
             &global.graph,
@@ -277,6 +308,7 @@ impl Router {
         let t = Stopwatch::start();
         let mut detailed_config = self.config.detailed.clone();
         detailed_config.cancel = budget.stage_scope(&token);
+        detailed_config.pool = self.config.pool;
         let detailed = route_detailed(circuit, &plan, &global.graph, &tracks, &detailed_config);
         timings.detailed = t.elapsed();
 
@@ -295,6 +327,7 @@ impl Router {
             report,
             timings,
             degradations,
+            parallelism: self.config.pool.workers(),
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Bench-regression gate: compares the per-benchmark medians of a fresh
+//! `BenchSuite` report against a committed baseline.
+//!
+//! A benchmark regresses when its current median exceeds the baseline
+//! median by more than the percentage tolerance *and* by more than an
+//! absolute noise floor (50 µs). The floor keeps the gate meaningful on
+//! microsecond-scale entries, whose medians jitter far beyond any
+//! percentage band on shared CI hardware, while still catching real
+//! slowdowns in the heavier stages. A benchmark present in the baseline
+//! but missing from the current report also fails the gate: silently
+//! dropping a measurement is how regressions hide.
+//!
+//! The reports are the JSON files written by `mebl-testkit`'s
+//! `BenchSuite::finish_to`; the scan below reads only the `id` /
+//! `median_ns` pairs so the gate stays zero-dependency.
+
+use std::path::Path;
+
+/// Absolute regression floor in nanoseconds; deltas below this are noise.
+const NOISE_FLOOR_NS: u64 = 50_000;
+
+/// Extracts `(id, median_ns)` pairs from a `BenchSuite` JSON report.
+pub fn parse_medians(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\": \"") {
+        rest = &rest[pos + 7..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        let Some(mpos) = rest.find("\"median_ns\": ") else { break };
+        let digits: String = rest[mpos + 13..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(median) = digits.parse::<u64>() {
+            out.push((id, median));
+        }
+    }
+    out
+}
+
+/// Compares two parsed reports; returns one message per gate failure.
+pub fn compare(
+    baseline: &[(String, u64)],
+    current: &[(String, u64)],
+    tolerance_pct: u64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (id, base) in baseline {
+        let Some((_, now)) = current.iter().find(|(cid, _)| cid == id) else {
+            failures.push(format!("{id}: present in baseline but missing from current report"));
+            continue;
+        };
+        let allowed = base.saturating_mul(100 + tolerance_pct) / 100;
+        if *now > allowed && now.saturating_sub(*base) > NOISE_FLOOR_NS {
+            failures.push(format!(
+                "{id}: median {now} ns exceeds baseline {base} ns by more than {tolerance_pct}%"
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs the gate over two report files. `Ok(failures)` lists regressions
+/// (empty = gate passed); `Err` means a report could not be read/parsed.
+pub fn run(baseline: &Path, current: &Path, tolerance_pct: u64) -> Result<Vec<String>, String> {
+    let read = |path: &Path| -> Result<Vec<(String, u64)>, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let parsed = parse_medians(&text);
+        if parsed.is_empty() {
+            return Err(format!("{}: no benchmark entries found", path.display()));
+        }
+        Ok(parsed)
+    };
+    Ok(compare(&read(baseline)?, &read(current)?, tolerance_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "suite": "stages",
+  "benchmarks": [
+    {"id": "a/fast", "median_ns": 30000, "mean_ns": 1, "samples": 10},
+    {"id": "b/slow", "median_ns": 5000000, "mean_ns": 1, "samples": 10}
+  ]
+}"#;
+
+    #[test]
+    fn parses_ids_and_medians() {
+        let parsed = parse_medians(REPORT);
+        assert_eq!(
+            parsed,
+            vec![("a/fast".to_string(), 30_000), ("b/slow".to_string(), 5_000_000)]
+        );
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = parse_medians(REPORT);
+        let current = vec![("a/fast".to_string(), 36_000), ("b/slow".to_string(), 6_000_000)];
+        assert!(compare(&base, &current, 25).is_empty());
+    }
+
+    #[test]
+    fn large_regression_fails() {
+        let base = parse_medians(REPORT);
+        let current = vec![("a/fast".to_string(), 30_000), ("b/slow".to_string(), 7_000_000)];
+        let failures = compare(&base, &current, 25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("b/slow:"));
+    }
+
+    #[test]
+    fn microbench_jitter_below_noise_floor_passes() {
+        // 30 µs -> 70 µs is far over 25% but under the 50 µs floor.
+        let base = vec![("a/fast".to_string(), 30_000)];
+        let current = vec![("a/fast".to_string(), 70_000)];
+        assert!(compare(&base, &current, 25).is_empty());
+    }
+
+    #[test]
+    fn missing_benchmark_fails() {
+        let base = parse_medians(REPORT);
+        let failures = compare(&base, &[("a/fast".to_string(), 30_000)], 25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+}

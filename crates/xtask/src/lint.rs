@@ -2,7 +2,7 @@
 //!
 //! The lint is deliberately dumb — no syn, no proc-macros, just a
 //! comment/string-stripping scanner — so it stays dependency-free and
-//! fast. Five rules:
+//! fast. Six rules:
 //!
 //! * **no-panic** — `.unwrap()`, `.expect(` and `panic!(` are banned in
 //!   library code. Tests (`#[cfg(test)]` blocks), binaries (`mebl-cli`,
@@ -21,6 +21,11 @@
 //!   library crates; user-facing output belongs to the binaries.
 //! * **todo-tag** — `TODO`/`FIXME` comments must carry an issue tag,
 //!   e.g. `TODO(#42): ...`, so stale notes stay traceable.
+//! * **no-raw-spawn** — `thread::spawn` is banned everywhere except
+//!   `crates/par`. Ad-hoc threads make output order scheduling-dependent;
+//!   all fan-out goes through `mebl_par::Pool`, whose ordered reduction
+//!   keeps results bit-identical at every worker count. This rule also
+//!   covers test code: tests that want concurrency use a `Pool` too.
 //!
 //! Allowlist format, one entry per line:
 //!
@@ -198,6 +203,12 @@ fn clock_rule_applies(rel: &str) -> bool {
     !CLOCK_SITES.contains(&rel)
 }
 
+/// Only the pool implementation itself may start threads. The linter is
+/// exempt (it has to spell the token out in its own tests).
+fn spawn_rule_applies(rel: &str) -> bool {
+    crate_of(rel) != Some("par") && rel != "crates/xtask/src/lint.rs"
+}
+
 /// Lints one file's source text.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
     let mut violations = Vec::new();
@@ -231,6 +242,19 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                     });
                 }
             }
+        }
+
+        // no-raw-spawn applies to test code as well, so check it before
+        // the test-block exemption kicks in.
+        if spawn_rule_applies(rel) && contains_token(code, "thread::spawn") {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "no-raw-spawn",
+                message: "`thread::spawn` outside crates/par; fan out through \
+                          `mebl_par::Pool` so results stay deterministic"
+                    .to_string(),
+            });
         }
 
         if in_test {
@@ -631,6 +655,38 @@ fn f() { let s = \".unwrap() panic!(\"; let r = r#\"dbg!(\"#; }
     #[test]
     fn nested_block_comments_stripped() {
         let src = "/* a /* b */ still comment .unwrap() */ fn f() {}\n";
+        assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_everywhere_but_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules("crates/global/src/router.rs", src), vec!["no-raw-spawn"]);
+        assert_eq!(rules("crates/cli/src/main.rs", src), vec!["no-raw-spawn"]);
+        assert_eq!(rules("tests/flow.rs", src), vec!["no-raw-spawn"]);
+        assert!(rules("crates/par/src/lib.rs", src).is_empty());
+        // `use std::thread;` + bare call is still caught.
+        let bare = "fn f() { thread::spawn(|| {}); }\n";
+        assert_eq!(rules("crates/geom/src/a.rs", bare), vec!["no-raw-spawn"]);
+    }
+
+    #[test]
+    fn raw_spawn_flagged_even_inside_test_blocks() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { std::thread::spawn(|| {}); }
+}
+";
+        assert_eq!(rules("crates/geom/src/a.rs", src), vec!["no-raw-spawn"]);
+    }
+
+    #[test]
+    fn scoped_pool_spawn_not_flagged() {
+        // The pool's internal `s.spawn(...)` and prose mentions must not
+        // trip the token scan outside crates/par either.
+        let src = "fn f(s: &S) { s.spawn(|| {}); }\n";
         assert!(rules("crates/geom/src/a.rs", src).is_empty());
     }
 

@@ -1,13 +1,18 @@
 //! `mebl-xtask` — workspace maintenance tasks with zero external
 //! dependencies.
 //!
-//! The only subcommand today is `lint`, a token-level source gate run by
-//! `scripts/ci.sh` (see `lint.rs` for the policy). Invoke as:
+//! Subcommands, both run by `scripts/ci.sh`:
+//!
+//! * `lint` — token-level source gate (policy in `lint.rs`).
+//! * `benchgate <baseline.json> <current.json> [--tolerance pct]` —
+//!   bench-regression gate over `BenchSuite` reports (see `benchgate.rs`).
 //!
 //! ```text
 //! cargo run -p mebl-xtask -- lint
+//! cargo run -p mebl-xtask -- benchgate results/bench_stages.json fresh.json
 //! ```
 
+mod benchgate;
 mod lint;
 
 use std::path::PathBuf;
@@ -17,6 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("benchgate") => run_benchgate(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`");
             usage();
@@ -31,8 +37,50 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: mebl-xtask lint");
+    eprintln!("       mebl-xtask benchgate <baseline.json> <current.json> [--tolerance pct]");
     eprintln!();
-    eprintln!("  lint   run the workspace source lint (policy in crates/xtask/src/lint.rs)");
+    eprintln!("  lint       run the workspace source lint (policy in crates/xtask/src/lint.rs)");
+    eprintln!("  benchgate  fail when a benchmark median regresses past the tolerance (default 25)");
+}
+
+fn run_benchgate(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerance = 25u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("benchgate: bad or missing value for --tolerance");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match benchgate::run(baseline, current, tolerance) {
+        Ok(failures) if failures.is_empty() => {
+            println!("xtask benchgate: clean (tolerance {tolerance}%)");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            eprintln!("xtask benchgate: {} regression(s)", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask benchgate: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_lint() -> ExitCode {

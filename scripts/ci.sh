@@ -31,6 +31,31 @@ for seed in 1 2 3; do
         audit --bench S5378 --seed "$seed" --baseline
 done
 
+echo "=== thread-count matrix (audit smoke must match at --threads 1 and 4) ==="
+out_t1=$(cargo run --release --offline -q -p mebl-cli -- \
+    audit --bench S5378 --seed 1 --strict --threads 1)
+out_t4=$(cargo run --release --offline -q -p mebl-cli -- \
+    audit --bench S5378 --seed 1 --strict --threads 4)
+if [ "$out_t1" != "$out_t4" ]; then
+    echo "audit output diverged between --threads 1 and --threads 4:" >&2
+    diff <(echo "$out_t1") <(echo "$out_t4") >&2 || true
+    exit 1
+fi
+echo "$out_t4"
+
+echo "=== differential thread-count harness ==="
+cargo test -q --release --offline -p mebl-bench --test parallel
+
+echo "=== bench-regression gate (stages medians vs committed baseline) ==="
+baseline_tmp=$(mktemp)
+cp results/bench_stages.json "$baseline_tmp"
+cargo bench --offline -q -p mebl-bench --bench stages
+cargo run --release --offline -q -p mebl-xtask -- \
+    benchgate "$baseline_tmp" results/bench_stages.json --tolerance 25
+# The bench overwrote the committed baseline with this run's numbers;
+# restore it so the gate never dirties the working tree.
+mv "$baseline_tmp" results/bench_stages.json
+
 echo "=== robustness (fault injection, typed failure model) ==="
 cargo test -q --release --offline -p mebl-bench --test robustness
 

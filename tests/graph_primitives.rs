@@ -1,0 +1,239 @@
+//! Known-answer and invariant tests for the `mebl-graph` optimisation
+//! kernels, exercised through the public API: min-cost max-flow (flow
+//! conservation, capacity bounds, residual maximality), the
+//! Carlisle–Lloyd maximum-weight k-colorable interval selection
+//! (k-colorability, monotonicity in k, brute-force optimality) and the
+//! Hungarian assignment solver (permutation validity, brute-force
+//! optimality).
+
+use mebl_graph::{
+    max_weight_k_colorable, min_cost_perfect_matching, ColorableSelection, MinCostFlow,
+    WeightedInterval,
+};
+use mebl_testkit::prop::{ints, vecs};
+use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+#[test]
+fn mcmf_known_answer_from_docs() {
+    // The module's doc example: three augmenting paths, flow 3, cost 8.
+    let mut net = MinCostFlow::new(4);
+    let (s, t) = (0, 3);
+    net.add_edge(s, 1, 2, 1);
+    net.add_edge(s, 2, 1, 2);
+    net.add_edge(1, t, 1, 1);
+    net.add_edge(1, 2, 1, 1);
+    net.add_edge(2, t, 2, 1);
+    assert_eq!(net.flow(s, t, i64::MAX), (3, 8));
+}
+
+/// Whether `t` is reachable from `s` in the residual graph of `edges`
+/// with the given per-edge flows (forward residual `cap - f`, reverse
+/// residual `f`).
+fn residual_reaches(n: usize, edges: &[(usize, usize, i64)], flows: &[i64], s: usize, t: usize) -> bool {
+    let mut seen = vec![false; n];
+    seen[s] = true;
+    let mut queue = vec![s];
+    while let Some(u) = queue.pop() {
+        for (&(a, b, cap), &f) in edges.iter().zip(flows) {
+            let step = |to: usize, seen: &mut Vec<bool>, queue: &mut Vec<usize>| {
+                if !seen[to] {
+                    seen[to] = true;
+                    queue.push(to);
+                }
+            };
+            if a == u && f < cap {
+                step(b, &mut seen, &mut queue);
+            }
+            if b == u && f > 0 {
+                step(a, &mut seen, &mut queue);
+            }
+        }
+    }
+    seen[t]
+}
+
+/// On random networks, the returned flow conserves at every interior
+/// node, respects capacities, delivers exactly `total` into the sink,
+/// and is maximum (the residual graph has no augmenting s-t path).
+#[test]
+fn prop_mcmf_conserves_flow_and_is_maximum() {
+    prop_check!(
+        (
+            ints(2usize..8),
+            vecs((ints(0usize..8), ints(0usize..8), ints(1i64..5), ints(0i64..10)), 1..20)
+        ),
+        |(n, raw)| {
+            let edges: Vec<(usize, usize, i64)> = raw
+                .iter()
+                .map(|&(u, v, cap, _)| (u % n, v % n, cap))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let costs: Vec<i64> = raw
+                .iter()
+                .filter(|&&(u, v, _, _)| u % n != v % n)
+                .map(|&(_, _, _, c)| c)
+                .collect();
+            let (s, t) = (0, n - 1);
+            let mut net = MinCostFlow::new(n);
+            let ids: Vec<_> = edges
+                .iter()
+                .zip(&costs)
+                .map(|(&(u, v, cap), &c)| net.add_edge(u, v, cap, c))
+                .collect();
+            let (total, _) = net.flow(s, t, i64::MAX);
+            let flows: Vec<i64> = ids.iter().map(|&id| net.edge_flow(id)).collect();
+
+            let mut balance = vec![0i64; n];
+            for (&(u, v, cap), &f) in edges.iter().zip(&flows) {
+                prop_assert!(0 <= f && f <= cap, "flow {} outside [0, {}]", f, cap);
+                balance[u] -= f;
+                balance[v] += f;
+            }
+            prop_assert_eq!(balance[s], -total, "source emits the total");
+            prop_assert_eq!(balance[t], total, "sink absorbs the total");
+            for (node, &b) in balance.iter().enumerate().take(n - 1).skip(1) {
+                prop_assert_eq!(b, 0, "conservation at node {}", node);
+            }
+            prop_assert!(
+                !residual_reaches(n, &edges, &flows, s, t),
+                "augmenting path left: flow {} is not maximum",
+                total
+            );
+        }
+    );
+}
+
+#[test]
+fn carlisle_lloyd_known_answer_from_docs() {
+    // Three pairwise-overlapping intervals, k = 2: drop the lightest.
+    let iv = [
+        WeightedInterval::new(0, 10, 3),
+        WeightedInterval::new(0, 10, 5),
+        WeightedInterval::new(0, 10, 4),
+    ];
+    let sel = max_weight_k_colorable(&iv, 2);
+    assert_eq!(sel.total_weight, 9);
+    assert_eq!(sel.selected, vec![1, 2]);
+}
+
+/// Asserts the selection is a valid k-coloring: every color below `k`,
+/// no two same-colored intervals overlapping.
+fn assert_k_colorable(intervals: &[WeightedInterval], k: usize, sel: &ColorableSelection) {
+    assert_eq!(sel.selected.len(), sel.colors.len());
+    for (slot, &c) in sel.colors.iter().enumerate() {
+        assert!(c < k, "color {c} out of range (k = {k})");
+        for other in slot + 1..sel.colors.len() {
+            if sel.colors[other] == c {
+                assert!(
+                    !intervals[sel.selected[slot]].overlaps(&intervals[sel.selected[other]]),
+                    "same-color overlap at color {c}"
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive optimum over all subsets whose max overlap stays <= k.
+fn brute_force_best(intervals: &[WeightedInterval], k: usize) -> i64 {
+    let n = intervals.len();
+    let mut best = 0i64;
+    'subset: for mask in 0u32..(1 << n) {
+        let chosen: Vec<&WeightedInterval> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| &intervals[i])
+            .collect();
+        let mut w = 0i64;
+        for iv in &chosen {
+            w += iv.weight;
+            let cover = chosen.iter().filter(|o| o.lo <= iv.lo && iv.lo <= o.hi).count();
+            if cover > k {
+                continue 'subset;
+            }
+        }
+        best = best.max(w);
+    }
+    best
+}
+
+/// The selection is always properly k-colorable, its weight matches the
+/// brute-force optimum, is monotone in k, and saturates to "everything"
+/// once k covers the instance.
+#[test]
+fn prop_k_colorable_selection_invariants() {
+    prop_check!(
+        vecs((ints(0i64..12), ints(0i64..12), ints(1i64..9)), 1..8),
+        |raw| {
+            let iv: Vec<WeightedInterval> = raw
+                .into_iter()
+                .map(|(a, b, w)| WeightedInterval::new(a, b, w))
+                .collect();
+            let mut previous = 0i64;
+            for k in 1..=4usize {
+                let sel = max_weight_k_colorable(&iv, k);
+                assert_k_colorable(&iv, k, &sel);
+                prop_assert_eq!(
+                    sel.total_weight,
+                    brute_force_best(&iv, k),
+                    "suboptimal at k = {}",
+                    k
+                );
+                prop_assert!(sel.total_weight >= previous, "weight dropped as k grew");
+                previous = sel.total_weight;
+            }
+            // All weights are positive, so k >= n admits every interval.
+            let everything = max_weight_k_colorable(&iv, iv.len());
+            let all: i64 = iv.iter().map(|i| i.weight).sum();
+            prop_assert_eq!(everything.total_weight, all);
+        }
+    );
+}
+
+#[test]
+fn hungarian_known_answer_from_docs() {
+    let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+    let (assign, total) = min_cost_perfect_matching(&cost);
+    assert_eq!(total, 5); // 1 + 2 + 2
+    assert_eq!(assign, vec![1, 0, 2]);
+}
+
+/// Exhaustive assignment optimum by recursion over permutations.
+fn brute_force_matching(cost: &[Vec<i64>]) -> i64 {
+    fn rec(cost: &[Vec<i64>], row: usize, used: &mut Vec<bool>) -> i64 {
+        if row == cost.len() {
+            return 0;
+        }
+        let mut best = i64::MAX;
+        for j in 0..cost.len() {
+            if !used[j] {
+                used[j] = true;
+                best = best.min(cost[row][j] + rec(cost, row + 1, used));
+                used[j] = false;
+            }
+        }
+        best
+    }
+    rec(cost, 0, &mut vec![false; cost.len()])
+}
+
+/// The Hungarian result is a permutation and matches the brute-force
+/// optimum up to n = 6, negative costs included.
+#[test]
+fn prop_matching_is_an_optimal_permutation() {
+    prop_check!(
+        (ints(1usize..7), vecs(ints(-30i64..30), 36usize)),
+        |(n, values)| {
+            let cost: Vec<Vec<i64>> = (0..n)
+                .map(|i| (0..n).map(|j| values[i * 6 + j]).collect())
+                .collect();
+            let (assign, total) = min_cost_perfect_matching(&cost);
+            let mut seen = vec![false; n];
+            for &j in &assign {
+                prop_assert!(j < n && !seen[j], "not a permutation: {:?}", assign);
+                seen[j] = true;
+            }
+            let recount: i64 = (0..n).map(|i| cost[i][assign[i]]).sum();
+            prop_assert_eq!(total, recount, "reported total disagrees with the assignment");
+            prop_assert_eq!(total, brute_force_matching(&cost));
+        }
+    );
+}

@@ -1,0 +1,150 @@
+//! Service-level latency benchmark for the `mebl-serve` daemon.
+//!
+//! Boots a real loopback server per queue depth (1, 8, 64), drives it
+//! with a small concurrent client fleet routing distinct seeds (so the
+//! result cache never short-circuits the work), and records
+//! per-request wall latencies — `median_ns` is the p50 and `p95_ns`
+//! the tail — plus a fleet-wide wall-clock-per-request figure that
+//! stands in for throughput (req/sec = 1e9 / wall_per_request).
+//! A separate case samples the cache-hit fast path. Written to
+//! `results/bench_serve.json` and gated by `xtask benchgate` in
+//! `scripts/ci.sh` (with a generous tolerance: service numbers carry
+//! scheduler noise that stage microbenches do not).
+//!
+//! At queue depth 1 the fleet deliberately outruns the queue; clients
+//! absorb the resulting `429`s with a short backoff, so the recorded
+//! latencies are for *accepted* requests only and the depth-1 case
+//! shows what backpressure costs end-to-end.
+
+use mebl_par::run_scoped;
+use mebl_route::Stopwatch;
+use mebl_serve::{ServeConfig, Server};
+use mebl_testkit::bench::BenchSuite;
+use mebl_testkit::TestClient;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 4;
+const WARM_SAMPLES: usize = 25;
+
+fn payload(seed: u64) -> String {
+    format!("{{\"bench\":\"S5378\",\"seed\":{seed},\"scale\":0.035}}")
+}
+
+/// Shuts the server down if its owning role panics, so the server role
+/// can return and `run_scoped` can join instead of hanging forever on
+/// a daemon that nobody will ever drain.
+struct PanicDrain<'a>(&'a mebl_serve::ServerHandle);
+
+impl Drop for PanicDrain<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.shutdown();
+        }
+    }
+}
+
+/// Routes one payload, retrying through backpressure. A refused
+/// connection can also surface as a transport error (the acceptor
+/// answers `429` without reading the request, which may reset the
+/// socket before the client sees the body); both count as "try again".
+/// Returns the latency of the accepted attempt in nanoseconds.
+fn timed_route(client: &TestClient, body: &str) -> u64 {
+    for _ in 0..10_000 {
+        let sw = Stopwatch::start();
+        match client.post_json("/route", body) {
+            Ok(r) if r.status == 200 => {
+                return u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            Ok(r) if r.status == 429 => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            Ok(r) => panic!("unexpected status {}: {}", r.status, r.body_text()),
+        }
+    }
+    panic!("backpressure never cleared after 10k retries");
+}
+
+fn bench_depth(suite: &mut BenchSuite, depth: usize) {
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: depth,
+        cache_capacity: 0, // force every request to route
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let remaining = AtomicUsize::new(CLIENTS);
+    let wall = Stopwatch::start();
+    run_scoped(CLIENTS + 1, |role| {
+        if role == 0 {
+            server.run();
+        } else {
+            let _drain = PanicDrain(&handle);
+            let client = TestClient::new(addr).with_timeout(Duration::from_secs(300));
+            for i in 0..REQUESTS_PER_CLIENT {
+                let seed = (depth * 10_000 + role * 100 + i) as u64;
+                let ns = timed_route(&client, &payload(seed));
+                samples.lock().expect("samples").push(ns);
+            }
+            if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                handle.shutdown();
+            }
+        }
+    });
+    let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let samples = samples.lock().expect("samples").clone();
+    let total = samples.len().max(1) as u64;
+    suite.record_manual(format!("serve/request/depth_{depth}"), samples);
+    suite.record_manual(
+        format!("serve/wall_per_request/depth_{depth}"),
+        vec![wall_ns / total],
+    );
+    eprintln!(
+        "serve depth {depth}: {total} requests, {:.1} req/sec fleet-wide",
+        total as f64 * 1e9 / wall_ns as f64
+    );
+}
+
+fn bench_cache_hit(suite: &mut BenchSuite) {
+    let server = Server::bind(&ServeConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    run_scoped(2, |role| {
+        if role == 0 {
+            server.run();
+        } else {
+            let _drain = PanicDrain(&handle);
+            let client = TestClient::new(addr).with_timeout(Duration::from_secs(300));
+            let body = payload(2013);
+            let cold = client.post_json("/route", &body).expect("cold route");
+            assert_eq!(cold.status, 200, "{}", cold.body_text());
+            let mut warm = Vec::with_capacity(WARM_SAMPLES);
+            for _ in 0..WARM_SAMPLES {
+                let sw = Stopwatch::start();
+                let r = client.post_json("/route", &body).expect("warm route");
+                assert_eq!(r.header("x-cache"), Some("hit"));
+                warm.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            *samples.lock().expect("samples") = warm;
+            handle.shutdown();
+        }
+    });
+    let warm = samples.lock().expect("samples").clone();
+    suite.record_manual("serve/cache_hit", warm);
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("serve");
+    for depth in [1usize, 8, 64] {
+        bench_depth(&mut suite, depth);
+    }
+    bench_cache_hit(&mut suite);
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
+}

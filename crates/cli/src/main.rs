@@ -4,18 +4,30 @@
 //! mebl list                                   # show the benchmark suite
 //! mebl gen  <bench> [--scale f] [--seed n] [-o file]
 //! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
-//!            [--time-budget ms] [--max-expansions n] [--threads n]
+//!            [--time-budget ms] [--max-expansions n] [--threads n] [--json]
 //! mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f]
 //!            [--baseline] [--period n] [--strict]
-//!            [--time-budget ms] [--max-expansions n] [--threads n]
+//!            [--time-budget ms] [--max-expansions n] [--threads n] [--json]
+//! mebl serve [--port n] [--workers n] [--queue-depth n]
+//!            [--default-budget-ms n] [--cache-capacity n]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 usage error, 2 degraded result (a budget bound
-//! fired, or internal fallbacks were taken), 3 invalid input (unreadable
-//! or malformed circuit), 4 internal error (result violates a hard MEBL
-//! constraint).
+//! fired, internal fallbacks were taken, or `serve` cancelled jobs
+//! in-flight during drain), 3 invalid input (unreadable or malformed
+//! circuit, or a `serve` bind failure), 4 internal error (result violates
+//! a hard MEBL constraint).
+//!
+//! `--json` prints the same response object the service daemon serves
+//! (plus an `elapsed_ms` timing field, which the daemon omits so its
+//! cached bodies stay byte-identical). `serve` prints
+//! `listening on <addr>` on stdout, then drains gracefully when stdin
+//! closes or `POST /shutdown` arrives.
 
 use mebl_route::{Pool, RouteError, Router, RouterConfig, RunBudget};
+use mebl_serve::api::{audit_response_json, error_json, route_response_json, Mode};
+use mebl_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -48,6 +60,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Outcome::Clean)
@@ -75,7 +88,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
@@ -154,6 +167,9 @@ struct RunFlags {
     period: Option<i32>,
     budget: RunBudget,
     threads: Option<usize>,
+    /// Print the service daemon's JSON response object (with timing)
+    /// instead of the human-readable report lines.
+    json: bool,
 }
 
 impl RunFlags {
@@ -163,6 +179,7 @@ impl RunFlags {
             period: None,
             budget: RunBudget::default(),
             threads: None,
+            json: false,
         }
     }
 
@@ -210,6 +227,7 @@ impl RunFlags {
                 }
                 self.threads = Some(n);
             }
+            "--json" => self.json = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -236,10 +254,15 @@ impl RunFlags {
     }
 
     fn mode_name(&self) -> &'static str {
+        self.mode().name()
+    }
+
+    /// The wire-schema mode tag shared with the service daemon.
+    fn mode(&self) -> Mode {
         if self.baseline {
-            "baseline"
+            Mode::Baseline
         } else {
-            "stitch-aware"
+            Mode::StitchAware
         }
     }
 }
@@ -298,6 +321,9 @@ fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
         Err(e @ RouteError::BudgetExhausted) => {
             // The input was fine and a bigger budget would succeed:
             // same exit class as a degraded run.
+            if flags.json {
+                println!("{}", error_json("budget-exhausted", &e.to_string()).encode());
+            }
             eprintln!("degraded: {e}");
             return Ok(Outcome::Degraded);
         }
@@ -307,15 +333,23 @@ fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
         eprintln!("degraded: {d}");
     }
     let audit = mebl_audit::audit_outcome(&circuit, &config, &outcome);
-    println!(
-        "{} [{}]: {}",
-        circuit.name(),
-        flags.mode_name(),
-        outcome.report
-    );
-    println!("{audit}");
-    for finding in &audit.findings {
-        println!("  {finding}");
+    if flags.json {
+        println!(
+            "{}",
+            audit_response_json(circuit.name(), flags.mode(), &outcome, &audit, strict, true)
+                .encode()
+        );
+    } else {
+        println!(
+            "{} [{}]: {}",
+            circuit.name(),
+            flags.mode_name(),
+            outcome.report
+        );
+        println!("{audit}");
+        for finding in &audit.findings {
+            println!("  {finding}");
+        }
     }
     let errors = audit.error_count();
     let warnings = audit.warning_count();
@@ -359,6 +393,9 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     let outcome = match router.try_route(&circuit) {
         Ok(outcome) => outcome,
         Err(e @ RouteError::BudgetExhausted) => {
+            if flags.json {
+                println!("{}", error_json("budget-exhausted", &e.to_string()).encode());
+            }
             eprintln!("degraded: {e}");
             return Ok(Outcome::Degraded);
         }
@@ -367,12 +404,19 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     for d in &outcome.degradations {
         eprintln!("degraded: {d}");
     }
-    println!(
-        "{} [{}]: {}",
-        circuit.name(),
-        flags.mode_name(),
-        outcome.report
-    );
+    if flags.json {
+        println!(
+            "{}",
+            route_response_json(circuit.name(), flags.mode(), &outcome, true).encode()
+        );
+    } else {
+        println!(
+            "{} [{}]: {}",
+            circuit.name(),
+            flags.mode_name(),
+            outcome.report
+        );
+    }
     if !outcome.report.hard_clean() {
         return Err(CliError::Internal(
             "hard MEBL violation in result (bug)".into(),
@@ -389,6 +433,106 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     } else {
         Ok(Outcome::Clean)
     }
+}
+
+/// Runs the routing service daemon until it drains.
+///
+/// Prints `listening on <addr>` on stdout (flushed, so drivers piping
+/// stdout can parse the bound port), then serves until stdin closes or
+/// a `POST /shutdown` arrives. Exit code 0 for a clean drain, 2 when
+/// in-flight jobs were cancelled by the drain, 3 when the bind fails.
+fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
+    let mut config = ServeConfig::default();
+    let mut port: u16 = 0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--port" => {
+                port = val("--port")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --port"))?
+            }
+            "--workers" => {
+                let n: usize = val("--workers")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --workers"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--workers must be >= 1"));
+                }
+                config.workers = n;
+            }
+            "--queue-depth" => {
+                let n: usize = val("--queue-depth")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --queue-depth"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--queue-depth must be >= 1"));
+                }
+                config.queue_depth = n;
+            }
+            "--default-budget-ms" => {
+                let ms: u64 = val("--default-budget-ms")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --default-budget-ms"))?;
+                config.default_budget = RunBudget::with_time(Duration::from_millis(ms));
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = val("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --cache-capacity"))?;
+            }
+            other => return Err(CliError::usage(format!("serve: unknown flag {other}"))),
+        }
+    }
+    config.addr = format!("127.0.0.1:{port}");
+
+    let server = Server::bind(&config)
+        .map_err(|e| CliError::Invalid(format!("cannot bind {}: {e}", config.addr)))?;
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving with {} worker(s), queue depth {} (close stdin or POST /shutdown to drain)",
+        config.workers, config.queue_depth
+    );
+
+    let handle = server.handle();
+    // Role 0 serves; role 1 watches stdin and requests a drain at EOF.
+    // When the drain came over HTTP instead, the watcher may still be
+    // blocked on stdin, so role 0 exits the process directly after
+    // reporting (the watcher thread dies with the process).
+    mebl_par::run_scoped(2, |role| {
+        if role == 0 {
+            let report = server.run();
+            eprintln!(
+                "drained: {} request(s), {} clean, {} degraded, {} cache hit(s), \
+                 {} rejected for backpressure, {} cancelled in flight",
+                report.requests,
+                report.clean,
+                report.degraded,
+                report.cache_hits,
+                report.queue_rejects,
+                report.cancelled_in_flight
+            );
+            let code = if report.cancelled_in_flight > 0 { 2 } else { 0 };
+            std::process::exit(code);
+        } else {
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            handle.shutdown();
+        }
+    });
+    // Role 0 always exits the process above; this is never reached.
+    Ok(Outcome::Clean)
 }
 
 fn load_circuit(path: &str) -> Result<mebl_netlist::Circuit, CliError> {

@@ -186,6 +186,54 @@ impl Pool {
     }
 }
 
+/// Runs `f(role)` for every role in `0..roles` concurrently and joins
+/// them all before returning.
+///
+/// Role 0 runs on the caller's thread; roles `1..roles` run on scoped
+/// threads. This is the workspace's primitive for *heterogeneous*
+/// long-lived concurrency — an acceptor loop plus a worker pool, a
+/// server plus a client harness — where [`Pool`]'s homogeneous data
+/// parallelism does not fit. Threads stay scoped (nothing outlives the
+/// call) and panics propagate: if any role panics, `run_scoped` panics
+/// after every other role has been joined, re-raising the first
+/// payload.
+///
+/// Roles typically coordinate through shared state that tells the
+/// others to finish (a latch, a closed queue); `run_scoped` itself
+/// imposes no protocol beyond "all roles return".
+pub fn run_scoped<F>(roles: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if roles <= 1 {
+        if roles == 1 {
+            f(0);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(roles - 1);
+        for role in 1..roles {
+            handles.push(scope.spawn(move || f(role)));
+        }
+        // Role 0 may itself panic; catch it so the scoped roles still
+        // get joined (they would be joined by scope teardown anyway,
+        // but explicit joins let us prefer role 0's payload and keep
+        // the re-raise deterministic).
+        let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let mut panicked = own.err();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panicked = panicked.or(Some(payload));
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +325,33 @@ mod tests {
             );
             assert_eq!(results, items, "workers = {workers}");
             assert_eq!(total.load(Ordering::Relaxed), 500 * 501 / 2);
+        }
+    }
+
+    #[test]
+    fn run_scoped_runs_every_role_once() {
+        for roles in [0, 1, 2, 5] {
+            let seen: Vec<AtomicU64> = (0..roles).map(|_| AtomicU64::new(0)).collect();
+            run_scoped(roles, |role| {
+                seen[role].fetch_add(1, Ordering::Relaxed);
+            });
+            for (role, count) in seen.iter().enumerate() {
+                assert_eq!(count.load(Ordering::Relaxed), 1, "roles={roles} role={role}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_scoped_propagates_role_panics() {
+        // A spawned role panicking must not leave role 0 unjoined (and
+        // vice versa) — both directions surface as a caller panic.
+        for bad_role in [0, 2] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_scoped(3, |role| {
+                    assert!(role != bad_role, "bad role");
+                });
+            }));
+            assert!(result.is_err(), "bad_role = {bad_role}");
         }
     }
 

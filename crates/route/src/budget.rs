@@ -72,6 +72,24 @@ impl RunBudget {
         CancelToken::armed(self.max_expansions, deadline)
     }
 
+    /// Arms a run-wide [`CancelToken`] that also honors an external
+    /// `interrupt` token: the run cancels when either this budget's
+    /// deadline passes or `interrupt` latches. A service uses this to
+    /// compose server shutdown into every in-flight job without giving
+    /// jobs a way to cancel each other — `interrupt` stays owned by the
+    /// caller; only its cancelled state is observed.
+    pub(crate) fn arm_under(&self, interrupt: &CancelToken) -> CancelToken {
+        let time_probe = self.time.map(|limit| {
+            let sw = Stopwatch::start();
+            move || sw.elapsed() >= limit
+        });
+        let interrupt = interrupt.clone();
+        let probe: DeadlineProbe = Box::new(move || {
+            interrupt.is_cancelled_now() || time_probe.as_ref().is_some_and(|p| p())
+        });
+        CancelToken::armed(self.max_expansions, Some(probe))
+    }
+
     /// Scopes `token` with this budget's per-stage deadline, if any.
     /// The stage clock starts now.
     pub(crate) fn stage_scope(&self, token: &CancelToken) -> CancelToken {

@@ -265,6 +265,36 @@ impl Router {
         Ok(self.run_with(circuit, token))
     }
 
+    /// Like [`Router::try_route`], but the run additionally stops when
+    /// `interrupt` latches — for drivers (such as the routing service)
+    /// that must be able to cancel in-flight work from outside.
+    ///
+    /// `interrupt` is observed, never mutated: degradations recorded by
+    /// the run land on the run's own token, and cancelling the run does
+    /// not latch `interrupt`. With an inert, never-cancelled interrupt
+    /// this is behaviorally identical to [`Router::try_route`].
+    pub fn try_route_under(
+        &self,
+        circuit: &Circuit,
+        interrupt: &CancelToken,
+    ) -> Result<RoutingOutcome, RouteError> {
+        self.config.check_stitch()?;
+        let issues = self.validate(circuit);
+        if issues.iter().any(CircuitIssue::is_error) {
+            return Err(RouteError::InvalidCircuit(issues));
+        }
+        if self.config.budget.is_dead_on_arrival() {
+            return Err(RouteError::BudgetExhausted);
+        }
+        let token = self.config.budget.arm_under(interrupt);
+        if token.is_cancelled_now() {
+            // Already past the deadline, or the server is already
+            // draining: same typed error either way.
+            return Err(RouteError::BudgetExhausted);
+        }
+        Ok(self.run_with(circuit, token))
+    }
+
     /// Pre-flight checks of `circuit` against this configuration's
     /// stitch geometry (pins on stitching lines are found relative to
     /// the plan the run would use).

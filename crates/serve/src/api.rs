@@ -1,0 +1,460 @@
+//! The service's wire schema: job request parsing, canonical cache-key
+//! derivation, and the response encoders shared by the daemon and the
+//! CLI's `--json` output.
+//!
+//! One schema, two transports: `mebl serve` speaks it over HTTP and
+//! `mebl route --json` / `mebl audit --json` print the identical
+//! response object to stdout. The only difference is timing — the CLI
+//! includes `elapsed_ms`, the server never does, because server bodies
+//! are cached and must be byte-identical across cold and warm runs
+//! (wall-clock fields would break that contract).
+
+use crate::cache::{fnv1a, fnv1a_extend};
+use crate::json::Json;
+use mebl_audit::AuditReport;
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
+use mebl_route::{
+    Degradation, Pool, RouteReport, RouterConfig, RoutingOutcome, RunBudget,
+};
+use std::time::Duration;
+
+/// Which routing preset a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's full stitch-aware flow.
+    StitchAware,
+    /// The conventional baseline flow of Table III.
+    Baseline,
+}
+
+impl Mode {
+    /// Canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::StitchAware => "stitch-aware",
+            Mode::Baseline => "baseline",
+        }
+    }
+}
+
+/// A parsed `/route` or `/audit` job payload.
+///
+/// The circuit arrives either inline (`circuit`: full netlist text) or
+/// as a generator reference (`bench` + `seed` + `scale`). Unknown keys
+/// are rejected: the canonical cache key covers every field, so a
+/// silently-ignored field would alias distinct requests onto one cache
+/// entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Inline circuit text, when given.
+    pub circuit: Option<String>,
+    /// Benchmark name, when generating.
+    pub bench: Option<String>,
+    /// Generator seed (`bench` payloads only).
+    pub seed: u64,
+    /// Generator net scale (`bench` payloads only).
+    pub scale: f64,
+    /// Routing preset.
+    pub mode: Mode,
+    /// Stitch/tile period override.
+    pub period: Option<i32>,
+    /// Wall-clock budget in milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Search-expansion cap.
+    pub max_expansions: Option<u64>,
+    /// Worker threads for the routing pool (output is bit-identical at
+    /// every value, so this is excluded from the cache key).
+    pub threads: usize,
+    /// Audit strictness (warnings fail the audit) — `/audit` only.
+    pub strict: bool,
+}
+
+impl Default for JobRequest {
+    fn default() -> Self {
+        Self {
+            circuit: None,
+            bench: None,
+            seed: GenerateConfig::default().seed,
+            scale: 1.0,
+            mode: Mode::StitchAware,
+            period: None,
+            budget_ms: None,
+            max_expansions: None,
+            threads: 1,
+            strict: false,
+        }
+    }
+}
+
+impl JobRequest {
+    /// Parses a job payload from a decoded JSON document.
+    pub fn from_json(value: &Json) -> Result<JobRequest, String> {
+        let Json::Obj(pairs) = value else {
+            return Err("payload must be a JSON object".into());
+        };
+        let mut req = JobRequest::default();
+        for (key, v) in pairs {
+            match key.as_str() {
+                "circuit" => {
+                    req.circuit =
+                        Some(v.as_str().ok_or("`circuit` must be a string")?.to_string());
+                }
+                "bench" => {
+                    req.bench = Some(v.as_str().ok_or("`bench` must be a string")?.to_string());
+                }
+                "seed" => req.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?,
+                "scale" => {
+                    let s = v.as_f64().ok_or("`scale` must be a number")?;
+                    if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                        return Err("`scale` must be in (0, 1]".into());
+                    }
+                    req.scale = s;
+                }
+                "mode" => {
+                    req.mode = match v.as_str() {
+                        Some("stitch-aware") => Mode::StitchAware,
+                        Some("baseline") => Mode::Baseline,
+                        _ => return Err("`mode` must be \"stitch-aware\" or \"baseline\"".into()),
+                    };
+                }
+                "period" => {
+                    let p = v.as_i64().ok_or("`period` must be an integer")?;
+                    if p <= 1 || p > i64::from(i32::MAX) {
+                        return Err("`period` must be > 1".into());
+                    }
+                    req.period = Some(p as i32);
+                }
+                "budget_ms" => {
+                    req.budget_ms =
+                        Some(v.as_u64().ok_or("`budget_ms` must be a non-negative integer")?);
+                }
+                "max_expansions" => {
+                    req.max_expansions = Some(
+                        v.as_u64()
+                            .ok_or("`max_expansions` must be a non-negative integer")?,
+                    );
+                }
+                "threads" => {
+                    let t = v.as_u64().ok_or("`threads` must be a positive integer")?;
+                    if t == 0 || t > 256 {
+                        return Err("`threads` must be in 1..=256".into());
+                    }
+                    req.threads = t as usize;
+                }
+                "strict" => req.strict = v.as_bool().ok_or("`strict` must be a boolean")?,
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        match (&req.circuit, &req.bench) {
+            (None, None) => Err("payload needs `circuit` text or a `bench` name".into()),
+            (Some(_), Some(_)) => Err("give `circuit` or `bench`, not both".into()),
+            _ => Ok(req),
+        }
+    }
+
+    /// Materializes the circuit this request describes.
+    ///
+    /// `Err` carries `(kind, detail)` where kind is the typed error
+    /// class (`unknown-bench` maps to 400, `invalid-circuit` to 422 —
+    /// the caller decides the status).
+    pub fn resolve_circuit(&self) -> Result<(String, Circuit), (&'static str, String)> {
+        if let Some(text) = &self.circuit {
+            let circuit = mebl_netlist::circuit_from_str(text)
+                .map_err(|e| ("invalid-circuit", e.to_string()))?;
+            return Ok((text.clone(), circuit));
+        }
+        let name = self.bench.as_deref().unwrap_or_default();
+        let spec = BenchmarkSpec::by_name(name)
+            .ok_or_else(|| ("unknown-bench", format!("unknown benchmark `{name}`")))?;
+        let circuit = spec.generate(&GenerateConfig {
+            seed: self.seed,
+            net_scale: self.scale,
+            ..GenerateConfig::default()
+        });
+        Ok((mebl_netlist::circuit_to_string(&circuit), circuit))
+    }
+
+    /// The run budget this request asks for, falling back to the
+    /// server-wide default when the request sets no bound of its own.
+    pub fn budget(&self, default_budget: RunBudget) -> RunBudget {
+        if self.budget_ms.is_none() && self.max_expansions.is_none() {
+            return default_budget;
+        }
+        RunBudget {
+            time: self.budget_ms.map(Duration::from_millis),
+            stage_time: None,
+            max_expansions: self.max_expansions,
+        }
+    }
+
+    /// Builds the router configuration for this job.
+    pub fn router_config(&self, default_budget: RunBudget) -> RouterConfig {
+        let mut config = match self.mode {
+            Mode::StitchAware => RouterConfig::stitch_aware(),
+            Mode::Baseline => RouterConfig::baseline(),
+        };
+        if let Some(p) = self.period {
+            config.stitch.period = p;
+            config.global.tile_size = p;
+        }
+        config.budget = self.budget(default_budget);
+        config.pool = Pool::new(self.threads);
+        config
+    }
+
+    /// The canonical cache key: FNV-1a over the circuit bytes chained
+    /// with a canonical rendering of every result-affecting field plus
+    /// the endpoint.
+    ///
+    /// `threads` is deliberately excluded — the determinism contract
+    /// makes it output-invisible — and the *resolved* budget is used so
+    /// a request relying on the server default keys the same as one
+    /// spelling that default out.
+    pub fn cache_key(&self, endpoint: &str, circuit_text: &str, default_budget: RunBudget) -> u64 {
+        let budget = self.budget(default_budget);
+        let canonical = format!(
+            "endpoint={endpoint};mode={};period={:?};time_ms={:?};stage_ms={:?};exp={:?};strict={}",
+            self.mode.name(),
+            self.period,
+            budget.time.map(|d| d.as_millis()),
+            budget.stage_time.map(|d| d.as_millis()),
+            budget.max_expansions,
+            self.strict,
+        );
+        fnv1a_extend(fnv1a(circuit_text.bytes()), canonical.bytes())
+    }
+}
+
+/// Encodes a [`RouteReport`] (timing included only when asked — server
+/// bodies must stay wall-clock-free).
+pub fn report_to_json(report: &RouteReport, include_timing: bool) -> Json {
+    let mut pairs = vec![
+        ("total_nets", Json::Int(report.total_nets as i64)),
+        ("routed_nets", Json::Int(report.routed_nets as i64)),
+        ("routability", Json::Float(report.routability())),
+        ("via_violations", Json::Int(report.via_violations as i64)),
+        (
+            "via_violations_off_pin",
+            Json::Int(report.via_violations_off_pin as i64),
+        ),
+        (
+            "vertical_violations",
+            Json::Int(report.vertical_violations as i64),
+        ),
+        ("short_polygons", Json::Int(report.short_polygons as i64)),
+        ("wirelength", Json::Int(report.wirelength as i64)),
+        ("vias", Json::Int(report.vias as i64)),
+    ];
+    if include_timing {
+        pairs.push((
+            "elapsed_ms",
+            Json::Float(report.elapsed.as_secs_f64() * 1e3),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+fn degradations_to_json(degradations: &[Degradation]) -> Json {
+    Json::Arr(
+        degradations
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("stage", Json::Str(d.stage.to_string())),
+                    ("kind", Json::Str(d.kind.to_string())),
+                    (
+                        "net",
+                        d.net.map_or(Json::Null, |n| Json::Int(n as i64)),
+                    ),
+                    ("detail", Json::Str(d.detail.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The `/route` success body (also `mebl route --json`).
+pub fn route_response_json(
+    circuit_name: &str,
+    mode: Mode,
+    outcome: &RoutingOutcome,
+    include_timing: bool,
+) -> Json {
+    Json::obj(vec![
+        (
+            "status",
+            Json::Str(
+                if outcome.is_degraded() {
+                    "degraded"
+                } else {
+                    "ok"
+                }
+                .to_string(),
+            ),
+        ),
+        ("circuit", Json::Str(circuit_name.to_string())),
+        ("mode", Json::Str(mode.name().to_string())),
+        ("report", report_to_json(&outcome.report, include_timing)),
+        ("degradations", degradations_to_json(&outcome.degradations)),
+    ])
+}
+
+/// The `/audit` success body (also `mebl audit --json`).
+pub fn audit_response_json(
+    circuit_name: &str,
+    mode: Mode,
+    outcome: &RoutingOutcome,
+    audit: &AuditReport,
+    strict: bool,
+    include_timing: bool,
+) -> Json {
+    let errors = audit.error_count();
+    let warnings = audit.warning_count();
+    let failed = errors > 0 || (strict && warnings > 0);
+    let findings: Vec<Json> = audit
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                (
+                    "severity",
+                    Json::Str(format!("{:?}", f.severity()).to_ascii_lowercase()),
+                ),
+                ("kind", Json::Str(format!("{:?}", f.kind))),
+                ("net", f.net.map_or(Json::Null, |n| Json::Int(i64::from(n.0)))),
+                ("detail", Json::Str(f.to_string())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "status",
+            Json::Str(
+                if failed {
+                    "failed"
+                } else if outcome.is_degraded() {
+                    "degraded"
+                } else {
+                    "ok"
+                }
+                .to_string(),
+            ),
+        ),
+        ("circuit", Json::Str(circuit_name.to_string())),
+        ("mode", Json::Str(mode.name().to_string())),
+        ("strict", Json::Bool(strict)),
+        ("errors", Json::Int(errors as i64)),
+        ("warnings", Json::Int(warnings as i64)),
+        ("nets_audited", Json::Int(audit.nets_audited as i64)),
+        ("report", report_to_json(&outcome.report, include_timing)),
+        ("findings", Json::Arr(findings)),
+        ("degradations", degradations_to_json(&outcome.degradations)),
+    ])
+}
+
+/// A typed error body: `{"error":{"kind":...,"detail":...}}`.
+pub fn error_json(kind: &str, detail: &str) -> Json {
+    Json::obj(vec![(
+        "error",
+        Json::obj(vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("detail", Json::Str(detail.to_string())),
+        ]),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn req(text: &str) -> Result<JobRequest, String> {
+        JobRequest::from_json(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn parses_bench_payload_with_defaults() {
+        let r = req(r#"{"bench":"S5378","seed":3}"#).unwrap();
+        assert_eq!(r.bench.as_deref(), Some("S5378"));
+        assert_eq!(r.seed, 3);
+        assert_eq!(r.mode, Mode::StitchAware);
+        assert_eq!(r.threads, 1);
+        assert!(r.circuit.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_payloads() {
+        assert!(req(r#"{}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","circuit":"x"}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","mystery":1}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","mode":"quantum"}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","scale":0}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","period":1}"#).is_err());
+        assert!(req(r#"{"bench":"S5378","threads":0}"#).is_err());
+        assert!(req(r#"[1,2,3]"#).is_err());
+    }
+
+    #[test]
+    fn unknown_bench_is_typed() {
+        let r = req(r#"{"bench":"NOPE"}"#).unwrap();
+        let err = r.resolve_circuit().unwrap_err();
+        assert_eq!(err.0, "unknown-bench");
+    }
+
+    #[test]
+    fn inline_circuit_must_parse() {
+        let r = req(r#"{"circuit":"complete garbage"}"#).unwrap();
+        assert_eq!(r.resolve_circuit().unwrap_err().0, "invalid-circuit");
+    }
+
+    #[test]
+    fn cache_key_covers_config_but_not_threads() {
+        let a = req(r#"{"bench":"S5378"}"#).unwrap();
+        let b = req(r#"{"bench":"S5378","threads":4}"#).unwrap();
+        let c = req(r#"{"bench":"S5378","period":40}"#).unwrap();
+        let unlimited = RunBudget::unlimited();
+        assert_eq!(
+            a.cache_key("route", "text", unlimited),
+            b.cache_key("route", "text", unlimited)
+        );
+        assert_ne!(
+            a.cache_key("route", "text", unlimited),
+            c.cache_key("route", "text", unlimited)
+        );
+        assert_ne!(
+            a.cache_key("route", "text", unlimited),
+            a.cache_key("audit", "text", unlimited)
+        );
+        assert_ne!(
+            a.cache_key("route", "text", unlimited),
+            a.cache_key("route", "other", unlimited)
+        );
+        // Spelling out the server default keys identically to omitting it.
+        let spelled = req(r#"{"bench":"S5378","budget_ms":250}"#).unwrap();
+        let default = RunBudget::with_time(Duration::from_millis(250));
+        assert_eq!(
+            a.cache_key("route", "text", default),
+            spelled.cache_key("route", "text", default)
+        );
+    }
+
+    #[test]
+    fn router_config_mirrors_request() {
+        let r = req(r#"{"bench":"S5378","mode":"baseline","period":44,"threads":2,"max_expansions":9}"#)
+            .unwrap();
+        let config = r.router_config(RunBudget::unlimited());
+        assert_eq!(config.stitch.period, 44);
+        assert_eq!(config.global.tile_size, 44);
+        assert_eq!(config.pool.workers(), 2);
+        assert_eq!(config.budget.max_expansions, Some(9));
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let e = error_json("backpressure", "queue full");
+        assert_eq!(
+            e.encode(),
+            r#"{"error":{"kind":"backpressure","detail":"queue full"}}"#
+        );
+    }
+}

@@ -1,0 +1,683 @@
+//! A zero-dependency routing service daemon for the MEBL flow.
+//!
+//! `mebl-serve` wraps the stitch-aware router in a small HTTP/1.1
+//! server built on nothing but `std::net`: `POST /route` and
+//! `POST /audit` run jobs, `GET /healthz` and `GET /metrics` observe
+//! the daemon, `POST /shutdown` (or closing the CLI's stdin) drains it.
+//! The design goals, in order:
+//!
+//! 1. **Determinism is preserved over the wire.** Response bodies carry
+//!    no wall-clock fields, so a cached response is *bit-identical* to
+//!    re-running the job (DESIGN.md §9 makes the computation itself a
+//!    pure function of the request), and worker count never shows up in
+//!    a body.
+//! 2. **Backpressure is typed, not implicit.** A bounded connection
+//!    queue sits between the acceptor and the worker pool; when it is
+//!    full the acceptor answers `429` immediately instead of letting
+//!    latency grow without bound, and during drain new jobs get `503`.
+//! 3. **Every job runs under a budget and the server's interrupt.**
+//!    Client-supplied budgets ride the existing [`RunBudget`] machinery
+//!    and shutdown latches a server-wide `CancelToken` composed into
+//!    every in-flight run via [`Router::try_route_under`], so drain
+//!    never waits on an unbounded route.
+//!
+//! Threading uses [`mebl_par::run_scoped`] (acceptor = role 0, workers
+//! after it) — no detached threads, panics propagate, and the whole
+//! server joins before [`Server::run`] returns its [`DrainReport`].
+
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+
+use crate::api::{audit_response_json, error_json, route_response_json, JobRequest};
+use crate::cache::ResultCache;
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use mebl_control::CancelToken;
+use mebl_route::{RouteError, Router, RunBudget, Stopwatch};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How long the acceptor sleeps between polls of a quiet listener. The
+/// listener is non-blocking so the acceptor can notice a drain request
+/// without another connection arriving.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Locks a mutex, recovering the data on poisoning: all protected state
+/// here is plain data (queues, maps), never left logically torn by a
+/// panicking holder.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded connection-queue depth; a full queue answers `429`.
+    pub queue_depth: usize,
+    /// Budget applied to jobs that do not bring their own.
+    pub default_budget: RunBudget,
+    /// Result-cache capacity in responses (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-connection socket read/write timeout, so a stalled peer
+    /// cannot pin a worker forever.
+    pub io_timeout: Option<Duration>,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            default_budget: RunBudget::unlimited(),
+            cache_capacity: 256,
+            io_timeout: Some(Duration::from_secs(10)),
+            max_body: 4 << 20,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, reported when `run` returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests fully read and answered (any endpoint).
+    pub requests: u64,
+    /// Jobs that completed clean.
+    pub clean: u64,
+    /// Jobs that completed with recorded degradations.
+    pub degraded: u64,
+    /// Responses served from the result cache.
+    pub cache_hits: u64,
+    /// Connections rejected with `429` (queue full).
+    pub queue_rejects: u64,
+    /// In-flight jobs cut short by the shutdown interrupt.
+    pub cancelled_in_flight: u64,
+}
+
+/// Why the queue refused a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefuseReason {
+    /// At capacity.
+    Full,
+    /// Closed for drain.
+    Closed,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// The bounded handoff between the acceptor and the workers.
+///
+/// `close` stops intake but lets `pop` drain what was already queued,
+/// so accepted connections are always *answered* (with `503` during
+/// drain), never dropped on the floor.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `stream`, or returns it with the reason it was refused.
+    fn try_push(&self, stream: TcpStream) -> Result<(), (TcpStream, RefuseReason)> {
+        let mut state = lock(&self.state);
+        if state.closed {
+            return Err((stream, RefuseReason::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((stream, RefuseReason::Full));
+        }
+        state.items.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops intake and wakes every blocked worker.
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+}
+
+/// State shared by the acceptor, the workers and every [`ServerHandle`].
+struct Shared {
+    queue: JobQueue,
+    metrics: Metrics,
+    cache: ResultCache,
+    draining: AtomicBool,
+    /// Latched by shutdown; composed into every job's cancel token.
+    interrupt: CancelToken,
+    in_flight: AtomicUsize,
+    default_budget: RunBudget,
+    io_timeout: Option<Duration>,
+    max_body: usize,
+    workers: usize,
+}
+
+/// A cloneable handle for observing and draining a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Starts a graceful drain: stop accepting, answer queued-but-
+    /// unstarted jobs with `503`, and interrupt in-flight routes so they
+    /// finish promptly (their degraded results are still delivered).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.interrupt.cancel();
+        self.shared.queue.close();
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Which job endpoint a request hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Route,
+    Audit,
+}
+
+impl Endpoint {
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Route => "route",
+            Endpoint::Audit => "audit",
+        }
+    }
+}
+
+/// The routing service daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server does
+    /// not serve until [`Server::run`] is called.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                queue: JobQueue::new(config.queue_depth),
+                metrics: Metrics::default(),
+                cache: ResultCache::new(config.cache_capacity),
+                draining: AtomicBool::new(false),
+                // Armed (but boundless) so `cancel` latches; an inert
+                // token would make shutdown unobservable to jobs.
+                interrupt: CancelToken::armed(None, None),
+                in_flight: AtomicUsize::new(0),
+                default_budget: config.default_budget,
+                io_timeout: config.io_timeout,
+                max_body: config.max_body,
+                workers: config.workers.max(1),
+            }),
+        })
+    }
+
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle for draining/observing the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a drain is requested, then joins every role and
+    /// reports. Role 0 (the caller's thread) accepts; the remaining
+    /// roles drain the queue.
+    pub fn run(&self) -> DrainReport {
+        mebl_par::run_scoped(1 + self.shared.workers, |role| {
+            if role == 0 {
+                self.accept_loop();
+            } else {
+                self.worker_loop();
+            }
+        });
+        let m = &self.shared.metrics;
+        DrainReport {
+            requests: m.requests.get(),
+            clean: m.clean.get(),
+            degraded: m.degraded.get(),
+            cache_hits: m.cache_hits.get(),
+            queue_rejects: m.queue_rejects.get(),
+            cancelled_in_flight: m.cancelled_by_shutdown.get(),
+        }
+    }
+
+    fn accept_loop(&self) {
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets do not reliably inherit the
+                    // listener's non-blocking flag; make it explicit.
+                    let _ = stream.set_nonblocking(false);
+                    match self.shared.queue.try_push(stream) {
+                        Ok(()) => {}
+                        Err((stream, RefuseReason::Full)) => {
+                            self.shared.metrics.queue_rejects.inc();
+                            self.refuse(
+                                stream,
+                                Response::json(
+                                    429,
+                                    error_json("backpressure", "job queue is full").encode(),
+                                )
+                                .with_header("retry-after", "1"),
+                            );
+                        }
+                        Err((stream, RefuseReason::Closed)) => {
+                            self.shared.metrics.shutdown_rejects.inc();
+                            self.refuse(
+                                stream,
+                                Response::json(
+                                    503,
+                                    error_json("shutting-down", "server is draining").encode(),
+                                ),
+                            );
+                        }
+                    }
+                }
+                // Quiet listener or transient accept failure: back off
+                // briefly so the drain flag stays responsive.
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        self.shared.queue.close();
+    }
+
+    /// Answers a connection the queue refused, without parsing its
+    /// request (the peer may still be writing it; that is fine under
+    /// `Connection: close` framing).
+    fn refuse(&self, mut stream: TcpStream, response: Response) {
+        let _ = stream.set_write_timeout(self.shared.io_timeout);
+        if response.write_to(&mut stream).is_err() {
+            self.shared.metrics.disconnects.inc();
+            return;
+        }
+        // Closing a socket with unread bytes in its receive buffer can
+        // reset the connection and destroy the response in flight, so
+        // the peer would see a transport error instead of the typed
+        // `429`/`503`. Drain what has already arrived — bounded, so a
+        // slow-writing peer cannot stall the acceptor for long.
+        let _ = stream.set_nonblocking(true);
+        let mut sink = [0u8; 4096];
+        for _ in 0..8 {
+            match std::io::Read::read(&mut stream, &mut sink) {
+                Ok(0) => break, // peer closed its half; nothing left to reset
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(stream) = self.shared.queue.pop() {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            self.handle_connection(stream);
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let m = &self.shared.metrics;
+        let total = Stopwatch::start();
+        let _ = stream.set_read_timeout(self.shared.io_timeout);
+        let _ = stream.set_write_timeout(self.shared.io_timeout);
+        let mut reader = BufReader::new(stream);
+
+        let parse_sw = Stopwatch::start();
+        let request = read_request(&mut reader, self.shared.max_body);
+        m.parse_hist.observe(parse_sw.elapsed());
+
+        let response = match &request {
+            Ok(request) => {
+                m.requests.inc();
+                self.dispatch(request)
+            }
+            Err(ReadError::Disconnected) => {
+                m.disconnects.inc();
+                return; // nobody left to answer
+            }
+            Err(e @ ReadError::Malformed(_)) => {
+                m.bad_requests.inc();
+                Response::json(400, error_json("bad-request", &e.to_string()).encode())
+            }
+            Err(e @ ReadError::TooLarge { .. }) => {
+                m.bad_requests.inc();
+                Response::json(413, error_json("payload-too-large", &e.to_string()).encode())
+            }
+        };
+
+        let mut stream = reader.into_inner();
+        if response.write_to(&mut stream).is_err() {
+            m.disconnects.inc();
+        }
+        m.total_hist.observe(total.elapsed());
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => Response::json(
+                200,
+                self.shared
+                    .metrics
+                    .to_json(
+                        self.shared.queue.len(),
+                        self.shared.in_flight.load(Ordering::SeqCst),
+                        self.shared.cache.len(),
+                    )
+                    .encode(),
+            ),
+            ("POST", "/shutdown") => {
+                self.handle().shutdown();
+                Response::json(
+                    200,
+                    Json::obj(vec![("status", Json::Str("draining".to_string()))]).encode(),
+                )
+            }
+            ("POST", "/route") => self.job(request, Endpoint::Route),
+            ("POST", "/audit") => self.job(request, Endpoint::Audit),
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/route" | "/audit") => {
+                self.shared.metrics.bad_requests.inc();
+                Response::json(
+                    405,
+                    error_json("method-not-allowed", "wrong method for this path").encode(),
+                )
+            }
+            (_, path) => {
+                self.shared.metrics.bad_requests.inc();
+                Response::json(404, error_json("not-found", &format!("no handler for {path}")).encode())
+            }
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        Response::json(
+            200,
+            Json::obj(vec![
+                (
+                    "status",
+                    Json::Str(if draining { "draining" } else { "ok" }.to_string()),
+                ),
+                ("workers", Json::Int(self.shared.workers as i64)),
+                (
+                    "in_flight",
+                    Json::Int(self.shared.in_flight.load(Ordering::SeqCst) as i64),
+                ),
+                ("queued", Json::Int(self.shared.queue.len() as i64)),
+                ("cache_entries", Json::Int(self.shared.cache.len() as i64)),
+            ])
+            .encode(),
+        )
+    }
+
+    /// The `/route` and `/audit` job path: parse, cache-check, execute
+    /// under budget + interrupt, cache clean results.
+    fn job(&self, request: &Request, endpoint: Endpoint) -> Response {
+        let m = &self.shared.metrics;
+        match endpoint {
+            Endpoint::Route => m.route_requests.inc(),
+            Endpoint::Audit => m.audit_requests.inc(),
+        }
+        if self.shared.draining.load(Ordering::SeqCst) {
+            m.shutdown_rejects.inc();
+            return Response::json(
+                503,
+                error_json("shutting-down", "server is draining").encode(),
+            );
+        }
+
+        let job = match std::str::from_utf8(&request.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(|text| {
+                crate::json::parse(text).map_err(|e| e.to_string())
+            })
+            .and_then(|doc| JobRequest::from_json(&doc))
+        {
+            Ok(job) => job,
+            Err(detail) => {
+                m.bad_requests.inc();
+                return Response::json(400, error_json("bad-request", &detail).encode());
+            }
+        };
+
+        let (circuit_text, circuit) = match job.resolve_circuit() {
+            Ok(resolved) => resolved,
+            Err((kind @ "invalid-circuit", detail)) => {
+                m.invalid_circuits.inc();
+                return Response::json(422, error_json(kind, &detail).encode());
+            }
+            Err((kind, detail)) => {
+                m.bad_requests.inc();
+                return Response::json(400, error_json(kind, &detail).encode());
+            }
+        };
+
+        let key = job.cache_key(endpoint.name(), &circuit_text, self.shared.default_budget);
+        if let Some((status, body)) = self.shared.cache.get(key) {
+            m.cache_hits.inc();
+            return Response::json(status, body).with_header("x-cache", "hit");
+        }
+        m.cache_misses.inc();
+
+        let work = Stopwatch::start();
+        let (response, cacheable) = self.execute(endpoint, &job, &circuit);
+        m.work_hist.observe(work.elapsed());
+
+        if cacheable {
+            self.shared
+                .cache
+                .put(key, response.status, response.body.clone());
+        }
+        response.with_header("x-cache", "miss")
+    }
+
+    /// Runs one job. Returns the response plus whether it may be cached
+    /// (only clean, undegraded, uninterrupted 200s are).
+    fn execute(
+        &self,
+        endpoint: Endpoint,
+        job: &JobRequest,
+        circuit: &mebl_netlist::Circuit,
+    ) -> (Response, bool) {
+        let m = &self.shared.metrics;
+        let interrupt = &self.shared.interrupt;
+        let circuit_name = job.bench.as_deref().unwrap_or("inline").to_string();
+        let router = Router::new(job.router_config(self.shared.default_budget));
+
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let outcome = router.try_route_under(circuit, interrupt)?;
+            let body = match endpoint {
+                Endpoint::Route => {
+                    route_response_json(&circuit_name, job.mode, &outcome, false)
+                }
+                Endpoint::Audit => {
+                    let audit = mebl_audit::audit_outcome(circuit, router.config(), &outcome);
+                    audit_response_json(
+                        &circuit_name,
+                        job.mode,
+                        &outcome,
+                        &audit,
+                        job.strict,
+                        false,
+                    )
+                }
+            };
+            Ok((body, outcome.is_degraded()))
+        }));
+
+        match result {
+            Err(_panic) => {
+                m.internal_errors.inc();
+                (
+                    Response::json(
+                        500,
+                        error_json("internal", "job panicked; see server logs").encode(),
+                    ),
+                    false,
+                )
+            }
+            Ok(Err(RouteError::InvalidConfig(detail))) => {
+                m.bad_requests.inc();
+                (
+                    Response::json(400, error_json("invalid-config", &detail).encode()),
+                    false,
+                )
+            }
+            Ok(Err(e @ RouteError::InvalidCircuit(_))) => {
+                m.invalid_circuits.inc();
+                (
+                    Response::json(422, error_json("invalid-circuit", &e.to_string()).encode()),
+                    false,
+                )
+            }
+            Ok(Err(RouteError::BudgetExhausted)) => {
+                if interrupt.is_cancelled_now() {
+                    m.cancelled_by_shutdown.inc();
+                    (
+                        Response::json(
+                            503,
+                            error_json("shutting-down", "cancelled before routing started")
+                                .encode(),
+                        ),
+                        false,
+                    )
+                } else {
+                    m.budget_exhausted.inc();
+                    (
+                        Response::json(
+                            504,
+                            error_json("budget-exhausted", "budget spent before routing")
+                                .encode(),
+                        ),
+                        false,
+                    )
+                }
+            }
+            Ok(Ok((body, degraded))) => {
+                if degraded {
+                    m.degraded.inc();
+                    if interrupt.is_cancelled_now() {
+                        m.cancelled_by_shutdown.inc();
+                    }
+                } else {
+                    m.clean.inc();
+                }
+                let cacheable = !degraded && !interrupt.is_cancelled_now();
+                (Response::json(200, body.encode()), cacheable)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_bounds_and_drains_after_close() {
+        // TcpStream cannot be fabricated without I/O, so bound/close
+        // semantics are covered via the refusal paths using real
+        // loopback sockets in tests/serve.rs; here we check the pure
+        // parts: capacity clamping and closed-empty pop.
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity, 1);
+        assert_eq!(q.len(), 0);
+        q.close();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn handle_latches_drain() {
+        let server = Server::bind(&ServeConfig::default()).expect("bind loopback");
+        let handle = server.handle();
+        assert!(!handle.is_draining());
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        assert!(handle.is_draining());
+        assert!(server.shared.interrupt.is_cancelled_now());
+        assert!(server.shared.queue.pop().is_none());
+    }
+
+    #[test]
+    fn bind_resolves_ephemeral_port() {
+        let server = Server::bind(&ServeConfig::default()).expect("bind loopback");
+        assert_ne!(server.local_addr().port(), 0);
+    }
+}

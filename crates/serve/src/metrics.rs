@@ -1,0 +1,200 @@
+//! Service counters and latency histograms.
+//!
+//! All counters are relaxed atomics — they are observability, not
+//! synchronization — and the whole structure serializes to the
+//! `GET /metrics` JSON body. Latency histograms use fixed power-of-four
+//! microsecond buckets so the report shape is static and comparable
+//! across runs; wall-clock reads go through `mebl_route::Stopwatch`
+//! (the workspace's sanctioned clock site), never a raw `Instant`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in microseconds (the last bucket is
+/// unbounded). Powers of four from 16 µs to ~67 s.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .map(|b| Json::Int(b.load(Ordering::Relaxed) as i64))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Int(self.count() as i64)),
+            (
+                "total_us",
+                Json::Int(self.total_us.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "bucket_bounds_us",
+                Json::Arr(BUCKET_BOUNDS_US.iter().map(|&b| Json::Int(b as i64)).collect()),
+            ),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// One relaxed counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the service counts.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully read off a connection (any endpoint).
+    pub requests: Counter,
+    /// `POST /route` jobs.
+    pub route_requests: Counter,
+    /// `POST /audit` jobs.
+    pub audit_requests: Counter,
+    /// Responses served straight from the result cache.
+    pub cache_hits: Counter,
+    /// Jobs that had to run because the cache missed.
+    pub cache_misses: Counter,
+    /// Connections rejected with 429 because the job queue was full.
+    pub queue_rejects: Counter,
+    /// Connections answered 503 during shutdown drain.
+    pub shutdown_rejects: Counter,
+    /// Requests rejected as unparseable (400) or oversized (413).
+    pub bad_requests: Counter,
+    /// Jobs rejected for an invalid circuit payload (422).
+    pub invalid_circuits: Counter,
+    /// Jobs whose budget was spent before routing could start (504).
+    pub budget_exhausted: Counter,
+    /// Jobs that panicked internally and returned 500.
+    pub internal_errors: Counter,
+    /// Jobs that completed with recorded degradations.
+    pub degraded: Counter,
+    /// Jobs that completed clean (200, no degradations).
+    pub clean: Counter,
+    /// Peers that disconnected before a request or response completed.
+    pub disconnects: Counter,
+    /// In-flight jobs cancelled by shutdown.
+    pub cancelled_by_shutdown: Counter,
+    /// Request read + parse latency.
+    pub parse_hist: Histogram,
+    /// Job execution latency (routing/audit work, cache hits excluded).
+    pub work_hist: Histogram,
+    /// Whole-connection latency (read to response flushed).
+    pub total_hist: Histogram,
+}
+
+impl Metrics {
+    /// Serializes every counter and histogram, plus the caller-supplied
+    /// gauges that live outside this struct.
+    pub fn to_json(&self, queue_depth: usize, in_flight: usize, cache_len: usize) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Int(self.requests.get() as i64)),
+            ("route_requests", Json::Int(self.route_requests.get() as i64)),
+            ("audit_requests", Json::Int(self.audit_requests.get() as i64)),
+            ("cache_hits", Json::Int(self.cache_hits.get() as i64)),
+            ("cache_misses", Json::Int(self.cache_misses.get() as i64)),
+            ("cache_entries", Json::Int(cache_len as i64)),
+            ("queue_depth", Json::Int(queue_depth as i64)),
+            ("in_flight", Json::Int(in_flight as i64)),
+            ("queue_rejects", Json::Int(self.queue_rejects.get() as i64)),
+            ("shutdown_rejects", Json::Int(self.shutdown_rejects.get() as i64)),
+            ("bad_requests", Json::Int(self.bad_requests.get() as i64)),
+            ("invalid_circuits", Json::Int(self.invalid_circuits.get() as i64)),
+            ("budget_exhausted", Json::Int(self.budget_exhausted.get() as i64)),
+            ("internal_errors", Json::Int(self.internal_errors.get() as i64)),
+            ("degraded", Json::Int(self.degraded.get() as i64)),
+            ("clean", Json::Int(self.clean.get() as i64)),
+            ("disconnects", Json::Int(self.disconnects.get() as i64)),
+            (
+                "cancelled_by_shutdown",
+                Json::Int(self.cancelled_by_shutdown.get() as i64),
+            ),
+            ("parse_latency", self.parse_hist.to_json()),
+            ("work_latency", self.work_hist.to_json()),
+            ("total_latency", self.total_hist.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(1)); // bucket 0 (< 16 µs)
+        h.observe(Duration::from_micros(100)); // bucket 2 (< 256 µs)
+        h.observe(Duration::from_secs(120)); // overflow bucket
+        assert_eq!(h.count(), 3);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), BUCKET_BOUNDS_US.len() + 1);
+        assert_eq!(buckets[0].as_u64(), Some(1));
+        assert_eq!(buckets[2].as_u64(), Some(1));
+        assert_eq!(buckets.last().unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_json_has_gauges_and_counters() {
+        let m = Metrics::default();
+        m.requests.inc();
+        m.cache_hits.inc();
+        let json = m.to_json(3, 1, 7);
+        assert_eq!(json.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("in_flight").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("cache_entries").and_then(Json::as_u64), Some(7));
+        assert!(json.get("work_latency").is_some());
+    }
+}

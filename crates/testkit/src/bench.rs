@@ -48,7 +48,38 @@ pub struct BenchRecord {
     pub mean_ns: u64,
     pub min_ns: u64,
     pub max_ns: u64,
+    /// 95th-percentile sample (nearest-rank); equals the max for small
+    /// sample counts.
+    pub p95_ns: u64,
     pub samples: u32,
+}
+
+impl BenchRecord {
+    /// Summarizes pre-sorted-or-not samples into one record.
+    fn from_samples(id: String, mut samples_ns: Vec<u64>) -> BenchRecord {
+        if samples_ns.is_empty() {
+            samples_ns.push(0);
+        }
+        samples_ns.sort_unstable();
+        let n = samples_ns.len();
+        let median_ns = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2
+        };
+        // Nearest-rank p95: the smallest sample >= 95% of the
+        // distribution. ceil(0.95 * n) in integer arithmetic.
+        let rank = (n * 95).div_ceil(100).max(1);
+        BenchRecord {
+            id,
+            median_ns,
+            mean_ns: samples_ns.iter().sum::<u64>() / n as u64,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[n - 1],
+            p95_ns: samples_ns[rank - 1],
+            samples: n as u32,
+        }
+    }
 }
 
 /// A named collection of benchmarks producing one JSON report.
@@ -82,32 +113,33 @@ impl BenchSuite {
         for _ in 0..self.config.warmup_iters {
             black_box(f());
         }
-        let mut samples_ns: Vec<u64> = (0..self.config.samples.max(1))
+        let samples_ns: Vec<u64> = (0..self.config.samples.max(1))
             .map(|_| {
                 let start = Instant::now();
                 black_box(f());
                 u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
             })
             .collect();
-        samples_ns.sort_unstable();
-        let n = samples_ns.len();
-        let median_ns = if n % 2 == 1 {
-            samples_ns[n / 2]
-        } else {
-            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2
-        };
-        let record = BenchRecord {
-            id,
-            median_ns,
-            mean_ns: samples_ns.iter().sum::<u64>() / n as u64,
-            min_ns: samples_ns[0],
-            max_ns: samples_ns[n - 1],
-            samples: n as u32,
-        };
+        self.push_record(BenchRecord::from_samples(id, samples_ns))
+    }
+
+    /// Records externally-collected timing samples (nanoseconds) under
+    /// `id` — for benchmarks whose unit of work is not a closure call,
+    /// such as per-request latencies harvested from a client fleet.
+    pub fn record_manual(
+        &mut self,
+        id: impl Into<String>,
+        samples_ns: Vec<u64>,
+    ) -> &BenchRecord {
+        self.push_record(BenchRecord::from_samples(id.into(), samples_ns))
+    }
+
+    fn push_record(&mut self, record: BenchRecord) -> &BenchRecord {
         eprintln!(
-            "bench {:<44} median {:>12}  (min {}, max {}, {} samples)",
+            "bench {:<44} median {:>12}  (p95 {}, min {}, max {}, {} samples)",
             record.id,
             fmt_ns(record.median_ns),
+            fmt_ns(record.p95_ns),
             fmt_ns(record.min_ns),
             fmt_ns(record.max_ns),
             record.samples,
@@ -143,12 +175,13 @@ impl BenchSuite {
             writeln!(
                 f,
                 "    {{\"id\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
-                 \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}",
+                 \"min_ns\": {}, \"max_ns\": {}, \"p95_ns\": {}, \"samples\": {}}}{comma}",
                 escape_json(&r.id),
                 r.median_ns,
                 r.mean_ns,
                 r.min_ns,
                 r.max_ns,
+                r.p95_ns,
                 r.samples,
             )?;
         }
@@ -221,6 +254,21 @@ mod tests {
         assert!(text.contains("noop/\\\"quoted\\\""));
         assert!(text.contains("\"median_ns\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_records_compute_percentiles() {
+        let mut suite = BenchSuite::new("manual");
+        // 1..=100: median 50 (even count averages 50,51 -> 50), p95 = 95.
+        let r = suite.record_manual("latency/q8", (1..=100u64).collect()).clone();
+        assert_eq!(r.samples, 100);
+        assert_eq!(r.median_ns, 50);
+        assert_eq!(r.p95_ns, 95);
+        assert_eq!(r.min_ns, 1);
+        assert_eq!(r.max_ns, 100);
+        // Tiny sample sets: p95 degenerates to the max, empty to zeros.
+        assert_eq!(suite.record_manual("latency/one", vec![7]).p95_ns, 7);
+        assert_eq!(suite.record_manual("latency/none", Vec::new()).max_ns, 0);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Blocking loopback HTTP/1.1 client for exercising `mebl-serve`.
+//!
+//! Tests and the CI smoke driver talk to the daemon through this tiny
+//! client instead of raw sockets (the `no-raw-net` lint confines
+//! `TcpStream` to the service crate and this file). It speaks exactly
+//! the dialect the server emits — one request per connection,
+//! `Connection: close` framing — and reads to EOF, so it needs no
+//! chunked-transfer or keep-alive logic. It can also send deliberately
+//! broken traffic (truncated requests, raw garbage) for the fault
+//! harness.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value for `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy; test assertions only).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A client pinned to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct TestClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl TestClient {
+    /// Client for `addr` with a generous default timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Same client with a different socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let mut stream = self.connect()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, body.as_bytes())
+    }
+
+    /// Writes raw bytes on a fresh connection and reads whatever comes
+    /// back — for protocol-level fault injection (malformed request
+    /// lines, bad framing).
+    pub fn send_raw(&self, bytes: &[u8]) -> std::io::Result<HttpResponse> {
+        let mut stream = self.connect()?;
+        stream.write_all(bytes)?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+
+    /// Writes a request *prefix* and hangs up mid-flight — the
+    /// disconnect fault. Returns once the socket is shut down.
+    pub fn send_partial_then_drop(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut stream = self.connect()?;
+        stream.write_all(bytes)?;
+        stream.flush()?;
+        stream.shutdown(Shutdown::Both)?;
+        Ok(())
+    }
+}
+
+/// Reads a full `Connection: close` response from `stream`.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw).map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+}
+
+/// Parses response bytes: status line, headers, body. The body is
+/// whatever follows the header block (the server closes the connection
+/// after one response, so EOF delimits it).
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("no header terminator in response")?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| "non-UTF-8 response head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad status line `{status_line}`"));
+    }
+    let status: u16 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| format!("bad status code in `{status_line}`"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad header line `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\nX-Cache: miss\r\n\r\n{\"a\":1}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("x-cache"), Some("miss"));
+        assert_eq!(r.header("X-CACHE"), Some("miss"));
+        assert_eq!(r.body_text(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+        assert!(parse_response(b"SMTP/1.1 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn empty_body_allowed() {
+        let r = parse_response(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.is_empty());
+    }
+}

@@ -19,14 +19,19 @@
 //!   environment variable replays the exact failing case.
 //! * [`bench`] replaces `criterion`: a warmup + median-of-N wall-clock
 //!   timer with JSON reports under `results/`.
+//! * [`client`] is a blocking loopback HTTP client for `mebl-serve`
+//!   tests and the CI smoke driver — the only sanctioned socket user
+//!   outside the service crate (see the `no-raw-net` lint).
 //!
 //! Policy: this workspace builds and tests fully offline. Do not add
 //! external dependencies to any crate manifest; extend this crate instead.
 
 pub mod bench;
+pub mod client;
 pub mod fault;
 pub mod prop;
 pub mod rng;
 
+pub use client::{HttpResponse, TestClient};
 pub use fault::{flip_bit, shuffle_lines, truncate_text, Fault, FaultPlan};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -2,7 +2,7 @@
 //!
 //! The lint is deliberately dumb — no syn, no proc-macros, just a
 //! comment/string-stripping scanner — so it stays dependency-free and
-//! fast. Six rules:
+//! fast. Seven rules:
 //!
 //! * **no-panic** — `.unwrap()`, `.expect(` and `panic!(` are banned in
 //!   library code. Tests (`#[cfg(test)]` blocks), binaries (`mebl-cli`,
@@ -26,6 +26,11 @@
 //!   all fan-out goes through `mebl_par::Pool`, whose ordered reduction
 //!   keeps results bit-identical at every worker count. This rule also
 //!   covers test code: tests that want concurrency use a `Pool` too.
+//! * **no-raw-net** — `TcpListener` / `TcpStream` are confined to the
+//!   service crate (`crates/serve`) and the testkit's loopback client
+//!   (`testkit/src/client.rs`). Everything else — tests, smoke drivers,
+//!   benches — speaks HTTP through `mebl_testkit::TestClient`, so wire
+//!   behavior has exactly one implementation on each side.
 //!
 //! Allowlist format, one entry per line:
 //!
@@ -209,6 +214,15 @@ fn spawn_rule_applies(rel: &str) -> bool {
     crate_of(rel) != Some("par") && rel != "crates/xtask/src/lint.rs"
 }
 
+/// Only the service crate and the testkit's loopback client may touch
+/// raw sockets. The linter is exempt (its own tests spell the tokens
+/// out).
+fn net_rule_applies(rel: &str) -> bool {
+    crate_of(rel) != Some("serve")
+        && rel != "crates/testkit/src/client.rs"
+        && rel != "crates/xtask/src/lint.rs"
+}
+
 /// Lints one file's source text.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
     let mut violations = Vec::new();
@@ -255,6 +269,24 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                           `mebl_par::Pool` so results stay deterministic"
                     .to_string(),
             });
+        }
+
+        // no-raw-net covers test code too: loopback harnesses go
+        // through `mebl_testkit::TestClient`, never raw sockets.
+        if net_rule_applies(rel) {
+            for tok in ["TcpListener", "TcpStream"] {
+                if contains_token(code, tok) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "no-raw-net",
+                        message: format!(
+                            "`{tok}` outside crates/serve; speak HTTP through \
+                             `mebl_testkit::TestClient` instead"
+                        ),
+                    });
+                }
+            }
         }
 
         if in_test {
@@ -680,6 +712,21 @@ mod tests {
 }
 ";
         assert_eq!(rules("crates/geom/src/a.rs", src), vec!["no-raw-spawn"]);
+    }
+
+    #[test]
+    fn raw_net_confined_to_serve_and_client() {
+        let src = "fn f() { let l = std::net::TcpListener::bind(\"x\"); }\n";
+        assert_eq!(rules("crates/route/src/lib.rs", src), vec!["no-raw-net"]);
+        assert_eq!(rules("crates/cli/src/main.rs", src), vec!["no-raw-net"]);
+        assert_eq!(rules("tests/serve.rs", src), vec!["no-raw-net"]);
+        assert!(rules("crates/serve/src/lib.rs", src).is_empty());
+        let stream = "fn f(s: std::net::TcpStream) {}\n";
+        assert_eq!(rules("crates/audit/src/lib.rs", stream), vec!["no-raw-net"]);
+        assert!(rules("crates/testkit/src/client.rs", stream).is_empty());
+        // Even inside #[cfg(test)] blocks.
+        let gated = "#[cfg(test)]\nmod tests {\n    fn t(s: std::net::TcpStream) {}\n}\n";
+        assert_eq!(rules("crates/geom/src/a.rs", gated), vec!["no-raw-net"]);
     }
 
     #[test]

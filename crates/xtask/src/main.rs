@@ -1,21 +1,26 @@
 //! `mebl-xtask` — workspace maintenance tasks with zero external
 //! dependencies.
 //!
-//! Subcommands, both run by `scripts/ci.sh`:
+//! Subcommands, all run by `scripts/ci.sh`:
 //!
 //! * `lint` — token-level source gate (policy in `lint.rs`).
 //! * `benchgate <baseline.json> <current.json> [--tolerance pct]` —
 //!   bench-regression gate over `BenchSuite` reports (see `benchgate.rs`).
+//! * `servesmoke <mebl-binary>` — end-to-end smoke of the `mebl serve`
+//!   daemon: ephemeral port, cold/cached route, graceful stdin drain
+//!   (see `servesmoke.rs`).
 //!
 //! ```text
 //! cargo run -p mebl-xtask -- lint
 //! cargo run -p mebl-xtask -- benchgate results/bench_stages.json fresh.json
+//! cargo run -p mebl-xtask -- servesmoke target/release/mebl
 //! ```
 
 mod benchgate;
 mod lint;
+mod servesmoke;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("benchgate") => run_benchgate(&args[1..]),
+        Some("servesmoke") => run_servesmoke(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`");
             usage();
@@ -38,9 +44,28 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: mebl-xtask lint");
     eprintln!("       mebl-xtask benchgate <baseline.json> <current.json> [--tolerance pct]");
+    eprintln!("       mebl-xtask servesmoke <mebl-binary>");
     eprintln!();
     eprintln!("  lint       run the workspace source lint (policy in crates/xtask/src/lint.rs)");
     eprintln!("  benchgate  fail when a benchmark median regresses past the tolerance (default 25)");
+    eprintln!("  servesmoke spawn the routing daemon, verify cold/cached routes and clean drain");
+}
+
+fn run_servesmoke(args: &[String]) -> ExitCode {
+    let [binary] = args else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match servesmoke::run(Path::new(binary)) {
+        Ok(()) => {
+            println!("xtask servesmoke: clean");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("xtask servesmoke: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_benchgate(args: &[String]) -> ExitCode {

@@ -1,0 +1,108 @@
+//! End-to-end smoke test for the `mebl serve` daemon, run by
+//! `scripts/ci.sh` against the release binary.
+//!
+//! Drives the real process the way an operator would: spawn it on an
+//! ephemeral port, scrape the `listening on <addr>` line off stdout,
+//! route a benchmark twice through `mebl_testkit::TestClient` (the
+//! second hit must come from the cache, byte-identical), read the
+//! metrics, then close the child's stdin and require a clean exit —
+//! the graceful-drain path. No raw sockets here (`no-raw-net`): the
+//! testkit client is the only sanctioned HTTP speaker outside the
+//! service crate.
+
+use mebl_testkit::TestClient;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// How many 50 ms polls to give the child after stdin closes before
+/// declaring the drain hung (10 s total; a drain takes milliseconds).
+const EXIT_POLLS: u32 = 200;
+
+/// Spawns `binary serve` and runs the smoke sequence against it. The
+/// child is killed on any failure so CI never leaks a daemon.
+pub fn run(binary: &Path) -> Result<(), String> {
+    let mut child = Command::new(binary)
+        .args(["serve", "--port", "0", "--workers", "2", "--queue-depth", "8"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", binary.display()))?;
+    let result = drive(&mut child);
+    if result.is_err() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result
+}
+
+fn drive(child: &mut Child) -> Result<(), String> {
+    let stdout = child.stdout.take().ok_or("child stdout was not piped")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading server startup line: {e}"))?;
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected startup line `{}`", line.trim()))?
+        .parse()
+        .map_err(|e| format!("bad address in `{}`: {e}", line.trim()))?;
+    println!("servesmoke: daemon up on {addr}");
+
+    let client = TestClient::new(addr).with_timeout(Duration::from_secs(120));
+    let payload = r#"{"bench":"S5378","seed":1,"scale":0.035}"#;
+
+    let cold = client
+        .post_json("/route", payload)
+        .map_err(|e| format!("cold /route failed: {e}"))?;
+    if cold.status != 200 {
+        return Err(format!(
+            "cold /route: want 200, got {}: {}",
+            cold.status,
+            cold.body_text()
+        ));
+    }
+    if cold.header("x-cache") != Some("miss") {
+        return Err(format!("cold /route: want x-cache miss, got {:?}", cold.header("x-cache")));
+    }
+
+    let warm = client
+        .post_json("/route", payload)
+        .map_err(|e| format!("warm /route failed: {e}"))?;
+    if warm.header("x-cache") != Some("hit") {
+        return Err(format!("warm /route: want x-cache hit, got {:?}", warm.header("x-cache")));
+    }
+    if warm.body != cold.body {
+        return Err("cache hit body differs from the cold run".to_string());
+    }
+    println!("servesmoke: cache hit is byte-identical ({} bytes)", cold.body.len());
+
+    let metrics = client
+        .get("/metrics")
+        .map_err(|e| format!("/metrics failed: {e}"))?;
+    let text = metrics.body_text();
+    if metrics.status != 200 || !text.contains("\"cache_hits\":1") {
+        return Err(format!("unexpected /metrics response ({}): {text}", metrics.status));
+    }
+
+    // Graceful drain: closing stdin is the daemon's SIGTERM stand-in.
+    drop(child.stdin.take());
+    for _ in 0..EXIT_POLLS {
+        if let Some(status) = child
+            .try_wait()
+            .map_err(|e| format!("waiting for server exit: {e}"))?
+        {
+            return if status.success() {
+                println!("servesmoke: clean drain, exit 0");
+                Ok(())
+            } else {
+                Err(format!("server exited uncleanly after drain: {status}"))
+            };
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err("server did not exit within 10s of stdin closing".to_string())
+}

@@ -56,6 +56,18 @@ cargo run --release --offline -q -p mebl-xtask -- \
 # restore it so the gate never dirties the working tree.
 mv "$baseline_tmp" results/bench_stages.json
 
+echo "=== bench-regression gate (serve latencies vs committed baseline) ==="
+# Service latencies carry scheduler and loopback noise the stage
+# microbenches do not; the tolerance is correspondingly loose — the gate
+# exists to catch order-of-magnitude regressions (a lost cache, an
+# accidental serialization), not microsecond drift.
+baseline_tmp=$(mktemp)
+cp results/bench_serve.json "$baseline_tmp"
+cargo bench --offline -q -p mebl-bench --bench serve
+cargo run --release --offline -q -p mebl-xtask -- \
+    benchgate "$baseline_tmp" results/bench_serve.json --tolerance 150
+mv "$baseline_tmp" results/bench_serve.json
+
 echo "=== robustness (fault injection, typed failure model) ==="
 cargo test -q --release --offline -p mebl-bench --test robustness
 
@@ -69,5 +81,48 @@ if [ "$status" -ne 2 ]; then
     echo "expected exit 2 (degraded) from the capped audit run, got $status" >&2
     exit 1
 fi
+
+echo "=== exit-code taxonomy (0 clean / 1 usage / 2 degraded / 3 invalid input) ==="
+expect_exit() {
+    local want=$1; shift
+    set +e
+    "$@" >/dev/null 2>&1
+    local got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+        echo "expected exit $want from \`$*\`, got $got" >&2
+        exit 1
+    fi
+}
+mebl="target/release/mebl"
+expect_exit 0 "$mebl" audit --bench S5378 --seed 1
+expect_exit 1 "$mebl" frobnicate
+expect_exit 1 "$mebl" audit --bench NOPE
+expect_exit 1 "$mebl" serve --workers 0
+expect_exit 2 "$mebl" audit --bench S5378 --seed 1 --max-expansions 2000
+bad_circuit=$(mktemp)
+echo "this is not a netlist" > "$bad_circuit"
+expect_exit 3 "$mebl" route "$bad_circuit"
+expect_exit 3 "$mebl" audit "$bad_circuit"
+rm -f "$bad_circuit"
+# Exit 4 (internal error) is the audit-failure/panic path; it has no
+# cheap trigger from a healthy tree and is covered by unit tests.
+
+echo "=== --json smoke (CLI emits the service response schema) ==="
+json_out=$("$mebl" audit --bench S5378 --seed 1 --strict --json)
+case "$json_out" in
+    '{"status":'*'"nets_audited"'*) ;;
+    *) echo "unexpected --json audit output: $json_out" >&2; exit 1 ;;
+esac
+json_out=$("$mebl" gen S5378 --scale 0.02 -o /tmp/ci_s5378_small.txt >/dev/null 2>&1 \
+    && "$mebl" route /tmp/ci_s5378_small.txt --json)
+case "$json_out" in
+    '{"status":'*'"report"'*) ;;
+    *) echo "unexpected --json route output: $json_out" >&2; exit 1 ;;
+esac
+rm -f /tmp/ci_s5378_small.txt
+
+echo "=== serve smoke (daemon boots, caches, drains cleanly) ==="
+cargo run --release --offline -q -p mebl-xtask -- servesmoke "$mebl"
 
 echo "=== ci.sh: all gates passed ==="

@@ -78,6 +78,9 @@ pub enum DegradationKind {
     InternalFallback,
     /// The input was tolerated but imperfect.
     ValidationWarning,
+    /// A windowed search exhausted every widening stage without
+    /// connecting, and the net was left unrouted.
+    SearchExhausted,
 }
 
 impl fmt::Display for DegradationKind {
@@ -86,6 +89,7 @@ impl fmt::Display for DegradationKind {
             DegradationKind::BudgetExhausted => "budget-exhausted",
             DegradationKind::InternalFallback => "internal-fallback",
             DegradationKind::ValidationWarning => "validation-warning",
+            DegradationKind::SearchExhausted => "search-exhausted",
         };
         f.write_str(name)
     }
@@ -308,7 +312,10 @@ impl CancelToken {
     /// shared budget and returns `true` when the run should stop.
     ///
     /// Also samples the deadline every [`PROBE_STRIDE`] charges, so an
-    /// A* loop needs exactly one call per popped node.
+    /// A* loop needs exactly one call per popped node. Inlined so an
+    /// inert token (no budget, no deadline) costs two branches in the
+    /// caller's loop rather than a cross-crate call.
+    #[inline]
     pub fn charge_expansions(&self, n: u64) -> bool {
         let latched = match &self.inner {
             None => false,

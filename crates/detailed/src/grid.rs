@@ -109,6 +109,49 @@ impl DetailedGrid {
         v == 0 || v == net + 1
     }
 
+    /// Writes the legal neighbour node ids of `node` into `out` and
+    /// returns how many there are (at most four: two planar moves on
+    /// the cell's own layer plus up to two z-moves). The node-id
+    /// counterpart of [`DetailedGrid::moves`], for hot paths that never
+    /// need world coordinates.
+    pub fn node_moves(&self, node: u32, out: &mut [u32; 4]) -> usize {
+        let w = self.width;
+        let x = node % w;
+        let rest = node / w;
+        let y = rest % self.height;
+        let l = rest / self.height;
+        let wh = w * self.height;
+        let mut n = 0;
+        if l.is_multiple_of(2) {
+            if x > 0 {
+                out[n] = node - 1;
+                n += 1;
+            }
+            if x + 1 < w {
+                out[n] = node + 1;
+                n += 1;
+            }
+        } else {
+            if y > 0 {
+                out[n] = node - w;
+                n += 1;
+            }
+            if y + 1 < self.height {
+                out[n] = node + w;
+                n += 1;
+            }
+        }
+        if l > 0 {
+            out[n] = node - wh;
+            n += 1;
+        }
+        if l + 1 < u32::from(self.layers) {
+            out[n] = node + wh;
+            n += 1;
+        }
+        n
+    }
+
     /// The legal neighbour nodes of `p` respecting layer directions:
     /// x-moves on horizontal layers, y-moves on vertical layers, z-moves
     /// between adjacent layers. Bounds-checked; occupancy is *not*
@@ -200,6 +243,20 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(m.contains(&GridPoint::new(8, 7, Layer::new(2))));
         assert!(m.contains(&GridPoint::new(9, 7, Layer::new(1))));
+    }
+
+    #[test]
+    fn node_moves_matches_point_moves_everywhere() {
+        let g = DetailedGrid::new(Rect::new(3, 2, 12, 9), 3);
+        let mut buf = [0u32; 4];
+        for node in 0..g.cell_count() as u32 {
+            let n = g.node_moves(node, &mut buf);
+            let mut by_id: Vec<u32> = buf[..n].to_vec();
+            by_id.sort_unstable();
+            let mut by_point: Vec<u32> = g.moves(g.point(node)).map(|q| g.node(q)).collect();
+            by_point.sort_unstable();
+            assert_eq!(by_id, by_point, "node {node}");
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Stitch-aware detailed routing (paper §III-D).
 //!
 //! The final stage realises every net on the full track grid. Assigned
-//! segments from track assignment are pre-placed as **seeds**; an A\*
-//! search then performs pin-to-segment and segment-to-segment connection
-//! with the stitch-aware weighted grid cost of eq. (10):
+//! segments from track assignment are pre-placed as **seeds**; a dense-grid
+//! Dial (bucket-queue) search — with precomputed per-column cost layers and
+//! solver state reused across nets — then performs pin-to-segment and
+//! segment-to-segment connection with the stitch-aware weighted grid cost
+//! of eq. (10):
 //!
 //! `Cgrid(j) = Cgrid(i) + α·Cwl(i,j) + β·Cvsu(i,j) + γ·Cesc(j)`
 //!
@@ -23,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod grid;
 mod router;
 mod seeds;
 
+pub use dense::GridWindow;
 pub use grid::DetailedGrid;
-pub use router::{route_detailed, DetailedConfig, DetailedResult};
+pub use router::{route_detailed, DetailedConfig, DetailedResult, SearchEngine};
 pub use seeds::realize_seeds;

@@ -1,15 +1,31 @@
-//! Detailed routing: seeding, ordering, A\* connection, pruning.
+//! Detailed routing: seeding, ordering, dense-grid search, pruning.
 
+use crate::dense::{CostField, DialSolver};
 use crate::{realize_seeds, DetailedGrid};
 use mebl_assign::TrackResult;
 use mebl_control::{CancelToken, Degradation, DegradationKind, Stage};
 use mebl_geom::{Coord, GridPoint, Point, Rect, RouteGeometry, Segment, Via};
 use mebl_global::TileGraph;
 use mebl_netlist::Circuit;
+use mebl_graph::{FastMap, FastSet, UnionFind};
 use mebl_par::Pool;
 use mebl_stitch::StitchPlan;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::hash_map::Entry;
+
+/// Which shortest-path engine connects net components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchEngine {
+    /// Dense-grid Dial search: flat arrays, precomputed per-column cost
+    /// layers, an integer bucket queue, and solver state reused across
+    /// nets. The production hot path.
+    #[default]
+    Dial,
+    /// The pre-rewrite heap-based A\*, retained as the differential
+    /// oracle for `tests/router_equivalence.rs`. Slower; identical cost
+    /// model up to a constant scale factor.
+    LegacyHeap,
+}
 
 /// Configuration of stitch-aware detailed routing.
 ///
@@ -33,12 +49,15 @@ pub struct DetailedConfig {
     pub stitch_order: bool,
     /// Search-window margin around each connection's bounding box.
     pub margin: Coord,
-    /// Node-expansion cap per A\* search.
+    /// Node-expansion cap per search.
     pub node_cap: usize,
     /// Window-growth retries before a connection is declared failed.
     pub retries: usize,
+    /// Shortest-path engine; [`SearchEngine::Dial`] unless a test pits
+    /// the engines against each other.
+    pub engine: SearchEngine,
     /// Cooperative cancellation/budget handle. Inert by default; when
-    /// armed, A\* searches abort mid-expansion (the aborted net is ripped
+    /// armed, searches abort mid-expansion (the aborted net is ripped
     /// up like any failed net) and remaining nets/rip-up rounds are
     /// skipped, keeping partial geometry audit-clean.
     pub cancel: CancelToken,
@@ -58,9 +77,10 @@ impl Default for DetailedConfig {
             via_cost: 2,
             stitch_costs: true,
             stitch_order: true,
-            margin: 18,
+            margin: 8,
             node_cap: 60_000,
-            retries: 2,
+            retries: 3,
+            engine: SearchEngine::Dial,
             cancel: CancelToken::default(),
             pool: Pool::serial(),
         }
@@ -94,8 +114,12 @@ pub struct DetailedResult {
 /// Seeds from `tracks` are pre-placed (nets in `tracks.failed_nets` get no
 /// seeds and are routed directly pin-to-pin); nets are ordered by bad-end
 /// count when [`DetailedConfig::stitch_order`] is set; each net's
-/// components are then joined by stitch-aware A\* and its final cell set is
-/// pruned of dangling stubs before geometry extraction.
+/// components are then joined by stitch-aware shortest paths and its final
+/// cell set is pruned of dangling stubs before geometry extraction.
+///
+/// The per-column cost layers are built once here and shared by every
+/// search; each worker keeps one reusable [`DialSolver`] so routing a net
+/// costs an epoch bump, not an allocation storm.
 pub fn route_detailed(
     circuit: &Circuit,
     plan: &StitchPlan,
@@ -105,11 +129,21 @@ pub fn route_detailed(
 ) -> DetailedResult {
     let n = circuit.net_count();
     let mut grid = DetailedGrid::new(circuit.outline(), circuit.layer_count());
+    let field = CostField::build(
+        &grid,
+        plan,
+        config.alpha,
+        config.beta,
+        config.gamma,
+        config.via_cost,
+        config.stitch_costs,
+    );
+    let mut solver = DialSolver::new(field.span);
 
     // Fixed pins block their cells for everyone else, and allow the
     // pin-owning net to drop vias on stitching lines.
     let mut pin_cells: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut pin_points: Vec<HashSet<Point>> = vec![HashSet::new(); n];
+    let mut pin_points: Vec<FastSet<Point>> = vec![FastSet::default(); n];
     for (id, net) in circuit.iter_nets() {
         for pin in net.pins() {
             let node = grid.node(pin.position.on_layer(pin.layer));
@@ -165,8 +199,8 @@ pub fn route_detailed(
     };
 
     route_pass(
-        plan, config, &order, &mut grid, &pin_cells, &pin_points,
-        &seed_components, &mut result,
+        plan, &field, config, &order, &mut grid, &mut solver, &pin_cells,
+        &pin_points, &seed_components, &mut result,
     );
 
     // Final failed-net rip-up/reroute rounds: all failed nets' resources
@@ -201,9 +235,42 @@ pub fn route_detailed(
         };
         let no_seeds: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
         route_pass(
-            plan, &relaxed, &failed, &mut grid, &pin_cells, &pin_points,
-            &no_seeds, &mut result,
+            plan, &field, &relaxed, &failed, &mut grid, &mut solver, &pin_cells,
+            &pin_points, &no_seeds, &mut result,
         );
+    }
+
+    // Final blocker rip-up: a net still failed here survived a complete
+    // search of its fully widened window, so it is walled in by routed
+    // nets and no further widening can help. One serial round (identical
+    // at every worker count by construction): price other nets' cells
+    // instead of forbidding them, rip up the blockers along the cheapest
+    // soft path, route the walled-in net through the freed corridor,
+    // then reroute the ripped nets around it. Nets still unrouted
+    // afterwards fall through to the degradation records below.
+    if result.routed_count < n && !config.cancel.is_cancelled_now() {
+        blocker_ripup_round(
+            circuit, plan, &field, config, &mut grid, &mut solver, &pin_cells, &pin_points,
+            &mut result,
+        );
+    }
+
+    // Surface window-widening exhaustion: every net still unrouted after
+    // the final round gets one recorded degradation, in net-index order
+    // so the record stream never depends on worker scheduling. Runs that
+    // were budget-cancelled skip this — their failed nets already carry
+    // budget-exhausted records.
+    if result.routed_count < n && !config.cancel.is_cancelled_now() {
+        for net in 0..n {
+            if !result.routed[net] {
+                config.cancel.record(Degradation::new(
+                    Stage::Detailed,
+                    DegradationKind::SearchExhausted,
+                    Some(net),
+                    "search window widening exhausted; net left unrouted",
+                ));
+            }
+        }
     }
     result
 }
@@ -251,10 +318,11 @@ impl ChangeLog {
     /// Net effect as `(node, old, new)` raw values in first-touch order,
     /// no-op entries dropped.
     fn delta(&self, grid: &DetailedGrid) -> Vec<(u32, u32, u32)> {
-        let mut first: HashMap<u32, u32> = HashMap::with_capacity(self.entries.len());
+        let mut first: FastMap<u32, u32> =
+            FastMap::with_capacity_and_hasher(self.entries.len(), Default::default());
         let mut out: Vec<(u32, u32, u32)> = Vec::new();
         for &(node, old) in &self.entries {
-            if let std::collections::hash_map::Entry::Vacant(e) = first.entry(node) {
+            if let Entry::Vacant(e) = first.entry(node) {
                 e.insert(old);
                 out.push((node, old, 0));
             }
@@ -284,21 +352,23 @@ struct NetAttempt {
 /// skips already-routed nets and updates `result` in place.
 ///
 /// Per batch, each worker routes nets against a clone of the pre-batch
-/// grid and rolls its clone back after every net; the deltas are then
-/// committed sequentially in input order. A delta whose newly claimed
-/// cells were taken by an earlier commit in the same batch is discarded
-/// and the net re-routed inline against the live grid — a decision that
-/// depends only on committed state, so the same code path yields the
-/// same result for every pool width (a serial pool runs the fan-out
-/// inline over one clone).
+/// grid (with its own reusable solver) and rolls its clone back after
+/// every net; the deltas are then committed sequentially in input order.
+/// A delta whose newly claimed cells were taken by an earlier commit in
+/// the same batch is discarded and the net re-routed inline against the
+/// live grid — a decision that depends only on committed state, so the
+/// same code path yields the same result for every pool width (a serial
+/// pool runs the fan-out inline over one clone).
 #[allow(clippy::too_many_arguments)]
 fn route_pass(
     plan: &StitchPlan,
+    field: &CostField,
     config: &DetailedConfig,
     order: &[usize],
     grid: &mut DetailedGrid,
+    solver: &mut DialSolver,
     pin_cells: &[Vec<u32>],
-    pin_points: &[HashSet<Point>],
+    pin_points: &[FastSet<Point>],
     seed_components: &[Vec<Vec<u32>>],
     result: &mut DetailedResult,
 ) {
@@ -319,12 +389,13 @@ fn route_pass(
         let snapshot: &DetailedGrid = grid;
         let attempts: Vec<NetAttempt> = config.pool.par_map_with(
             batch,
-            || snapshot.clone(),
-            |local, _, &net| {
+            || (snapshot.clone(), DialSolver::new(field.span)),
+            |ctx, _, &net| {
+                let (local, scratch) = ctx;
                 let mut log = ChangeLog::default();
                 let (routed, geometry) = route_one_net(
-                    plan, config, net, local, &mut log, pin_cells, pin_points,
-                    seed_components,
+                    plan, field, config, net, local, scratch, &mut log, pin_cells,
+                    pin_points, seed_components,
                 );
                 let delta = log.delta(local);
                 log.rollback(local);
@@ -357,8 +428,8 @@ fn route_pass(
                 // this net inline against the live grid, keeping changes.
                 let mut log = ChangeLog::default();
                 let (routed, geometry) = route_one_net(
-                    plan, config, net, grid, &mut log, pin_cells, pin_points,
-                    seed_components,
+                    plan, field, config, net, grid, solver, &mut log, pin_cells,
+                    pin_points, seed_components,
                 );
                 if routed {
                     result.geometry[net] = geometry;
@@ -383,17 +454,19 @@ fn route_pass(
 #[allow(clippy::too_many_arguments)]
 fn route_one_net(
     plan: &StitchPlan,
+    field: &CostField,
     config: &DetailedConfig,
     net: usize,
     grid: &mut DetailedGrid,
+    solver: &mut DialSolver,
     log: &mut ChangeLog,
     pin_cells: &[Vec<u32>],
-    pin_points: &[HashSet<Point>],
+    pin_points: &[FastSet<Point>],
     seed_components: &[Vec<Vec<u32>>],
 ) -> (bool, RouteGeometry) {
-    let mut components: Vec<HashSet<u32>> = Vec::new();
+    let mut components: Vec<FastSet<u32>> = Vec::new();
     for &cell in &pin_cells[net] {
-        components.push(HashSet::from([cell]));
+        components.push(std::iter::once(cell).collect());
     }
     for comp in &seed_components[net] {
         components.push(comp.iter().copied().collect());
@@ -402,8 +475,10 @@ fn route_one_net(
 
     let mut ok = connect_components(
         grid,
+        solver,
         log,
         plan,
+        field,
         config,
         net as u32,
         &pin_points[net],
@@ -421,13 +496,15 @@ fn route_one_net(
             }
         }
         for &cell in &pin_cells[net] {
-            components.push(HashSet::from([cell]));
+            components.push(std::iter::once(cell).collect());
         }
         merge_touching(grid, &mut components);
         ok = connect_components(
             grid,
+            solver,
             log,
             plan,
+            field,
             config,
             net as u32,
             &pin_points[net],
@@ -467,38 +544,69 @@ fn route_one_net(
 }
 
 /// Merges components that already touch (seed overlapping a pin etc.).
-fn merge_touching(grid: &DetailedGrid, components: &mut Vec<HashSet<u32>>) {
-    let mut merged = true;
-    while merged {
-        merged = false;
-        'outer: for i in 0..components.len() {
-            for j in (i + 1)..components.len() {
-                let touch = components[i].iter().any(|&c| {
-                    let p = grid.point(c);
-                    grid.moves(p).any(|q| components[j].contains(&grid.node(q)))
-                        || components[j].contains(&c)
-                });
-                if touch {
-                    let other = components.swap_remove(j);
-                    components[i].extend(other);
-                    merged = true;
-                    break 'outer;
+///
+/// Near-linear: one ownership map over every cell, a union-find join
+/// per shared cell or adjacent pair, then a single regroup pass that
+/// keeps each surviving component at its first original position.
+fn merge_touching(grid: &DetailedGrid, components: &mut Vec<FastSet<u32>>) {
+    let k = components.len();
+    if k <= 1 {
+        return;
+    }
+    let total: usize = components.iter().map(FastSet::len).sum();
+    let mut owner: FastMap<u32, u32> = FastMap::with_capacity_and_hasher(total, Default::default());
+    let mut uf = UnionFind::new(k);
+    for (i, comp) in components.iter().enumerate() {
+        for &c in comp {
+            match owner.entry(c) {
+                Entry::Vacant(e) => {
+                    e.insert(i as u32);
+                }
+                Entry::Occupied(e) => {
+                    uf.union(i, *e.get() as usize);
                 }
             }
         }
     }
+    let mut buf = [0u32; 4];
+    for (&c, &i) in &owner {
+        let n = grid.node_moves(c, &mut buf);
+        for &q in &buf[..n] {
+            if let Some(&j) = owner.get(&q) {
+                uf.union(i as usize, j as usize);
+            }
+        }
+    }
+    if uf.component_count() == k {
+        return;
+    }
+    let mut slot: Vec<usize> = vec![usize::MAX; k];
+    let mut out: Vec<FastSet<u32>> = Vec::with_capacity(k);
+    for (i, comp) in components.drain(..).enumerate() {
+        let r = uf.find(i);
+        if slot[r] == usize::MAX {
+            slot[r] = out.len();
+            out.push(comp);
+        } else {
+            out[slot[r]].extend(comp);
+        }
+    }
+    *components = out;
 }
 
 /// Connects all components of a net; `true` on success (exactly one
 /// component remains, left at the back of `components`).
+#[allow(clippy::too_many_arguments)]
 fn connect_components(
     grid: &mut DetailedGrid,
+    solver: &mut DialSolver,
     log: &mut ChangeLog,
     plan: &StitchPlan,
+    field: &CostField,
     config: &DetailedConfig,
     net: u32,
-    own_pins: &HashSet<Point>,
-    components: &mut Vec<HashSet<u32>>,
+    own_pins: &FastSet<Point>,
+    components: &mut Vec<FastSet<u32>>,
 ) -> bool {
     while components.len() > 1 {
         // Smallest component as source. A plain fold (first minimum wins,
@@ -511,31 +619,48 @@ fn connect_components(
             }
         }
         let source = components.swap_remove(src_idx);
-        let mut targets: HashSet<u32> = HashSet::new();
-        for comp in components.iter() {
-            targets.extend(comp.iter().copied());
+        // Sorted source order keeps tie-breaking (and thus paths)
+        // deterministic despite set iteration order. The Dial solver
+        // takes the remaining components as targets directly (it marks
+        // them in its own stamp array and keeps one heuristic box per
+        // component); only the legacy oracle needs a flattened set.
+        let mut src_nodes: Vec<u32> = source.iter().copied().collect();
+        src_nodes.sort_unstable();
+        enum EngineInputs {
+            Dial,
+            Heap(FastSet<u32>),
         }
+        let inputs = match config.engine {
+            SearchEngine::Dial => EngineInputs::Dial,
+            SearchEngine::LegacyHeap => {
+                EngineInputs::Heap(components.iter().flat_map(|c| c.iter().copied()).collect())
+            }
+        };
 
         let mut found = None;
         for attempt in 0..=config.retries {
             // Retries widen the window *and* the expansion budget: the
             // stitch-aware weighted costs flatten the search frontier, so
             // congested regions near stitching lines need more nodes.
-            let relaxed = DetailedConfig {
-                node_cap: config
-                    .node_cap
-                    .checked_shl(2 * attempt as u32)
-                    .unwrap_or(usize::MAX),
-                ..config.clone()
-            };
+            let node_cap = config
+                .node_cap
+                .checked_shl(2 * attempt as u32)
+                .unwrap_or(usize::MAX);
             let margin = config
                 .margin
                 .checked_shl(attempt as u32)
                 .unwrap_or(Coord::MAX);
-            if let Some(path) =
-                astar(grid, plan, &relaxed, net, own_pins, &source, &targets, margin)
-            {
-                found = Some(path);
+            let path = match &inputs {
+                EngineInputs::Dial => solver.find_path(
+                    grid, field, net, own_pins, &src_nodes, components, margin, node_cap,
+                    &config.cancel,
+                ),
+                EngineInputs::Heap(targets) => legacy_astar(
+                    grid, plan, config, net, own_pins, &src_nodes, targets, margin, node_cap,
+                ),
+            };
+            if let Some(p) = path {
+                found = Some(p);
                 break;
             }
         }
@@ -545,8 +670,8 @@ fn connect_components(
         };
         // Occupy path cells and merge.
         let Some(&reached) = path.last() else {
-            // A* paths are non-empty by construction; treat a breach as a
-            // failed connection and surface it.
+            // Search paths are non-empty by construction; treat a breach
+            // as a failed connection and surface it.
             config.cancel.record(Degradation::new(
                 Stage::Detailed,
                 DegradationKind::InternalFallback,
@@ -580,31 +705,39 @@ fn connect_components(
     true
 }
 
-/// Cost scale: one α unit = 10 cost points.
-const UNIT: u64 = 10;
-
-/// Stitch-aware A\* (eq. 10) from `source` cells to any cell of `targets`.
-/// Returns the path including the reached target, excluding source cells
-/// already owned.
+/// The pre-dense-grid engine: windowed stitch-aware A\* (eq. 10) on the
+/// generic heap-based search in `mebl-graph`, from `source` cells to any
+/// cell of `targets`. Kept as the [`SearchEngine::LegacyHeap`] oracle
+/// for the differential harness; its cost model is the Dial solver's
+/// scaled by a constant factor, so both engines rank paths identically
+/// up to tie-breaking. Returns the path including the source cell it
+/// grew from and the reached target.
 #[allow(clippy::too_many_arguments)]
-fn astar(
+fn legacy_astar(
     grid: &DetailedGrid,
     plan: &StitchPlan,
     config: &DetailedConfig,
     net: u32,
-    own_pins: &HashSet<Point>,
-    source: &HashSet<u32>,
-    targets: &HashSet<u32>,
+    own_pins: &FastSet<Point>,
+    sources: &[u32],
+    targets: &FastSet<u32>,
     margin: Coord,
+    node_cap: usize,
 ) -> Option<Vec<u32>> {
+    /// Historic cost scale: one α unit = 10 cost points.
+    const UNIT: u64 = 10;
+    /// Virtual start node fanning out to every source at zero cost.
+    const START: u32 = u32::MAX;
+
     // Search window: bbox of endpoints plus margin.
-    let mut window = Rect::bounding(
-        source
+    let window = Rect::bounding(
+        sources
             .iter()
             .chain(targets.iter())
             .map(|&c| grid.point(c).point()),
-    )?;
-    window = window.expand(margin).intersect(grid.outline())?;
+    )?
+    .expand(margin)
+    .intersect(grid.outline())?;
     // Target bbox for the admissible multi-target heuristic.
     let tbox = Rect::bounding(targets.iter().map(|&c| grid.point(c).point()))?;
     let h = |p: GridPoint| -> u64 {
@@ -622,110 +755,346 @@ fn astar(
         } else {
             0
         };
-        (dx + dy) as u64 * UNIT * config.alpha
+        ((dx + dy) as u64).saturating_mul(UNIT).saturating_mul(config.alpha)
     };
 
-    let mut dist: HashMap<u32, u64> = HashMap::with_capacity(1024);
-    let mut prev: HashMap<u32, u32> = HashMap::with_capacity(1024);
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    // Sorted source insertion keeps tie-breaking (and thus paths)
-    // deterministic despite HashSet iteration order.
-    let mut sorted_sources: Vec<u32> = source.iter().copied().collect();
-    sorted_sources.sort_unstable();
-    for s in sorted_sources {
-        dist.insert(s, 0);
-        heap.push(Reverse((h(grid.point(s)), s)));
+    // `sources` arrives sorted from `connect_components`.
+    let mut expanded = 0usize;
+    let mut aborted = false;
+    let found = mebl_graph::astar(
+        START,
+        |&u: &u32| -> Vec<(u32, u64)> {
+            if u == START {
+                return sources.iter().map(|&s| (s, 0)).collect();
+            }
+            expanded += 1;
+            // Charge the run budget and honour cancellation mid-search:
+            // an aborted search rips the net up like any failed
+            // connection, so partial geometry never leaks out.
+            if expanded > node_cap || config.cancel.charge_expansions(1) {
+                aborted = true;
+                return Vec::new();
+            }
+            let pu = grid.point(u);
+            let mut out = Vec::with_capacity(4);
+            for q in grid.moves(pu) {
+                if !window.contains(q.point()) {
+                    continue;
+                }
+                let v = grid.node(q);
+                if !grid.passable(v, net) {
+                    continue;
+                }
+                let z_move = q.layer != pu.layer;
+                let y_move = q.y != pu.y;
+                // Hard constraints: never ride a stitching line
+                // vertically; z-moves on a line only at the net's pins.
+                if plan.is_on_line(pu.x) {
+                    if y_move {
+                        continue;
+                    }
+                    if z_move && !own_pins.contains(&pu.point()) {
+                        continue;
+                    }
+                }
+                let mut step = if z_move {
+                    UNIT.saturating_mul(config.alpha).saturating_mul(config.via_cost)
+                } else {
+                    UNIT.saturating_mul(config.alpha)
+                };
+                if config.stitch_costs {
+                    if z_move && plan.in_unfriendly_region(q.x) {
+                        step = step.saturating_add(UNIT.saturating_mul(config.beta));
+                    }
+                    if !z_move && plan.in_escape_region(q.x) {
+                        step = step.saturating_add(UNIT.saturating_mul(config.gamma));
+                    }
+                }
+                out.push((v, step));
+            }
+            out
+        },
+        |&u| if u == START { 0 } else { h(grid.point(u)) },
+        |&u| u != START && targets.contains(&u),
+    );
+    if aborted {
+        return None;
     }
+    let (mut path, _) = found?;
+    path.retain(|&c| c != START);
+    Some(path)
+}
+
+/// Soft-search cost for entering a cell owned by another net: far above
+/// any realistic hard-path cost, so the search minimises the number of
+/// blocking cells first and ordinary wire cost second.
+const BLOCK_PENALTY: u64 = 1 << 32;
+
+/// One rip-up/reroute round for walled-in nets (see the call site in
+/// [`route_detailed`]). Serial on the master grid in deterministic net
+/// order, so the outcome never depends on the worker count.
+#[allow(clippy::too_many_arguments)]
+fn blocker_ripup_round(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    field: &CostField,
+    config: &DetailedConfig,
+    grid: &mut DetailedGrid,
+    solver: &mut DialSolver,
+    pin_cells: &[Vec<u32>],
+    pin_points: &[FastSet<Point>],
+    result: &mut DetailedResult,
+) {
+    let n = pin_cells.len();
+    // Other nets' pins can never be ripped up; the soft search treats
+    // them as hard obstacles.
+    let all_pins: FastSet<u32> = pin_cells.iter().flatten().copied().collect();
+    let no_seeds: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+    // The soft search and the recovery attempts get the expansion budget
+    // one widening step past the retry ladder's last rung — still
+    // proportional to the configured cap, so starved runs stay starved.
+    let cap = config
+        .node_cap
+        .checked_shl(2 * (config.retries as u32 + 1))
+        .unwrap_or(usize::MAX);
+    // A margin the size of the grid makes any window cover the whole
+    // outline after clamping, without overflowing coordinate arithmetic.
+    let full_margin = grid.width().max(grid.height()) as Coord;
+    let relaxed = DetailedConfig {
+        node_cap: cap,
+        margin: full_margin,
+        retries: 0,
+        ..config.clone()
+    };
+    let mut failed: Vec<usize> = (0..n).filter(|&i| !result.routed[i]).collect();
+    failed.sort_by_key(|&i| (circuit.nets()[i].hpwl(), i));
+    for net in failed {
+        if result.routed[net] || config.cancel.is_cancelled_now() {
+            continue;
+        }
+        // A few rip-up iterations per net: each either removes at least
+        // one blocking net, routes the net, or proves it hopeless.
+        let mut ripped: Vec<usize> = Vec::new();
+        for _ in 0..4 {
+            // Current components: the net's pins (failed nets own
+            // nothing else), merged where they already touch.
+            let mut components: Vec<FastSet<u32>> = pin_cells[net]
+                .iter()
+                .map(|&c| std::iter::once(c).collect())
+                .collect();
+            merge_touching(grid, &mut components);
+            if components.len() <= 1 {
+                break;
+            }
+            let mut src_idx = 0usize;
+            for i in 1..components.len() {
+                if components[i].len() < components[src_idx].len() {
+                    src_idx = i;
+                }
+            }
+            let source = components.swap_remove(src_idx);
+            let mut src_nodes: Vec<u32> = source.iter().copied().collect();
+            src_nodes.sort_unstable();
+            let targets: FastSet<u32> = components.iter().flatten().copied().collect();
+            let Some(path) = soft_astar(
+                grid, plan, config, net as u32, &pin_points[net], &src_nodes, &targets,
+                &all_pins, cap,
+            ) else {
+                break;
+            };
+            let mut blockers: Vec<usize> = path
+                .iter()
+                .filter_map(|&c| grid.occupant(c))
+                .filter(|&o| o != net as u32)
+                .map(|o| o as usize)
+                .collect();
+            blockers.sort_unstable();
+            blockers.dedup();
+            for &b in &blockers {
+                rip_net(grid, b, &pin_cells[b], result);
+                ripped.push(b);
+            }
+            let mut log = ChangeLog::default();
+            let (ok, geometry) = route_one_net(
+                plan, field, &relaxed, net, grid, solver, &mut log, pin_cells, pin_points,
+                &no_seeds,
+            );
+            if ok {
+                result.geometry[net] = geometry;
+                result.routed[net] = true;
+                result.routed_count += 1;
+                break;
+            }
+            if blockers.is_empty() {
+                break;
+            }
+        }
+        // Reroute the ripped nets around the recovered wire, in net
+        // order; any that fail now stay failed and get recorded by the
+        // caller.
+        ripped.sort_unstable();
+        ripped.dedup();
+        for b in ripped {
+            if result.routed[b] || config.cancel.is_cancelled_now() {
+                continue;
+            }
+            let mut log = ChangeLog::default();
+            let (ok, geometry) = route_one_net(
+                plan, field, config, b, grid, solver, &mut log, pin_cells, pin_points,
+                &no_seeds,
+            );
+            if ok {
+                result.geometry[b] = geometry;
+                result.routed[b] = true;
+                result.routed_count += 1;
+            }
+        }
+    }
+}
+
+/// Rips a routed net back to its pins: frees every grid cell it owns
+/// except the pins and clears its published result.
+fn rip_net(grid: &mut DetailedGrid, net: usize, pins: &[u32], result: &mut DetailedResult) {
+    if !result.routed[net] {
+        return;
+    }
+    let pin_set: FastSet<u32> = pins.iter().copied().collect();
+    for node in 0..grid.cell_count() as u32 {
+        if grid.occupant(node) == Some(net as u32) && !pin_set.contains(&node) {
+            grid.free(node);
+        }
+    }
+    result.geometry[net] = RouteGeometry::new();
+    result.routed[net] = false;
+    result.routed_count -= 1;
+}
+
+/// Last-ditch variant of [`legacy_astar`] for walled-in nets: cells
+/// owned by other nets are traversable at [`BLOCK_PENALTY`] apiece
+/// (their pins stay hard), over the whole grid rather than a window, so
+/// the cheapest result names a minimal corridor of blockers to rip up.
+/// Shares the hard stitch rules and expansion accounting with the hard
+/// searches.
+#[allow(clippy::too_many_arguments)]
+fn soft_astar(
+    grid: &DetailedGrid,
+    plan: &StitchPlan,
+    config: &DetailedConfig,
+    net: u32,
+    own_pins: &FastSet<Point>,
+    sources: &[u32],
+    targets: &FastSet<u32>,
+    all_pins: &FastSet<u32>,
+    node_cap: usize,
+) -> Option<Vec<u32>> {
+    const UNIT: u64 = 10;
+    const START: u32 = u32::MAX;
+    let tbox = Rect::bounding(targets.iter().map(|&c| grid.point(c).point()))?;
+    let h = |p: GridPoint| -> u64 {
+        let dx = if p.x < tbox.x0() {
+            tbox.x0() - p.x
+        } else if p.x > tbox.x1() {
+            p.x - tbox.x1()
+        } else {
+            0
+        };
+        let dy = if p.y < tbox.y0() {
+            tbox.y0() - p.y
+        } else if p.y > tbox.y1() {
+            p.y - tbox.y1()
+        } else {
+            0
+        };
+        ((dx + dy) as u64).saturating_mul(UNIT).saturating_mul(config.alpha)
+    };
 
     let mut expanded = 0usize;
-    while let Some(Reverse((_, u))) = heap.pop() {
-        if targets.contains(&u) {
-            // Reconstruct.
-            let mut path = vec![u];
-            let mut cur = u;
-            while let Some(&p) = prev.get(&cur) {
-                path.push(p);
-                cur = p;
+    let mut aborted = false;
+    let found = mebl_graph::astar(
+        START,
+        |&u: &u32| -> Vec<(u32, u64)> {
+            if u == START {
+                return sources.iter().map(|&s| (s, 0)).collect();
             }
-            path.reverse();
-            return Some(path);
-        }
-        expanded += 1;
-        if expanded > config.node_cap {
-            return None;
-        }
-        // Charge the run budget and honour cancellation mid-search: a
-        // `None` return rips the net up like any failed connection, so
-        // aborting here never leaves partial geometry behind.
-        if config.cancel.charge_expansions(1) {
-            return None;
-        }
-        let du = dist[&u];
-        let pu = grid.point(u);
-        for q in grid.moves(pu) {
-            if !window.contains(q.point()) {
-                continue;
+            expanded += 1;
+            if expanded > node_cap || config.cancel.charge_expansions(1) {
+                aborted = true;
+                return Vec::new();
             }
-            let v = grid.node(q);
-            if !grid.passable(v, net) {
-                continue;
-            }
-            let z_move = q.layer != pu.layer;
-            let y_move = q.y != pu.y;
-            // Hard constraints: never ride a stitching line vertically;
-            // z-moves on a line only at the net's own pins.
-            if plan.is_on_line(pu.x) {
-                if y_move {
+            let pu = grid.point(u);
+            let mut out = Vec::with_capacity(4);
+            for q in grid.moves(pu) {
+                let v = grid.node(q);
+                let blocked = !grid.passable(v, net);
+                if blocked && all_pins.contains(&v) {
                     continue;
                 }
-                if z_move && !own_pins.contains(&pu.point()) {
-                    continue;
+                let z_move = q.layer != pu.layer;
+                let y_move = q.y != pu.y;
+                // Hard constraints: never ride a stitching line
+                // vertically; z-moves on a line only at the net's pins.
+                if plan.is_on_line(pu.x) {
+                    if y_move {
+                        continue;
+                    }
+                    if z_move && !own_pins.contains(&pu.point()) {
+                        continue;
+                    }
                 }
-            }
-            let mut step = if z_move {
-                UNIT * config.alpha * config.via_cost
-            } else {
-                UNIT * config.alpha
-            };
-            if config.stitch_costs {
-                if z_move && plan.in_unfriendly_region(q.x) {
-                    step += UNIT * config.beta;
+                let mut step = if z_move {
+                    UNIT.saturating_mul(config.alpha).saturating_mul(config.via_cost)
+                } else {
+                    UNIT.saturating_mul(config.alpha)
+                };
+                if config.stitch_costs {
+                    if z_move && plan.in_unfriendly_region(q.x) {
+                        step = step.saturating_add(UNIT.saturating_mul(config.beta));
+                    }
+                    if !z_move && plan.in_escape_region(q.x) {
+                        step = step.saturating_add(UNIT.saturating_mul(config.gamma));
+                    }
                 }
-                if !z_move && plan.in_escape_region(q.x) {
-                    step += UNIT * config.gamma;
+                if blocked {
+                    step = step.saturating_add(BLOCK_PENALTY);
                 }
+                out.push((v, step));
             }
-            let nd = du + step;
-            if dist.get(&v).is_none_or(|&old| nd < old) {
-                dist.insert(v, nd);
-                prev.insert(v, u);
-                heap.push(Reverse((nd + h(q), v)));
-            }
-        }
+            out
+        },
+        |&u| if u == START { 0 } else { h(grid.point(u)) },
+        |&u| u != START && targets.contains(&u),
+    );
+    if aborted {
+        return None;
     }
-    None
+    let (mut path, _) = found?;
+    path.retain(|&c| c != START);
+    Some(path)
 }
 
 /// Iteratively removes dangling non-pin cells (degree <= 1 in the net's
 /// own cell set) — unused seed overhangs become antenna stubs otherwise.
-fn prune_stubs(grid: &DetailedGrid, cells: &mut HashSet<u32>, pins: &[u32]) {
-    let pin_set: HashSet<u32> = pins.iter().copied().collect();
-    let degree = |cells: &HashSet<u32>, c: u32| -> usize {
-        grid.moves(grid.point(c))
-            .filter(|q| cells.contains(&grid.node(*q)))
-            .count()
+/// The removal fixpoint is unique, so worklist order never shows in the
+/// result.
+fn prune_stubs(grid: &DetailedGrid, cells: &mut FastSet<u32>, pins: &[u32]) {
+    let pin_set: FastSet<u32> = pins.iter().copied().collect();
+    let degree = |cells: &FastSet<u32>, c: u32| -> usize {
+        let mut buf = [0u32; 4];
+        let n = grid.node_moves(c, &mut buf);
+        buf[..n].iter().filter(|q| cells.contains(q)).count()
     };
     let mut queue: Vec<u32> = cells
         .iter()
         .copied()
         .filter(|&c| !pin_set.contains(&c) && degree(cells, c) <= 1)
         .collect();
+    let mut buf = [0u32; 4];
     while let Some(c) = queue.pop() {
         if !cells.remove(&c) {
             continue;
         }
-        for q in grid.moves(grid.point(c)) {
-            let qn = grid.node(q);
+        let n = grid.node_moves(c, &mut buf);
+        for &qn in &buf[..n] {
             if cells.contains(&qn) && !pin_set.contains(&qn) && degree(cells, qn) <= 1 {
                 queue.push(qn);
             }
@@ -734,53 +1103,50 @@ fn prune_stubs(grid: &DetailedGrid, cells: &mut HashSet<u32>, pins: &[u32]) {
 }
 
 /// Converts a net's final cell set into wire segments and vias.
-fn extract_geometry(grid: &DetailedGrid, cells: &HashSet<u32>) -> RouteGeometry {
+fn extract_geometry(grid: &DetailedGrid, cells: &FastSet<u32>) -> RouteGeometry {
     let mut geom = RouteGeometry::new();
     // Sorted cell order makes the emitted via list deterministic.
     let mut sorted_cells: Vec<u32> = cells.iter().copied().collect();
     sorted_cells.sort_unstable();
-    // Group by (layer, track).
-    let mut by_track: HashMap<(u8, Coord), Vec<Coord>> = HashMap::new();
+    let wh = grid.width() * grid.height();
+    // One `(layer, track, coord)` triple per cell; sorting groups the
+    // triples into maximal runs without any hash-map traffic.
+    let mut runs: Vec<(u8, Coord, Coord)> = Vec::with_capacity(sorted_cells.len());
     for &c in &sorted_cells {
         let p = grid.point(c);
         if p.layer.is_horizontal() {
-            by_track.entry((p.layer.index(), p.y)).or_default().push(p.x);
+            runs.push((p.layer.index(), p.y, p.x));
         } else {
-            by_track.entry((p.layer.index(), p.x)).or_default().push(p.y);
+            runs.push((p.layer.index(), p.x, p.y));
         }
         // Vias: emit when the cell above is also present.
-        if p.layer.index() + 1 < grid.layers() {
-            let above = GridPoint::new(p.x, p.y, p.layer.above());
-            if cells.contains(&grid.node(above)) {
-                geom.push_via(Via::new(p.x, p.y, p.layer));
-            }
+        if p.layer.index() + 1 < grid.layers() && cells.contains(&(c + wh)) {
+            geom.push_via(Via::new(p.x, p.y, p.layer));
         }
     }
-    let mut tracks: Vec<((u8, Coord), Vec<Coord>)> = by_track.into_iter().collect();
-    tracks.sort_unstable_by_key(|&(key, _)| key);
-    for (key, mut coords) in tracks {
-        coords.sort_unstable();
-        coords.dedup();
-        let (layer_idx, track) = key;
-        let layer = mebl_geom::Layer::new(layer_idx);
-        let mut i = 0;
-        while i < coords.len() {
-            let start = coords[i];
-            let mut end = start;
-            while i + 1 < coords.len() && coords[i + 1] == end + 1 {
-                end += 1;
-                i += 1;
+    runs.sort_unstable();
+    let mut i = 0;
+    while i < runs.len() {
+        let (layer_idx, track, start) = runs[i];
+        let mut end = start;
+        while i + 1 < runs.len() {
+            let (l2, t2, c2) = runs[i + 1];
+            if l2 != layer_idx || t2 != track || c2 != end + 1 {
+                break;
             }
-            if end > start {
-                let seg = if layer.is_horizontal() {
-                    Segment::horizontal(layer, track, start, end)
-                } else {
-                    Segment::vertical(layer, track, start, end)
-                };
-                geom.push_segment(seg);
-            }
+            end = c2;
             i += 1;
         }
+        if end > start {
+            let layer = mebl_geom::Layer::new(layer_idx);
+            let seg = if layer.is_horizontal() {
+                Segment::horizontal(layer, track, start, end)
+            } else {
+                Segment::vertical(layer, track, start, end)
+            };
+            geom.push_segment(seg);
+        }
+        i += 1;
     }
     geom
 }
@@ -792,6 +1158,7 @@ mod tests {
     use mebl_geom::Layer;
     use mebl_netlist::{Net, Pin};
     use mebl_stitch::StitchConfig;
+    use std::collections::{HashMap, HashSet};
 
     fn pin(x: i32, y: i32) -> Pin {
         Pin::new(Point::new(x, y), Layer::new(0))
@@ -985,6 +1352,49 @@ mod tests {
         );
         assert_eq!(res.routed_count, 0);
         assert!(res.geometry[0].is_empty());
+    }
+
+    #[test]
+    fn legacy_engine_routes_and_stays_hard_clean() {
+        let (c, plan, res) = route(
+            vec![
+                Net::new("a", vec![pin(2, 2), pin(40, 40)]),
+                Net::new("b", vec![pin(5, 60), pin(60, 5)]),
+            ],
+            &DetailedConfig {
+                engine: SearchEngine::LegacyHeap,
+                ..DetailedConfig::default()
+            },
+        );
+        assert_eq!(res.routed_count, 2);
+        for i in 0..2 {
+            assert_connected(&c, i, &res.geometry[i]);
+            let pins: HashSet<Point> = c.nets()[i].pins().iter().map(|p| p.position).collect();
+            let v = mebl_stitch::check_geometry(&plan, &res.geometry[i], |p| pins.contains(&p));
+            assert!(v.hard_clean(), "net {i}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn engines_route_the_same_nets_on_a_small_case() {
+        let nets: Vec<Net> = (0..6)
+            .map(|i| {
+                Net::new(
+                    format!("n{i}"),
+                    vec![pin(4 + i * 5, 8 + i * 7), pin(60 - i * 4, 75 - i * 9)],
+                )
+            })
+            .collect();
+        let (_, _, dial) = route(nets.clone(), &DetailedConfig::default());
+        let (_, _, legacy) = route(
+            nets,
+            &DetailedConfig {
+                engine: SearchEngine::LegacyHeap,
+                ..DetailedConfig::default()
+            },
+        );
+        assert_eq!(dial.routed_count, legacy.routed_count);
+        assert_eq!(dial.routed, legacy.routed);
     }
 
     #[test]

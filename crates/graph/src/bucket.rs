@@ -1,0 +1,231 @@
+//! Dial's bucket queue: a monotone integer priority queue.
+//!
+//! The detailed router's grid search pops keys in non-decreasing order
+//! and pushes keys at most a small quantized increment above the last
+//! pop. A ring of buckets indexed by `key mod ring_len` therefore
+//! replaces the `O(log n)` binary heap with `O(1)` pushes and
+//! amortized-`O(1)` pops. Keys outside the ring window spill into an
+//! overflow list that re-seeds the ring when the window catches up, so
+//! the structure stays correct (just slower) for arbitrary key spreads
+//! such as multi-source initial frontiers.
+
+/// A monotone integer-keyed priority queue (Dial's algorithm).
+///
+/// # Contract
+///
+/// Pops return keys in non-decreasing order **provided** every push key
+/// is `>=` the key of the most recent pop. Keys below that floor are
+/// clamped up to it (a defensive measure, not a feature: monotone
+/// searches — Dijkstra/A\* with a consistent heuristic — never produce
+/// them). Among equal keys the pop order is deterministic but
+/// unspecified; for pushes that stay inside the ring window it is LIFO.
+///
+/// `span` passed to [`BucketQueue::with_span`] is the expected maximum
+/// increment between a pop and a subsequent push. It sizes the bucket
+/// ring; larger increments remain correct through the overflow list.
+#[derive(Debug)]
+pub struct BucketQueue<T = u32> {
+    ring: Vec<Vec<T>>,
+    mask: u64,
+    cursor: u64,
+    in_ring: usize,
+    overflow: Vec<(u64, T)>,
+    overflow_min: u64,
+}
+
+impl<T> BucketQueue<T> {
+    /// Upper bound on the ring length; wider spans fall back to the
+    /// overflow list, trading speed for bounded memory.
+    const MAX_RING: u64 = 1 << 15;
+
+    /// Creates a queue whose ring covers key increments up to `span`.
+    pub fn with_span(span: u64) -> Self {
+        let len = (span + 1)
+            .next_power_of_two()
+            .clamp(2, Self::MAX_RING);
+        Self {
+            ring: (0..len).map(|_| Vec::new()).collect(),
+            mask: len - 1,
+            cursor: 0,
+            in_ring: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.in_ring + self.overflow.len()
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the queue and resets the key window, keeping the bucket
+    /// allocations for reuse by the next search.
+    pub fn clear(&mut self) {
+        if self.in_ring > 0 {
+            for bucket in &mut self.ring {
+                bucket.clear();
+            }
+            self.in_ring = 0;
+        }
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.cursor = 0;
+    }
+
+    /// Queues `item` under `key`. Keys below the monotone floor (the
+    /// key of the most recent pop) are clamped up to it.
+    pub fn push(&mut self, key: u64, item: T) {
+        let key = key.max(self.cursor);
+        if key - self.cursor < self.ring.len() as u64 {
+            self.ring[(key & self.mask) as usize].push(item);
+            self.in_ring += 1;
+        } else {
+            self.overflow_min = self.overflow_min.min(key);
+            self.overflow.push((key, item));
+        }
+    }
+
+    /// Removes and returns a minimum-key entry, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if self.in_ring == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.reseed();
+        }
+        // At least one ring entry exists, and every ring key lies in
+        // `[cursor, cursor + ring_len)`, so the scan below terminates.
+        loop {
+            if self.overflow_min <= self.cursor {
+                self.reseed();
+            }
+            let idx = (self.cursor & self.mask) as usize;
+            if let Some(item) = self.ring[idx].pop() {
+                self.in_ring -= 1;
+                return Some((self.cursor, item));
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Moves the window to cover the earliest overflow keys and pulls
+    /// every overflow entry that now fits into the ring.
+    fn reseed(&mut self) {
+        if self.in_ring == 0 {
+            // Nothing in the ring constrains the window: jump straight
+            // to the earliest parked key.
+            self.cursor = self.cursor.max(self.overflow_min);
+        }
+        let len = self.ring.len() as u64;
+        let pending = std::mem::take(&mut self.overflow);
+        self.overflow_min = u64::MAX;
+        for (key, item) in pending {
+            if key - self.cursor < len {
+                self.ring[(key & self.mask) as usize].push(item);
+                self.in_ring += 1;
+            } else {
+                self.overflow_min = self.overflow_min.min(key);
+                self.overflow.push((key, item));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = BucketQueue::with_span(4);
+        q.push(3, 'c');
+        q.push(1, 'a');
+        q.push(2, 'b');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((2, 'b')));
+        assert_eq!(q.pop(), Some((3, 'c')));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_keys_pop_lifo_inside_the_window() {
+        let mut q = BucketQueue::with_span(8);
+        q.push(5, 1u32);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 3)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 1)));
+    }
+
+    #[test]
+    fn interleaved_pushes_respect_the_monotone_floor() {
+        let mut q = BucketQueue::with_span(8);
+        q.push(2, 'a');
+        assert_eq!(q.pop(), Some((2, 'a')));
+        // A push below the floor is clamped up to it.
+        q.push(0, 'b');
+        assert_eq!(q.pop(), Some((2, 'b')));
+        q.push(3, 'c');
+        q.push(2, 'd'); // floor is still 2: fine
+        assert_eq!(q.pop(), Some((2, 'd')));
+        assert_eq!(q.pop(), Some((3, 'c')));
+    }
+
+    #[test]
+    fn far_keys_overflow_and_come_back_in_order() {
+        // span 2 -> ring length 4: key 100 cannot sit in the ring.
+        let mut q = BucketQueue::with_span(2);
+        q.push(100, 'z');
+        q.push(1, 'a');
+        q.push(50, 'm');
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((50, 'm')));
+        assert_eq!(q.pop(), Some((100, 'z')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_merges_before_later_ring_keys() {
+        // Regression shape: a parked overflow key must not be overtaken
+        // by a larger key pushed directly into the ring later.
+        let mut q = BucketQueue::with_span(3); // ring length 4
+        q.push(0, 'a');
+        q.push(4, 'o'); // 4 - 0 >= 4: overflow
+        assert_eq!(q.pop(), Some((0, 'a')));
+        q.push(3, 'b');
+        assert_eq!(q.pop(), Some((3, 'b')));
+        q.push(6, 'c'); // 6 - 3 < 4: ring, but 4 is still parked
+        assert_eq!(q.pop(), Some((4, 'o')));
+        assert_eq!(q.pop(), Some((6, 'c')));
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = BucketQueue::with_span(4);
+        q.push(7, 1u32);
+        q.push(900, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // The window restarts at zero after a clear.
+        q.push(1, 3);
+        assert_eq!(q.pop(), Some((1, 3)));
+    }
+
+    #[test]
+    fn large_span_is_clamped_but_correct() {
+        let mut q = BucketQueue::with_span(u64::MAX / 2);
+        q.push(1 << 40, 'x');
+        q.push(9, 'a');
+        assert_eq!(q.pop(), Some((9, 'a')));
+        assert_eq!(q.pop(), Some((1 << 40, 'x')));
+    }
+}

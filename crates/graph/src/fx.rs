@@ -1,0 +1,143 @@
+//! Fixed-seed multiplicative hashing for hot-path integer keys.
+//!
+//! The standard library's default `SipHash` is keyed per process and
+//! hardened against adversarial inputs — properties the routing hot
+//! path neither needs (keys are internal node ids, never attacker
+//! controlled) nor can afford (hashing dominates dense cell-set
+//! operations). [`FxHasher`] is the classic `rustc` word-at-a-time
+//! multiplicative hash: a few cycles per integer key, and — unlike
+//! `RandomState` — deterministic across processes, so any iteration
+//! order that leaks into output is stable run-to-run.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`]; drop-in for hot integer keys.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by [`FxHasher`]; drop-in for hot integer keys.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Word-at-a-time multiplicative hasher (the `rustc`/Firefox "Fx" mix).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The golden-ratio multiplier used by the Fx mix.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(0xdead_beef);
+        b.write_u32(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h = |v: u32| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u32(v);
+            hasher.finish()
+        };
+        let mut seen: HashSet<u64> = HashSet::new();
+        for v in 0..10_000u32 {
+            assert!(seen.insert(h(v)), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rule() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fast_map_and_set_round_trip() {
+        let mut map: FastMap<u32, &str> = FastMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        let set: FastSet<u64> = (0..100).collect();
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&42));
+    }
+}

@@ -17,12 +17,18 @@
 //! * [`longest_paths`] — DAG longest paths for the track-assignment
 //!   constraint graphs.
 //! * [`astar`] — generic A\* over implicit graphs.
+//! * [`BucketQueue`] — Dial's monotone integer priority queue, the
+//!   dense-grid detailed router's replacement for a binary heap.
+//! * [`FxHasher`] with the [`FastMap`]/[`FastSet`] aliases —
+//!   fixed-seed multiplicative hashing for hot-path integer keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod astar;
+mod bucket;
 mod dag;
+mod fx;
 mod interval_color;
 mod matching;
 mod mcmf;
@@ -30,7 +36,9 @@ mod spanning;
 mod unionfind;
 
 pub use astar::astar;
+pub use bucket::BucketQueue;
 pub use dag::longest_paths;
+pub use fx::{FastMap, FastSet, FxHasher};
 pub use interval_color::{max_weight_k_colorable, ColorableSelection, WeightedInterval};
 pub use matching::min_cost_perfect_matching;
 pub use mcmf::{EdgeId, MinCostFlow};

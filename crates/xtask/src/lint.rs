@@ -2,7 +2,7 @@
 //!
 //! The lint is deliberately dumb — no syn, no proc-macros, just a
 //! comment/string-stripping scanner — so it stays dependency-free and
-//! fast. Seven rules:
+//! fast. Eight rules:
 //!
 //! * **no-panic** — `.unwrap()`, `.expect(` and `panic!(` are banned in
 //!   library code. Tests (`#[cfg(test)]` blocks), binaries (`mebl-cli`,
@@ -31,6 +31,12 @@
 //!   (`testkit/src/client.rs`). Everything else — tests, smoke drivers,
 //!   benches — speaks HTTP through `mebl_testkit::TestClient`, so wire
 //!   behavior has exactly one implementation on each side.
+//! * **no-binary-heap** — `BinaryHeap` is banned in `crates/detailed`
+//!   library code. The detailed-routing hot path runs on the dense-grid
+//!   bucket queue (`mebl_graph::BucketQueue`); a heap reappearing there
+//!   is the 5× rewrite quietly rotting. The generic reference
+//!   implementations in `crates/graph` (`astar`, `mcmf`) and test code
+//!   (differential checks against a heap) are exempt.
 //!
 //! Allowlist format, one entry per line:
 //!
@@ -291,6 +297,18 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
 
         if in_test {
             continue;
+        }
+        // The Dial rewrite's structural guarantee: no heap in the
+        // detailed-routing hot path (tests above are already exempt).
+        if crate_of(rel) == Some("detailed") && contains_token(code, "BinaryHeap") {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "no-binary-heap",
+                message: "`BinaryHeap` in crates/detailed; the hot path uses \
+                          `mebl_graph::BucketQueue` (Dial) — see DESIGN.md §11"
+                    .to_string(),
+            });
         }
         if panic_rule_applies(rel) {
             for tok in panic_tokens {
@@ -735,6 +753,23 @@ mod tests {
         // trip the token scan outside crates/par either.
         let src = "fn f(s: &S) { s.spawn(|| {}); }\n";
         assert!(rules("crates/geom/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn binary_heap_banned_in_detailed_only() {
+        let src = "use std::collections::BinaryHeap;\nfn f() { let h: BinaryHeap<u32> = BinaryHeap::new(); }\n";
+        let v = rules("crates/detailed/src/router.rs", src);
+        assert_eq!(v, vec!["no-binary-heap"; 2]);
+        // The graph crate hosts the reference implementations.
+        assert!(rules("crates/graph/src/astar.rs", src).is_empty());
+        assert!(rules("crates/global/src/router.rs", src).is_empty());
+        assert!(rules("tests/graph_primitives.rs", src).is_empty());
+        // Differential tests inside the crate keep their heaps.
+        let gated = "#[cfg(test)]\nmod tests {\n    use std::collections::BinaryHeap;\n}\n";
+        assert!(rules("crates/detailed/src/dense.rs", gated).is_empty());
+        // Prose and comments never trip the token scan.
+        let prose = "/// Replaces the `BinaryHeap` A* engine.\nfn f() {}\n";
+        assert!(rules("crates/detailed/src/dense.rs", prose).is_empty());
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //! kernels, exercised through the public API: min-cost max-flow (flow
 //! conservation, capacity bounds, residual maximality), the
 //! Carlisle–Lloyd maximum-weight k-colorable interval selection
-//! (k-colorability, monotonicity in k, brute-force optimality) and the
+//! (k-colorability, monotonicity in k, brute-force optimality), the
 //! Hungarian assignment solver (permutation validity, brute-force
-//! optimality).
+//! optimality), and the dense-grid search primitives behind the Dial
+//! detailed router: [`BucketQueue`] against a reference binary heap,
+//! [`GridWindow`] clamping, and grid node/coordinate round-trips.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+
+use mebl_detailed::{DetailedGrid, GridWindow};
+use mebl_geom::{GridPoint, Layer, Rect};
 use mebl_graph::{
-    max_weight_k_colorable, min_cost_perfect_matching, ColorableSelection, MinCostFlow,
-    WeightedInterval,
+    max_weight_k_colorable, min_cost_perfect_matching, BucketQueue, ColorableSelection,
+    MinCostFlow, WeightedInterval,
 };
 use mebl_testkit::prop::{ints, vecs};
 use mebl_testkit::{prop_assert, prop_assert_eq, prop_check};
@@ -234,6 +241,197 @@ fn prop_matching_is_an_optimal_permutation() {
             let recount: i64 = (0..n).map(|i| cost[i][assign[i]]).sum();
             prop_assert_eq!(total, recount, "reported total disagrees with the assignment");
             prop_assert_eq!(total, brute_force_matching(&cost));
+        }
+    );
+}
+
+/// Replays one generated op script against a [`BucketQueue`], returning
+/// the full `(key, item)` pop sequence. Each op pushes `key` (clamped to
+/// the queue's monotone floor, matching the documented contract) and
+/// then pops `pops` entries; the tail drains whatever is left.
+fn run_bucket_script(span: u64, ops: &[(u64, u32, usize)]) -> Vec<(u64, u32)> {
+    let mut q = BucketQueue::with_span(span);
+    let mut out = Vec::new();
+    for &(key, item, pops) in ops {
+        q.push(key, item);
+        for _ in 0..pops {
+            if let Some(popped) = q.pop() {
+                out.push(popped);
+            }
+        }
+    }
+    while let Some(popped) = q.pop() {
+        out.push(popped);
+    }
+    out
+}
+
+/// The bucket queue pops the same key sequence as a reference binary
+/// heap fed the same script, with the same per-key item multisets.
+///
+/// Exact item order among equal keys is *not* compared — it is
+/// documented as unspecified (LIFO inside the ring window, but overflow
+/// redistribution legitimately reorders spilled entries) — so the
+/// contract here is what Dial search correctness actually needs: keys
+/// come back in non-decreasing order, every pushed item comes back
+/// exactly once, and an item never comes back under a different key.
+#[test]
+fn prop_bucket_queue_matches_reference_heap() {
+    prop_check!(
+        (
+            ints(0u64..24),
+            vecs((ints(0u64..90), ints(0u32..10_000), ints(0usize..3)), 1..50)
+        ),
+        |(span, ops)| {
+            // Reference: a plain binary min-heap with the same clamp-to-
+            // floor rule applied outside the structure.
+            let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+            let mut floor = 0u64;
+            let mut reference = Vec::new();
+            for &(key, item, pops) in &ops {
+                heap.push(Reverse((key.max(floor), item)));
+                for _ in 0..pops {
+                    if let Some(Reverse(popped)) = heap.pop() {
+                        floor = popped.0;
+                        reference.push(popped);
+                    }
+                }
+            }
+            while let Some(Reverse(popped)) = heap.pop() {
+                reference.push(popped);
+            }
+
+            let bucket = run_bucket_script(span, &ops);
+            let keys = |seq: &[(u64, u32)]| seq.iter().map(|&(k, _)| k).collect::<Vec<_>>();
+            prop_assert_eq!(
+                keys(&bucket),
+                keys(&reference),
+                "pop key sequences diverge (span {})",
+                span
+            );
+            let by_key = |seq: &[(u64, u32)]| {
+                let mut m: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+                for &(k, v) in seq {
+                    m.entry(k).or_default().push(v);
+                }
+                m.values_mut().for_each(|v| v.sort_unstable());
+                m
+            };
+            prop_assert_eq!(
+                by_key(&bucket),
+                by_key(&reference),
+                "per-key item multisets diverge (span {})",
+                span
+            );
+        }
+    );
+}
+
+/// Replaying the same script yields the same pop sequence, item order
+/// included — the queue has no hidden nondeterminism (Dial's thread-count
+/// invariance depends on this).
+#[test]
+fn prop_bucket_queue_is_deterministic() {
+    prop_check!(
+        (
+            ints(0u64..24),
+            vecs((ints(0u64..90), ints(0u32..10_000), ints(0usize..3)), 1..50)
+        ),
+        |(span, ops)| {
+            prop_assert_eq!(
+                run_bucket_script(span, &ops),
+                run_bucket_script(span, &ops),
+                "two runs of one script diverged"
+            );
+        }
+    );
+}
+
+/// [`GridWindow::clamped`] never leaves the grid, contains the clamped
+/// seed box whenever the margin is non-negative, and is monotone in the
+/// margin.
+#[test]
+fn prop_grid_window_clamped_stays_in_bounds() {
+    prop_check!(
+        (
+            ints(1u32..60),
+            ints(1u32..60),
+            vecs(ints(-80i64..140), 4usize),
+            ints(-5i64..(1i64 << 40))
+        ),
+        |(w, h, bbox, margin)| {
+            let bbox = (bbox[0], bbox[1], bbox[2], bbox[3]);
+            let win = GridWindow::clamped(w, h, bbox, margin);
+            prop_assert!(
+                win.x0 <= win.x1 && win.x1 < w && win.y0 <= win.y1 && win.y1 < h,
+                "window {:?} escapes the {}x{} grid",
+                win,
+                w,
+                h
+            );
+            // The clamped corners of the seed box always land inside.
+            let cx = |v: i64| v.clamp(0, i64::from(w) - 1) as u32;
+            let cy = |v: i64| v.clamp(0, i64::from(h) - 1) as u32;
+            prop_assert!(
+                win.contains(cx(bbox.0), cy(bbox.1)) && win.contains(cx(bbox.2), cy(bbox.3)),
+                "window {:?} lost a corner of {:?}",
+                win,
+                bbox
+            );
+            // Widening the margin only grows the window (staged widening
+            // on search failure relies on this).
+            let wider = GridWindow::clamped(w, h, bbox, margin.saturating_add(7));
+            prop_assert!(
+                wider.x0 <= win.x0 && win.x1 <= wider.x1 && wider.y0 <= win.y0 && win.y1 <= wider.y1,
+                "widening shrank {:?} to {:?}",
+                win,
+                wider
+            );
+        }
+    );
+}
+
+/// Grid node ids and grid points convert back and forth losslessly over
+/// arbitrary outlines (non-zero origins included), and node ids stay
+/// dense in `0..cell_count`.
+#[test]
+fn prop_grid_node_point_round_trip() {
+    prop_check!(
+        (
+            ints(-50i32..50),
+            ints(-50i32..50),
+            ints(1i32..40),
+            ints(1i32..40),
+            ints(2u8..5),
+            vecs(ints(0u64..(1 << 30)), 1..20)
+        ),
+        |(x0, y0, dw, dh, layers, picks)| {
+            let grid = DetailedGrid::new(Rect::new(x0, y0, x0 + dw, y0 + dh), layers);
+            let cells = grid.cell_count() as u64;
+            prop_assert_eq!(
+                cells,
+                (dw + 1) as u64 * (dh + 1) as u64 * u64::from(layers),
+                "cell count disagrees with the outline"
+            );
+            for &pick in &picks {
+                let node = (pick % cells) as u32;
+                let p = grid.point(node);
+                prop_assert_eq!(grid.node(p), node, "node -> point -> node moved");
+                prop_assert!(
+                    grid.outline().contains(p.point()) && p.layer.index() < layers,
+                    "point {:?} of node {} escapes the outline",
+                    p,
+                    node
+                );
+                // And the reverse orientation: a point built from local
+                // coordinates survives point -> node -> point.
+                let q = GridPoint::new(
+                    x0 + (pick % (dw as u64 + 1)) as i32,
+                    y0 + (pick % (dh as u64 + 1)) as i32,
+                    Layer::new((pick % u64::from(layers)) as u8),
+                );
+                prop_assert_eq!(grid.point(grid.node(q)), q, "point -> node -> point moved");
+            }
         }
     );
 }

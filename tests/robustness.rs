@@ -185,6 +185,76 @@ fn validation_rejects_degenerate_circuits() {
     }
 }
 
+/// Starving the Dial search of its expansion window (a one-node cap and
+/// no widening retries) must not panic and must not silently drop nets:
+/// every unrouted net surfaces as a recorded `SearchExhausted`
+/// degradation naming the net, and the partial geometry stays
+/// audit-clean.
+#[test]
+fn window_widening_exhaustion_is_a_recorded_degradation() {
+    let c = quick("S5378", 1);
+    let mut config = RouterConfig::stitch_aware();
+    config.detailed.node_cap = 1;
+    config.detailed.retries = 0;
+    let outcome = route_and_audit(&c, config);
+    let exhausted: Vec<_> = outcome
+        .degradations
+        .iter()
+        .filter(|d| d.kind == DegradationKind::SearchExhausted)
+        .collect();
+    assert!(
+        !exhausted.is_empty(),
+        "a one-node cap with no retries must exhaust some searches"
+    );
+    assert!(
+        exhausted.iter().all(|d| d.net.is_some()),
+        "every SearchExhausted degradation names its net: {exhausted:#?}"
+    );
+    // The recorded degradations agree with the routed mask — nothing is
+    // lost without a paper trail.
+    for d in &exhausted {
+        let net = d.net.expect("checked above");
+        assert!(
+            !outcome.detailed.routed[net],
+            "net {net} recorded as exhausted but marked routed"
+        );
+    }
+}
+
+/// The hostile-scenario batteries above default to the production Dial
+/// engine; this spot-check drives the nastiest routed scenarios through
+/// *both* engines explicitly, so the legacy-heap fallback keeps the same
+/// never-panic, audit-clean-or-typed-error contract.
+#[test]
+fn hostile_scenarios_hold_on_both_engines() {
+    use mebl_route::SearchEngine;
+    let bounded = RunBudget::with_max_expansions(200_000);
+    for engine in [SearchEngine::Dial, SearchEngine::LegacyHeap] {
+        // Congested corner, pins on stitching lines and the boundary.
+        let adv = adversarial_circuit(77);
+        try_and_audit(
+            &adv,
+            RouterConfig::stitch_aware()
+                .with_engine(engine)
+                .with_budget(bounded),
+        );
+        // Starved per-connection search window.
+        let c = quick("S5378", 1);
+        let mut config = RouterConfig::stitch_aware()
+            .with_engine(engine)
+            .with_budget(bounded);
+        config.detailed.node_cap = 8;
+        try_and_audit(&c, config);
+        // Stitch-line-saturated grid (zero friendly capacity).
+        let mut config = RouterConfig::stitch_aware()
+            .with_engine(engine)
+            .with_budget(bounded);
+        config.stitch.period = 2;
+        config.global.tile_size = 2;
+        try_and_audit(&c, config);
+    }
+}
+
 /// Builds the adversarial circuit for [`Fault::AdversarialPins`]: many
 /// nets crammed into one congested corner, pins sitting on stitching
 /// lines and on the outline boundary.

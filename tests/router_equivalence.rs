@@ -1,0 +1,225 @@
+//! Differential equivalence of the detailed-routing search engines.
+//!
+//! The dense-grid Dial engine replaced the legacy binary-heap A\* as the
+//! production hot path. Both minimise the same quantized eq. (10) cost,
+//! but tie-breaking among equal-cost paths differs and every such choice
+//! cascades through grid occupancy into later nets, so outputs need not
+//! be byte-identical — instead this suite pins the *quality contract*
+//! across the benchmark suite, seeds 1–3 and both stitch configurations:
+//!
+//! * both engines' solutions audit strict-clean on every single case
+//!   (zero errors **and** zero warnings from the independent verifier);
+//! * per case, the engines' realised wire objective — wirelength plus
+//!   `via_cost` per via, summed over the nets both routed — must not
+//!   regress: Dial stays within 2% above legacy when stitch costs are
+//!   off (there the metric *is* the full objective; observed worst:
+//!   +1.08%) and within 5% when they are on (wirelength is then traded
+//!   against the β/γ stitch penalties, which the metric cannot see;
+//!   observed worst: +3.12%), each with a floor of four average net
+//!   costs so a handful of equal-cost reroutes cannot fail a tiny
+//!   benchmark on percentage alone. Raw wirelength alone is *not*
+//!   comparable: with the default `via_cost` of 2, one via trades
+//!   against two planar steps at equal cost, and the engines settle
+//!   that trade differently. Dial running *cheaper* (observed up to 4%,
+//!   occupancy cascades compound per-net tie-breaks) is not bounded —
+//!   the legacy engine is the reference being replaced, and the
+//!   contract guards against regression;
+//! * per case, Dial routes at worst two fewer nets (observed: one, on a
+//!   single case), and over the whole matrix routes at least as many;
+//! * aggregated over the whole matrix, Dial's `#VV` is equal or better.
+//!   `#SP` is equal or better over the stitch-aware half — the
+//!   configuration whose cost function actually prices stitch-line
+//!   crossings; in the without-stitch ablation neither engine optimises
+//!   short polygons, so the counts are tie-breaking accidents on a flat
+//!   cost plateau and are only bounded (within ~7% of legacy) rather
+//!   than dominated.
+//!
+//! Every assertion message carries the benchmark name, generator seed
+//! and stitch mode, so a failure replays with a one-line test; routing
+//! disagreements also name the first net the Dial engine lost.
+//!
+//! Benchmarks are scaled to ~120 nets apiece — every chip geometry and
+//! stitch layout in the suite is exercised, at a size where the 2 × 84
+//! debug-mode routes finish in CI time.
+
+use mebl_audit::audit_outcome;
+use mebl_detailed::DetailedConfig;
+use mebl_geom::RouteGeometry;
+use mebl_netlist::{BenchmarkSpec, GenerateConfig};
+use mebl_route::{RouteReport, Router, RouterConfig, SearchEngine};
+
+/// Net-count target per scaled benchmark.
+const TARGET_NETS: f64 = 120.0;
+
+/// The two detailed-routing stitch modes of Table VIII.
+fn config_for(stitch: bool) -> RouterConfig {
+    let mut config = RouterConfig::stitch_aware();
+    if !stitch {
+        config.detailed = DetailedConfig::without_stitch_consideration();
+    }
+    config
+}
+
+/// The scaled-down generator for `bench`: the quick test scale, further
+/// reduced on the large benchmarks so every case lands near
+/// [`TARGET_NETS`] nets.
+fn gen_for(bench: &BenchmarkSpec, seed: u64) -> GenerateConfig {
+    let mut cfg = GenerateConfig::quick(seed);
+    cfg.net_scale = cfg.net_scale.min(TARGET_NETS / bench.nets as f64);
+    cfg
+}
+
+/// One engine's published metrics for one case.
+struct CaseRun {
+    report: RouteReport,
+    routed: Vec<bool>,
+    geometry: Vec<RouteGeometry>,
+}
+
+/// The eq. (10) objective both engines minimise per connection (with
+/// stitch costs off): wirelength plus `via_cost` per via. Summed over
+/// `nets`, read from the realised geometry.
+fn combined_cost(run: &CaseRun, nets: &[usize], via_cost: u64) -> u64 {
+    nets.iter()
+        .map(|&i| {
+            run.geometry[i].wirelength() + via_cost * run.geometry[i].vias().len() as u64
+        })
+        .sum()
+}
+
+/// Routes `bench`/`seed` with `engine` and asserts the solution is
+/// audit strict-clean.
+fn route_strict_clean(
+    bench: &BenchmarkSpec,
+    seed: u64,
+    stitch: bool,
+    engine: SearchEngine,
+) -> CaseRun {
+    let circuit = bench.generate(&gen_for(bench, seed));
+    let config = config_for(stitch).with_engine(engine);
+    let outcome = Router::new(config.clone()).route(&circuit);
+    let audit = audit_outcome(&circuit, &config, &outcome);
+    assert_eq!(
+        audit.error_count(),
+        0,
+        "audit errors: bench={} seed={seed} stitch={stitch} engine={engine:?}\n{:#?}",
+        bench.name,
+        audit.findings
+    );
+    assert_eq!(
+        audit.warning_count(),
+        0,
+        "audit warnings (strict): bench={} seed={seed} stitch={stitch} engine={engine:?}\n{:#?}",
+        bench.name,
+        audit.findings
+    );
+    CaseRun {
+        report: outcome.report,
+        routed: outcome.detailed.routed,
+        geometry: outcome.detailed.geometry,
+    }
+}
+
+/// Matrix-wide totals for one engine.
+#[derive(Default)]
+struct Totals {
+    routed: usize,
+    vv: usize,
+    /// `#SP` split by stitch mode: `sp[0]` without, `sp[1]` with.
+    sp: [usize; 2],
+}
+
+impl Totals {
+    fn add(&mut self, r: &RouteReport, stitch: bool) {
+        self.routed += r.routed_nets;
+        self.vv += r.via_violations;
+        self.sp[usize::from(stitch)] += r.short_polygons;
+    }
+}
+
+/// Compares one (benchmark, seed, stitch mode) cell across engines and
+/// accumulates the matrix totals.
+fn check_case(bench: &BenchmarkSpec, seed: u64, stitch: bool, dial_t: &mut Totals, heap_t: &mut Totals) {
+    let dial = route_strict_clean(bench, seed, stitch, SearchEngine::Dial);
+    let heap = route_strict_clean(bench, seed, stitch, SearchEngine::LegacyHeap);
+    let ctx = format!("bench={} seed={seed} stitch={stitch}", bench.name);
+
+    // A net routed by the heap engine but not by Dial is the strongest
+    // per-case signal; its id is the replay handle for debugging. One
+    // such net per case has been observed (ordering effects cut both
+    // ways — Dial also routes nets the heap loses, and routes more in
+    // total); two or more is a regression.
+    let lost = dial
+        .routed
+        .iter()
+        .zip(&heap.routed)
+        .position(|(d, h)| !d & h);
+    assert!(
+        dial.report.routed_nets + 2 > heap.report.routed_nets,
+        "Dial routability regressed ({} vs {} nets), first lost net id {:?}: {ctx}",
+        dial.report.routed_nets,
+        heap.report.routed_nets,
+        lost
+    );
+
+    // Both engines take cost-minimal paths under the same objective, so
+    // over the nets both routed, Dial's realised wire objective must not
+    // regress past legacy's (bounds and rationale in the module docs).
+    let via_cost = config_for(stitch).detailed.via_cost;
+    let common: Vec<usize> = (0..dial.routed.len())
+        .filter(|&i| dial.routed[i] && heap.routed[i])
+        .collect();
+    let a = combined_cost(&dial, &common, via_cost);
+    let b = combined_cost(&heap, &common, via_cost);
+    let regression = a.saturating_sub(b);
+    let band = if stitch { b / 20 } else { b / 50 };
+    let floor = 4 * b / (common.len().max(1) as u64);
+    assert!(
+        regression <= band.max(floor),
+        "combined cost regressed by {regression} (dial {a}, heap {b} over {} common nets, \
+         first lost net {lost:?}): {ctx}",
+        common.len()
+    );
+
+    dial_t.add(&dial.report, stitch);
+    heap_t.add(&heap.report, stitch);
+}
+
+#[test]
+fn engines_agree_across_suite_seeds_and_stitch_modes() {
+    let mut dial = Totals::default();
+    let mut heap = Totals::default();
+    for seed in 1..=3 {
+        for stitch in [true, false] {
+            for bench in mebl_netlist::full_suite() {
+                check_case(&bench, seed, stitch, &mut dial, &mut heap);
+            }
+        }
+    }
+
+    // Matrix aggregates (rationale in the module docs). All runs are
+    // deterministic, so these compare exact counts, not noisy samples.
+    assert!(
+        dial.routed >= heap.routed,
+        "Dial routed fewer nets over the matrix: {} vs {}",
+        dial.routed,
+        heap.routed
+    );
+    assert!(
+        dial.vv <= heap.vv,
+        "Dial produced more via violations over the matrix: {} vs {}",
+        dial.vv,
+        heap.vv
+    );
+    let (dial_sp_aware, heap_sp_aware) = (dial.sp[1], heap.sp[1]);
+    assert!(
+        dial_sp_aware <= heap_sp_aware,
+        "Dial produced more short polygons under stitch-aware costs: {dial_sp_aware} vs {heap_sp_aware}"
+    );
+    let (dial_sp_plain, heap_sp_plain) = (dial.sp[0], heap.sp[0]);
+    assert!(
+        dial_sp_plain <= heap_sp_plain + heap_sp_plain / 15,
+        "Dial short-polygon drift in the without-stitch ablation exceeds ~7%: \
+         {dial_sp_plain} vs {heap_sp_plain}"
+    );
+}

@@ -1,0 +1,4 @@
+//! MEBL001 fixture: the None case is handled.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

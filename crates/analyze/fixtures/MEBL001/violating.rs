@@ -1,0 +1,4 @@
+//! MEBL001 fixture: panics in library code.
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

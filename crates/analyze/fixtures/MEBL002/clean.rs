@@ -1,0 +1,7 @@
+//! MEBL002 fixture: the impossible branch is a typed error.
+pub fn f(x: u32) -> Result<u32, String> {
+    match x {
+        0 => Ok(1),
+        other => Err(format!("unexpected {other}")),
+    }
+}

@@ -1,0 +1,7 @@
+//! MEBL002 fixture: an asserted-unreachable fallback.
+pub fn f(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!("callers pass zero"),
+    }
+}

@@ -1,0 +1,4 @@
+//! MEBL003 fixture: timing is delegated to the report stopwatch.
+pub fn f(elapsed_us: u64) -> u64 {
+    elapsed_us
+}

@@ -1,0 +1,4 @@
+//! MEBL003 fixture: a wall-clock read outside the sanctioned sites.
+pub fn f() -> std::time::Instant {
+    std::time::Instant::now()
+}

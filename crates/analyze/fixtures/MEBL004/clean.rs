@@ -1,0 +1,4 @@
+//! MEBL004 fixture: the library returns data instead of printing.
+pub fn f(x: u32) -> String {
+    format!("x = {x}")
+}

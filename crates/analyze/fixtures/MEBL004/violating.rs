@@ -1,0 +1,4 @@
+//! MEBL004 fixture: debug prints in a library crate.
+pub fn f(x: u32) {
+    println!("x = {x}");
+}

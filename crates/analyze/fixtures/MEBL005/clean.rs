@@ -1,0 +1,2 @@
+// TODO(#12): tracked follow-up with an owner
+pub fn f() {}

@@ -1,0 +1,2 @@
+// TODO: make this faster someday
+pub fn f() {}

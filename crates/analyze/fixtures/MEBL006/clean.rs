@@ -1,0 +1,4 @@
+//! MEBL006 fixture: fan-out goes through the deterministic pool.
+pub fn f(work: Vec<u32>) -> Vec<u32> {
+    work
+}

@@ -1,0 +1,4 @@
+//! MEBL006 fixture: an ad-hoc thread.
+pub fn f() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,4 @@
+//! MEBL007 fixture: wire traffic goes through the testkit client.
+pub fn f(body: &str) -> usize {
+    body.len()
+}

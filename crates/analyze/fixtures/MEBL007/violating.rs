@@ -1,0 +1,4 @@
+//! MEBL007 fixture: a raw socket outside the service crate.
+pub fn f() {
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}

@@ -1,0 +1,4 @@
+//! MEBL008 fixture: the hot path stays on the bucket queue.
+pub fn f(frontier: &mut Vec<u32>) -> Option<u32> {
+    frontier.pop()
+}

@@ -1,0 +1,5 @@
+//! MEBL008 fixture: a heap back in the detailed router.
+use std::collections::BinaryHeap;
+pub fn f() -> BinaryHeap<u32> {
+    BinaryHeap::new()
+}

@@ -1,0 +1,6 @@
+//! MEBL010 fixture: ordered map, deterministic iteration.
+use std::collections::BTreeMap;
+pub fn f() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}

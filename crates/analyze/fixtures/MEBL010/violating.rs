@@ -1,0 +1,6 @@
+//! MEBL010 fixture: a std hash map in library code.
+use std::collections::HashMap;
+pub fn f() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

@@ -1,0 +1,4 @@
+//! MEBL011 fixture: saturating cost arithmetic.
+pub fn bound(cost: i64, drop_penalty: i64) -> i64 {
+    cost.saturating_add(drop_penalty)
+}

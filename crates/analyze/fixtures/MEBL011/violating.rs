@@ -1,0 +1,4 @@
+//! MEBL011 fixture: raw arithmetic on cost-typed values.
+pub fn bound(cost: i64, drop_penalty: i64) -> i64 {
+    cost + drop_penalty
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+//! MEBL012 fixture: dependencies point strictly down.
+pub fn f(x: u32) -> u32 {
+    x
+}

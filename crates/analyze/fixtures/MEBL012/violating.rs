@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! MEBL012 fixture: a foundation crate reaching up into the engine.
+use mebl_route::Router;
+pub fn f(_r: Router) {}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! MEBL014 fixture: `RouteError::Lost` is matched but never built.
+use mebl_route::RouteError;
+pub fn emit() -> RouteError {
+    RouteError::Seen(String::new())
+}
+pub fn show(e: &RouteError) -> u8 {
+    match e {
+        RouteError::Seen(_) => 1,
+        RouteError::Lost => 2,
+    }
+}

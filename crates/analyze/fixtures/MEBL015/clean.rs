@@ -1,0 +1,16 @@
+#![forbid(unsafe_code)]
+//! MEBL015 fixture: every variant is discriminated by a consumer.
+use mebl_route::RouteError;
+pub fn emit(ok: bool) -> RouteError {
+    if ok {
+        RouteError::Seen(String::new())
+    } else {
+        RouteError::Lost
+    }
+}
+pub fn show(e: &RouteError) -> u8 {
+    match e {
+        RouteError::Seen(_) => 1,
+        RouteError::Lost => 2,
+    }
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! MEBL016 fixture: the safety attribute is present.
+pub fn f() {}

@@ -1,0 +1,2 @@
+//! MEBL016 fixture: a library root without the safety attribute.
+pub fn f() {}

@@ -1,0 +1,299 @@
+//! Diagnostics: stable codes, severities, spans, and per-rule
+//! documentation for `--explain`.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, does not fail the gate.
+    Warning,
+    /// Violation: fails the gate.
+    Error,
+}
+
+impl Severity {
+    /// SARIF level string for this severity.
+    #[must_use]
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analyzer finding, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`MEBL001` …).
+    pub code: &'static str,
+    /// Human rule name (`no-panic` …), also the allowlist key.
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file- or workspace-level findings).
+    pub line: usize,
+    /// 1-based column (0 when not meaningful).
+    pub col: usize,
+    /// Explanation shown to the developer.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}] ({}) {}",
+            self.file,
+            self.line,
+            self.col,
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.code,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Static documentation of one rule, driving `--explain` and the SARIF
+/// rule table.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable code (`MEBL001`).
+    pub code: &'static str,
+    /// Short kebab-case name (`no-panic`).
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Full rationale printed by `--explain`.
+    pub rationale: &'static str,
+}
+
+/// Every rule the engine knows, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "MEBL001",
+        name: "no-panic",
+        severity: Severity::Error,
+        summary: "`.unwrap()`, `.expect(` and `panic!(` are banned in library code",
+        rationale: "Library code must surface failure through the typed failure model \
+                    (RouteError, Degradation, CircuitIssue) instead of tearing down the \
+                    process. A panic inside the routing stages kills an entire service \
+                    worker and, under `mebl serve`, turns one bad request into a 500 for \
+                    every queued job behind it. Binaries (cli, xtask), the bench harness, \
+                    the testkit, and `#[cfg(test)]` blocks are exempt; individually \
+                    justified sites live in the shrink-only allowlist.",
+    },
+    RuleInfo {
+        code: "MEBL002",
+        name: "silent-fallback",
+        severity: Severity::Error,
+        summary: "asserted-unreachable branches (macro or comment marker) are banned in library code",
+        rationale: "A branch asserted to never run either panics when it does run (use a \
+                    typed error instead) or silently produces wrong data (record a \
+                    Degradation instead). Both failure modes defeat the audit layer, which \
+                    can only verify results it is allowed to see.",
+    },
+    RuleInfo {
+        code: "MEBL003",
+        name: "no-clock",
+        severity: Severity::Error,
+        summary: "`Instant::now` / `SystemTime::now` only in the sanctioned timing sites",
+        rationale: "Routing output must be a pure function of (circuit, config, seed). A \
+                    wall-clock read anywhere in the stages makes output \
+                    time-dependent and breaks the byte-identical cache and thread-count \
+                    determinism contracts. Timing lives in `route/src/report.rs` \
+                    (Stopwatch) and `testkit/src/bench.rs` (the bench timer) only.",
+    },
+    RuleInfo {
+        code: "MEBL004",
+        name: "no-debug-print",
+        severity: Severity::Error,
+        summary: "`println!` / `print!` / `dbg!` are banned in library crates",
+        rationale: "Library crates return data; user-facing output belongs to the \
+                    binaries. A stray debug print corrupts `--json` output and the \
+                    service's framed HTTP bodies.",
+    },
+    RuleInfo {
+        code: "MEBL005",
+        name: "todo-tag",
+        severity: Severity::Error,
+        summary: "task-marker comments must carry an issue tag, e.g. `TODO(#42): …`",
+        rationale: "An untagged task marker has no owner and no expiry; it rots in \
+                    place. Writing `TODO(#42): …` keeps every known gap traceable to \
+                    an issue that can be scheduled or closed.",
+    },
+    RuleInfo {
+        code: "MEBL006",
+        name: "no-raw-spawn",
+        severity: Severity::Error,
+        summary: "`thread::spawn` is banned everywhere except crates/par",
+        rationale: "Ad-hoc threads make output order scheduling-dependent. All fan-out \
+                    goes through `mebl_par::Pool`, whose fixed chunking and in-input-order \
+                    reduction keep results bit-identical at every worker count. The rule \
+                    covers test code too: tests that want concurrency use a Pool.",
+    },
+    RuleInfo {
+        code: "MEBL007",
+        name: "no-raw-net",
+        severity: Severity::Error,
+        summary: "`TcpListener` / `TcpStream` are confined to crates/serve and the testkit client",
+        rationale: "Wire behavior must have exactly one implementation on each side: the \
+                    service crate speaks HTTP, and tests/smoke drivers speak through \
+                    `mebl_testkit::TestClient`. A second socket stack is a second set of \
+                    framing bugs.",
+    },
+    RuleInfo {
+        code: "MEBL008",
+        name: "no-binary-heap",
+        severity: Severity::Error,
+        summary: "`BinaryHeap` is banned in crates/detailed library code",
+        rationale: "The detailed-routing hot path runs on the dense-grid bucket queue \
+                    (`mebl_graph::BucketQueue`, DESIGN.md §11); a heap reappearing there \
+                    is the 5x Dial rewrite quietly rotting. The reference implementations \
+                    in crates/graph and differential tests keep their heaps.",
+    },
+    RuleInfo {
+        code: "MEBL009",
+        name: "stale-allowlist",
+        severity: Severity::Error,
+        summary: "allowlist entries that suppress nothing are errors",
+        rationale: "The allowlist is shrink-only: every entry must still match a live \
+                    violation, so burned-down sites automatically force their entries to \
+                    be deleted and the list can never quietly grow stale.",
+    },
+    RuleInfo {
+        code: "MEBL010",
+        name: "no-std-hashmap",
+        severity: Severity::Error,
+        summary: "std `HashMap`/`HashSet` are banned in library crates",
+        rationale: "`RandomState` seeds the hasher per process, so iteration order is \
+                    different on every run — one `for` loop over such a map that leaks \
+                    into output breaks the bit-identical determinism contract, and \
+                    nothing in the type system stops a refactor from adding that loop. \
+                    Use `mebl_graph::{FastMap, FastSet}` (deterministic FxHasher; drain \
+                    through a sort when order reaches output) or `BTreeMap`/`BTreeSet` \
+                    (always ordered). The sanctioned definition site is \
+                    `crates/graph/src/fx.rs`; tests and binaries are exempt.",
+    },
+    RuleInfo {
+        code: "MEBL011",
+        name: "raw-cost-arith",
+        severity: Severity::Error,
+        summary: "unchecked `+`/`*` on cost-typed values in global/detailed/assign",
+        rationale: "Stage costs are saturating fixed-point quantities: the global router \
+                    clamps at MAX_STEP_COST and the Dial engine at MAX_STEP_Q precisely \
+                    because near-capacity pricing once overflowed a u32 sentinel and \
+                    produced wrong routes. Raw `+`/`*` on a cost-named value reintroduces \
+                    that overflow; use `saturating_add`/`saturating_mul` (or the stage's \
+                    clamped helpers) instead.",
+    },
+    RuleInfo {
+        code: "MEBL012",
+        name: "layering",
+        severity: Severity::Error,
+        summary: "crate dependencies and `mebl_*` uses must point to a strictly lower layer",
+        rationale: "The crate DAG is declared once in crates/analyze/layering.toml — \
+                    geom/graph/control at the bottom, serve/cli at the top. A manifest \
+                    dependency or a `use mebl_*` that points sideways or upward collapses \
+                    the architecture (e.g. a stage crate reaching into the service crate). \
+                    `[dev-dependencies]` are exempt: test-only edges cannot leak into \
+                    shipped artifacts.",
+    },
+    RuleInfo {
+        code: "MEBL013",
+        name: "layering-decl",
+        severity: Severity::Error,
+        summary: "layering.toml must list every workspace crate exactly once",
+        rationale: "The layering declaration is only trustworthy if it is total: a crate \
+                    missing from the declaration (or listed twice, or listed but \
+                    nonexistent) means the DAG check silently skips edges. Adding a crate \
+                    to the workspace requires placing it in a layer in the same change.",
+    },
+    RuleInfo {
+        code: "MEBL014",
+        name: "taxonomy-unconstructed",
+        severity: Severity::Error,
+        summary: "every tracked failure-taxonomy variant must be constructed outside its defining module",
+        rationale: "RouteError, DegradationKind and FindingKind are the typed failure \
+                    model: every variant exists because some production path emits it. A \
+                    variant no code constructs is dead vocabulary — either the emitting \
+                    path was lost in a refactor (a silent-fallback regression) or the \
+                    variant should be deleted.",
+    },
+    RuleInfo {
+        code: "MEBL015",
+        name: "taxonomy-unmatched",
+        severity: Severity::Error,
+        summary: "every tracked failure-taxonomy variant must be matched outside its defining module",
+        rationale: "A failure variant that no consumer discriminates is invisible: it \
+                    collapses into a catch-all arm and the condition it names can rot \
+                    without any test or exit-code noticing. Each variant must appear in a \
+                    match arm, `if let`, `matches!` or comparison outside the module that \
+                    defines it (the service's wire-code tables are the canonical \
+                    consumers).",
+    },
+    RuleInfo {
+        code: "MEBL016",
+        name: "forbid-unsafe",
+        severity: Severity::Error,
+        summary: "every library crate must carry `#![forbid(unsafe_code)]`",
+        rationale: "The workspace is 100% safe Rust by policy, and `forbid` (unlike \
+                    `deny`) cannot be overridden further down the tree. The attribute was \
+                    previously an unchecked convention; this rule makes a missing or \
+                    removed attribute a gate failure.",
+    },
+];
+
+/// Looks up a rule by code (`MEBL010`) or name (`no-std-hashmap`).
+#[must_use]
+pub fn rule_info(key: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.code.eq_ignore_ascii_case(key) || r.name == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sequential() {
+        for (i, rule) in RULES.iter().enumerate() {
+            assert_eq!(rule.code, format!("MEBL{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert_eq!(rule_info("MEBL001").map(|r| r.name), Some("no-panic"));
+        assert_eq!(rule_info("mebl010").map(|r| r.name), Some("no-std-hashmap"));
+        assert_eq!(rule_info("layering").map(|r| r.code), Some("MEBL012"));
+        assert!(rule_info("nope").is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic {
+            code: "MEBL001",
+            rule: "no-panic",
+            severity: Severity::Error,
+            file: "crates/geom/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "x".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/geom/src/a.rs:3:7: error[MEBL001] (no-panic) x"
+        );
+    }
+}

@@ -1,0 +1,615 @@
+//! A total, zero-dependency Rust lexer with source spans.
+//!
+//! "Total" means [`lex`] accepts *any* byte string and always returns a
+//! token stream that exactly partitions the input: `tokens[0].start ==
+//! 0`, `tokens[i].end == tokens[i + 1].start`, and the last token ends
+//! at `source.len()`. Malformed input (an unterminated string, a stray
+//! control byte) degrades into `terminated: false` literals or
+//! single-character [`TokenKind::Punct`] tokens — it never panics and
+//! never stalls.
+//!
+//! The lexer resolves the classically fiddly cases the old token
+//! scanner approximated line-by-line:
+//!
+//! * **raw strings** — `r"…"`, `r#"…"#` with any hash depth, plus the
+//!   byte variants `br"…"`/`br#"…"#`;
+//! * **nested block comments** — `/* a /* b */ c */` tracks depth, and
+//!   `/** … */` / `/*! … */` are classified as doc comments;
+//! * **char vs lifetime** — `'a'` is a char literal, `'a` (and
+//!   `'static`, `'_`) are lifetimes, `'\''` and `'\u{1F600}'` are
+//!   escaped chars;
+//! * **multi-line strings** — a plain `"…"` literal may span lines
+//!   (with or without a trailing `\` continuation); the old scanner
+//!   reset its state at each newline and mis-read continuation lines
+//!   as code.
+//!
+//! Every token carries `(start, end)` byte offsets plus the 1-based
+//! line and column of its first byte, so diagnostics can point at
+//! `file:line:col` without re-scanning.
+
+/// Doc-comment flavor of a comment token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Doc {
+    /// A plain comment (`//`, `/* … */`).
+    Plain,
+    /// An outer doc comment (`///`, `/** … */`).
+    Outer,
+    /// An inner doc comment (`//!`, `/*! … */`).
+    Inner,
+}
+
+/// What a lexed token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace, including newlines.
+    Whitespace,
+    /// A `//` comment running to end of line (newline excluded).
+    LineComment(Doc),
+    /// A `/* … */` comment, possibly nested and possibly unterminated.
+    BlockComment {
+        /// Doc flavor (`/**`, `/*!`).
+        doc: Doc,
+        /// `false` when the comment ran to end of input unclosed.
+        terminated: bool,
+    },
+    /// A string literal: `"…"`, `b"…"`, or `c"…"` (may span lines).
+    Str {
+        /// `false` when the literal ran to end of input unclosed.
+        terminated: bool,
+    },
+    /// A raw string literal `r"…"` / `r#"…"#` / `br#"…"#`.
+    RawStr {
+        /// Number of `#` marks in the delimiter.
+        hashes: u8,
+        /// `false` when the literal ran to end of input unclosed.
+        terminated: bool,
+    },
+    /// A char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a`, `'static`, `'_`.
+    Lifetime,
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// An operator or delimiter; multi-character operators (`::`,
+    /// `=>`, `==`, `+=` …) are single tokens.
+    Punct,
+}
+
+/// One lexed token. Offsets index into the original source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `source` (the string given to [`lex`]).
+    #[must_use]
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether this token is a comment of any flavor.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment(_) | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is trivia (whitespace or a comment): not part
+    /// of the code token stream the rules scan.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        self.kind == TokenKind::Whitespace || self.is_comment()
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// correct (`..=` before `..`, `<<=` before `<<` before `<=`).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source` into a complete token stream. Total: never fails,
+/// never panics, and the returned tokens exactly partition the input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source,
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let col = self.col;
+            let kind = self.next_kind();
+            // Defensive progress guarantee: a lexer bug that consumes
+            // nothing would loop forever; skip one char instead.
+            if self.pos == start {
+                self.bump();
+            }
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.out
+    }
+
+    fn rest(&self) -> &'a str {
+        self.src.get(self.pos..).unwrap_or("")
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    /// Advances one char, maintaining line/col bookkeeping.
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += c.len_utf8() as u32;
+            }
+        }
+    }
+
+    /// Advances `n` bytes of known-ASCII text.
+    fn bump_ascii(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let Some(c) = self.peek() else {
+            return TokenKind::Whitespace;
+        };
+        let rest = self.rest();
+
+        if c.is_whitespace() {
+            while self.peek().is_some_and(char::is_whitespace) {
+                self.bump();
+            }
+            return TokenKind::Whitespace;
+        }
+        if rest.starts_with("//") {
+            return self.line_comment();
+        }
+        if rest.starts_with("/*") {
+            return self.block_comment();
+        }
+        // String-family prefixes must be checked before the generic
+        // identifier path so `r"…"`, `br#"…"#`, `b"…"`, `b'…'` and
+        // `c"…"` do not lex as an ident followed by a literal.
+        if let Some(hashes) = raw_str_open(rest) {
+            return self.raw_str(hashes);
+        }
+        if rest.starts_with("b\"") || rest.starts_with("c\"") {
+            self.bump();
+            return self.str_literal();
+        }
+        if rest.starts_with("b'") {
+            self.bump();
+            return self.char_or_lifetime();
+        }
+        if c == '"' {
+            return self.str_literal();
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if c.is_alphabetic() || c == '_' {
+            while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.bump_ascii(op.len());
+                return TokenKind::Punct;
+            }
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        let rest = self.rest();
+        // `////…` is a plain comment; `///` (exactly) starts outer doc.
+        let doc = if rest.starts_with("//!") {
+            Doc::Inner
+        } else if rest.starts_with("///") && !rest.starts_with("////") {
+            Doc::Outer
+        } else {
+            Doc::Plain
+        };
+        while self.peek().is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        TokenKind::LineComment(doc)
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let rest = self.rest();
+        // `/**/` is empty-plain, `/***` is plain; `/**x` is outer doc.
+        let doc = if rest.starts_with("/*!") {
+            Doc::Inner
+        } else if rest.starts_with("/**") && !rest.starts_with("/***") && !rest.starts_with("/**/")
+        {
+            Doc::Outer
+        } else {
+            Doc::Plain
+        };
+        self.bump_ascii(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            let rest = self.rest();
+            if rest.is_empty() {
+                return TokenKind::BlockComment {
+                    doc,
+                    terminated: false,
+                };
+            }
+            if rest.starts_with("*/") {
+                depth -= 1;
+                self.bump_ascii(2);
+            } else if rest.starts_with("/*") {
+                depth += 1;
+                self.bump_ascii(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment {
+            doc,
+            terminated: true,
+        }
+    }
+
+    /// Lexes a string body starting at the opening `"` (prefix already
+    /// consumed). Strings may span lines; `\"` does not close.
+    fn str_literal(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => return TokenKind::Str { terminated: false },
+                Some('"') => {
+                    self.bump();
+                    return TokenKind::Str { terminated: true };
+                }
+                Some('\\') => {
+                    self.bump();
+                    self.bump(); // the escaped char (or EOF, handled above)
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Lexes `r"…"` / `r#"…"#` / `br##"…"##` given the hash count; the
+    /// caller verified the opener is present.
+    fn raw_str(&mut self, hashes: u8) -> TokenKind {
+        // Consume prefix letters, hashes, and the opening quote.
+        while self.peek().is_some_and(|c| c == 'r' || c == 'b') {
+            self.bump();
+        }
+        self.bump_ascii(hashes as usize);
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => {
+                    return TokenKind::RawStr {
+                        hashes,
+                        terminated: false,
+                    }
+                }
+                Some('"') => {
+                    // Check for `"` followed by `hashes` hash marks.
+                    let tail = self.rest().get(1..).unwrap_or("");
+                    let got = tail.bytes().take_while(|&b| b == b'#').count();
+                    if got >= hashes as usize {
+                        self.bump();
+                        self.bump_ascii(hashes as usize);
+                        return TokenKind::RawStr {
+                            hashes,
+                            terminated: true,
+                        };
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'`
+    /// (escaped char). Called at the `'`; a `b` prefix (byte literal)
+    /// was already consumed by the caller if present.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek() {
+            None => TokenKind::Char,
+            Some('\\') => {
+                // Escaped char: consume `\`, the escape head, then scan
+                // to the closing quote within the same line (handles
+                // `\x41`, `\u{…}`).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    if c == '\n' {
+                        break; // malformed; do not swallow the file
+                    }
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek2() == Some('\'') {
+                    // 'x' — a one-char literal.
+                    self.bump();
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    // 'ident — a lifetime; consume the ident tail.
+                    while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // A single punctuation char such as `'"'` or `'.'`.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part: digits, `_`, radix letters and suffixes all
+        // fold into one alnum run (`0xFF_u32`, `1e9`, `42usize`).
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            let at_exp_sign = matches!(self.peek(), Some('e' | 'E'))
+                && matches!(self.peek2(), Some('+' | '-'));
+            self.bump();
+            if at_exp_sign {
+                self.bump(); // the sign of `1e+9`
+            }
+        }
+        // Fractional part: only when `.` is followed by a digit, so
+        // `1..2` and `1.min(x)` do not swallow the dot.
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                let at_exp_sign = matches!(self.peek(), Some('e' | 'E'))
+                    && matches!(self.peek2(), Some('+' | '-'));
+                self.bump();
+                if at_exp_sign {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+/// If `s` opens a raw string (`r"`, `r#"`, `br##"` …), returns the hash
+/// count (capped at 255 — deeper nesting is not valid Rust anyway).
+fn raw_str_open(s: &str) -> Option<u8> {
+    let body = s.strip_prefix("br").or_else(|| s.strip_prefix('r'))?;
+    let hashes = body.bytes().take_while(|&b| b == b'#').count();
+    if hashes > 255 {
+        return None;
+    }
+    if body.get(hashes..)?.starts_with('"') {
+        Some(hashes as u8)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn partition_ok(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before token at {pos} in {src:?}");
+            assert!(t.end > t.start || src.is_empty());
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn partitions_misc_sources() {
+        for src in [
+            "",
+            "fn main() {}",
+            "let s = \"multi\nline\";",
+            "r##\"raw \"# inside\"##",
+            "/* a /* b */ c */ x",
+            "'a' 'b 'static '\\'' '\\u{1F600}'",
+            "1.0e-9 0xFF_u32 1..2 1.min(2)",
+            "b\"bytes\" b'x' br#\"raw bytes\"#",
+            "weird \u{1F600} bytes \\ end",
+            "\"unterminated",
+            "/* unterminated",
+            "r#\"unterminated",
+        ] {
+            partition_ok(src);
+        }
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        let toks = lex("r#\"has \" quote\"# after");
+        assert_eq!(
+            toks[0].kind,
+            TokenKind::RawStr {
+                hashes: 1,
+                terminated: true
+            }
+        );
+        assert_eq!(toks[0].text("r#\"has \" quote\"# after"), "r#\"has \" quote\"#");
+        // A closer with too few hashes does not terminate.
+        let toks = lex("r##\"x\"# still\"##");
+        assert_eq!(
+            toks[0].kind,
+            TokenKind::RawStr {
+                hashes: 2,
+                terminated: true
+            }
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_flavors() {
+        let toks = lex("/* a /* b */ c */x");
+        assert_eq!(
+            toks[0].kind,
+            TokenKind::BlockComment {
+                doc: Doc::Plain,
+                terminated: true
+            }
+        );
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        assert_eq!(kinds("//! inner\n/// outer\n//// plain\n/** d */ /*! i */ /**/"), vec![]);
+        let toks = lex("/// outer");
+        assert_eq!(toks[0].kind, TokenKind::LineComment(Doc::Outer));
+        let toks = lex("//! inner");
+        assert_eq!(toks[0].kind, TokenKind::LineComment(Doc::Inner));
+        let toks = lex("//// plain");
+        assert_eq!(toks[0].kind, TokenKind::LineComment(Doc::Plain));
+        let toks = lex("/** d */");
+        assert_eq!(
+            toks[0].kind,
+            TokenKind::BlockComment {
+                doc: Doc::Outer,
+                terminated: true
+            }
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'a"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'_"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'\\''"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\"'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\\u{41}'"), vec![TokenKind::Char]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct, TokenKind::Lifetime, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn multiline_strings_stay_strings() {
+        let src = "let s = \"line one \\\n    line two\"; x.unwrap();";
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Str { .. }))
+            .copied();
+        let s = s.expect("string token");
+        assert!(s.text(src).contains("line two"));
+        assert!(s.text(src).ends_with('"'));
+    }
+
+    #[test]
+    fn multi_char_puncts_are_single_tokens() {
+        let texts: Vec<&str> = lex("a::b => c == d += e ..= f")
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text("a::b => c == d += e ..= f"))
+            .collect();
+        assert_eq!(texts, vec!["::", "=>", "==", "+=", "..="]);
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "ab\n  cd \"s\ntill\" ef";
+        let toks: Vec<Token> = lex(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1)); // ab
+        assert_eq!((toks[1].line, toks[1].col), (2, 3)); // cd
+        assert_eq!((toks[2].line, toks[2].col), (2, 6)); // the string
+        assert_eq!((toks[3].line, toks[3].col), (3, 7)); // ef
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "1..2 1.min(3) 2.0.max(x) 1e-9";
+        let nums: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "1", "3", "2.0", "1e-9"]);
+    }
+}

@@ -1,0 +1,176 @@
+#![forbid(unsafe_code)]
+//! `mebl-analyze`: the workspace's static-analysis subsystem.
+//!
+//! A zero-dependency library built from four pieces:
+//!
+//! * a total Rust **lexer** ([`lexer`]) that partitions any input into
+//!   spanned tokens — raw strings, nested block comments, char-vs-
+//!   lifetime disambiguation, doc comments;
+//! * a **workspace model** ([`workspace`]) — every source file lexed
+//!   with synchronized raw/code/test-mask line views, every crate
+//!   manifest's dependency edges, the layering declaration
+//!   (`crates/analyze/layering.toml`) and the allowlist;
+//! * a **rule engine** ([`rules`]) emitting stable diagnostic codes
+//!   (`MEBL001`…`MEBL016`, see [`diag::RULES`]) with `file:line:col`
+//!   spans: the eight legacy lint rules, determinism (std hash maps,
+//!   raw cost arithmetic), layering (declared crate DAG), taxonomy
+//!   completeness (failure variants constructed *and* matched) and
+//!   forbid-unsafe verification;
+//! * **renderers** ([`output`]) for text, JSON and SARIF 2.1.0.
+//!
+//! The shrink-only allowlist (`crates/xtask/lint-allow.txt`) carries
+//! over from the old scanner unchanged: an entry suppresses one rule in
+//! one file on raw lines containing a substring, and entries that
+//! suppress nothing are themselves errors (MEBL009).
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod output;
+pub mod rules;
+pub mod view;
+pub mod workspace;
+
+pub use diag::{rule_info, Diagnostic, RuleInfo, Severity, RULES};
+pub use workspace::Workspace;
+
+/// An allowlist entry: suppresses `rule` in `path` on lines containing
+/// `pattern`.
+#[derive(Debug)]
+struct AllowEntry {
+    path: String,
+    rule: String,
+    pattern: String,
+    used: bool,
+}
+
+/// Parses the allowlist text (format: `path | rule | substring`, one
+/// entry per line, `#` comments).
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, '|').map(str::trim).collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "{}:{}: malformed entry (want `path | rule | substring`)",
+                workspace::ALLOWLIST_PATH,
+                i + 1
+            ));
+        }
+        entries.push(AllowEntry {
+            path: parts[0].to_string(),
+            rule: parts[1].to_string(),
+            pattern: parts[2].to_string(),
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+/// Runs every rule over the workspace, applies the allowlist, and
+/// returns the surviving diagnostics sorted by `(file, line, col,
+/// code)`. Stale allowlist entries surface as MEBL009.
+pub fn analyze(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
+    let mut allow = parse_allowlist(&ws.allow_text)?;
+    let mut raw = Vec::new();
+    for file in &ws.files {
+        rules::legacy::check_file(file, &mut raw);
+        rules::determinism::check_file(file, &mut raw);
+    }
+    rules::layering::check(ws, &mut raw);
+    rules::taxonomy::check(ws, &mut raw);
+    rules::unsafecode::check(ws, &mut raw);
+
+    let mut diags = Vec::new();
+    for d in raw {
+        let suppressed = allow.iter_mut().find(|a| {
+            a.path == d.file
+                && a.rule == d.rule
+                && ws
+                    .files
+                    .iter()
+                    .find(|f| f.rel == d.file)
+                    .and_then(|f| d.line.checked_sub(1).and_then(|i| f.view.raw_lines.get(i)))
+                    .is_some_and(|l| l.contains(&a.pattern))
+        });
+        match suppressed {
+            Some(entry) => entry.used = true,
+            None => diags.push(d),
+        }
+    }
+    for entry in &allow {
+        if !entry.used {
+            diags.push(Diagnostic {
+                code: "MEBL009",
+                rule: "stale-allowlist",
+                severity: Severity::Error,
+                file: workspace::ALLOWLIST_PATH.to_string(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "entry `{} | {} | {}` suppresses nothing; remove it",
+                    entry.path, entry.rule, entry.pattern
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.code).cmp(&(b.file.as_str(), b.line, b.col, b.code))
+    });
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAYERS: &str = "[[layer]]\nname = \"a\"\ncrates = [\"geom\"]\n";
+    const GEOM_MANIFEST: (&str, &str) = ("geom", "[package]\nname = \"mebl-geom\"\n");
+
+    fn ws_with(src: &str, allow: &str) -> Workspace {
+        let lib = format!("#![forbid(unsafe_code)]\n{src}");
+        let mut ws = Workspace::in_memory(
+            &[("crates/geom/src/lib.rs", &lib)],
+            &[GEOM_MANIFEST],
+            LAYERS,
+        )
+        .unwrap();
+        ws.allow_text = allow.to_string();
+        ws
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_violation() {
+        let src = "fn f() { g().unwrap(); } // justified: see docs\n";
+        let allow = "crates/geom/src/lib.rs | no-panic | justified: see docs\n";
+        let diags = analyze(&ws_with(src, allow)).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stale_entry_is_an_error() {
+        let allow = "crates/geom/src/lib.rs | no-panic | nothing matches this\n";
+        let diags = analyze(&ws_with("fn f() {}\n", allow)).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "MEBL009");
+    }
+
+    #[test]
+    fn malformed_allowlist_is_a_hard_error() {
+        assert!(analyze(&ws_with("fn f() {}\n", "just one field\n")).is_err());
+        // Comments and blanks are fine.
+        assert!(analyze(&ws_with("fn f() {}\n", "# comment\n\n")).is_ok());
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_location() {
+        let src = "fn f() { g().unwrap(); }\nfn h() { i.expect(\"x\"); }\n";
+        let diags = analyze(&ws_with(src, "")).unwrap();
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].line < diags[1].line);
+    }
+}

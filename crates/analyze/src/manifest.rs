@@ -1,0 +1,245 @@
+//! Minimal TOML readers for the two manifests the analyzer consumes:
+//! crate `Cargo.toml`s (name + dependency edges) and the layering
+//! declaration (`crates/analyze/layering.toml`).
+//!
+//! These are deliberately *not* general TOML parsers — they read the
+//! narrow, idiomatic subset the workspace actually uses (section
+//! headers, `key = "value"`, `key = [ "a", "b" ]`, `name.workspace =
+//! true`, inline tables) and report anything else as an error so drift
+//! is loud instead of silently ignored.
+
+/// One crate manifest: its package name and `mebl-*` dependency edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Package name as written (`mebl-geom`).
+    pub name: String,
+    /// `[dependencies]` entries naming workspace crates.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` entries naming workspace crates.
+    pub dev_deps: Vec<String>,
+}
+
+/// Parses one `Cargo.toml`. `rel` is used in error messages only.
+pub fn parse_cargo_toml(rel: &str, text: &str) -> Result<Manifest, String> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match section.as_str() {
+            "package" => {
+                if key == "name" {
+                    name = Some(unquote(value).ok_or_else(|| {
+                        format!("{rel}:{}: unquoted package name", idx + 1)
+                    })?);
+                }
+            }
+            "dependencies" | "dev-dependencies" => {
+                // `mebl-geom.workspace = true` or `mebl-geom = { … }`.
+                let dep = key.split('.').next().unwrap_or(key).trim().to_string();
+                if dep.starts_with("mebl-") {
+                    if section == "dependencies" {
+                        deps.push(dep);
+                    } else {
+                        dev_deps.push(dep);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| format!("{rel}: missing [package] name"))?;
+    deps.sort();
+    deps.dedup();
+    dev_deps.sort();
+    dev_deps.dedup();
+    Ok(Manifest {
+        name,
+        deps,
+        dev_deps,
+    })
+}
+
+/// The declared architectural layering: an ordered bottom-to-top list
+/// of named layers, each owning a set of crate short names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Layering {
+    /// Layers in declaration order; index 0 is the bottom.
+    pub layers: Vec<Layer>,
+}
+
+/// One declared layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name (for diagnostics).
+    pub name: String,
+    /// Crate short names (directory names under `crates/`).
+    pub crates: Vec<String>,
+}
+
+impl Layering {
+    /// The layer index of `krate` (bottom = 0), if declared.
+    #[must_use]
+    pub fn index_of(&self, krate: &str) -> Option<usize> {
+        self.layers
+            .iter()
+            .position(|l| l.crates.iter().any(|c| c == krate))
+    }
+
+    /// The layer name at `index`.
+    #[must_use]
+    pub fn name_of(&self, index: usize) -> &str {
+        self.layers.get(index).map_or("?", |l| l.name.as_str())
+    }
+}
+
+/// Parses `layering.toml`: a sequence of `[[layer]]` tables with
+/// `name = "…"` and `crates = ["a", "b", …]` keys.
+pub fn parse_layering(rel: &str, text: &str) -> Result<Layering, String> {
+    let mut layering = Layering::default();
+    let mut current: Option<Layer> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("{rel}:{}: {msg}", idx + 1);
+        if line == "[[layer]]" {
+            if let Some(layer) = current.take() {
+                layering.layers.push(layer);
+            }
+            current = Some(Layer {
+                name: String::new(),
+                crates: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err("only [[layer]] tables are allowed"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err("expected `key = value`"));
+        };
+        let Some(layer) = current.as_mut() else {
+            return Err(err("key outside any [[layer]] table"));
+        };
+        match key.trim() {
+            "name" => {
+                layer.name =
+                    unquote(value.trim()).ok_or_else(|| err("name must be a quoted string"))?;
+            }
+            "crates" => {
+                layer.crates = parse_string_array(value.trim())
+                    .ok_or_else(|| err("crates must be an array of quoted strings"))?;
+            }
+            other => return Err(err(&format!("unknown key `{other}`"))),
+        }
+    }
+    if let Some(layer) = current.take() {
+        layering.layers.push(layer);
+    }
+    for layer in &layering.layers {
+        if layer.name.is_empty() {
+            return Err(format!("{rel}: a [[layer]] is missing its name"));
+        }
+    }
+    Ok(layering)
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for these manifests: no `#` appears inside strings.
+    line.split('#').next().unwrap_or(line)
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    Some(body.to_string())
+}
+
+fn parse_string_array(s: &str) -> Option<Vec<String>> {
+    let body = s.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(unquote(part)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_style_manifest() {
+        let text = "\
+[package]
+name = \"mebl-assign\"
+version.workspace = true
+
+[dependencies]
+mebl-geom.workspace = true
+mebl-graph = { path = \"../graph\" }
+
+[dev-dependencies]
+mebl-testkit.workspace = true
+
+[[test]]
+name = \"x\"
+";
+        let m = parse_cargo_toml("crates/assign/Cargo.toml", text).unwrap();
+        assert_eq!(m.name, "mebl-assign");
+        assert_eq!(m.deps, vec!["mebl-geom", "mebl-graph"]);
+        assert_eq!(m.dev_deps, vec!["mebl-testkit"]);
+    }
+
+    #[test]
+    fn missing_name_is_an_error() {
+        assert!(parse_cargo_toml("x", "[dependencies]\n").is_err());
+    }
+
+    #[test]
+    fn parses_layering() {
+        let text = "\
+# bottom to top
+[[layer]]
+name = \"foundation\"
+crates = [\"geom\", \"graph\"]
+
+[[layer]]
+name = \"app\"
+crates = [\"cli\"]
+";
+        let l = parse_layering("layering.toml", text).unwrap();
+        assert_eq!(l.layers.len(), 2);
+        assert_eq!(l.index_of("graph"), Some(0));
+        assert_eq!(l.index_of("cli"), Some(1));
+        assert_eq!(l.index_of("nope"), None);
+        assert_eq!(l.name_of(1), "app");
+    }
+
+    #[test]
+    fn layering_rejects_malformed_lines() {
+        assert!(parse_layering("l", "name = \"x\"\n").is_err());
+        assert!(parse_layering("l", "[[layer]]\nbogus_key = 1\n").is_err());
+        assert!(parse_layering("l", "[[layer]]\ncrates = [unquoted]\n").is_err());
+        assert!(parse_layering("l", "[[layer]]\ncrates = [\"a\"]\n").is_err()); // no name
+    }
+}

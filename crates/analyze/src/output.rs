@@ -1,0 +1,164 @@
+//! Output renderers: human text, machine JSON, and SARIF 2.1.0 for CI
+//! annotation. All JSON is hand-rolled (the workspace is zero-dep) with
+//! full string escaping.
+
+use crate::diag::{Diagnostic, Severity, RULES};
+
+/// Renders the human-readable report.
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    if diags.is_empty() {
+        out.push_str("analyze: clean\n");
+    } else {
+        out.push_str(&format!(
+            "analyze: {errors} error(s), {warnings} warning(s)\n"
+        ));
+    }
+    out
+}
+
+/// Renders the JSON report consumed by CI.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"rule\":{},\"severity\":{},\"file\":{},\
+             \"line\":{},\"col\":{},\"message\":{}}}",
+            json_str(d.code),
+            json_str(d.rule),
+            json_str(d.severity.sarif_level()),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.message)
+        ));
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    out.push_str(&format!(
+        "],\"errors\":{errors},\"warnings\":{}}}",
+        diags.len() - errors
+    ));
+    out
+}
+
+/// Renders a minimal SARIF 2.1.0 log (one run, full rule table).
+#[must_use]
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\
+         \"tool\":{\"driver\":{\"name\":\"mebl-analyze\",\"rules\":[",
+    );
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"fullDescription\":{{\"text\":{}}}}}",
+            json_str(rule.code),
+            json_str(rule.name),
+            json_str(rule.summary),
+            json_str(rule.rationale)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(d.code),
+            json_str(d.severity.sarif_level()),
+            json_str(&d.message),
+            json_str(&d.file),
+            d.line.max(1),
+            d.col.max(1)
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            code: "MEBL001",
+            rule: "no-panic",
+            severity: Severity::Error,
+            file: "crates/geom/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "a \"quoted\" message".into(),
+        }]
+    }
+
+    #[test]
+    fn text_report_has_summary() {
+        let t = render_text(&sample());
+        assert!(t.contains("crates/geom/src/a.rs:3:7"));
+        assert!(t.ends_with("analyze: 1 error(s), 0 warning(s)\n"));
+        assert_eq!(render_text(&[]), "analyze: clean\n");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"a \\\"quoted\\\" message\""));
+        assert!(j.ends_with("\"errors\":1,\"warnings\":0}"));
+        assert!(render_json(&[]).contains("\"diagnostics\":[]"));
+    }
+
+    #[test]
+    fn sarif_has_rule_table_and_result() {
+        let s = render_sarif(&sample());
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"id\":\"MEBL016\""));
+        assert!(s.contains("\"ruleId\":\"MEBL001\""));
+        assert!(s.contains("\"startLine\":3"));
+    }
+
+    #[test]
+    fn json_str_escapes_controls() {
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("t\tq\\"), "\"t\\tq\\\\\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,201 @@
+//! Determinism rules: MEBL010 (std `HashMap`/`HashSet` banned in
+//! library code) and MEBL011 (raw `+`/`*` on cost-typed values in the
+//! costed stages).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::workspace::{crate_of, SourceFile, BINARY_CRATES, HARNESS_CRATES};
+
+use super::{col_at, find_token};
+
+/// The sanctioned definition site for the deterministic hash maps.
+const FX_SITE: &str = "crates/graph/src/fx.rs";
+
+/// Crates whose arithmetic runs on saturating cost quantities.
+const COSTED_CRATES: &[&str] = &["global", "detailed", "assign"];
+
+fn hashmap_rule_applies(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(c) => {
+            !BINARY_CRATES.contains(&c) && !HARNESS_CRATES.contains(&c) && rel != FX_SITE
+        }
+        None => false,
+    }
+}
+
+/// Whether an identifier names a cost-typed quantity.
+fn cost_like(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == "cost"
+        || lower == "penalty"
+        || lower.ends_with("_cost")
+        || lower.ends_with("_penalty")
+        || lower.starts_with("cost_")
+        || lower.starts_with("penalty_")
+}
+
+/// Runs MEBL010 and MEBL011 over one file.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let rel = file.rel.as_str();
+
+    if hashmap_rule_applies(rel) {
+        for (idx, code) in file.view.code_lines.iter().enumerate() {
+            if file.view.test_mask[idx] {
+                continue;
+            }
+            for tok in ["HashMap", "HashSet"] {
+                if let Some(pos) = find_token(code, tok) {
+                    out.push(Diagnostic {
+                        code: "MEBL010",
+                        rule: "no-std-hashmap",
+                        severity: Severity::Error,
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        col: col_at(code, pos),
+                        message: format!(
+                            "std `{tok}` (randomized iteration order) in library code; \
+                             use `mebl_graph::fx::{}` with a sorted drain, or `BTree{}`",
+                            if tok == "HashMap" { "FastMap" } else { "FastSet" },
+                            &tok[4..]
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if crate_of(rel).is_some_and(|c| COSTED_CRATES.contains(&c)) {
+        check_cost_arith(file, out);
+    }
+}
+
+/// Flags raw `+`, `*`, `+=`, `*=` whose adjacent operand is cost-typed.
+fn check_cost_arith(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let sig: Vec<_> = file.tokens.iter().filter(|t| !t.is_trivia()).collect();
+    for i in 0..sig.len() {
+        let tok = sig[i];
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        let op = tok.text(&file.text);
+        if !matches!(op, "+" | "*" | "+=" | "*=") {
+            continue;
+        }
+        if file.view.in_test_block(tok.line as usize) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| sig[j]);
+        let next = sig.get(i + 1).copied();
+        let ident_text = |t: Option<&&crate::lexer::Token>| -> Option<&str> {
+            t.filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(&file.text))
+        };
+        let prev_cost = ident_text(prev.as_ref()).filter(|n| cost_like(n));
+        let next_cost = ident_text(next.as_ref()).filter(|n| cost_like(n));
+        let name = match (prev_cost, next_cost) {
+            (Some(n), _) => n,
+            (None, Some(n)) => {
+                if op == "*" {
+                    // `* cost` with no left operand is a dereference, not
+                    // a multiply; require a binary-operator left context.
+                    let binary_left = prev.is_some_and(|p| {
+                        matches!(p.kind, TokenKind::Ident | TokenKind::Number)
+                            || (p.kind == TokenKind::Punct
+                                && matches!(p.text(&file.text), ")" | "]"))
+                    });
+                    if !binary_left {
+                        continue;
+                    }
+                }
+                n
+            }
+            (None, None) => continue,
+        };
+        out.push(Diagnostic {
+            code: "MEBL011",
+            rule: "raw-cost-arith",
+            severity: Severity::Error,
+            file: file.rel.clone(),
+            line: tok.line as usize,
+            col: tok.col as usize,
+            message: format!(
+                "raw `{op}` on cost-typed value `{name}`; use `saturating_add`/\
+                 `saturating_mul` or the stage's clamped cost helpers"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(rel: &str, src: &str) -> Vec<&'static str> {
+        let file = SourceFile::new(rel, src);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out.into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn std_maps_flagged_in_library_code_only() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        assert_eq!(codes("crates/route/src/lib.rs", src), vec!["MEBL010"; 2]);
+        assert!(codes("crates/cli/src/main.rs", src).is_empty());
+        assert!(codes("crates/testkit/src/prop.rs", src).is_empty());
+        assert!(codes("crates/graph/src/fx.rs", src).is_empty());
+        assert!(codes("tests/flow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_maps_allowed_in_test_blocks_and_prose() {
+        let gated = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(codes("crates/route/src/lib.rs", gated).is_empty());
+        let prose = "/// Unlike a `HashMap`, iteration here is ordered.\nfn f() {}\n";
+        assert!(codes("crates/route/src/lib.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn fast_map_not_flagged() {
+        let src = "use mebl_graph::fx::FastMap;\nfn f() { let m: FastMap<u32, u32> = FastMap::default(); }\n";
+        assert!(codes("crates/detailed/src/router.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_cost_addition_flagged_in_costed_crates() {
+        let src = "fn f(cost: i64, bound: i64) -> i64 { cost + bound }\n";
+        assert_eq!(codes("crates/assign/src/ilp.rs", src), vec!["MEBL011"]);
+        assert!(codes("crates/route/src/lib.rs", src).is_empty());
+        let sat = "fn f(cost: i64, bound: i64) -> i64 { cost.saturating_add(bound) }\n";
+        assert!(codes("crates/assign/src/ilp.rs", sat).is_empty());
+    }
+
+    #[test]
+    fn compound_assign_and_multiply_flagged() {
+        let src = "fn f(mut cost: i64) { cost += 1; }\n";
+        assert_eq!(codes("crates/global/src/router.rs", src), vec!["MEBL011"]);
+        let mul = "fn f(w: i64, step_penalty: i64) -> i64 { w * step_penalty }\n";
+        assert_eq!(codes("crates/detailed/src/router.rs", mul), vec!["MEBL011"]);
+    }
+
+    #[test]
+    fn deref_of_cost_not_flagged() {
+        let src = "fn f(cost: &i64) -> i64 { let c = *cost; c }\n";
+        assert!(codes("crates/assign/src/ilp.rs", src).is_empty());
+        // Field projections still count as binary context.
+        let field = "fn f(c: C, bound: i64) -> i64 { c.cost + bound }\n";
+        assert_eq!(codes("crates/assign/src/ilp.rs", field), vec!["MEBL011"]);
+    }
+
+    #[test]
+    fn unrelated_arithmetic_not_flagged() {
+        let src = "fn f(a: i64, b: i64) -> i64 { a + b * 2 }\n";
+        assert!(codes("crates/assign/src/ilp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cost_arith_in_tests_exempt() {
+        let gated = "#[cfg(test)]\nmod tests {\n    fn t(cost: i64) -> i64 { cost + 1 }\n}\n";
+        assert!(codes("crates/assign/src/ilp.rs", gated).is_empty());
+    }
+}

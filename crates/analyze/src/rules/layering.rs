@@ -1,0 +1,240 @@
+//! Layering rules: MEBL012 (dependency and `use` edges must point to a
+//! strictly lower layer) and MEBL013 (the layering declaration must
+//! cover the workspace exactly).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::workspace::{crate_of, Workspace, LAYERING_PATH};
+
+fn decl_diag(message: String) -> Diagnostic {
+    Diagnostic {
+        code: "MEBL013",
+        rule: "layering-decl",
+        severity: Severity::Error,
+        file: LAYERING_PATH.to_string(),
+        line: 0,
+        col: 0,
+        message,
+    }
+}
+
+/// Runs the layering checks over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    // MEBL013: the declaration must list every workspace crate exactly
+    // once and nothing else.
+    for krate in &ws.crates {
+        let hits = ws
+            .layering
+            .layers
+            .iter()
+            .filter(|l| l.crates.iter().any(|c| *c == krate.short))
+            .count();
+        match hits {
+            0 => out.push(decl_diag(format!(
+                "workspace crate `{}` is not placed in any layer; add it to a [[layer]]",
+                krate.short
+            ))),
+            1 => {}
+            _ => out.push(decl_diag(format!(
+                "crate `{}` is declared in {hits} layers; it must appear exactly once",
+                krate.short
+            ))),
+        }
+    }
+    for layer in &ws.layering.layers {
+        for declared in &layer.crates {
+            if ws.crate_by_short(declared).is_none() {
+                out.push(decl_diag(format!(
+                    "layer `{}` declares `{declared}`, which is not a workspace crate",
+                    layer.name
+                )));
+            }
+        }
+    }
+
+    // MEBL012 over manifest edges: [dependencies] must point strictly
+    // down; [dev-dependencies] are exempt (test-only edges cannot leak
+    // into shipped artifacts).
+    for krate in &ws.crates {
+        let Some(from) = ws.layering.index_of(&krate.short) else {
+            continue; // already reported by MEBL013
+        };
+        for dep in &krate.deps {
+            let Some(target) = ws.crates.iter().find(|c| &c.name == dep) else {
+                continue;
+            };
+            let Some(to) = ws.layering.index_of(&target.short) else {
+                continue;
+            };
+            if to >= from {
+                out.push(Diagnostic {
+                    code: "MEBL012",
+                    rule: "layering",
+                    severity: Severity::Error,
+                    file: format!("crates/{}/Cargo.toml", krate.short),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "`{}` (layer `{}`) depends on `{dep}` (layer `{}`); \
+                         dependencies must point to a strictly lower layer",
+                        krate.name,
+                        ws.layering.name_of(from),
+                        ws.layering.name_of(to)
+                    ),
+                });
+            }
+        }
+    }
+
+    // MEBL012 over `use`/path edges: any `mebl_*` identifier in non-test
+    // code must resolve to a strictly lower layer. This catches paths
+    // that reach a crate transitively (through a re-export or a macro)
+    // without a direct manifest edge.
+    for file in &ws.files {
+        let Some(short) = crate_of(&file.rel) else {
+            continue; // root tests/ are dev-dep territory
+        };
+        let Some(from) = ws.layering.index_of(short) else {
+            continue;
+        };
+        for tok in &file.tokens {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            if !text.starts_with("mebl_") {
+                continue;
+            }
+            if file.view.in_test_block(tok.line as usize) {
+                continue;
+            }
+            let Some(target) = ws.crate_by_ident(text) else {
+                continue;
+            };
+            if target.short == short {
+                continue;
+            }
+            let Some(to) = ws.layering.index_of(&target.short) else {
+                continue;
+            };
+            if to >= from {
+                out.push(Diagnostic {
+                    code: "MEBL012",
+                    rule: "layering",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: tok.line as usize,
+                    col: tok.col as usize,
+                    message: format!(
+                        "`{text}` (layer `{}`) referenced from layer `{}`; \
+                         only strictly lower layers may be used",
+                        ws.layering.name_of(to),
+                        ws.layering.name_of(from)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAYERS: &str = "\
+[[layer]]
+name = \"foundation\"
+crates = [\"geom\", \"graph\"]
+[[layer]]
+name = \"engine\"
+crates = [\"route\"]
+[[layer]]
+name = \"app\"
+crates = [\"cli\"]
+";
+
+    fn ws(files: &[(&str, &str)], manifests: &[(&str, &str)]) -> Workspace {
+        Workspace::in_memory(files, manifests, LAYERS).unwrap()
+    }
+
+    fn check_codes(ws: &Workspace) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        check(ws, &mut out);
+        out.into_iter().map(|d| (d.code, d.file)).collect()
+    }
+
+    const GEOM: (&str, &str) = ("geom", "[package]\nname = \"mebl-geom\"\n");
+    const GRAPH: (&str, &str) = ("graph", "[package]\nname = \"mebl-graph\"\n");
+    const CLI: (&str, &str) = (
+        "cli",
+        "[package]\nname = \"mebl-cli\"\n[dependencies]\nmebl-route.workspace = true\n",
+    );
+
+    #[test]
+    fn clean_workspace_passes() {
+        let route = (
+            "route",
+            "[package]\nname = \"mebl-route\"\n[dependencies]\nmebl-geom.workspace = true\n",
+        );
+        let w = ws(
+            &[("crates/route/src/lib.rs", "use mebl_geom::Point;\n")],
+            &[GEOM, GRAPH, route, CLI],
+        );
+        assert!(check_codes(&w).is_empty());
+    }
+
+    #[test]
+    fn upward_and_sideways_manifest_deps_flagged() {
+        let route = (
+            "route",
+            "[package]\nname = \"mebl-route\"\n[dependencies]\nmebl-cli.workspace = true\n",
+        );
+        let graph = (
+            "graph",
+            "[package]\nname = \"mebl-graph\"\n[dependencies]\nmebl-geom.workspace = true\n",
+        );
+        let w = ws(&[], &[GEOM, graph, route, CLI]);
+        let codes = check_codes(&w);
+        assert!(codes.contains(&("MEBL012", "crates/route/Cargo.toml".to_string())));
+        assert!(codes.contains(&("MEBL012", "crates/graph/Cargo.toml".to_string())));
+    }
+
+    #[test]
+    fn dev_deps_exempt() {
+        let geom = (
+            "geom",
+            "[package]\nname = \"mebl-geom\"\n[dev-dependencies]\nmebl-route.workspace = true\n",
+        );
+        let route = ("route", "[package]\nname = \"mebl-route\"\n");
+        let w = ws(&[], &[geom, GRAPH, route, CLI]);
+        let codes = check_codes(&w);
+        assert!(codes.iter().all(|(c, _)| *c != "MEBL012"), "{codes:?}");
+    }
+
+    #[test]
+    fn upward_use_flagged_but_test_blocks_exempt() {
+        let route = ("route", "[package]\nname = \"mebl-route\"\n");
+        let w = ws(
+            &[(
+                "crates/geom/src/lib.rs",
+                "use mebl_route::Router;\n#[cfg(test)]\nmod tests {\n    use mebl_route::Router;\n}\n",
+            )],
+            &[GEOM, GRAPH, route, CLI],
+        );
+        let out = check_codes(&w);
+        let hits: Vec<_> = out.iter().filter(|(c, _)| *c == "MEBL012").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "crates/geom/src/lib.rs");
+    }
+
+    #[test]
+    fn declaration_drift_flagged() {
+        // `serve` exists but is not declared; `route` is declared but
+        // missing from the workspace.
+        let serve = ("serve", "[package]\nname = \"mebl-serve\"\n");
+        let w = ws(&[], &[GEOM, GRAPH, serve, CLI]);
+        let codes = check_codes(&w);
+        let decl: Vec<_> = codes.iter().filter(|(c, _)| *c == "MEBL013").collect();
+        assert_eq!(decl.len(), 2, "{codes:?}");
+    }
+}

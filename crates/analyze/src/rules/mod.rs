@@ -1,0 +1,55 @@
+//! The rule families. Each module exposes `check_file` (per-file rules)
+//! or `check` (workspace rules) pushing [`crate::diag::Diagnostic`]s.
+
+pub mod determinism;
+pub mod layering;
+pub mod legacy;
+pub mod taxonomy;
+pub mod unsafecode;
+
+/// Finds `token` in a blanked code line with a left identifier-boundary
+/// guard (`print!(` must not fire on `println!(`), returning the byte
+/// offset of the first acceptable occurrence. Tokens that start with a
+/// non-identifier char (`.unwrap()`) legitimately follow identifiers and
+/// skip the guard.
+#[must_use]
+pub(crate) fn find_token(code: &str, token: &str) -> Option<usize> {
+    let guard = token
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let prev_ok = !guard
+            || at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// 1-based display column of byte offset `at` in `line`.
+#[must_use]
+pub(crate) fn col_at(line: &str, at: usize) -> usize {
+    line.get(..at).map_or(at, |s| s.chars().count()) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_guard() {
+        assert_eq!(find_token("println!(x)", "print!("), None);
+        assert_eq!(find_token("print!(x)", "print!("), Some(0));
+        assert_eq!(find_token("a.unwrap()", ".unwrap()"), Some(1));
+        assert_eq!(find_token("xthread::spawn thread::spawn", "thread::spawn"), Some(15));
+    }
+}

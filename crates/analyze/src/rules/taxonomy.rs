@@ -1,0 +1,383 @@
+//! Taxonomy completeness: every variant of the tracked failure enums
+//! must be constructed (MEBL014) and matched (MEBL015) somewhere outside
+//! its defining file, so the typed failure model cannot silently rot.
+//!
+//! Occurrences are found as qualified `Enum::Variant` token triples in
+//! non-test code and classified as *pattern* (match arm, `if let`,
+//! `matches!`, comparison) or *construction* by local token context.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{crate_of, SourceFile, Workspace};
+
+/// The tracked enums: `(type name, defining file)`.
+pub const TRACKED: &[(&str, &str)] = &[
+    ("RouteError", "crates/route/src/budget.rs"),
+    ("DegradationKind", "crates/control/src/lib.rs"),
+    ("FindingKind", "crates/audit/src/finding.rs"),
+];
+
+/// How an occurrence uses the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Usage {
+    Construct,
+    Match,
+}
+
+/// One variant definition site.
+struct Variant {
+    name: String,
+    line: usize,
+    col: usize,
+}
+
+/// Runs the taxonomy checks over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for &(enum_name, defining) in TRACKED {
+        let Some(def_file) = ws.files.iter().find(|f| f.rel == defining) else {
+            continue; // enum relocated: the config itself is checked by tests
+        };
+        let Some(variants) = extract_variants(def_file, enum_name) else {
+            out.push(Diagnostic {
+                code: "MEBL014",
+                rule: "taxonomy-unconstructed",
+                severity: Severity::Error,
+                file: defining.to_string(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "tracked enum `{enum_name}` not found in {defining}; \
+                     update the taxonomy configuration"
+                ),
+            });
+            continue;
+        };
+        for variant in &variants {
+            let mut constructed = false;
+            let mut matched = false;
+            for file in &ws.files {
+                if file.rel == defining || crate_of(&file.rel).is_none() {
+                    continue;
+                }
+                for usage in occurrences(file, enum_name, &variant.name) {
+                    match usage {
+                        Usage::Construct => constructed = true,
+                        Usage::Match => matched = true,
+                    }
+                }
+                if constructed && matched {
+                    break;
+                }
+            }
+            if !constructed {
+                out.push(Diagnostic {
+                    code: "MEBL014",
+                    rule: "taxonomy-unconstructed",
+                    severity: Severity::Error,
+                    file: defining.to_string(),
+                    line: variant.line,
+                    col: variant.col,
+                    message: format!(
+                        "`{enum_name}::{}` is never constructed outside its defining \
+                         module; emit it from a production path or delete the variant",
+                        variant.name
+                    ),
+                });
+            }
+            if !matched {
+                out.push(Diagnostic {
+                    code: "MEBL015",
+                    rule: "taxonomy-unmatched",
+                    severity: Severity::Error,
+                    file: defining.to_string(),
+                    line: variant.line,
+                    col: variant.col,
+                    message: format!(
+                        "`{enum_name}::{}` is never matched outside its defining \
+                         module; discriminate it in a consumer (match arm, `if let`, \
+                         `matches!` or comparison)",
+                        variant.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts the variant names (with definition spans) of `enum_name`
+/// from its defining file's token stream.
+fn extract_variants(file: &SourceFile, enum_name: &str) -> Option<Vec<Variant>> {
+    let sig: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_trivia()).collect();
+    let text = file.text.as_str();
+    // Find `enum <Name> ... {`.
+    let mut open = None;
+    for i in 0..sig.len().saturating_sub(1) {
+        if sig[i].kind == TokenKind::Ident
+            && sig[i].text(text) == "enum"
+            && sig[i + 1].text(text) == enum_name
+        {
+            let mut j = i + 2;
+            while j < sig.len() && sig[j].text(text) != "{" {
+                j += 1;
+            }
+            if j < sig.len() {
+                open = Some(j);
+            }
+            break;
+        }
+    }
+    let open = open?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut at_variant_start = true; // right after `{` or a top-level `,`
+    let mut j = open;
+    while j < sig.len() {
+        let t = sig[j];
+        let s = t.text(text);
+        match s {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break; // closed the enum body
+                }
+            }
+            "," if depth == 1 => at_variant_start = true,
+            "#" if depth == 1 => {
+                // Skip a variant attribute `#[...]`.
+                if sig.get(j + 1).is_some_and(|n| n.text(text) == "[") {
+                    let mut d = 0i32;
+                    j += 1;
+                    while j < sig.len() {
+                        match sig[j].text(text) {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            _ => {
+                if depth == 1 && at_variant_start && t.kind == TokenKind::Ident {
+                    variants.push(Variant {
+                        name: s.to_string(),
+                        line: t.line as usize,
+                        col: t.col as usize,
+                    });
+                    at_variant_start = false;
+                }
+            }
+        }
+        j += 1;
+    }
+    Some(variants)
+}
+
+/// Finds and classifies `Enum::Variant` occurrences in non-test code.
+fn occurrences(file: &SourceFile, enum_name: &str, variant: &str) -> Vec<Usage> {
+    let sig: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_trivia()).collect();
+    let text = file.text.as_str();
+    let mut out = Vec::new();
+    for i in 0..sig.len().saturating_sub(2) {
+        if sig[i].kind == TokenKind::Ident
+            && sig[i].text(text) == enum_name
+            && sig[i + 1].text(text) == "::"
+            && sig[i + 2].kind == TokenKind::Ident
+            && sig[i + 2].text(text) == variant
+        {
+            if file.view.in_test_block(sig[i].line as usize) {
+                continue;
+            }
+            out.push(classify(&sig, text, i, i + 2));
+        }
+    }
+    out
+}
+
+/// Decides whether the occurrence at `name_i..=var_i` is a pattern
+/// (match) or an expression (construction).
+fn classify(sig: &[&Token], text: &str, name_i: usize, var_i: usize) -> Usage {
+    // `e == Enum::V` / `e != Enum::V`: comparison counts as a match.
+    if name_i > 0 && matches!(sig[name_i - 1].text(text), "==" | "!=") {
+        return Usage::Match;
+    }
+
+    // Skip a tuple payload after the variant: `Enum::V(x)`.
+    let mut j = var_i + 1;
+    if sig.get(j).is_some_and(|t| t.text(text) == "(") {
+        let mut depth = 0i32;
+        while j < sig.len() {
+            match sig[j].text(text) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Step over closing delimiters of enclosing patterns
+    // (`Ok(Err(Enum::V(_))) =>` walks `)` `)` before reaching `=>`).
+    while j < sig.len() && matches!(sig[j].text(text), ")" | "]" | "}") {
+        j += 1;
+    }
+    if let Some(t) = sig.get(j) {
+        match t.text(text) {
+            "=>" | "=" | "|" | "==" | "!=" => return Usage::Match,
+            "if" => return Usage::Match, // match-arm guard
+            _ => {}
+        }
+    }
+
+    // `matches!(e, Enum::V)`: walk back to the group opener and look for
+    // the macro name.
+    let mut depth = 0i32;
+    let mut k = name_i;
+    let mut steps = 0;
+    while k > 0 && steps < 64 {
+        k -= 1;
+        steps += 1;
+        match sig[k].text(text) {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    if k >= 2
+                        && sig[k - 1].text(text) == "!"
+                        && sig[k - 2].text(text) == "matches"
+                    {
+                        return Usage::Match;
+                    }
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    Usage::Construct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usages(src: &str, enum_name: &str, variant: &str) -> Vec<Usage> {
+        let file = SourceFile::new("crates/x/src/lib.rs", src);
+        occurrences(&file, enum_name, variant)
+    }
+
+    #[test]
+    fn extracts_variants_with_payloads_and_attrs() {
+        let src = "\
+pub enum RouteError {
+    /// Bad config.
+    InvalidConfig(String),
+    #[allow(dead_code)]
+    InvalidCircuit(String),
+    BudgetExhausted,
+}
+";
+        let file = SourceFile::new("crates/route/src/budget.rs", src);
+        let v = extract_variants(&file, "RouteError").unwrap();
+        let names: Vec<&str> = v.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["InvalidConfig", "InvalidCircuit", "BudgetExhausted"]);
+        assert_eq!(v[0].line, 3);
+        assert!(extract_variants(&file, "Missing").is_none());
+    }
+
+    #[test]
+    fn constructions_classified() {
+        for src in [
+            "fn f() -> Result<(), E> { Err(E::BadInput(format!(\"x {}\", 1))) }\n",
+            "fn f() { push(D { kind: K::Overflow, n: 1 }); }\n",
+            "fn f() -> E { E::BadInput(\"x\".into()) }\n",
+            "fn f(r: R) { r.map_err(|_| E::BadInput(s))?; }\n",
+        ] {
+            let (name, var) = if src.contains("K::") {
+                ("K", "Overflow")
+            } else {
+                ("E", "BadInput")
+            };
+            assert_eq!(usages(src, name, var), vec![Usage::Construct], "{src}");
+        }
+    }
+
+    #[test]
+    fn patterns_classified() {
+        for src in [
+            "fn f(e: E) { match e { E::BadInput(m) => drop(m), _ => {} } }\n",
+            "fn f(r: Result<Result<(), E>, E>) { if let Ok(Err(E::BadInput(_))) = r {} }\n",
+            "fn f(e: E) -> bool { matches!(e, E::BadInput(_)) }\n",
+            "fn f(e: E) -> bool { e == E::Overflow }\n",
+            "fn f(e: E) -> bool { E::Overflow == e }\n",
+            "fn f(e: E) { match e { E::Overflow | E::BadInput(_) => {}, _ => {} } }\n",
+            "fn f(e: E) { match e { E::Overflow if hot() => {}, _ => {} } }\n",
+            "fn f(e: E) { match e { e2 @ E::Overflow => drop(e2), _ => {} } }\n",
+        ] {
+            let var = if src.contains("Overflow") { "Overflow" } else { "BadInput" };
+            let got = usages(src, "E", var);
+            assert!(got.contains(&Usage::Match), "{src}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn test_block_occurrences_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = E::BadInput; }\n}\n";
+        assert!(usages(src, "E", "BadInput").is_empty());
+    }
+
+    #[test]
+    fn full_check_reports_missing_sides() {
+        let layers = "[[layer]]\nname = \"a\"\ncrates = [\"route\", \"control\", \"audit\", \"x\"]\n";
+        let defining = "\
+pub enum RouteError {
+    InvalidConfig(String),
+    BudgetExhausted,
+}
+";
+        // InvalidConfig is constructed and matched; BudgetExhausted only
+        // constructed.
+        let consumer = "\
+fn emit() -> RouteError { RouteError::BudgetExhausted }
+fn also() -> RouteError { RouteError::InvalidConfig(String::new()) }
+fn show(e: &RouteError) -> i32 {
+    match e {
+        RouteError::InvalidConfig(_) => 2,
+        _ => 3,
+    }
+}
+";
+        let ws = Workspace::in_memory(
+            &[
+                ("crates/route/src/budget.rs", defining),
+                ("crates/x/src/lib.rs", consumer),
+            ],
+            &[
+                ("route", "[package]\nname = \"mebl-route\"\n"),
+                ("control", "[package]\nname = \"mebl-control\"\n"),
+                ("audit", "[package]\nname = \"mebl-audit\"\n"),
+                ("x", "[package]\nname = \"mebl-x\"\n"),
+            ],
+            layers,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        // DegradationKind / FindingKind defining files are absent, so
+        // only RouteError is checked.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "MEBL015");
+        assert!(out[0].message.contains("BudgetExhausted"));
+    }
+}

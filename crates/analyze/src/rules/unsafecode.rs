@@ -1,0 +1,91 @@
+//! MEBL016: every crate with a `src/lib.rs` must carry
+//! `#![forbid(unsafe_code)]`, turning the workspace's safe-Rust
+//! convention into a checked invariant.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// Runs the forbid-unsafe check over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for krate in &ws.crates {
+        if !krate.has_lib {
+            continue;
+        }
+        let lib_rel = format!("crates/{}/src/lib.rs", krate.short);
+        let Some(file) = ws.files.iter().find(|f| f.rel == lib_rel) else {
+            continue;
+        };
+        let sig: Vec<_> = file.tokens.iter().filter(|t| !t.is_trivia()).collect();
+        let text = file.text.as_str();
+        let found = sig.windows(4).any(|w| {
+            w[0].kind == TokenKind::Ident
+                && w[0].text(text) == "forbid"
+                && w[1].text(text) == "("
+                && w[2].text(text) == "unsafe_code"
+                && w[3].text(text) == ")"
+        });
+        if !found {
+            out.push(Diagnostic {
+                code: "MEBL016",
+                rule: "forbid-unsafe",
+                severity: Severity::Error,
+                file: lib_rel,
+                line: 1,
+                col: 1,
+                message: format!(
+                    "library crate `{}` lacks `#![forbid(unsafe_code)]`; \
+                     add the attribute at the top of lib.rs",
+                    krate.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAYERS: &str = "[[layer]]\nname = \"a\"\ncrates = [\"geom\", \"cli\"]\n";
+
+    #[test]
+    fn missing_attribute_flagged_with_lib_only() {
+        let ws = Workspace::in_memory(
+            &[
+                ("crates/geom/src/lib.rs", "pub fn f() {}\n"),
+                ("crates/cli/src/main.rs", "fn main() {}\n"),
+            ],
+            &[
+                ("geom", "[package]\nname = \"mebl-geom\"\n"),
+                ("cli", "[package]\nname = \"mebl-cli\"\n"),
+            ],
+            LAYERS,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "MEBL016");
+        assert_eq!(out[0].file, "crates/geom/src/lib.rs");
+    }
+
+    #[test]
+    fn attribute_satisfies_the_rule() {
+        let ws = Workspace::in_memory(
+            &[(
+                "crates/geom/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            )],
+            &[
+                ("geom", "[package]\nname = \"mebl-geom\"\n"),
+                ("cli", "[package]\nname = \"mebl-cli\"\n"),
+            ],
+            LAYERS,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Line-oriented views derived from the token stream.
+//!
+//! The rule engine needs three synchronized per-line views of a file:
+//!
+//! * **raw lines** — the source text as written (comment-scanning rules
+//!   such as the task-marker tag check look here);
+//! * **code lines** — the same lines with every comment and every
+//!   string/char-literal *content* blanked to spaces, so substring
+//!   scans cannot match inside documentation or data;
+//! * **test mask** — which lines sit inside a `#[cfg(test)]`-gated
+//!   item, computed by brace tracking over the code lines.
+//!
+//! Unlike the old scanner's hand-rolled state machine, the code lines
+//! here are rendered from the real lexer: a multi-line string literal
+//! is blanked on *every* line it covers, and a `'"'` char literal can
+//! never flip a string state that does not exist.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Synchronized per-line views of one source file.
+#[derive(Debug)]
+pub struct CodeView {
+    /// The source split into lines (no terminators).
+    pub raw_lines: Vec<String>,
+    /// Lines with comments and literal contents blanked to spaces.
+    pub code_lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]`-gated item.
+    pub test_mask: Vec<bool>,
+}
+
+impl CodeView {
+    /// Builds the views for `source`, lexing it in the process.
+    #[must_use]
+    pub fn new(source: &str) -> (Vec<Token>, CodeView) {
+        let tokens = lex(source);
+        let view = CodeView::from_tokens(source, &tokens);
+        (tokens, view)
+    }
+
+    /// Builds the views from an existing token stream.
+    #[must_use]
+    pub fn from_tokens(source: &str, tokens: &[Token]) -> CodeView {
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let code_lines = render_code_lines(source, tokens, raw_lines.len());
+        let test_mask = test_block_mask(&code_lines);
+        CodeView {
+            raw_lines,
+            code_lines,
+            test_mask,
+        }
+    }
+
+    /// Whether 1-based `line` lies inside a `#[cfg(test)]` block.
+    #[must_use]
+    pub fn in_test_block(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.test_mask.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Renders the blanked code lines: each non-code token's chars become
+/// spaces (one per char, so columns stay aligned); newlines inside
+/// multi-line tokens still break lines.
+fn render_code_lines(source: &str, tokens: &[Token], n_lines: usize) -> Vec<String> {
+    let mut lines: Vec<String> = Vec::with_capacity(n_lines);
+    let mut cur = String::new();
+    for tok in tokens {
+        let text = tok.text(source);
+        let keep = !matches!(
+            tok.kind,
+            TokenKind::LineComment(_)
+                | TokenKind::BlockComment { .. }
+                | TokenKind::Str { .. }
+                | TokenKind::RawStr { .. }
+                | TokenKind::Char
+        );
+        for c in text.chars() {
+            if c == '\n' {
+                lines.push(std::mem::take(&mut cur));
+            } else if keep && tok.kind != TokenKind::Whitespace {
+                cur.push(c);
+            } else if c == '\t' {
+                cur.push('\t');
+            } else {
+                cur.push(' ');
+            }
+        }
+    }
+    if !cur.is_empty() || lines.len() < n_lines {
+        lines.push(cur);
+    }
+    while lines.len() < n_lines {
+        lines.push(String::new());
+    }
+    lines
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items by brace tracking over
+/// the code lines (the same algorithm the old scanner used, now fed by
+/// lexer-accurate code lines so braces inside strings cannot skew it).
+fn test_block_mask(code_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut pending = false; // saw #[cfg(test)], waiting for the item body
+    let mut depth = 0i32; // brace depth inside the gated item
+    for (idx, line) in code_lines.iter().enumerate() {
+        if depth > 0 {
+            mask[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if pending {
+            mask[idx] = true;
+            if line.contains('{') {
+                pending = false;
+                depth = brace_delta(line);
+                if depth <= 0 {
+                    depth = 0; // single-line item
+                }
+            } else if line.contains(';') {
+                pending = false; // e.g. a gated `mod tests;` declaration
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            mask[idx] = true;
+            pending = true;
+        }
+    }
+    mask
+}
+
+fn brace_delta(line: &str) -> i32 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_lines_blank_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // y.unwrap()\n/* p.unwrap() */ b();\n";
+        let (_, view) = CodeView::new(src);
+        assert_eq!(view.code_lines.len(), 2);
+        assert!(!view.code_lines[0].contains(".unwrap()"));
+        assert!(view.code_lines[0].contains("let a ="));
+        assert!(!view.code_lines[1].contains(".unwrap()"));
+        assert!(view.code_lines[1].contains("b();"));
+    }
+
+    #[test]
+    fn multiline_string_blanked_on_every_line() {
+        let src = "let s = \"first \\\n   second.unwrap()\";\nreal();\n";
+        let (_, view) = CodeView::new(src);
+        assert!(!view.code_lines[1].contains("unwrap"));
+        assert!(view.code_lines[2].contains("real();"));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_skew_mask() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    const S: &str = \"}}}\";
+    fn t() { x.unwrap(); }
+}
+fn lib() {}
+";
+        let (_, view) = CodeView::new(src);
+        assert!(view.in_test_block(4));
+        assert!(!view.in_test_block(6));
+    }
+
+    #[test]
+    fn mask_covers_gated_fn_and_mod() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+fn helper() { x(); }
+fn lib2() {}
+";
+        let (_, view) = CodeView::new(src);
+        assert!(!view.in_test_block(1));
+        assert!(view.in_test_block(2));
+        assert!(view.in_test_block(3));
+        assert!(!view.in_test_block(4));
+    }
+
+    #[test]
+    fn line_counts_match_raw() {
+        for src in ["", "a", "a\n", "a\nb", "a\nb\n", "\"s\ntring\"\ncode\n"] {
+            let (_, view) = CodeView::new(src);
+            assert_eq!(view.raw_lines.len(), view.code_lines.len(), "{src:?}");
+            assert_eq!(view.raw_lines.len(), view.test_mask.len());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The workspace model: every source file (lexed, with line views),
+//! every crate manifest (name + dependency edges), the layering
+//! declaration and the allowlist text.
+//!
+//! Rules never touch the filesystem — they see only this model, which
+//! makes every rule testable against synthetic in-memory workspaces.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::Token;
+use crate::manifest::{parse_cargo_toml, parse_layering, Layering, Manifest};
+use crate::view::CodeView;
+
+/// Workspace-relative path of the allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/xtask/lint-allow.txt";
+
+/// Workspace-relative path of the layering declaration.
+pub const LAYERING_PATH: &str = "crates/analyze/layering.toml";
+
+/// Crates whose whole purpose is user-facing I/O.
+pub const BINARY_CRATES: &[&str] = &["cli", "xtask"];
+
+/// Crates that are test/bench infrastructure.
+pub const HARNESS_CRATES: &[&str] = &["bench", "testkit"];
+
+/// The crate short name a workspace-relative path belongs to, if any
+/// (root `tests/` files belong to no crate).
+#[must_use]
+pub fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Full source text.
+    pub text: String,
+    /// Total token stream (see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
+    /// Synchronized raw/code/test-mask line views.
+    pub view: CodeView,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a model file.
+    #[must_use]
+    pub fn new(rel: &str, text: &str) -> SourceFile {
+        let (tokens, view) = CodeView::new(text);
+        SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+            tokens,
+            view,
+        }
+    }
+}
+
+/// One workspace crate, read from `crates/<short>/Cargo.toml`.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Directory name under `crates/` (`geom`).
+    pub short: String,
+    /// Package name (`mebl-geom`).
+    pub name: String,
+    /// Rust identifier form (`mebl_geom`), as seen in `use` paths.
+    pub ident: String,
+    /// `[dependencies]` on workspace crates, by package name.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` on workspace crates, by package name.
+    pub dev_deps: Vec<String>,
+    /// Whether the crate has a `src/lib.rs`.
+    pub has_lib: bool,
+}
+
+impl CrateInfo {
+    /// Builds a crate record from a parsed manifest.
+    #[must_use]
+    pub fn from_manifest(short: &str, m: &Manifest, has_lib: bool) -> CrateInfo {
+        CrateInfo {
+            short: short.to_string(),
+            name: m.name.clone(),
+            ident: m.name.replace('-', "_"),
+            deps: m.deps.clone(),
+            dev_deps: m.dev_deps.clone(),
+            has_lib,
+        }
+    }
+}
+
+/// The full analysis input.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All crates, sorted by short name.
+    pub crates: Vec<CrateInfo>,
+    /// All source files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// The parsed layering declaration.
+    pub layering: Layering,
+    /// Raw allowlist text (empty when the file is absent).
+    pub allow_text: String,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` from disk.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut crates = Vec::new();
+        let crates_dir = root.join("crates");
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let manifest_path = dir.join("Cargo.toml");
+            if !manifest_path.is_file() {
+                continue;
+            }
+            let short = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("cannot read crates/{short}/Cargo.toml: {e}"))?;
+            let rel = format!("crates/{short}/Cargo.toml");
+            let manifest = parse_cargo_toml(&rel, &text)?;
+            let has_lib = dir.join("src/lib.rs").is_file();
+            crates.push(CrateInfo::from_manifest(&short, &manifest, has_lib));
+        }
+
+        let mut paths = Vec::new();
+        collect_rust_files(&root.join("crates"), &mut paths);
+        collect_rust_files(&root.join("tests"), &mut paths);
+        paths.sort();
+        let mut files = Vec::new();
+        for path in &paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {rel}: {e}"))?;
+            files.push(SourceFile::new(&rel, &text));
+        }
+
+        let layering_path = root.join(LAYERING_PATH);
+        let layering_text = std::fs::read_to_string(&layering_path)
+            .map_err(|e| format!("cannot read {LAYERING_PATH}: {e}"))?;
+        let layering = parse_layering(LAYERING_PATH, &layering_text)?;
+
+        let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+
+        Ok(Workspace {
+            crates,
+            files,
+            layering,
+            allow_text,
+        })
+    }
+
+    /// Builds a synthetic workspace for tests: `files` are
+    /// `(rel_path, source)` pairs, `manifests` are
+    /// `(short_name, cargo_toml_text)` pairs, `layering_toml` is the
+    /// declaration text.
+    pub fn in_memory(
+        files: &[(&str, &str)],
+        manifests: &[(&str, &str)],
+        layering_toml: &str,
+    ) -> Result<Workspace, String> {
+        let mut crates = Vec::new();
+        for (short, text) in manifests {
+            let rel = format!("crates/{short}/Cargo.toml");
+            let manifest = parse_cargo_toml(&rel, text)?;
+            let has_lib = files.iter().any(|(f, _)| f == &format!("crates/{short}/src/lib.rs"));
+            crates.push(CrateInfo::from_manifest(short, &manifest, has_lib));
+        }
+        crates.sort_by(|a, b| a.short.cmp(&b.short));
+        let mut model_files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, text)| SourceFile::new(rel, text))
+            .collect();
+        model_files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let layering = parse_layering(LAYERING_PATH, layering_toml)?;
+        Ok(Workspace {
+            crates,
+            files: model_files,
+            layering,
+            allow_text: String::new(),
+        })
+    }
+
+    /// Looks up a crate record by short name.
+    #[must_use]
+    pub fn crate_by_short(&self, short: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.short == short)
+    }
+
+    /// Looks up a crate record by `use`-path identifier (`mebl_geom`).
+    #[must_use]
+    pub fn crate_by_ident(&self, ident: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.ident == ident)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output (`target`)
+/// and the analyzer's fixture corpus (`fixtures` directories hold
+/// deliberately violating sources).
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures")
+            {
+                continue;
+            }
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAYERS: &str = "\
+[[layer]]
+name = \"foundation\"
+crates = [\"geom\"]
+[[layer]]
+name = \"app\"
+crates = [\"cli\"]
+";
+
+    #[test]
+    fn crate_of_classifies_paths() {
+        assert_eq!(crate_of("crates/geom/src/lib.rs"), Some("geom"));
+        assert_eq!(crate_of("tests/flow.rs"), None);
+        assert_eq!(crate_of("README.md"), None);
+    }
+
+    #[test]
+    fn in_memory_workspace_builds() {
+        let ws = Workspace::in_memory(
+            &[
+                ("crates/geom/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/cli/src/main.rs", "fn main() {}\n"),
+            ],
+            &[
+                ("geom", "[package]\nname = \"mebl-geom\"\n"),
+                (
+                    "cli",
+                    "[package]\nname = \"mebl-cli\"\n[dependencies]\nmebl-geom.workspace = true\n",
+                ),
+            ],
+            LAYERS,
+        )
+        .unwrap();
+        assert_eq!(ws.crates.len(), 2);
+        let cli = ws.crate_by_short("cli").unwrap();
+        assert_eq!(cli.deps, vec!["mebl-geom"]);
+        assert!(!cli.has_lib);
+        assert!(ws.crate_by_short("geom").unwrap().has_lib);
+        assert_eq!(ws.crate_by_ident("mebl_geom").unwrap().short, "geom");
+        assert_eq!(ws.layering.index_of("cli"), Some(1));
+        assert_eq!(ws.files[0].rel, "crates/cli/src/main.rs");
+    }
+}

@@ -113,10 +113,10 @@ fn candidates(
                 let mut cost =
                     (lo_t.abs_diff(main) + hi_t.abs_diff(main)) as i64;
                 if !clean(lo_t, seg.lo_cont) {
-                    cost += BAD_END_PENALTY;
+                    cost = cost.saturating_add(BAD_END_PENALTY);
                 }
                 if !clean(hi_t, seg.hi_cont) {
-                    cost += BAD_END_PENALTY;
+                    cost = cost.saturating_add(BAD_END_PENALTY);
                 }
                 out.push(Candidate {
                     lo_t,
@@ -164,7 +164,7 @@ impl Search<'_> {
         // Bound: optimistic completion of remaining segments.
         let bound: i64 = self.min_cost[depth..].iter().sum();
         if let Some((b, _)) = &self.best {
-            if cost + bound >= *b {
+            if cost.saturating_add(bound) >= *b {
                 return;
             }
         }
@@ -177,7 +177,11 @@ impl Search<'_> {
             }
             let cand = self.cands[depth][ci];
             if let Some((b, _)) = &self.best {
-                if cost + cand.cost + bound - self.min_cost[depth] >= *b {
+                let optimistic = cost
+                    .saturating_add(cand.cost)
+                    .saturating_add(bound)
+                    .saturating_sub(self.min_cost[depth]);
+                if optimistic >= *b {
                     break; // candidates are sorted: nothing cheaper follows
                 }
             }
@@ -190,7 +194,7 @@ impl Search<'_> {
                 continue;
             }
             self.chosen[depth] = Some(ci);
-            self.dfs(depth + 1, cost + cand.cost);
+            self.dfs(depth + 1, cost.saturating_add(cand.cost));
             self.chosen[depth] = None;
             if self.nodes >= self.budget {
                 return;
@@ -198,7 +202,7 @@ impl Search<'_> {
         }
         // Dropping the segment (net failure) keeps the model feasible.
         self.chosen[depth] = None;
-        self.dfs(depth + 1, cost + DROP_PENALTY);
+        self.dfs(depth + 1, cost.saturating_add(DROP_PENALTY));
         self.chosen[depth] = None;
     }
 }

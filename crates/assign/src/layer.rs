@@ -194,7 +194,7 @@ pub fn order_groups_for_vias(colors: &[usize], net_of: &[usize], k: usize) -> Ve
         let mut cost = 0i64;
         for a in 0..k {
             for b in (a + 1)..k {
-                cost += share[a][b] * (p[a] as i64 - p[b] as i64).abs();
+                cost = cost.saturating_add(share[a][b] * (p[a] as i64 - p[b] as i64).abs());
             }
         }
         if cost < best_cost {

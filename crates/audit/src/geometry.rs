@@ -10,7 +10,7 @@
 use crate::finding::{AuditFinding, AuditReport, FindingKind};
 use mebl_geom::{GridPoint, Point, Rect, RouteGeometry};
 use mebl_netlist::{Net, NetId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimal union-find, local to the auditor so the audit does not depend
 /// on the structure used by the routing stages it verifies.
@@ -113,7 +113,7 @@ pub(crate) fn check_connectivity(
     geometry: &RouteGeometry,
     out: &mut AuditReport,
 ) {
-    let mut ids: HashMap<GridPoint, usize> = HashMap::new();
+    let mut ids: BTreeMap<GridPoint, usize> = BTreeMap::new();
     let mut sets = DisjointSets::new();
     {
         let mut intern = |p: GridPoint, sets: &mut DisjointSets| -> usize {

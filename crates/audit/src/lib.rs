@@ -53,7 +53,7 @@ pub use finding::{AuditCounts, AuditFinding, AuditReport, FindingKind, Severity}
 use mebl_geom::Point;
 use mebl_netlist::{Circuit, NetId};
 use mebl_route::{RouterConfig, RoutingOutcome};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Audits one routing solution end to end.
 ///
@@ -99,7 +99,7 @@ pub fn audit_outcome(
         geometry::check_connectivity(id, net, geometry, &mut out);
 
         // Independent bad-pattern recount vs the flow's own checker.
-        let pins: HashSet<Point> = net.pins().iter().map(|p| p.position).collect();
+        let pins: BTreeSet<Point> = net.pins().iter().map(|p| p.position).collect();
         let (counts, sites) = patterns::recount_net(plan, geometry, &pins);
         for p in &sites.off_pin_vias {
             out.push(hard(FindingKind::OffPinViaOnLine, id, *p));

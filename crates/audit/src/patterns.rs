@@ -7,7 +7,7 @@
 //! it iterates **stitching lines** with plain linear scans, rebuilds
 //! maximal horizontal runs from a per-track *cell set* instead of merging
 //! segment intervals, and resolves pin/via membership through explicit
-//! hash sets. Counts from the two implementations must agree exactly; any
+//! ordered sets. Counts from the two implementations must agree exactly; any
 //! disagreement is reported by the caller as an [`AuditFinding`].
 //!
 //! [`AuditFinding`]: crate::AuditFinding
@@ -15,7 +15,7 @@
 use crate::finding::AuditCounts;
 use mebl_geom::{Coord, Point, RouteGeometry};
 use mebl_stitch::StitchPlan;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where each hard violation of one net sits, for finding locations.
 #[derive(Debug, Clone, Default)]
@@ -34,7 +34,7 @@ pub(crate) struct HardViolationSites {
 pub(crate) fn recount_net(
     plan: &StitchPlan,
     geometry: &RouteGeometry,
-    pins: &HashSet<Point>,
+    pins: &BTreeSet<Point>,
 ) -> (AuditCounts, HardViolationSites) {
     let lines = plan.lines();
     let eps = plan.config().epsilon;
@@ -83,7 +83,7 @@ pub(crate) fn recount_net(
     // Short polygons: rebuild maximal horizontal runs as contiguous cell
     // ranges per (layer, y) track, then test each run end against every
     // cutting line.
-    let mut cells: HashMap<(u8, Coord), BTreeSet<Coord>> = HashMap::new();
+    let mut cells: BTreeMap<(u8, Coord), BTreeSet<Coord>> = BTreeMap::new();
     for seg in geometry.segments() {
         if seg.is_horizontal() {
             let entry = cells.entry((seg.layer.index(), seg.track)).or_default();
@@ -92,7 +92,7 @@ pub(crate) fn recount_net(
             }
         }
     }
-    let mut via_touches: HashSet<(Point, u8)> = HashSet::new();
+    let mut via_touches: BTreeSet<(Point, u8)> = BTreeSet::new();
     for via in geometry.vias() {
         via_touches.insert((via.point(), via.lower.index()));
         via_touches.insert((via.point(), via.upper().index()));
@@ -166,7 +166,7 @@ mod tests {
     }
 
     fn agree(geometry: &RouteGeometry, pins: &[Point]) {
-        let pin_set: HashSet<Point> = pins.iter().copied().collect();
+        let pin_set: BTreeSet<Point> = pins.iter().copied().collect();
         let (mine, _) = recount_net(&plan(), geometry, &pin_set);
         let theirs = check_geometry(&plan(), geometry, |p| pin_set.contains(&p));
         assert_eq!(mine.via_violations, theirs.via_violations as u64);
@@ -236,7 +236,7 @@ mod tests {
         let mut g = RouteGeometry::new();
         g.push_via(Via::new(15, 5, Layer::new(0)));
         g.push_segment(Segment::vertical(Layer::new(1), 30, 2, 9));
-        let (counts, sites) = recount_net(&plan(), &g, &HashSet::new());
+        let (counts, sites) = recount_net(&plan(), &g, &BTreeSet::new());
         assert!(!counts.hard_clean());
         assert_eq!(sites.off_pin_vias, vec![Point::new(15, 5)]);
         assert_eq!(sites.vertical_rides, vec![Point::new(30, 2)]);

@@ -316,6 +316,9 @@ fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
 
     let config = flags.router_config();
     let router = Router::new(config.clone());
+    for d in router.validation_degradations(&circuit) {
+        eprintln!("tolerated: {d}");
+    }
     let outcome = match router.try_route(&circuit) {
         Ok(outcome) => outcome,
         Err(e @ RouteError::BudgetExhausted) => {
@@ -390,6 +393,9 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
 
     let circuit = load_circuit(path)?;
     let router = Router::new(flags.router_config());
+    for d in router.validation_degradations(&circuit) {
+        eprintln!("tolerated: {d}");
+    }
     let outcome = match router.try_route(&circuit) {
         Ok(outcome) => outcome,
         Err(e @ RouteError::BudgetExhausted) => {

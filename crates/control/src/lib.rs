@@ -25,6 +25,8 @@
 //! `false`, so unbudgeted runs behave (and hash) exactly as if the
 //! token did not exist.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};

@@ -575,8 +575,9 @@ fn tile_dist(graph: &TileGraph, a: TileId, b: TileId) -> u32 {
     ac.abs_diff(bc) + ar.abs_diff(br)
 }
 
-/// Fixed-point scale for f64 costs in the binary heap.
-const COST_SCALE: f64 = 1024.0;
+/// Fixed-point scale (heap units per pitch) for f64 weights in the
+/// binary heap; integer cost arithmetic downstream is saturating.
+const FIXED_POINT_SCALE: f64 = 1024.0;
 
 /// Ceiling on a single edge's congestion cost before fixed-point
 /// conversion. `ψ` is exponential in demand/capacity, so near-capacity
@@ -590,7 +591,7 @@ const MAX_STEP_COST: f64 = 1.0e9;
 
 /// Converts an f64 step cost to saturating fixed-point heap units.
 fn fixed_cost(step: f64) -> u64 {
-    (step.clamp(0.0, MAX_STEP_COST) * COST_SCALE) as u64
+    (step.clamp(0.0, MAX_STEP_COST) * FIXED_POINT_SCALE) as u64
 }
 
 /// Multi-source A\* over the tile graph from the net's current tree to
@@ -606,7 +607,7 @@ fn astar_tiles(
     let mut dist = vec![u64::MAX; n];
     let mut prev = vec![u32::MAX; n];
     let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    let h = |t: TileId| -> u64 { (tile_dist(graph, t, target) as f64 * COST_SCALE) as u64 };
+    let h = |t: TileId| -> u64 { (tile_dist(graph, t, target) as f64 * FIXED_POINT_SCALE) as u64 };
 
     for &s in sources {
         dist[s.0 as usize] = 0;

@@ -1,7 +1,9 @@
 //! Generic A\* search over implicit graphs.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::hash::Hash;
+
+use crate::fx::FastMap;
 
 /// Heap entry ordered by `(f, tie)` only, so `N` needs no `Ord`.
 struct Entry<N> {
@@ -63,8 +65,8 @@ where
     FH: Fn(&N) -> u64,
     FG: Fn(&N) -> bool,
 {
-    let mut dist: HashMap<N, u64> = HashMap::new();
-    let mut came: HashMap<N, N> = HashMap::new();
+    let mut dist: FastMap<N, u64> = FastMap::default();
+    let mut came: FastMap<N, N> = FastMap::default();
     let mut heap: BinaryHeap<Entry<N>> = BinaryHeap::new();
     let mut tie = 0u64;
 

@@ -233,8 +233,8 @@ impl Circuit {
             ));
         }
 
-        let mut seen: std::collections::HashMap<(i32, i32, u8), usize> =
-            std::collections::HashMap::new();
+        let mut seen: std::collections::BTreeMap<(i32, i32, u8), usize> =
+            std::collections::BTreeMap::new();
         for (idx, net) in self.nets.iter().enumerate() {
             for pin in net.pins() {
                 let p = pin.position;

@@ -4,7 +4,7 @@ use crate::{BenchmarkSpec, Circuit, Net, Pin};
 use mebl_control::{Degradation, DegradationKind, Stage};
 use mebl_geom::{Coord, Layer, Point, Rect};
 use mebl_testkit::{Rng, Xoshiro256pp};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Parameters controlling synthetic circuit generation.
 ///
@@ -100,7 +100,7 @@ pub fn generate_with_events(
 
     // Pin locality: most nets are short, a tail is chip-spanning.
     let min_dim = width.min(height) as f64;
-    let mut used: HashSet<Point> = HashSet::with_capacity(n_pins * 2);
+    let mut used: BTreeSet<Point> = BTreeSet::new();
     let mut nets = Vec::with_capacity(n_nets);
     let mut fallback_pins = 0usize;
     let mut truncated_nets = 0usize;
@@ -179,7 +179,7 @@ fn place_pin(
     cx: Coord,
     cy: Coord,
     radius: f64,
-    used: &mut HashSet<Point>,
+    used: &mut BTreeSet<Point>,
 ) -> Option<(Point, bool)> {
     let r = radius.ceil() as Coord;
     for attempt in 0..64 {
@@ -212,6 +212,7 @@ fn place_pin(
 mod tests {
     use super::*;
     use crate::full_suite;
+    use std::collections::HashSet;
 
     #[test]
     fn exact_counts_at_full_scale() {

@@ -40,7 +40,7 @@
 use mebl_geom::{Coord, Point};
 use mebl_netlist::{Circuit, Net, Pin};
 use mebl_stitch::StitchPlan;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of the pin-adjustment pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +90,7 @@ fn offends(plan: &StitchPlan, config: &PlaceConfig, p: Point) -> bool {
 /// another pin, outside the outline, or onto an offending position.
 pub fn adjust_pins(circuit: &Circuit, plan: &StitchPlan, config: &PlaceConfig) -> PlaceResult {
     let outline = circuit.outline();
-    let mut used: HashSet<Point> = circuit
+    let mut used: BTreeSet<Point> = circuit
         .nets()
         .iter()
         .flat_map(|n| n.pins().iter().map(|p| p.position))
@@ -175,6 +175,7 @@ pub fn adjust_pins(circuit: &Circuit, plan: &StitchPlan, config: &PlaceConfig) -
 mod tests {
     use super::*;
     use mebl_geom::{Layer, Rect};
+    use std::collections::HashSet;
     use mebl_stitch::StitchConfig;
     use mebl_testkit::prop::{ints, vecs};
     use mebl_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};

@@ -49,9 +49,9 @@ pub use mebl_detailed::SearchEngine;
 use mebl_geom::Point;
 use mebl_global::{route_circuit, GlobalConfig, GlobalResult};
 use mebl_netlist::{Circuit, CircuitIssue};
+use mebl_graph::FastSet;
 pub use mebl_par::Pool;
 use mebl_stitch::{StitchConfig, StitchPlan};
-use std::collections::HashSet;
 
 /// Configuration of the full routing flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,6 +316,26 @@ impl Router {
         circuit.validate(plan.lines())
     }
 
+    /// Warning-severity pre-flight issues as [`Stage::Validate`]
+    /// degradation records. Purely advisory: [`Router::try_route`]
+    /// tolerates these, so they never enter
+    /// [`RoutingOutcome::degradations`] or flip a run to degraded;
+    /// drivers that want them visible surface them separately.
+    pub fn validation_degradations(&self, circuit: &Circuit) -> Vec<Degradation> {
+        self.validate(circuit)
+            .iter()
+            .filter(|issue| !issue.is_error())
+            .map(|issue| {
+                Degradation::new(
+                    Stage::Validate,
+                    DegradationKind::ValidationWarning,
+                    issue.net,
+                    issue.message.clone(),
+                )
+            })
+            .collect()
+    }
+
     /// Runs the three-stage flow with `token` threaded through every
     /// stage, draining whatever the stages recorded into the outcome.
     fn run_with(&self, circuit: &Circuit, token: CancelToken) -> RoutingOutcome {
@@ -392,7 +412,7 @@ pub fn build_report(
         if !detailed.routed[i] {
             continue;
         }
-        let pins: HashSet<Point> = circuit.nets()[i]
+        let pins: FastSet<Point> = circuit.nets()[i]
             .pins()
             .iter()
             .map(|p| p.position)

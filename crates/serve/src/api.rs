@@ -11,10 +11,10 @@
 
 use crate::cache::{fnv1a, fnv1a_extend};
 use crate::json::Json;
-use mebl_audit::AuditReport;
+use mebl_audit::{AuditReport, FindingKind};
 use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
 use mebl_route::{
-    Degradation, Pool, RouteReport, RouterConfig, RoutingOutcome, RunBudget,
+    Degradation, DegradationKind, Pool, RouteReport, RouterConfig, RoutingOutcome, RunBudget,
 };
 use std::time::Duration;
 
@@ -254,6 +254,49 @@ pub fn report_to_json(report: &RouteReport, include_timing: bool) -> Json {
     Json::obj(pairs)
 }
 
+/// Stable wire identifier of a degradation kind.
+///
+/// Byte-identical to the `Display` impl in `mebl-control` — the wire
+/// format is frozen — but spelled as an exhaustive match so adding a
+/// variant forces this encoder (and the wire docs) to be revisited.
+fn degradation_kind_code(kind: DegradationKind) -> &'static str {
+    match kind {
+        DegradationKind::BudgetExhausted => "budget-exhausted",
+        DegradationKind::InternalFallback => "internal-fallback",
+        DegradationKind::ValidationWarning => "validation-warning",
+        DegradationKind::SearchExhausted => "search-exhausted",
+    }
+}
+
+/// Stable kebab-case wire code of an audit finding kind (the `code`
+/// field of `/audit` findings; the `kind` field keeps the historical
+/// PascalCase spelling).
+fn finding_kind_code(kind: FindingKind) -> &'static str {
+    match kind {
+        FindingKind::PinNotCovered => "pin-not-covered",
+        FindingKind::DisconnectedNet => "disconnected-net",
+        FindingKind::SegmentOutsideOutline => "segment-outside-outline",
+        FindingKind::SegmentLayerOutOfStack => "segment-layer-out-of-stack",
+        FindingKind::DegenerateSegment => "degenerate-segment",
+        FindingKind::ViaOutsideOutline => "via-outside-outline",
+        FindingKind::ViaLayerOutOfStack => "via-layer-out-of-stack",
+        FindingKind::OffPinViaOnLine => "off-pin-via-on-line",
+        FindingKind::VerticalRideOnLine => "vertical-ride-on-line",
+        FindingKind::ViaViolationMismatch => "via-violation-mismatch",
+        FindingKind::OffPinViaMismatch => "off-pin-via-mismatch",
+        FindingKind::VerticalRideMismatch => "vertical-ride-mismatch",
+        FindingKind::ShortPolygonMismatch => "short-polygon-mismatch",
+        FindingKind::WirelengthMismatch => "wirelength-mismatch",
+        FindingKind::ViaCountMismatch => "via-count-mismatch",
+        FindingKind::ReportFieldMismatch => "report-field-mismatch",
+        FindingKind::RoutedFlagMismatch => "routed-flag-mismatch",
+        FindingKind::CapacityModelMismatch => "capacity-model-mismatch",
+        FindingKind::GlobalMetricsMismatch => "global-metrics-mismatch",
+        FindingKind::EdgeOverflow => "edge-overflow",
+        FindingKind::VertexOverflow => "vertex-overflow",
+    }
+}
+
 fn degradations_to_json(degradations: &[Degradation]) -> Json {
     Json::Arr(
         degradations
@@ -261,7 +304,7 @@ fn degradations_to_json(degradations: &[Degradation]) -> Json {
             .map(|d| {
                 Json::obj(vec![
                     ("stage", Json::Str(d.stage.to_string())),
-                    ("kind", Json::Str(d.kind.to_string())),
+                    ("kind", Json::Str(degradation_kind_code(d.kind).to_string())),
                     (
                         "net",
                         d.net.map_or(Json::Null, |n| Json::Int(n as i64)),
@@ -321,6 +364,7 @@ pub fn audit_response_json(
                     Json::Str(format!("{:?}", f.severity()).to_ascii_lowercase()),
                 ),
                 ("kind", Json::Str(format!("{:?}", f.kind))),
+                ("code", Json::Str(finding_kind_code(f.kind).to_string())),
                 ("net", f.net.map_or(Json::Null, |n| Json::Int(i64::from(n.0)))),
                 ("detail", Json::Str(f.to_string())),
             ])

@@ -10,7 +10,7 @@
 //! budget that produced it, not the request, so replaying it for a
 //! future identical request would be wrong.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// FNV-1a over a byte stream — the workspace's standard fingerprint
@@ -43,7 +43,7 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<u64, Entry>,
+    map: BTreeMap<u64, Entry>,
     tick: u64,
 }
 
@@ -51,7 +51,8 @@ struct Inner {
 ///
 /// Eviction scans for the minimum `last_used` stamp — O(capacity) —
 /// which is fine at service cache sizes (tens to a few thousand
-/// entries) and keeps the structure a plain `HashMap`.
+/// entries) and keeps the structure an ordered map with deterministic
+/// iteration.
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<Inner>,

@@ -2,7 +2,7 @@
 
 use crate::StitchPlan;
 use mebl_geom::{Point, RouteGeometry, Segment};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Violation counts and basic quality metrics for routed geometry.
 ///
@@ -66,7 +66,7 @@ impl Violations {
 /// ```
 #[must_use]
 pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
-    let mut by_track: HashMap<(u8, i32), Vec<Segment>> = HashMap::new();
+    let mut by_track: BTreeMap<(u8, i32), Vec<Segment>> = BTreeMap::new();
     for seg in segments {
         if seg.is_horizontal() {
             by_track
@@ -76,9 +76,7 @@ pub fn merge_horizontal_runs(segments: &[Segment]) -> Vec<Segment> {
         }
     }
     let mut runs = Vec::new();
-    let mut tracks: Vec<((u8, i32), Vec<Segment>)> = by_track.into_iter().collect();
-    tracks.sort_unstable_by_key(|&(key, _)| key);
-    for (_, mut segs) in tracks {
+    for (_, mut segs) in by_track {
         segs.sort_by_key(|s| (s.span.lo(), s.span.hi()));
         let mut cur = segs[0];
         for s in &segs[1..] {

@@ -26,6 +26,8 @@
 //! Policy: this workspace builds and tests fully offline. Do not add
 //! external dependencies to any crate manifest; extend this crate instead.
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod client;
 pub mod fault;

@@ -3,7 +3,9 @@
 //!
 //! Subcommands, all run by `scripts/ci.sh`:
 //!
-//! * `lint` — token-level source gate (policy in `lint.rs`).
+//! * `analyze [--format text|json|sarif] [--explain MEBL0xx]` — the
+//!   static-analysis gate (engine in `crates/analyze`). `lint` is kept
+//!   as an alias of the default text mode.
 //! * `benchgate <baseline.json> <current.json> [--tolerance pct]` —
 //!   bench-regression gate over `BenchSuite` reports (see `benchgate.rs`).
 //! * `servesmoke <mebl-binary>` — end-to-end smoke of the `mebl serve`
@@ -11,22 +13,26 @@
 //!   (see `servesmoke.rs`).
 //!
 //! ```text
-//! cargo run -p mebl-xtask -- lint
+//! cargo run -p mebl-xtask -- analyze
+//! cargo run -p mebl-xtask -- analyze --format sarif > results/analyze.sarif
+//! cargo run -p mebl-xtask -- analyze --explain MEBL010
 //! cargo run -p mebl-xtask -- benchgate results/bench_stages.json fresh.json
 //! cargo run -p mebl-xtask -- servesmoke target/release/mebl
 //! ```
 
 mod benchgate;
-mod lint;
 mod servesmoke;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use mebl_analyze::{analyze, output, rule_info, Severity, Workspace, RULES};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        // `lint` stays as an alias of the analyzer's text mode.
+        Some("analyze") | Some("lint") => run_analyze(&args[1..]),
         Some("benchgate") => run_benchgate(&args[1..]),
         Some("servesmoke") => run_servesmoke(&args[1..]),
         Some(other) => {
@@ -42,13 +48,96 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: mebl-xtask lint");
+    eprintln!("usage: mebl-xtask analyze [--format text|json|sarif] [--explain MEBL0xx]");
+    eprintln!("       mebl-xtask lint    (alias of `analyze`)");
     eprintln!("       mebl-xtask benchgate <baseline.json> <current.json> [--tolerance pct]");
     eprintln!("       mebl-xtask servesmoke <mebl-binary>");
     eprintln!();
-    eprintln!("  lint       run the workspace source lint (policy in crates/xtask/src/lint.rs)");
+    eprintln!("  analyze    run the static-analysis gate (engine in crates/analyze)");
     eprintln!("  benchgate  fail when a benchmark median regresses past the tolerance (default 25)");
     eprintln!("  servesmoke spawn the routing daemon, verify cold/cached routes and clean drain");
+}
+
+/// The workspace root: the xtask binary lives in crates/xtask, two up.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut format = "text".to_string();
+    let mut explain: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if matches!(f.as_str(), "text" | "json" | "sarif") => {
+                    format = f.clone();
+                }
+                _ => {
+                    eprintln!("analyze: --format wants one of text|json|sarif");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match it.next() {
+                Some(code) => explain = Some(code.clone()),
+                None => {
+                    eprintln!("analyze: --explain wants a diagnostic code (e.g. MEBL010)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(key) = explain {
+        return match rule_info(&key) {
+            Some(rule) => {
+                println!("{} ({}) — {}", rule.code, rule.name, rule.summary);
+                println!();
+                println!("{}", rule.rationale);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("analyze: unknown rule `{key}`; known codes:");
+                for rule in RULES {
+                    eprintln!("  {} {}", rule.code, rule.name);
+                }
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let ws = match Workspace::load(&workspace_root()) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("xtask analyze: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = match analyze(&ws) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("xtask analyze: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match format.as_str() {
+        "json" => println!("{}", output::render_json(&diags)),
+        "sarif" => println!("{}", output::render_sarif(&diags)),
+        _ => print!("{}", output::render_text(&diags)),
+    }
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn run_servesmoke(args: &[String]) -> ExitCode {
@@ -103,32 +192,6 @@ fn run_benchgate(args: &[String]) -> ExitCode {
         }
         Err(err) => {
             eprintln!("xtask benchgate: {err}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run_lint() -> ExitCode {
-    // The binary lives in crates/xtask; the workspace root is two up.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
-    match lint::run(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
-            }
-            eprintln!("xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
-        Err(err) => {
-            eprintln!("xtask lint: {err}");
             ExitCode::FAILURE
         }
     }

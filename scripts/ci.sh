@@ -20,8 +20,14 @@ else
     echo "clippy not installed; skipping lint step"
 fi
 
-echo "=== xtask lint (zero-dep workspace policy) ==="
-cargo run --release --offline -q -p mebl-xtask -- lint
+echo "=== xtask analyze (static analysis: determinism, layering, taxonomy) ==="
+# Hard gate: any error-severity diagnostic fails the build. The JSON
+# format keeps the gate output machine-readable; the SARIF artifact in
+# results/ feeds code-scanning UIs.
+cargo run --release --offline -q -p mebl-xtask -- analyze --format json
+mkdir -p results
+cargo run --release --offline -q -p mebl-xtask -- analyze --format sarif \
+    > results/analyze.sarif
 
 echo "=== audit smoke (independent solution verifier) ==="
 for seed in 1 2 3; do

@@ -1,0 +1,230 @@
+//! Fixture-driven tests for the `mebl-analyze` rule engine, plus the
+//! workspace self-gate: every diagnostic code has a violating fixture
+//! that fires it and a clean fixture that is silent, and the workspace
+//! itself analyzes clean.
+//!
+//! Fixtures live in `crates/analyze/fixtures/MEBLxxx/` (a directory the
+//! workspace walker deliberately skips) and are mounted into synthetic
+//! in-memory workspaces at rule-appropriate paths.
+
+use std::path::Path;
+
+use mebl_analyze::{analyze, Workspace, RULES};
+
+/// Reads one fixture file for a diagnostic code.
+fn fixture(code: &str, name: &str) -> String {
+    let path = format!("{}/fixtures/{code}/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// A one-crate workspace holding `src` at `rel`.
+fn file_ws(rel: &str, src: &str) -> Workspace {
+    let short = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap();
+    let manifest = format!("[package]\nname = \"mebl-{short}\"\n");
+    let layering = format!("[[layer]]\nname = \"only\"\ncrates = [\"{short}\"]\n");
+    Workspace::in_memory(&[(rel, src)], &[(short, &manifest)], &layering).unwrap()
+}
+
+/// Asserts the violating fixture fires `code` (and nothing else) and
+/// the clean fixture is silent, when mounted at `rel`.
+fn check_pair(code: &str, rel: &str) {
+    let diags = analyze(&file_ws(rel, &fixture(code, "violating.rs"))).unwrap();
+    assert!(!diags.is_empty(), "{code}: violating fixture fired nothing");
+    for d in &diags {
+        assert_eq!(d.code, code, "{code}: unexpected cross-fire {d}");
+        assert_eq!(d.file, rel);
+        assert!(d.line >= 1, "{code}: diagnostic without a line: {d}");
+    }
+    let diags = analyze(&file_ws(rel, &fixture(code, "clean.rs"))).unwrap();
+    assert!(diags.is_empty(), "{code}: clean fixture fired {diags:?}");
+}
+
+#[test]
+fn file_rule_fixtures() {
+    check_pair("MEBL001", "crates/geom/src/a.rs");
+    check_pair("MEBL002", "crates/geom/src/a.rs");
+    check_pair("MEBL003", "crates/global/src/router.rs");
+    check_pair("MEBL004", "crates/route/src/api.rs");
+    check_pair("MEBL005", "crates/geom/src/a.rs");
+    check_pair("MEBL006", "crates/geom/src/a.rs");
+    check_pair("MEBL007", "crates/route/src/api.rs");
+    check_pair("MEBL008", "crates/detailed/src/router.rs");
+    check_pair("MEBL010", "crates/route/src/api.rs");
+    check_pair("MEBL011", "crates/assign/src/ilp.rs");
+}
+
+#[test]
+fn allowlist_fixtures_mebl009() {
+    // A real violation whose raw line matches the clean allowlist entry.
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f(v: &[u32]) -> u32 {\n    \
+               *v.first().unwrap() // justified: bounds checked above\n\
+               }\n";
+    let mut ws = file_ws("crates/geom/src/lib.rs", src);
+    ws.allow_text = fixture("MEBL009", "clean.txt");
+    let diags = analyze(&ws).unwrap();
+    assert!(diags.is_empty(), "live entry should suppress: {diags:?}");
+
+    let mut ws = file_ws("crates/geom/src/lib.rs", src);
+    ws.allow_text = fixture("MEBL009", "violating.txt");
+    let diags = analyze(&ws).unwrap();
+    assert!(
+        diags.iter().any(|d| d.code == "MEBL009"),
+        "stale entry not reported: {diags:?}"
+    );
+    // The unsuppressed violation still surfaces alongside the stale entry.
+    assert!(diags.iter().any(|d| d.code == "MEBL001"), "{diags:?}");
+}
+
+/// Two-layer workspace: `geom` (foundation) below `route` (engine).
+fn two_layer_ws(geom_lib: &str, layering: &str) -> Workspace {
+    Workspace::in_memory(
+        &[("crates/geom/src/lib.rs", geom_lib)],
+        &[
+            ("geom", "[package]\nname = \"mebl-geom\"\n"),
+            ("route", "[package]\nname = \"mebl-route\"\n"),
+        ],
+        layering,
+    )
+    .unwrap()
+}
+
+#[test]
+fn layering_fixtures_mebl012() {
+    let layers = fixture("MEBL013", "clean.toml");
+    let diags = analyze(&two_layer_ws(&fixture("MEBL012", "violating.rs"), &layers)).unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "MEBL012");
+    assert!(diags[0].message.contains("mebl_route"), "{}", diags[0]);
+
+    let diags = analyze(&two_layer_ws(&fixture("MEBL012", "clean.rs"), &layers)).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn layering_decl_fixtures_mebl013() {
+    let lib = fixture("MEBL016", "clean.rs"); // a minimal compliant lib.rs
+    let diags = analyze(&two_layer_ws(&lib, &fixture("MEBL013", "violating.toml"))).unwrap();
+    // `route` is unplaced and `ghost` is unknown: two declaration errors.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.code == "MEBL013"));
+    assert!(diags.iter().any(|d| d.message.contains("route")));
+    assert!(diags.iter().any(|d| d.message.contains("ghost")));
+
+    let diags = analyze(&two_layer_ws(&lib, &fixture("MEBL013", "clean.toml"))).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// Workspace with the tracked `RouteError` enum and one consumer file
+/// in a crate layered above the engine.
+fn taxonomy_ws(consumer: &str) -> Workspace {
+    let defining = "pub enum RouteError {\n    Seen(String),\n    Lost,\n}\n";
+    let layering = "\
+[[layer]]
+name = \"engine\"
+crates = [\"route\"]
+
+[[layer]]
+name = \"witness\"
+crates = [\"viz\"]
+";
+    Workspace::in_memory(
+        &[
+            ("crates/route/src/budget.rs", defining),
+            ("crates/viz/src/consumer.rs", consumer),
+        ],
+        &[
+            ("route", "[package]\nname = \"mebl-route\"\n"),
+            (
+                "viz",
+                "[package]\nname = \"mebl-viz\"\n[dependencies]\nmebl-route.workspace = true\n",
+            ),
+        ],
+        layering,
+    )
+    .unwrap()
+}
+
+#[test]
+fn taxonomy_fixtures_mebl014_mebl015() {
+    for (code, variantless) in [("MEBL014", "constructed"), ("MEBL015", "matched")] {
+        let diags = analyze(&taxonomy_ws(&fixture(code, "violating.rs"))).unwrap();
+        assert_eq!(diags.len(), 1, "{code}: {diags:?}");
+        assert_eq!(diags[0].code, code);
+        assert_eq!(diags[0].file, "crates/route/src/budget.rs");
+        assert!(
+            diags[0].message.contains("RouteError::Lost")
+                && diags[0].message.contains(&format!("never {variantless}")),
+            "{}",
+            diags[0]
+        );
+
+        let diags = analyze(&taxonomy_ws(&fixture(code, "clean.rs"))).unwrap();
+        assert!(diags.is_empty(), "{code}: {diags:?}");
+    }
+}
+
+#[test]
+fn forbid_unsafe_fixtures_mebl016() {
+    let diags = analyze(&file_ws(
+        "crates/geom/src/lib.rs",
+        &fixture("MEBL016", "violating.rs"),
+    ))
+    .unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "MEBL016");
+    assert_eq!((diags[0].line, diags[0].col), (1, 1));
+
+    let diags = analyze(&file_ws(
+        "crates/geom/src/lib.rs",
+        &fixture("MEBL016", "clean.rs"),
+    ))
+    .unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    for rule in RULES {
+        let dir = format!("{}/fixtures/{}", env!("CARGO_MANIFEST_DIR"), rule.code);
+        let stems: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{}: no fixture dir ({e})", rule.code))
+            .flatten()
+            .filter_map(|e| {
+                Path::new(&e.file_name())
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().to_string())
+            })
+            .collect();
+        for want in ["violating", "clean"] {
+            assert!(
+                stems.iter().any(|s| s == want),
+                "{}: missing `{want}.*` fixture",
+                rule.code
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_is_clean_under_its_own_analyzer() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let ws = Workspace::load(root).unwrap();
+    assert!(ws.files.len() >= 40, "walker found only {}", ws.files.len());
+    let diags = analyze(&ws).unwrap();
+    assert!(
+        diags.is_empty(),
+        "the workspace must pass its own gate; findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

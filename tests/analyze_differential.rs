@@ -1,0 +1,446 @@
+//! Differential gate for the scanner replacement: the retired
+//! string-stripping lint (copied below, behavior-preserving) and the
+//! lexer-backed `mebl-analyze` legacy rules must produce bit-identical
+//! `(file, line, rule, message)` hit streams over every `.rs` file in
+//! the workspace. This is the contract that allowed deleting
+//! `crates/xtask/src/lint.rs`.
+//!
+//! The marker spellings the old scanner greps raw lines for are
+//! assembled with `concat!` so this file never flags itself.
+
+use mebl_analyze::workspace::Workspace;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("workspace root")
+}
+
+#[test]
+fn old_and_new_scanners_agree_on_every_workspace_file() {
+    let ws = Workspace::load(&workspace_root()).expect("load workspace");
+    assert!(
+        ws.files.len() >= 40,
+        "suspiciously few files: {}",
+        ws.files.len()
+    );
+    let mut mismatches = Vec::new();
+    for file in &ws.files {
+        let mut old: Vec<(String, usize, String, String)> = legacy::lint_source(&file.rel, &file.text)
+            .into_iter()
+            .map(|v| (v.file, v.line, v.rule.to_string(), v.message))
+            .collect();
+        let mut new: Vec<(String, usize, String, String)> = {
+            let mut diags = Vec::new();
+            mebl_analyze::rules::legacy::check_file(file, &mut diags);
+            diags
+                .into_iter()
+                .map(|d| (d.file, d.line, d.rule.to_string(), d.message))
+                .collect()
+        };
+        old.sort();
+        new.sort();
+        if old != new {
+            mismatches.push(format!(
+                "{}:\n  old: {:?}\n  new: {:?}",
+                file.rel, old, new
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "scanner divergence on {} file(s):\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The retired scanner from `crates/xtask/src/lint.rs`, preserved
+/// verbatim in behavior (file-walking and allowlist plumbing dropped;
+/// raw-scanned marker literals assembled with `concat!`).
+mod legacy {
+    /// Crates whose whole purpose is user-facing I/O or test infrastructure.
+    const BINARY_CRATES: &[&str] = &["cli", "xtask"];
+    const HARNESS_CRATES: &[&str] = &["bench", "testkit"];
+
+    /// Files allowed to read wall clocks.
+    const CLOCK_SITES: &[&str] = &["crates/route/src/report.rs", "crates/testkit/src/bench.rs"];
+
+    const TASK_MARKERS: [&str; 2] = [concat!("TO", "DO"), concat!("FIX", "ME")];
+    const UNREACHABLE_MARK: &str = concat!("unreach", "able:");
+    const UNREACHABLE_MACRO: &str = concat!("unreach", "able!(");
+
+    /// One lint violation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Violation {
+        pub file: String,
+        pub line: usize,
+        pub rule: &'static str,
+        pub message: String,
+    }
+
+    /// The crate a workspace-relative path belongs to, if any.
+    fn crate_of(rel: &str) -> Option<&str> {
+        rel.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// Whether the no-panic rule applies to this file at all.
+    fn panic_rule_applies(rel: &str) -> bool {
+        match crate_of(rel) {
+            Some(c) => !BINARY_CRATES.contains(&c) && !HARNESS_CRATES.contains(&c),
+            // Root `tests/` files are test code.
+            None => false,
+        }
+    }
+
+    fn print_rule_applies(rel: &str) -> bool {
+        match crate_of(rel) {
+            Some(c) => !BINARY_CRATES.contains(&c) && c != "bench",
+            None => false,
+        }
+    }
+
+    fn clock_rule_applies(rel: &str) -> bool {
+        !CLOCK_SITES.contains(&rel)
+    }
+
+    fn spawn_rule_applies(rel: &str) -> bool {
+        crate_of(rel) != Some("par") && rel != "crates/xtask/src/lint.rs"
+    }
+
+    fn net_rule_applies(rel: &str) -> bool {
+        crate_of(rel) != Some("serve")
+            && rel != "crates/testkit/src/client.rs"
+            && rel != "crates/xtask/src/lint.rs"
+    }
+
+    /// Lints one file's source text.
+    pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let stripped = strip_comments_and_strings(source);
+        let test_mask = test_block_mask(&stripped);
+
+        let panic_tokens = [".unwrap()", ".expect(", "panic!("];
+        let clock_tokens = ["Instant::now", "SystemTime::now"];
+        let print_tokens = ["println!(", "print!(", "dbg!("];
+
+        for (idx, (raw, code)) in source.lines().zip(stripped.iter()).enumerate() {
+            let line = idx + 1;
+            let in_test = test_mask[idx];
+
+            for marker in TASK_MARKERS {
+                if rel == "crates/xtask/src/lint.rs" {
+                    break;
+                }
+                if let Some(pos) = raw.find(marker) {
+                    let tagged = raw[pos..].starts_with(&format!("{marker}(#"));
+                    if !tagged {
+                        violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "todo-tag",
+                            message: format!(
+                                "untagged {marker}; write `{marker}(#<issue>): ...`"
+                            ),
+                        });
+                    }
+                }
+            }
+
+            if spawn_rule_applies(rel) && contains_token(code, "thread::spawn") {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: "no-raw-spawn",
+                    message: "`thread::spawn` outside crates/par; fan out through \
+                              `mebl_par::Pool` so results stay deterministic"
+                        .to_string(),
+                });
+            }
+
+            if net_rule_applies(rel) {
+                for tok in ["TcpListener", "TcpStream"] {
+                    if contains_token(code, tok) {
+                        violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "no-raw-net",
+                            message: format!(
+                                "`{tok}` outside crates/serve; speak HTTP through \
+                                 `mebl_testkit::TestClient` instead"
+                            ),
+                        });
+                    }
+                }
+            }
+
+            if in_test {
+                continue;
+            }
+            if crate_of(rel) == Some("detailed") && contains_token(code, "BinaryHeap") {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: "no-binary-heap",
+                    message: "`BinaryHeap` in crates/detailed; the hot path uses \
+                              `mebl_graph::BucketQueue` (Dial) — see DESIGN.md §11"
+                        .to_string(),
+                });
+            }
+            if panic_rule_applies(rel) {
+                for tok in panic_tokens {
+                    if contains_token(code, tok) {
+                        violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "no-panic",
+                            message: format!("`{tok}` in library code; handle the None/Err case"),
+                        });
+                    }
+                }
+                if contains_token(code, UNREACHABLE_MACRO) || raw.contains(UNREACHABLE_MARK) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: "silent-fallback",
+                        message: "asserted-unreachable fallback in library code; \
+                                  record a Degradation or return a typed error"
+                            .to_string(),
+                    });
+                }
+            }
+            if clock_rule_applies(rel) {
+                for tok in clock_tokens {
+                    if contains_token(code, tok) {
+                        violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "no-clock",
+                            message: format!(
+                                "`{tok}` outside the sanctioned timing sites ({})",
+                                CLOCK_SITES.join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+            if print_rule_applies(rel) {
+                for tok in print_tokens {
+                    if contains_token(code, tok) {
+                        violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: "no-debug-print",
+                            message: format!("`{tok}` in a library crate; return data instead"),
+                        });
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// `print!(` must not fire on `println!(`; match only when the preceding
+    /// character cannot extend the token to the left.
+    fn contains_token(code: &str, token: &str) -> bool {
+        let guard = token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(token) {
+            let at = start + pos;
+            let prev_ok = !guard
+                || at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if prev_ok {
+                return true;
+            }
+            start = at + 1;
+        }
+        false
+    }
+
+    /// Returns the source line-by-line with comments and string-literal
+    /// contents blanked out (replaced by spaces).
+    fn strip_comments_and_strings(source: &str) -> Vec<String> {
+        #[derive(PartialEq)]
+        enum State {
+            Code,
+            BlockComment(u32),
+            Str,
+            RawStr(u32),
+        }
+        let mut state = State::Code;
+        let mut out = Vec::new();
+        for line in source.lines() {
+            let mut cleaned = String::with_capacity(line.len());
+            let mut i = 0;
+            while i < line.len() {
+                let rest = &line[i..];
+                let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+                match state {
+                    State::BlockComment(depth) => {
+                        if rest.starts_with("*/") {
+                            state = if depth > 1 {
+                                State::BlockComment(depth - 1)
+                            } else {
+                                State::Code
+                            };
+                            cleaned.push_str("  ");
+                            i += 2;
+                        } else if rest.starts_with("/*") {
+                            state = State::BlockComment(depth + 1);
+                            cleaned.push_str("  ");
+                            i += 2;
+                        } else {
+                            cleaned.push(' ');
+                            i += ch_len;
+                        }
+                    }
+                    State::Str => {
+                        if let Some(tail) = rest.strip_prefix('\\') {
+                            let esc = tail.chars().next().map_or(0, char::len_utf8);
+                            cleaned.push_str("  ");
+                            i += 1 + esc;
+                        } else if rest.starts_with('"') {
+                            state = State::Code;
+                            cleaned.push('"');
+                            i += 1;
+                        } else {
+                            cleaned.push(' ');
+                            i += ch_len;
+                        }
+                    }
+                    State::RawStr(hashes) => {
+                        let close = format!("\"{}", "#".repeat(hashes as usize));
+                        if rest.starts_with(&close) {
+                            state = State::Code;
+                            cleaned.push_str(&" ".repeat(close.len()));
+                            i += close.len();
+                        } else {
+                            cleaned.push(' ');
+                            i += ch_len;
+                        }
+                    }
+                    State::Code => {
+                        if rest.starts_with("//") {
+                            break;
+                        } else if rest.starts_with("/*") {
+                            state = State::BlockComment(1);
+                            cleaned.push_str("  ");
+                            i += 2;
+                        } else if rest.starts_with('"') {
+                            state = State::Str;
+                            cleaned.push('"');
+                            i += 1;
+                        } else if let Some(h) = raw_string_open(rest) {
+                            state = State::RawStr(h);
+                            let skip = 2 + h as usize; // r + hashes + quote
+                            cleaned.push_str(&" ".repeat(skip));
+                            i += skip;
+                        } else if let Some(len) = char_literal_len(rest) {
+                            cleaned.push_str(&" ".repeat(len));
+                            i += len;
+                        } else {
+                            cleaned.push_str(&rest[..ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+            }
+            // Unterminated normal string literals do not span lines in valid
+            // Rust unless escaped; reset conservatively.
+            if state == State::Str {
+                state = State::Code;
+            }
+            out.push(cleaned);
+        }
+        out
+    }
+
+    /// If `s` starts a character literal (not a lifetime), returns its byte
+    /// length.
+    fn char_literal_len(s: &str) -> Option<usize> {
+        let rest = s.strip_prefix('\'')?;
+        if let Some(after_esc) = rest.strip_prefix('\\') {
+            let close = after_esc.find('\'')?;
+            if close <= 8 {
+                return Some(1 + 1 + close + 1);
+            }
+            return None;
+        }
+        let mut chars = rest.chars();
+        let c = chars.next()?;
+        if chars.next()? == '\'' {
+            Some(1 + c.len_utf8() + 1)
+        } else {
+            None // lifetime such as `'a` or `'static`
+        }
+    }
+
+    /// If `s` starts a raw string literal, returns the hash count.
+    fn raw_string_open(s: &str) -> Option<u32> {
+        let rest = s.strip_prefix('r')?;
+        let hashes = rest.bytes().take_while(|&b| b == b'#').count();
+        if rest[hashes..].starts_with('"') {
+            Some(hashes as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Marks lines inside `#[cfg(test)]`-gated blocks by brace tracking over
+    /// the stripped source.
+    fn test_block_mask(stripped: &[String]) -> Vec<bool> {
+        let mut mask = vec![false; stripped.len()];
+        let mut pending = false;
+        let mut depth = 0i32;
+        for (idx, line) in stripped.iter().enumerate() {
+            if depth > 0 {
+                mask[idx] = true;
+                depth += brace_delta(line);
+                if depth <= 0 {
+                    depth = 0;
+                }
+                continue;
+            }
+            if pending {
+                mask[idx] = true;
+                if line.contains('{') {
+                    pending = false;
+                    depth = brace_delta(line);
+                    if depth <= 0 {
+                        depth = 0;
+                    }
+                } else if line.contains(';') {
+                    pending = false;
+                }
+                continue;
+            }
+            if line.contains("#[cfg(test)]") {
+                mask[idx] = true;
+                pending = true;
+            }
+        }
+        mask
+    }
+
+    fn brace_delta(line: &str) -> i32 {
+        let mut d = 0;
+        for c in line.chars() {
+            match c {
+                '{' => d += 1,
+                '}' => d -= 1,
+                _ => {}
+            }
+        }
+        d
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the `mebl-analyze` lexer: random token soups and
+//! raw byte noise, checked for total partitioning, correct literal
+//! classification, and blanked code views — with shrinking via
+//! `mebl-testkit` generators.
+
+use mebl_analyze::lexer::{lex, TokenKind};
+use mebl_analyze::view::CodeView;
+use mebl_testkit::prop::{ints, vecs, Config};
+use mebl_testkit::{prop_assert, prop_check};
+
+/// A sentinel that must never survive into blanked code lines when it
+/// only ever appears inside literals or comments.
+const MARK: &str = "ZQXJ";
+
+/// Renders one synthesized snippet from three generator knobs; returns
+/// the text and whether it is a string-class literal (plain or raw).
+fn snippet(kind: i32, a: i32, b: i32) -> (String, bool) {
+    let hashes = "#".repeat((a.rem_euclid(3) + 1) as usize);
+    match kind.rem_euclid(10) {
+        0 => (["alpha", "r", "br", "matches", "unwrap_or"][a.rem_euclid(5) as usize].into(), false),
+        1 => (format!("{}", a.rem_euclid(1000)), false),
+        2 => (["::", "=>", "+=", "==", "{", "}", "(", ")", ".", ","][a.rem_euclid(10) as usize].into(), false),
+        3 => (format!("\"{MARK} esc\\n q\\\" {}\"", b.rem_euclid(10)), true),
+        4 => {
+            // A fake closer with one hash fewer than the real delimiter.
+            let fake = "#".repeat(a.rem_euclid(3) as usize);
+            (format!("r{hashes}\"{MARK} \"{fake} in {}\"{hashes}", b.rem_euclid(10)), true)
+        }
+        5 => (format!("/* a /* {MARK} */ b {} */", b.rem_euclid(10)), false),
+        6 => (format!("// {MARK} line {}\n", b.rem_euclid(10)), false),
+        7 => (["'x'", "'\\n'", "'\\''", "'\\\\'"][a.rem_euclid(4) as usize].into(), false),
+        8 => (["'a", "'static", "'_"][a.rem_euclid(3) as usize].into(), false),
+        _ => ("\n".into(), false),
+    }
+}
+
+#[test]
+fn prop_lexer_partitions_synthesized_token_soup() {
+    prop_check!(
+        Config::with_cases(48),
+        vecs((ints(0i32..10), ints(0i32..1000), ints(0i32..1000)), 0..24),
+        |pieces| {
+            let mut src = String::new();
+            let mut strings = 0usize;
+            for &(kind, a, b) in &pieces {
+                let (text, is_string) = snippet(kind, a, b);
+                src.push_str(&text);
+                src.push(' '); // keep snippet boundaries from gluing
+                strings += usize::from(is_string);
+            }
+            let tokens = lex(&src);
+            // Total partition: spans tile the input exactly.
+            let mut pos = 0;
+            for t in &tokens {
+                prop_assert!(t.start == pos, "gap at byte {pos}");
+                prop_assert!(t.end > t.start, "empty token at {pos}");
+                pos = t.end;
+            }
+            prop_assert!(pos == src.len(), "lexer stopped early at {pos}");
+            // Every string-class snippet lexes to exactly one literal.
+            let lexed_strings = tokens
+                .iter()
+                .filter(|t| {
+                    matches!(t.kind, TokenKind::Str { .. } | TokenKind::RawStr { .. })
+                })
+                .count();
+            prop_assert!(
+                lexed_strings == strings,
+                "expected {strings} string literals, lexed {lexed_strings}"
+            );
+            // The sentinel only ever sits in literals and comments, so it
+            // must be blanked out of every code line.
+            let (_, view) = CodeView::new(&src);
+            for (i, line) in view.code_lines.iter().enumerate() {
+                prop_assert!(!line.contains(MARK), "sentinel leaked on line {}", i + 1);
+            }
+            prop_assert!(view.raw_lines.len() == view.code_lines.len());
+        }
+    );
+}
+
+#[test]
+fn prop_lexer_total_on_arbitrary_noise() {
+    // Bytes drawn from the characters most likely to confuse a Rust
+    // lexer: quote kinds, hashes, escapes, comment openers, lifetimes.
+    const PALETTE: &[char] = &[
+        '"', '\'', '#', '\\', 'r', 'b', 'a', '/', '*', '{', '}', '\n', ' ', '0', '!', ':', '€',
+    ];
+    prop_check!(
+        Config::with_cases(96),
+        vecs(ints(0i32..17), 0..60),
+        |picks| {
+            let src: String = picks
+                .iter()
+                .map(|&i| PALETTE[i.rem_euclid(PALETTE.len() as i32) as usize])
+                .collect();
+            let tokens = lex(&src);
+            let mut pos = 0;
+            for t in &tokens {
+                prop_assert!(t.start == pos && t.end > t.start, "bad span at {pos}");
+                pos = t.end;
+            }
+            prop_assert!(pos == src.len(), "lexer lost bytes: {pos}/{}", src.len());
+            // Views stay line-synchronized even on garbage input.
+            let (_, view) = CodeView::new(&src);
+            prop_assert!(view.raw_lines.len() == view.code_lines.len());
+            prop_assert!(view.raw_lines.len() == view.test_mask.len());
+        }
+    );
+}
+
+#[test]
+fn prop_roundtrip_raw_strings_and_comments() {
+    // Focused round-trips: a raw string with n hashes containing fake
+    // closers, and a block comment nested k deep, must each lex to one
+    // token covering the whole construct.
+    prop_check!(
+        Config::with_cases(64),
+        (ints(1i32..4), ints(1i32..5), ints(0i32..100)),
+        |(hashes, depth, salt)| {
+            let h = "#".repeat(hashes as usize);
+            let raw = format!(
+                "r{h}\"{MARK} \"{} fake {salt}\"{h}",
+                "#".repeat((hashes - 1) as usize)
+            );
+            let tokens = lex(&raw);
+            prop_assert!(tokens.len() == 1, "raw string split into {}", tokens.len());
+            prop_assert!(
+                matches!(tokens[0].kind, TokenKind::RawStr { terminated: true, .. }),
+                "bad kind {:?}",
+                tokens[0].kind
+            );
+
+            let mut comment = String::new();
+            for _ in 0..depth {
+                comment.push_str("/* x ");
+            }
+            comment.push_str(&format!("{MARK} {salt}"));
+            for _ in 0..depth {
+                comment.push_str(" */");
+            }
+            let tokens = lex(&comment);
+            prop_assert!(tokens.len() == 1, "nested comment split into {}", tokens.len());
+            prop_assert!(
+                matches!(tokens[0].kind, TokenKind::BlockComment { terminated: true, .. }),
+                "bad kind {:?}",
+                tokens[0].kind
+            );
+
+            // Char-vs-lifetime: `'a'` is a char, `'a` beside it stays a
+            // lifetime, and neither disturbs a following string.
+            let mixed = format!("let c = 'x'; fn f<'a>(v: &'a str) {{ v }} \"{salt}\"");
+            let tokens = lex(&mixed);
+            let chars = tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+            let lifetimes = tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+            let strs = tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokenKind::Str { terminated: true }))
+                .count();
+            prop_assert!(chars == 1, "chars: {chars}");
+            prop_assert!(lifetimes == 2, "lifetimes: {lifetimes}");
+            prop_assert!(strs == 1, "strings: {strs}");
+        }
+    );
+}

@@ -1,0 +1,5 @@
+//! MEBL017 fixture: durable state flows through the store API instead
+//! of raw filesystem calls.
+pub fn f(payload: &[u8]) -> usize {
+    payload.len()
+}

@@ -1,0 +1,5 @@
+//! MEBL017 fixture: direct filesystem access outside the persistence
+//! layer.
+pub fn f(path: &str) -> bool {
+    std::fs::metadata(path).is_ok()
+}

@@ -251,6 +251,20 @@ pub const RULES: &[RuleInfo] = &[
                     previously an unchecked convention; this rule makes a missing or \
                     removed attribute a gate failure.",
     },
+    RuleInfo {
+        code: "MEBL017",
+        name: "no-raw-fs",
+        severity: Severity::Error,
+        summary: "`std::fs` is confined to the persistence layer (crates/store, \
+                  crates/analyze, binaries and harnesses)",
+        rationale: "All durable state flows through `mebl_store::Store`, whose `Io` \
+                    trait is the single injectable seam the crash-matrix harness drives. \
+                    A stage or service crate touching the filesystem directly would \
+                    bypass valid-prefix recovery, checksum verification and fsync policy, \
+                    and its failure modes would be invisible to fault injection. The \
+                    analyzer's workspace walker, the CLI's file arguments and the \
+                    bench/xtask drivers are the sanctioned direct users.",
+    },
 ];
 
 /// Looks up a rule by code (`MEBL010`) or name (`no-std-hashmap`).

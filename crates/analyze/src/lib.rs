@@ -11,11 +11,11 @@
 //!   manifest's dependency edges, the layering declaration
 //!   (`crates/analyze/layering.toml`) and the allowlist;
 //! * a **rule engine** ([`rules`]) emitting stable diagnostic codes
-//!   (`MEBL001`…`MEBL016`, see [`diag::RULES`]) with `file:line:col`
+//!   (`MEBL001`…`MEBL017`, see [`diag::RULES`]) with `file:line:col`
 //!   spans: the eight legacy lint rules, determinism (std hash maps,
 //!   raw cost arithmetic), layering (declared crate DAG), taxonomy
-//!   completeness (failure variants constructed *and* matched) and
-//!   forbid-unsafe verification;
+//!   completeness (failure variants constructed *and* matched),
+//!   forbid-unsafe verification and filesystem confinement;
 //! * **renderers** ([`output`]) for text, JSON and SARIF 2.1.0.
 //!
 //! The shrink-only allowlist (`crates/xtask/lint-allow.txt`) carries
@@ -80,6 +80,7 @@ pub fn analyze(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
     for file in &ws.files {
         rules::legacy::check_file(file, &mut raw);
         rules::determinism::check_file(file, &mut raw);
+        rules::rawfs::check_file(file, &mut raw);
     }
     rules::layering::check(ws, &mut raw);
     rules::taxonomy::check(ws, &mut raw);

@@ -40,13 +40,12 @@ pub fn parse_cargo_toml(rel: &str, text: &str) -> Result<Manifest, String> {
         let key = key.trim();
         let value = value.trim();
         match section.as_str() {
-            "package" => {
-                if key == "name" {
-                    name = Some(unquote(value).ok_or_else(|| {
-                        format!("{rel}:{}: unquoted package name", idx + 1)
-                    })?);
-                }
+            "package" if key == "name" => {
+                name = Some(unquote(value).ok_or_else(|| {
+                    format!("{rel}:{}: unquoted package name", idx + 1)
+                })?);
             }
+            "package" => {}
             "dependencies" | "dev-dependencies" => {
                 // `mebl-geom.workspace = true` or `mebl-geom = { … }`.
                 let dep = key.split('.').next().unwrap_or(key).trim().to_string();

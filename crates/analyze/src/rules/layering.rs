@@ -27,7 +27,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             .layering
             .layers
             .iter()
-            .filter(|l| l.crates.iter().any(|c| *c == krate.short))
+            .filter(|l| l.crates.contains(&krate.short))
             .count();
         match hits {
             0 => out.push(decl_diag(format!(

@@ -4,6 +4,7 @@
 pub mod determinism;
 pub mod layering;
 pub mod legacy;
+pub mod rawfs;
 pub mod taxonomy;
 pub mod unsafecode;
 

@@ -1,0 +1,100 @@
+//! MEBL017: `std::fs` is confined to the persistence layer.
+//!
+//! Durable state goes through `mebl_store::Store` (whose `Io` trait is
+//! the injectable seam the fault harness drives), and the only other
+//! legitimate direct filesystem users are the analyzer's workspace
+//! walker and the binary/harness crates (CLI file arguments, xtask
+//! drivers, bench report writers, testkit bench output). A stage or
+//! service crate opening files directly would bypass crash recovery
+//! and make its I/O invisible to fault injection.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::workspace::{crate_of, SourceFile, BINARY_CRATES, HARNESS_CRATES};
+
+use super::{col_at, find_token};
+
+/// Library crates whose job *is* filesystem access: the crash-safe
+/// store and the analyzer's workspace walker.
+const FS_CRATES: &[&str] = &["store", "analyze"];
+
+/// Whether the no-raw-fs rule applies to this file.
+fn fs_rule_applies(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(c) => {
+            !BINARY_CRATES.contains(&c) && !HARNESS_CRATES.contains(&c) && !FS_CRATES.contains(&c)
+        }
+        // Root `tests/` files are test code.
+        None => false,
+    }
+}
+
+/// Runs MEBL017 over one file.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !fs_rule_applies(file.rel.as_str()) {
+        return;
+    }
+    for (idx, code) in file.view.code_lines.iter().enumerate() {
+        if file.view.test_mask[idx] {
+            continue;
+        }
+        if let Some(pos) = find_token(code, "std::fs") {
+            out.push(Diagnostic {
+                code: "MEBL017",
+                rule: "no-raw-fs",
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: idx + 1,
+                col: col_at(code, pos),
+                message: "`std::fs` outside the persistence layer; durable state goes \
+                          through `mebl_store::Store` (or its `Io` seam) so crash \
+                          recovery and fault injection stay centralized"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn diags_for(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let short = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("geom");
+        let manifest = format!("[package]\nname = \"mebl-{short}\"\n");
+        let layering = format!("[[layer]]\nname = \"only\"\ncrates = [\"{short}\"]\n");
+        let ws = Workspace::in_memory(&[(rel, src)], &[(short, &manifest)], &layering).unwrap();
+        let mut out = Vec::new();
+        check_file(&ws.files[0], &mut out);
+        out
+    }
+
+    #[test]
+    fn raw_fs_flagged_only_outside_the_persistence_layer() {
+        let src = "pub fn f() { let _ = std::fs::read(\"x\"); }\n";
+        let hits = diags_for("crates/route/src/api.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code, "MEBL017");
+        assert_eq!(hits[0].line, 1);
+
+        for exempt in [
+            "crates/store/src/io.rs",
+            "crates/analyze/src/workspace.rs",
+            "crates/cli/src/main.rs",
+            "crates/xtask/src/servesmoke.rs",
+            "crates/testkit/src/bench.rs",
+            "crates/bench/benches/store.rs",
+        ] {
+            assert!(diags_for(exempt, src).is_empty(), "{exempt} should be exempt");
+        }
+    }
+
+    #[test]
+    fn test_blocks_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::fs::read(\"x\"); }\n}\n";
+        assert!(diags_for("crates/route/src/api.rs", src).is_empty());
+    }
+}

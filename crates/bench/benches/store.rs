@@ -1,0 +1,106 @@
+//! Persistence-layer latency benchmark for `mebl-store`.
+//!
+//! Measures the three costs the serve tier pays for durability, against
+//! the real filesystem (a throwaway directory under the OS temp root):
+//!
+//! - `store/append_fsync_always` — one `put` with a sync per record,
+//!   the durability-before-acknowledge configuration the daemon
+//!   defaults to.
+//! - `store/append_fsync_never` — the same `put` with syncs deferred,
+//!   isolating frame encode + buffered write from fsync cost.
+//! - `store/cold_rebuild` — a full `Store::open_fs` over the populated
+//!   directory: segment scan, checksum verification, index rebuild.
+//!   This is the restart-path cost the crash-recovery design trades
+//!   for having no separate index file.
+//! - `store/disk_hit` — a `get` that misses the serve LRU and is
+//!   served from a segment with checksum re-verification.
+//!
+//! Written to `results/bench_store.json` and gated by `xtask benchgate`
+//! in `scripts/ci.sh`.
+
+use mebl_route::Stopwatch;
+use mebl_store::{FsyncPolicy, Store, StoreConfig};
+use mebl_testkit::bench::BenchSuite;
+use mebl_testkit::{Rng, SplitMix64};
+use std::path::{Path, PathBuf};
+
+const APPEND_SAMPLES: usize = 150;
+const REBUILD_SAMPLES: usize = 20;
+const HIT_SAMPLES: usize = 200;
+const PAYLOAD_LEN: usize = 256;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mebl-bench-store-{}-{tag}", std::process::id()))
+}
+
+fn config(dir: &Path, fsync: FsyncPolicy) -> StoreConfig {
+    let mut cfg = StoreConfig::new(dir.to_string_lossy().into_owned());
+    cfg.fsync = fsync;
+    cfg
+}
+
+fn payload(seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::from_seed(seed);
+    (0..PAYLOAD_LEN).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn bench_appends(suite: &mut BenchSuite, fsync: FsyncPolicy, case: &str) {
+    let dir = scratch_dir(case);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = Store::open_fs(config(&dir, fsync)).expect("open scratch store");
+    let mut samples = Vec::with_capacity(APPEND_SAMPLES);
+    for i in 0..APPEND_SAMPLES as u64 {
+        let body = payload(i);
+        let sw = Stopwatch::start();
+        store.put(i, 0xbe9c, &body).expect("append");
+        samples.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    suite.record_manual(format!("store/{case}"), samples);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_rebuild_and_hits(suite: &mut BenchSuite) {
+    let dir = scratch_dir("rebuild");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = config(&dir, FsyncPolicy::Never);
+    {
+        let (store, _) = Store::open_fs(cfg.clone()).expect("open scratch store");
+        for i in 0..HIT_SAMPLES as u64 {
+            store.put(i, 0xbe9c, &payload(i)).expect("populate");
+        }
+        store.sync().expect("settle scratch store");
+    }
+
+    let mut rebuilds = Vec::with_capacity(REBUILD_SAMPLES);
+    for _ in 0..REBUILD_SAMPLES {
+        let sw = Stopwatch::start();
+        let (store, report) = Store::open_fs(cfg.clone()).expect("cold rebuild");
+        rebuilds.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert_eq!(report.live_records, HIT_SAMPLES, "rebuild dropped records");
+        drop(store);
+    }
+    suite.record_manual("store/cold_rebuild", rebuilds);
+
+    let (store, _) = Store::open_fs(cfg).expect("open for reads");
+    let mut hits = Vec::with_capacity(HIT_SAMPLES);
+    for i in 0..HIT_SAMPLES as u64 {
+        let sw = Stopwatch::start();
+        let got = store.get(i, 0xbe9c).expect("disk hit");
+        hits.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert!(got.is_some(), "populated key {i} missing");
+    }
+    suite.record_manual("store/disk_hit", hits);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("store");
+    bench_appends(&mut suite, FsyncPolicy::Always, "append_fsync_always");
+    bench_appends(&mut suite, FsyncPolicy::Never, "append_fsync_never");
+    bench_rebuild_and_hits(&mut suite);
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
+}

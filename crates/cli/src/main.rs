@@ -10,6 +10,7 @@
 //!            [--time-budget ms] [--max-expansions n] [--threads n] [--json]
 //! mebl serve [--port n] [--workers n] [--queue-depth n]
 //!            [--default-budget-ms n] [--cache-capacity n]
+//!            [--store dir] [--fsync always|never|interval:<n>]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 usage error, 2 degraded result (a budget bound
@@ -26,7 +27,7 @@
 
 use mebl_route::{Pool, RouteError, Router, RouterConfig, RunBudget};
 use mebl_serve::api::{audit_response_json, error_json, route_response_json, Mode};
-use mebl_serve::{ServeConfig, Server};
+use mebl_serve::{FsyncPolicy, ServeConfig, Server};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -88,7 +89,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n] [--store dir] [--fsync always|never|interval:<n>]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
@@ -491,6 +492,17 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("bad --cache-capacity"))?;
             }
+            "--store" => {
+                config.store_dir = Some(val("--store")?.clone());
+            }
+            "--fsync" => {
+                let mode = val("--fsync")?;
+                config.store_fsync = FsyncPolicy::parse(mode).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "bad --fsync {mode} (expected always, never or interval:<n>)"
+                    ))
+                })?;
+            }
             other => return Err(CliError::usage(format!("serve: unknown flag {other}"))),
         }
     }
@@ -504,6 +516,9 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
         "serving with {} worker(s), queue depth {} (close stdin or POST /shutdown to drain)",
         config.workers, config.queue_depth
     );
+    if let Some(dir) = &config.store_dir {
+        eprintln!("persistent result store at {dir}");
+    }
 
     let handle = server.handle();
     // Role 0 serves; role 1 watches stdin and requests a drain at EOF.

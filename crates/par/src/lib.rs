@@ -11,7 +11,9 @@
 //! Design constraints, enforced by `xtask lint`:
 //! - zero dependencies; scoped `std` threads only, no detached spawns;
 //! - no panics in library code — worker panics are *propagated* to the
-//!   caller via [`std::panic::resume_unwind`], never swallowed;
+//!   caller via [`std::panic::resume_unwind`], never silently swallowed
+//!   (the one sanctioned recovery point is [`supervise`], which turns a
+//!   panic into a typed `Err` for service supervision);
 //! - clock-free: scheduling uses an atomic cursor, not timers.
 //!
 //! Cancellation is cooperative and stays with the caller: closures are
@@ -201,6 +203,31 @@ impl Pool {
 /// Roles typically coordinate through shared state that tells the
 /// others to finish (a latch, a closed queue); `run_scoped` itself
 /// imposes no protocol beyond "all roles return".
+/// Runs `f`, converting a panic into `Err` with the panic message.
+///
+/// This is the workspace's *only* sanctioned panic boundary: the rest
+/// of this crate propagates worker panics to the caller, but a service
+/// worker pool must survive one bad job. Supervision lives here — not
+/// in each caller — so `catch_unwind` stays confined behind the pool
+/// abstraction and the service layer deals only in a typed result.
+pub fn supervise<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 pub fn run_scoped<F>(roles: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -353,6 +380,21 @@ mod tests {
             }));
             assert!(result.is_err(), "bad_role = {bad_role}");
         }
+    }
+
+    #[test]
+    fn supervise_passes_values_and_types_panics() {
+        assert_eq!(supervise(|| 41 + 1), Ok(42));
+        assert_eq!(
+            supervise(|| -> u32 { panic!("boom") }),
+            Err("boom".to_string())
+        );
+        assert_eq!(
+            supervise(|| -> u32 { panic!("formatted {}", 7) }),
+            Err("formatted 7".to_string())
+        );
+        let odd = supervise(|| -> u32 { std::panic::panic_any(1234u64) });
+        assert_eq!(odd, Err("non-string panic payload".to_string()));
     }
 
     #[test]

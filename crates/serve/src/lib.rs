@@ -40,10 +40,11 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use mebl_control::CancelToken;
 use mebl_route::{RouteError, Router, RunBudget, Stopwatch};
+use mebl_store::{Store, StoreConfig};
+pub use mebl_store::FsyncPolicy;
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
@@ -78,6 +79,18 @@ pub struct ServeConfig {
     pub io_timeout: Option<Duration>,
     /// Largest accepted request body, in bytes.
     pub max_body: usize,
+    /// Directory of the persistent second cache tier (`None` disables
+    /// it: memory-only, the pre-store behavior).
+    pub store_dir: Option<String>,
+    /// When store appends are fsynced.
+    pub store_fsync: FsyncPolicy,
+    /// Store auto-compaction threshold: dead-record percentage
+    /// (0 disables compaction).
+    pub store_compact_pct: u8,
+    /// Fault hook for the supervision test: a job whose `seed` matches
+    /// panics inside the worker instead of routing. Never set outside
+    /// tests; not reachable from the CLI.
+    pub inject_panic_seed: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -90,8 +103,34 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             io_timeout: Some(Duration::from_secs(10)),
             max_body: 4 << 20,
+            store_dir: None,
+            store_fsync: FsyncPolicy::Always,
+            store_compact_pct: 60,
+            inject_panic_seed: None,
         }
     }
+}
+
+/// Fingerprint every stored record is tagged with: a hash of the
+/// stored-payload encoding version. Bump the string when the
+/// `status ‖ body` encoding (or response schema compatibility) changes,
+/// and old records become typed misses instead of wrong answers.
+fn store_fingerprint() -> u64 {
+    mebl_store::fnv1a(b"mebl-serve stored-response v1")
+}
+
+/// Encodes a cacheable response for the store: status (u16 LE) ‖ body.
+fn encode_stored(status: u16, body: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(2 + body.len());
+    bytes.extend_from_slice(&status.to_le_bytes());
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// Decodes a stored record back into `(status, body)`.
+fn decode_stored(bytes: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let status = u16::from_le_bytes([*bytes.first()?, *bytes.get(1)?]);
+    Some((status, bytes[2..].to_vec()))
 }
 
 /// What the daemon did over its lifetime, reported when `run` returns.
@@ -196,6 +235,10 @@ struct Shared {
     queue: JobQueue,
     metrics: Metrics,
     cache: ResultCache,
+    /// Persistent second cache tier, when mounted.
+    store: Option<Store>,
+    /// Fingerprint stored records are written and verified under.
+    store_fp: u64,
     draining: AtomicBool,
     /// Latched by shutdown; composed into every job's cancel token.
     interrupt: CancelToken,
@@ -204,6 +247,7 @@ struct Shared {
     io_timeout: Option<Duration>,
     max_body: usize,
     workers: usize,
+    inject_panic_seed: Option<u64>,
 }
 
 /// A cloneable handle for observing and draining a running server.
@@ -256,6 +300,17 @@ impl Server {
     /// Binds the listener and builds the shared state. The server does
     /// not serve until [`Server::run`] is called.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let mut store_cfg = StoreConfig::new(dir.clone());
+                store_cfg.fsync = config.store_fsync;
+                store_cfg.compact_dead_pct = config.store_compact_pct;
+                let (store, _recovery) = Store::open_fs(store_cfg)
+                    .map_err(|e| std::io::Error::other(format!("store at {dir}: {e}")))?;
+                Some(store)
+            }
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -266,6 +321,8 @@ impl Server {
                 queue: JobQueue::new(config.queue_depth),
                 metrics: Metrics::default(),
                 cache: ResultCache::new(config.cache_capacity),
+                store,
+                store_fp: store_fingerprint(),
                 draining: AtomicBool::new(false),
                 // Armed (but boundless) so `cancel` latches; an inert
                 // token would make shutdown unobservable to jobs.
@@ -275,6 +332,7 @@ impl Server {
                 io_timeout: config.io_timeout,
                 max_body: config.max_body,
                 workers: config.workers.max(1),
+                inject_panic_seed: config.inject_panic_seed,
             }),
         })
     }
@@ -440,6 +498,7 @@ impl Server {
                         self.shared.queue.len(),
                         self.shared.in_flight.load(Ordering::SeqCst),
                         self.shared.cache.len(),
+                        self.shared.store.as_ref().map(Store::len),
                     )
                     .encode(),
             ),
@@ -536,6 +595,25 @@ impl Server {
         }
         m.cache_misses.inc();
 
+        // Second tier: the persistent store. A disk hit is promoted
+        // into the LRU; any store failure degrades to memory-only and
+        // runs the job — the store can make a request faster, never
+        // fail it.
+        if let Some(store) = &self.shared.store {
+            match store.get(key, self.shared.store_fp) {
+                Ok(Some(bytes)) => {
+                    if let Some((status, body)) = decode_stored(&bytes) {
+                        m.store_hits.inc();
+                        self.shared.cache.put(key, status, body.clone());
+                        return Response::json(status, body).with_header("x-cache", "disk");
+                    }
+                    m.store_errors.inc();
+                }
+                Ok(None) => m.store_misses.inc(),
+                Err(_) => m.store_errors.inc(),
+            }
+        }
+
         let work = Stopwatch::start();
         let (response, cacheable) = self.execute(endpoint, &job, &circuit);
         m.work_hist.observe(work.elapsed());
@@ -544,6 +622,12 @@ impl Server {
             self.shared
                 .cache
                 .put(key, response.status, response.body.clone());
+            if let Some(store) = &self.shared.store {
+                let stored = encode_stored(response.status, &response.body);
+                if store.put(key, self.shared.store_fp, &stored).is_err() {
+                    m.store_errors.inc();
+                }
+            }
         }
         response.with_header("x-cache", "miss")
     }
@@ -561,7 +645,14 @@ impl Server {
         let circuit_name = job.bench.as_deref().unwrap_or("inline").to_string();
         let router = Router::new(job.router_config(self.shared.default_budget));
 
-        let result = catch_unwind(AssertUnwindSafe(|| {
+        // Supervision: a panicking job must cost one typed 500, not the
+        // worker thread. The unwind boundary lives in `mebl_par` so the
+        // pool abstraction owns it; `run_scoped` would otherwise tear
+        // the whole server down on the first bad job.
+        let result = mebl_par::supervise(|| {
+            if self.shared.inject_panic_seed.is_some_and(|seed| seed == job.seed) {
+                std::panic::panic_any("injected fault: panic_on_seed".to_string());
+            }
             let outcome = router.try_route_under(circuit, interrupt)?;
             let body = match endpoint {
                 Endpoint::Route => {
@@ -580,15 +671,15 @@ impl Server {
                 }
             };
             Ok((body, outcome.is_degraded()))
-        }));
+        });
 
         match result {
-            Err(_panic) => {
-                m.internal_errors.inc();
+            Err(_panic_message) => {
+                m.worker_panics.inc();
                 (
                     Response::json(
                         500,
-                        error_json("internal", "job panicked; see server logs").encode(),
+                        error_json("worker-panic", "job panicked; worker recovered").encode(),
                     ),
                     false,
                 )
@@ -673,6 +764,19 @@ mod tests {
         assert!(handle.is_draining());
         assert!(server.shared.interrupt.is_cancelled_now());
         assert!(server.shared.queue.pop().is_none());
+    }
+
+    #[test]
+    fn stored_payloads_round_trip() {
+        let bytes = encode_stored(200, br#"{"status":"ok"}"#);
+        assert_eq!(
+            decode_stored(&bytes),
+            Some((200, br#"{"status":"ok"}"#.to_vec()))
+        );
+        // An empty body is legal; a truncated header is not.
+        assert_eq!(decode_stored(&encode_stored(503, b"")), Some((503, Vec::new())));
+        assert_eq!(decode_stored(&[0x01]), None);
+        assert_eq!(decode_stored(&[]), None);
     }
 
     #[test]

@@ -116,6 +116,16 @@ pub struct Metrics {
     pub budget_exhausted: Counter,
     /// Jobs that panicked internally and returned 500.
     pub internal_errors: Counter,
+    /// Jobs whose panic was caught by worker supervision (also 500;
+    /// the pool stays alive).
+    pub worker_panics: Counter,
+    /// Responses served from the persistent store tier.
+    pub store_hits: Counter,
+    /// Jobs that missed both cache tiers.
+    pub store_misses: Counter,
+    /// Store reads/writes that failed (the job still ran; the store
+    /// degrades to memory-only).
+    pub store_errors: Counter,
     /// Jobs that completed with recorded degradations.
     pub degraded: Counter,
     /// Jobs that completed clean (200, no degradations).
@@ -134,8 +144,16 @@ pub struct Metrics {
 
 impl Metrics {
     /// Serializes every counter and histogram, plus the caller-supplied
-    /// gauges that live outside this struct.
-    pub fn to_json(&self, queue_depth: usize, in_flight: usize, cache_len: usize) -> Json {
+    /// gauges that live outside this struct. `store_records` is `None`
+    /// when no persistent store is mounted (rendered as JSON null, so
+    /// "disabled" and "empty" stay distinguishable).
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        cache_len: usize,
+        store_records: Option<usize>,
+    ) -> Json {
         Json::obj(vec![
             ("requests", Json::Int(self.requests.get() as i64)),
             ("route_requests", Json::Int(self.route_requests.get() as i64)),
@@ -151,6 +169,14 @@ impl Metrics {
             ("invalid_circuits", Json::Int(self.invalid_circuits.get() as i64)),
             ("budget_exhausted", Json::Int(self.budget_exhausted.get() as i64)),
             ("internal_errors", Json::Int(self.internal_errors.get() as i64)),
+            ("worker_panics", Json::Int(self.worker_panics.get() as i64)),
+            ("store_hits", Json::Int(self.store_hits.get() as i64)),
+            ("store_misses", Json::Int(self.store_misses.get() as i64)),
+            ("store_errors", Json::Int(self.store_errors.get() as i64)),
+            (
+                "store_records",
+                store_records.map_or(Json::Null, |n| Json::Int(n as i64)),
+            ),
             ("degraded", Json::Int(self.degraded.get() as i64)),
             ("clean", Json::Int(self.clean.get() as i64)),
             ("disconnects", Json::Int(self.disconnects.get() as i64)),
@@ -189,12 +215,17 @@ mod tests {
         let m = Metrics::default();
         m.requests.inc();
         m.cache_hits.inc();
-        let json = m.to_json(3, 1, 7);
+        let json = m.to_json(3, 1, 7, None);
         assert_eq!(json.get("requests").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(json.get("in_flight").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("cache_entries").and_then(Json::as_u64), Some(7));
+        assert_eq!(json.get("worker_panics").and_then(Json::as_u64), Some(0));
         assert!(json.get("work_latency").is_some());
+        // Store gauges: null while disabled, a number once mounted.
+        assert!(matches!(json.get("store_records"), Some(Json::Null)));
+        let json = m.to_json(3, 1, 7, Some(5));
+        assert_eq!(json.get("store_records").and_then(Json::as_u64), Some(5));
     }
 }

@@ -1,0 +1,177 @@
+//! The on-disk record format.
+//!
+//! A segment file is a plain concatenation of frames:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       0x3146_534d ("MSF1", little-endian)
+//! 4       8     key         content hash (caller-chosen, e.g. cache key)
+//! 12      8     config_fp   config fingerprint the payload depends on
+//! 20      4     len         payload length in bytes
+//! 24      len   payload     opaque bytes
+//! 24+len  8     checksum    FNV-1a over bytes [0, 24+len)
+//! ```
+//!
+//! All integers are little-endian. The checksum covers header *and*
+//! payload, so a flipped bit anywhere in the frame — including in the
+//! length field itself — fails verification. Decoding distinguishes a
+//! *torn* frame (the buffer ends mid-frame: the normal crash tail,
+//! recovered by truncation) from a *corrupt* one (bad magic, an absurd
+//! length, or a checksum mismatch).
+
+/// Frame magic: `MSF1` read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"MSF1");
+
+/// Fixed header size (magic + key + config_fp + len).
+pub const HEADER_LEN: usize = 24;
+
+/// Trailing checksum size.
+pub const TRAILER_LEN: usize = 8;
+
+/// Sanity cap on a single payload; a decoded length above this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does — a torn append.
+    Torn,
+    /// The bytes at the offset are not a frame (bad magic or an
+    /// implausible length).
+    Malformed,
+    /// Frame-shaped, but the checksum does not match.
+    ChecksumMismatch,
+}
+
+/// A decoded frame's metadata; the payload stays borrowed in the
+/// segment buffer at `[payload_off, payload_off + payload_len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedFrame {
+    pub key: u64,
+    pub config_fp: u64,
+    pub payload_off: usize,
+    pub payload_len: usize,
+    /// Offset of the next frame (i.e. this frame's total end).
+    pub next_off: usize,
+}
+
+/// Encodes one record as a frame.
+#[must_use]
+pub fn encode(key: u64, config_fp: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&key.to_le_bytes());
+    frame.extend_from_slice(&config_fp.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let checksum = crate::fnv1a(&frame);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+/// Total encoded size of a record with `payload_len` payload bytes.
+#[must_use]
+pub fn frame_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len + TRAILER_LEN
+}
+
+fn u32_at(buf: &[u8], off: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(off..off + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+fn u64_at(buf: &[u8], off: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(off..off + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// Decodes (and checksum-verifies) the frame starting at `off`.
+pub fn decode_at(buf: &[u8], off: usize) -> Result<DecodedFrame, FrameError> {
+    if off >= buf.len() || buf.len() - off < HEADER_LEN {
+        return Err(FrameError::Torn);
+    }
+    let magic = u32_at(buf, off).ok_or(FrameError::Torn)?;
+    if magic != MAGIC {
+        return Err(FrameError::Malformed);
+    }
+    let key = u64_at(buf, off + 4).ok_or(FrameError::Torn)?;
+    let config_fp = u64_at(buf, off + 12).ok_or(FrameError::Torn)?;
+    let payload_len = u32_at(buf, off + 20).ok_or(FrameError::Torn)? as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Malformed);
+    }
+    let body_end = off + HEADER_LEN + payload_len;
+    let next_off = body_end + TRAILER_LEN;
+    if next_off > buf.len() {
+        return Err(FrameError::Torn);
+    }
+    let stored = u64_at(buf, body_end).ok_or(FrameError::Torn)?;
+    let computed = crate::fnv1a(&buf[off..body_end]);
+    if stored != computed {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok(DecodedFrame {
+        key,
+        config_fp,
+        payload_off: off + HEADER_LEN,
+        payload_len,
+        next_off,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = encode(0xdead_beef, 42, b"payload bytes");
+        assert_eq!(frame.len(), frame_len(13));
+        let d = decode_at(&frame, 0).unwrap();
+        assert_eq!(d.key, 0xdead_beef);
+        assert_eq!(d.config_fp, 42);
+        assert_eq!(&frame[d.payload_off..d.payload_off + d.payload_len], b"payload bytes");
+        assert_eq!(d.next_off, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = encode(1, 2, b"");
+        let d = decode_at(&frame, 0).unwrap();
+        assert_eq!(d.payload_len, 0);
+    }
+
+    #[test]
+    fn every_truncation_is_torn() {
+        let frame = encode(7, 8, b"abcdefgh");
+        for cut in 0..frame.len() {
+            assert_eq!(decode_at(&frame[..cut], 0), Err(FrameError::Torn), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let frame = encode(7, 8, b"abcdefgh");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode_at(&bad, 0).is_err(), "byte={byte} bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_malformed_not_alloc() {
+        let mut frame = encode(7, 8, b"x");
+        frame[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_at(&frame, 0), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn garbage_at_offset_is_malformed() {
+        let buf = vec![0xAAu8; 64];
+        assert_eq!(decode_at(&buf, 0), Err(FrameError::Malformed));
+    }
+}

@@ -1,0 +1,192 @@
+//! The injectable filesystem surface.
+//!
+//! Everything the store does to disk goes through [`Io`], so the fault
+//! harness can swap in [`SimIo`](crate::SimIo) and make the
+//! "filesystem" die between any two syscalls. [`StdIo`] is the
+//! production implementation over `std::fs` — by workspace rule
+//! MEBL017 (`no-raw-fs`) this module is one of the only places library
+//! code may touch `std::fs` at all.
+
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// A typed I/O failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The simulated process has died; every subsequent operation on
+    /// the same [`Io`](crate::Io) fails with this until "reboot".
+    Crashed,
+    /// Any other failure, with the OS (or simulator) detail.
+    Failed(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::NotFound(path) => write!(f, "not found: {path}"),
+            IoError::Crashed => write!(f, "simulated crash: process died mid-syscall"),
+            IoError::Failed(detail) => write!(f, "io failure: {detail}"),
+        }
+    }
+}
+
+impl IoError {
+    fn from_std(path: &str, e: &std::io::Error) -> IoError {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            IoError::NotFound(path.to_string())
+        } else {
+            IoError::Failed(format!("{path}: {e}"))
+        }
+    }
+}
+
+/// The store's entire filesystem vocabulary. Implementations must be
+/// shareable across the serve worker pool.
+pub trait Io: Send + Sync {
+    /// Creates `dir` (and parents) if missing; succeeds if present.
+    fn create_dir_all(&self, dir: &str) -> Result<(), IoError>;
+    /// File names (not paths) directly inside `dir`, sorted.
+    fn list(&self, dir: &str) -> Result<Vec<String>, IoError>;
+    /// Reads a whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, IoError>;
+    /// Reads up to `len` bytes at `offset` (short only at end of file).
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, IoError>;
+    /// Appends `bytes`, creating the file if needed. Returns how many
+    /// bytes actually landed — a *short* count means a torn tail is now
+    /// on disk and the caller must restore its invariant.
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<usize, IoError>;
+    /// Truncates the file to `len` bytes.
+    fn truncate(&self, path: &str, len: u64) -> Result<(), IoError>;
+    /// Flushes the file's data to stable storage.
+    fn sync(&self, path: &str) -> Result<(), IoError>;
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &str, to: &str) -> Result<(), IoError>;
+    /// Removes a file; succeeds if already absent.
+    fn remove(&self, path: &str) -> Result<(), IoError>;
+    /// The file's length, or `None` if it does not exist.
+    fn file_len(&self, path: &str) -> Result<Option<u64>, IoError>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl Io for StdIo {
+    fn create_dir_all(&self, dir: &str) -> Result<(), IoError> {
+        std::fs::create_dir_all(dir).map_err(|e| IoError::from_std(dir, &e))
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>, IoError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| IoError::from_std(dir, &e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| IoError::from_std(dir, &e))?;
+            if entry.file_type().map_err(|e| IoError::from_std(dir, &e))?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, IoError> {
+        std::fs::read(path).map_err(|e| IoError::from_std(path, &e))
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        let mut file =
+            std::fs::File::open(path).map_err(|e| IoError::from_std(path, &e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| IoError::from_std(path, &e))?;
+        let mut buf = Vec::with_capacity(len);
+        file.take(len as u64)
+            .read_to_end(&mut buf)
+            .map_err(|e| IoError::from_std(path, &e))?;
+        Ok(buf)
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<usize, IoError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| IoError::from_std(path, &e))?;
+        file.write_all(bytes)
+            .map_err(|e| IoError::from_std(path, &e))?;
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), IoError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| IoError::from_std(path, &e))?;
+        file.set_len(len).map_err(|e| IoError::from_std(path, &e))
+    }
+
+    fn sync(&self, path: &str) -> Result<(), IoError> {
+        let file = std::fs::File::open(path).map_err(|e| IoError::from_std(path, &e))?;
+        file.sync_all().map_err(|e| IoError::from_std(path, &e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), IoError> {
+        std::fs::rename(from, to).map_err(|e| IoError::from_std(from, &e))
+    }
+
+    fn remove(&self, path: &str) -> Result<(), IoError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(IoError::from_std(path, &e)),
+        }
+    }
+
+    fn file_len(&self, path: &str) -> Result<Option<u64>, IoError> {
+        match std::fs::metadata(path) {
+            Ok(meta) => Ok(Some(meta.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(IoError::from_std(path, &e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir()
+            .join(format!("mebl_store_io_{}_{tag}", std::process::id()));
+        let dir = dir.to_string_lossy().into_owned();
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn std_io_round_trips() {
+        let io = StdIo;
+        let dir = tmp_dir("rt");
+        io.create_dir_all(&dir).unwrap();
+        let path = format!("{dir}/a.dat");
+        assert_eq!(io.file_len(&path).unwrap(), None);
+        assert_eq!(io.append(&path, b"hello ").unwrap(), 6);
+        assert_eq!(io.append(&path, b"world").unwrap(), 5);
+        io.sync(&path).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello world");
+        assert_eq!(io.read_at(&path, 6, 5).unwrap(), b"world");
+        // Reads past end come back short, not failed.
+        assert_eq!(io.read_at(&path, 9, 100).unwrap(), b"ld");
+        io.truncate(&path, 5).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+        assert_eq!(io.file_len(&path).unwrap(), Some(5));
+        let moved = format!("{dir}/b.dat");
+        io.rename(&path, &moved).unwrap();
+        assert_eq!(io.list(&dir).unwrap(), vec!["b.dat".to_string()]);
+        io.remove(&moved).unwrap();
+        io.remove(&moved).unwrap(); // idempotent
+        assert!(matches!(io.read(&moved), Err(IoError::NotFound(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

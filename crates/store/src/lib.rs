@@ -1,0 +1,75 @@
+//! A crash-safe, content-addressed, append-only result store.
+//!
+//! `mebl-store` gives the routing service a second cache tier that
+//! survives restarts: records (a content key, a config fingerprint and
+//! an opaque payload) are appended as length-prefixed, checksummed
+//! frames to numbered segment files, and startup rebuilds the in-memory
+//! index by scanning those segments. Recovery follows the classic
+//! *valid-prefix* rule — each segment is trusted up to the first torn
+//! or corrupt frame and truncated there — so a power cut mid-append
+//! loses at most the record that was in flight, never earlier ones.
+//!
+//! Design goals, in order:
+//!
+//! 1. **No wrong payloads, ever.** Every frame carries an FNV-1a
+//!    checksum over header and payload; it is verified during recovery
+//!    *and* again on every [`Store::get`], so torn writes and bit flips
+//!    surface as a typed [`StoreError`] or a skipped record, never as
+//!    corrupt bytes handed to a caller.
+//! 2. **Every file operation is injectable.** The store talks to disk
+//!    only through the [`Io`] trait. Production uses [`StdIo`]
+//!    (`std::fs`); tests use [`SimIo`], an in-memory filesystem that
+//!    can die between any two syscalls, short-write, truncate and flip
+//!    bits on a deterministic schedule — the crash-matrix test in
+//!    `tests/store.rs` replays a scripted workload against *every*
+//!    crash point and proves the recovery contract exhaustively.
+//! 3. **Durability is a policy, not a guess.** [`FsyncPolicy`] decides
+//!    when appends are synced; under [`FsyncPolicy::Always`] a `put`
+//!    that returns `Ok` is durable (it survives [`SimIo::reboot`], the
+//!    simulated power cut).
+//!
+//! The crate is zero-dependency, clock-free and panic-free library
+//! code; concurrency is a single internal mutex (the in-memory LRU tier
+//! above it absorbs hot traffic).
+
+#![forbid(unsafe_code)]
+
+pub mod frame;
+pub mod io;
+pub mod sim;
+pub mod store;
+
+pub use crate::io::{Io, IoError, StdIo};
+pub use crate::sim::SimIo;
+pub use crate::store::{
+    FsyncPolicy, RecoveryReport, Store, StoreConfig, StoreError, StoreStats,
+};
+
+/// FNV-1a offset basis (same constants as `mebl-serve`'s cache keys).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

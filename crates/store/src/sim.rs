@@ -1,0 +1,364 @@
+//! A deterministic in-memory filesystem with schedulable faults.
+//!
+//! [`SimIo`] is the store's crash harness: a cloneable handle onto a
+//! shared in-memory file table that counts every syscall and can be
+//! told to *die* at operation `k` (all later calls fail with
+//! [`IoError::Crashed`]), to short-write an append, or — between
+//! "boots" — to truncate files and flip bits like a corrupt disk.
+//!
+//! The durability model is deliberately adversarial:
+//!
+//! - appended bytes live in a volatile tail until [`Io::sync`] is
+//!   called on the file; [`SimIo::reboot`] (the simulated power cut)
+//!   discards everything past the last synced length;
+//! - metadata operations (`create_dir_all`, `rename`, `remove`) are
+//!   atomic and durable at the moment they succeed — the usual
+//!   journalling-filesystem simplification;
+//! - a crash during `append` leaves a *torn* tail (a prefix of the
+//!   requested bytes) in the volatile region, so unsynced torn frames
+//!   both exist before reboot and vanish after it.
+//!
+//! Operation counting covers every [`Io`] method, which is what lets
+//! `tests/store.rs` enumerate crash points exhaustively: run a script
+//! once fault-free to learn the total op count `T`, then replay it `T`
+//! times, dying at each `k < T`.
+
+use crate::io::{Io, IoError};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// One simulated file.
+#[derive(Debug, Default, Clone)]
+struct SimFile {
+    data: Vec<u8>,
+    /// Prefix length guaranteed to survive [`SimIo::reboot`].
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<String, SimFile>,
+    dirs: Vec<String>,
+    /// Total syscalls observed (ticks even on the crashing op).
+    ops: u64,
+    /// Die when the op counter reaches this value.
+    crash_at: Option<u64>,
+    /// `(op, keep)`: at op index `op`, an `append` writes only the
+    /// first `keep` bytes and reports the short count honestly.
+    short_write: Option<(u64, usize)>,
+    /// Latched once the crash point fires.
+    crashed: bool,
+}
+
+/// A cloneable handle onto one simulated filesystem.
+#[derive(Debug, Default, Clone)]
+pub struct SimIo {
+    state: Arc<Mutex<SimState>>,
+}
+
+fn lock(state: &Mutex<SimState>) -> MutexGuard<'_, SimState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SimIo {
+    /// A fresh, empty, fault-free filesystem.
+    #[must_use]
+    pub fn new() -> SimIo {
+        SimIo::default()
+    }
+
+    /// Schedules the process to die on syscall `op` (0-based over the
+    /// whole filesystem's lifetime so far).
+    pub fn crash_at_op(&self, op: u64) {
+        lock(&self.state).crash_at = Some(op);
+    }
+
+    /// Schedules syscall `op`, if it is an `append`, to persist only
+    /// its first `keep` bytes.
+    pub fn short_write_at_op(&self, op: u64, keep: usize) {
+        lock(&self.state).short_write = Some((op, keep));
+    }
+
+    /// Syscalls observed so far.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        lock(&self.state).ops
+    }
+
+    /// Whether the scheduled crash has fired.
+    #[must_use]
+    pub fn has_crashed(&self) -> bool {
+        lock(&self.state).crashed
+    }
+
+    /// Simulates a power cut + restart: unsynced bytes are discarded,
+    /// the crashed latch and all fault schedules are cleared. The op
+    /// counter keeps running.
+    pub fn reboot(&self) {
+        let mut st = lock(&self.state);
+        for file in st.files.values_mut() {
+            file.data.truncate(file.synced_len);
+        }
+        st.crashed = false;
+        st.crash_at = None;
+        st.short_write = None;
+    }
+
+    /// Disk-corruption helper: truncates `path` to `len` bytes without
+    /// counting as a syscall (this is the *disk* lying, not the store
+    /// acting).
+    pub fn corrupt_truncate(&self, path: &str, len: usize) {
+        let mut st = lock(&self.state);
+        if let Some(file) = st.files.get_mut(path) {
+            file.data.truncate(len);
+            file.synced_len = file.synced_len.min(len);
+        }
+    }
+
+    /// Disk-corruption helper: flips bit `bit` of byte `offset`.
+    pub fn corrupt_flip_bit(&self, path: &str, offset: usize, bit: u8) {
+        let mut st = lock(&self.state);
+        if let Some(file) = st.files.get_mut(path) {
+            if let Some(byte) = file.data.get_mut(offset) {
+                *byte ^= 1 << (bit & 7);
+            }
+        }
+    }
+
+    /// Paths of every simulated file, sorted.
+    #[must_use]
+    pub fn file_paths(&self) -> Vec<String> {
+        lock(&self.state).files.keys().cloned().collect()
+    }
+
+    /// The current byte length of `path`, if it exists.
+    #[must_use]
+    pub fn file_size(&self, path: &str) -> Option<usize> {
+        lock(&self.state).files.get(path).map(|f| f.data.len())
+    }
+
+    /// Ticks the op counter; returns `Err` if the process is (now)
+    /// dead. `true` in the `Ok` means *this* op is the crashing one:
+    /// the caller applies its partial effect, then fails.
+    fn tick(st: &mut SimState) -> Result<bool, IoError> {
+        if st.crashed {
+            return Err(IoError::Crashed);
+        }
+        let op = st.ops;
+        st.ops += 1;
+        if st.crash_at == Some(op) {
+            st.crashed = true;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Whether the current (just-ticked) op has a short-write schedule.
+    fn short_len(st: &mut SimState) -> Option<usize> {
+        let current = st.ops.saturating_sub(1);
+        if let Some((op, keep)) = st.short_write {
+            if op == current {
+                st.short_write = None;
+                return Some(keep);
+            }
+        }
+        None
+    }
+}
+
+impl Io for SimIo {
+    fn create_dir_all(&self, dir: &str) -> Result<(), IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        if !st.dirs.iter().any(|d| d == dir) {
+            st.dirs.push(dir.to_string());
+        }
+        if dying {
+            return Err(IoError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>, IoError> {
+        let mut st = lock(&self.state);
+        if SimIo::tick(&mut st)? {
+            return Err(IoError::Crashed);
+        }
+        let prefix = format!("{dir}/");
+        let mut names: Vec<String> = st
+            .files
+            .keys()
+            .filter_map(|path| path.strip_prefix(&prefix))
+            .filter(|rest| !rest.contains('/'))
+            .map(str::to_string)
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, IoError> {
+        let mut st = lock(&self.state);
+        if SimIo::tick(&mut st)? {
+            return Err(IoError::Crashed);
+        }
+        st.files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| IoError::NotFound(path.to_string()))
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, IoError> {
+        let mut st = lock(&self.state);
+        if SimIo::tick(&mut st)? {
+            return Err(IoError::Crashed);
+        }
+        let file = st
+            .files
+            .get(path)
+            .ok_or_else(|| IoError::NotFound(path.to_string()))?;
+        let start = (offset as usize).min(file.data.len());
+        let end = start.saturating_add(len).min(file.data.len());
+        Ok(file.data[start..end].to_vec())
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<usize, IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        let short = SimIo::short_len(&mut st);
+        let file = st.files.entry(path.to_string()).or_default();
+        if dying {
+            // A torn tail: half the frame reaches the volatile page
+            // cache before the process dies.
+            let keep = bytes.len() / 2;
+            file.data.extend_from_slice(&bytes[..keep]);
+            return Err(IoError::Crashed);
+        }
+        let keep = short.unwrap_or(bytes.len()).min(bytes.len());
+        file.data.extend_from_slice(&bytes[..keep]);
+        Ok(keep)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        let Some(file) = st.files.get_mut(path) else {
+            return Err(IoError::NotFound(path.to_string()));
+        };
+        file.data.truncate(len as usize);
+        file.synced_len = file.synced_len.min(len as usize);
+        if dying {
+            return Err(IoError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn sync(&self, path: &str) -> Result<(), IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        if dying {
+            // Died *during* fsync: the data may or may not have hit the
+            // platter. Model the pessimistic half — nothing new became
+            // durable — so acknowledged-implies-durable is only claimed
+            // for syncs that returned.
+            return Err(IoError::Crashed);
+        }
+        let Some(file) = st.files.get_mut(path) else {
+            return Err(IoError::NotFound(path.to_string()));
+        };
+        file.synced_len = file.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        if dying {
+            return Err(IoError::Crashed);
+        }
+        let Some(file) = st.files.remove(from) else {
+            return Err(IoError::NotFound(from.to_string()));
+        };
+        // Renames are atomic + durable; what was synced stays synced.
+        st.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<(), IoError> {
+        let mut st = lock(&self.state);
+        let dying = SimIo::tick(&mut st)?;
+        st.files.remove(path);
+        if dying {
+            return Err(IoError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn file_len(&self, path: &str) -> Result<Option<u64>, IoError> {
+        let mut st = lock(&self.state);
+        if SimIo::tick(&mut st)? {
+            return Err(IoError::Crashed);
+        }
+        Ok(st.files.get(path).map(|f| f.data.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_bytes_die_at_reboot() {
+        let sim = SimIo::new();
+        sim.append("d/a", b"durable").unwrap();
+        sim.sync("d/a").unwrap();
+        sim.append("d/a", b" volatile").unwrap();
+        assert_eq!(sim.read("d/a").unwrap(), b"durable volatile");
+        sim.reboot();
+        assert_eq!(sim.read("d/a").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn crash_latches_and_tears_appends() {
+        let sim = SimIo::new();
+        sim.append("d/a", b"ok").unwrap(); // op 0
+        sim.crash_at_op(1);
+        let err = sim.append("d/a", b"abcdef").unwrap_err(); // op 1: dies
+        assert_eq!(err, IoError::Crashed);
+        assert!(sim.has_crashed());
+        // Half the frame landed in the volatile tail before death.
+        assert_eq!(sim.file_size("d/a"), Some(2 + 3));
+        assert_eq!(sim.read("d/a").unwrap_err(), IoError::Crashed);
+        sim.reboot();
+        // Nothing was synced, so reboot loses everything.
+        assert_eq!(sim.read("d/a").unwrap(), b"");
+    }
+
+    #[test]
+    fn short_write_keeps_prefix_and_reports_it() {
+        let sim = SimIo::new();
+        sim.short_write_at_op(0, 3);
+        assert_eq!(sim.append("d/a", b"abcdef").unwrap(), 3);
+        assert_eq!(sim.read("d/a").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn corruption_helpers_do_not_count_ops() {
+        let sim = SimIo::new();
+        sim.append("d/a", b"\x00\x00").unwrap();
+        sim.sync("d/a").unwrap();
+        let ops = sim.op_count();
+        sim.corrupt_flip_bit("d/a", 0, 1);
+        sim.corrupt_truncate("d/a", 1);
+        assert_eq!(sim.op_count(), ops);
+        assert_eq!(sim.read("d/a").unwrap(), b"\x02");
+    }
+
+    #[test]
+    fn list_is_directory_scoped() {
+        let sim = SimIo::new();
+        sim.append("d/a", b"x").unwrap();
+        sim.append("d/sub/b", b"x").unwrap();
+        sim.append("e/c", b"x").unwrap();
+        assert_eq!(sim.list("d").unwrap(), vec!["a".to_string()]);
+    }
+}

@@ -1,0 +1,821 @@
+//! The store proper: segmented append-only log + in-memory index.
+//!
+//! Layout inside the store directory:
+//!
+//! ```text
+//! MANIFEST                  "mebl-store 1\ngeneration <g>\n"
+//! seg-<gen>-<num>.dat       frame stream (see `frame`)
+//! ```
+//!
+//! The manifest is a generation pointer, nothing more: segments are
+//! *discovered* by listing the directory, so a normal append never
+//! rewrites the manifest. Compaction rewrites live records into
+//! generation `g+1`, commits by atomically renaming a fresh manifest
+//! over the old one, then deletes the old generation's files — a crash
+//! anywhere in that sequence leaves either the old or the new
+//! generation fully intact, and [`Store::open`] removes whichever side
+//! lost as stray files.
+//!
+//! Recovery (in [`Store::open`]) is valid-prefix per segment: frames
+//! are scanned from offset 0 and the file is truncated at the first
+//! torn, malformed or checksum-failing frame. Within the surviving
+//! record stream, a later frame for the same key overrides an earlier
+//! one, which is what makes plain appends double as updates and leaves
+//! "dead" records for compaction to reclaim.
+
+use crate::frame;
+use crate::io::{Io, IoError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST";
+/// Scratch name the manifest is staged under before its atomic rename.
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+/// Manifest format header.
+const MANIFEST_HEADER: &str = "mebl-store 1";
+
+/// When appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: `put` returning `Ok` means durable.
+    Always,
+    /// Sync every `n` appends (and on segment roll / explicit sync);
+    /// a crash can lose up to the last `n - 1` acknowledged records.
+    Interval(u32),
+    /// Never sync except on segment roll and compaction commit.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI knob: `always`, `never` or `interval:<n>`.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<FsyncPolicy> {
+        match text {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => text
+                .strip_prefix("interval:")?
+                .parse::<u32>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(FsyncPolicy::Interval),
+        }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Directory holding manifest + segments (created if missing).
+    pub dir: String,
+    /// Durability policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Roll to a new segment once the tail would exceed this.
+    pub segment_max_bytes: u64,
+    /// Auto-compact when `dead / total` exceeds this percentage
+    /// (0 disables auto-compaction).
+    pub compact_dead_pct: u8,
+    /// Never auto-compact below this many total records, so tiny
+    /// stores do not churn.
+    pub compact_min_records: u64,
+}
+
+impl StoreConfig {
+    /// Defaults: fsync always, 4 MiB segments, compact at 60% dead.
+    #[must_use]
+    pub fn new(dir: impl Into<String>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 4 << 20,
+            compact_dead_pct: 60,
+            compact_min_records: 64,
+        }
+    }
+}
+
+/// A typed store failure. The contract: a fault yields one of these or
+/// a clean recovery — never a panic, never a wrong payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying I/O failed.
+    Io(IoError),
+    /// A frame failed re-verification on read: the payload was *not*
+    /// returned.
+    Corrupt {
+        /// Segment file containing the bad frame.
+        path: String,
+        /// Frame offset within that file.
+        offset: u64,
+    },
+    /// A failed append could not be rolled back, so the tail invariant
+    /// is unknown; the store refuses further writes (reads stay up).
+    /// Reopen to recover.
+    Wedged,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::Corrupt { path, offset } => {
+                write!(f, "corrupt frame in {path} at offset {offset}")
+            }
+            StoreError::Wedged => {
+                write!(f, "store is wedged after an unrecoverable append failure")
+            }
+        }
+    }
+}
+
+impl From<IoError> for StoreError {
+    fn from(e: IoError) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`Store::open`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation the store recovered into.
+    pub generation: u64,
+    /// Segment files scanned.
+    pub segments_scanned: usize,
+    /// Frames that checksum-verified (live + dead).
+    pub records_scanned: u64,
+    /// Distinct live keys in the rebuilt index.
+    pub live_records: usize,
+    /// Bytes cut off by valid-prefix truncation.
+    pub bytes_truncated: u64,
+    /// Files from losing generations / stale tmp files removed.
+    pub stray_files_removed: usize,
+    /// Whether a missing or unreadable manifest was rewritten.
+    pub manifest_rewritten: bool,
+}
+
+/// Occupancy counters for metrics and compaction decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct live keys.
+    pub live_records: usize,
+    /// All records in current segments (live + superseded).
+    pub total_records: u64,
+    /// Superseded records awaiting compaction.
+    pub dead_records: u64,
+    /// Segment file count.
+    pub segments: usize,
+    /// Current generation.
+    pub generation: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    config_fp: u64,
+    seg: u64,
+    offset: u64,
+    payload_len: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    index: BTreeMap<u64, IndexEntry>,
+    generation: u64,
+    /// Segment numbers of the current generation, ascending.
+    seg_nums: Vec<u64>,
+    /// Tail segment number (meaningful when `seg_nums` is non-empty).
+    tail_num: u64,
+    /// Byte length of the tail segment.
+    tail_len: u64,
+    /// Frames ever appended to current segments (live + dead).
+    records_total: u64,
+    /// Appends since the last successful sync of the tail.
+    unsynced_appends: u32,
+    wedged: bool,
+}
+
+/// The crash-safe result store. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+pub struct Store {
+    io: Box<dyn Io>,
+    cfg: StoreConfig,
+    inner: Mutex<Inner>,
+}
+
+/// Locks the store state, recovering on poisoning (the state is plain
+/// data and every mutation either completes or is rolled back).
+fn lock(mutex: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `seg-XXXXXX-YYYYYY.dat` → `(generation, number)`.
+fn parse_seg_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".dat")?;
+    let (gen_text, num_text) = rest.split_once('-')?;
+    if gen_text.len() != 6 || num_text.len() != 6 {
+        return None;
+    }
+    Some((gen_text.parse().ok()?, num_text.parse().ok()?))
+}
+
+fn seg_name(generation: u64, num: u64) -> String {
+    format!("seg-{generation:06}-{num:06}.dat")
+}
+
+fn parse_manifest(bytes: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != MANIFEST_HEADER {
+        return None;
+    }
+    lines.next()?.strip_prefix("generation ")?.parse().ok()
+}
+
+impl Store {
+    /// Opens (or creates) the store at `cfg.dir` over the given I/O
+    /// implementation, rebuilding the index by scanning segments.
+    pub fn open(
+        cfg: StoreConfig,
+        io: Box<dyn Io>,
+    ) -> Result<(Store, RecoveryReport), StoreError> {
+        io.create_dir_all(&cfg.dir)?;
+        let names = io.list(&cfg.dir)?;
+
+        let mut report = RecoveryReport::default();
+        let manifest_path = format!("{}/{MANIFEST}", cfg.dir);
+        let manifest_gen = if names.iter().any(|n| n == MANIFEST) {
+            match io.read(&manifest_path) {
+                Ok(bytes) => parse_manifest(&bytes),
+                Err(IoError::NotFound(_)) => None,
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        } else {
+            None
+        };
+
+        let mut segs_by_gen: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for name in &names {
+            if let Some((generation, num)) = parse_seg_name(name) {
+                segs_by_gen.entry(generation).or_default().push(num);
+            }
+        }
+        // The manifest decides the generation; without one, trust the
+        // *oldest* generation on disk (a newer one can only be an
+        // uncommitted compaction).
+        let generation = manifest_gen
+            .unwrap_or_else(|| segs_by_gen.keys().next().copied().unwrap_or(0));
+        report.generation = generation;
+
+        let mut seg_nums = segs_by_gen.remove(&generation).unwrap_or_default();
+        seg_nums.sort_unstable();
+
+        // Everything else in the directory lost a race or a crash.
+        for name in &names {
+            let keep = name == MANIFEST
+                || parse_seg_name(name).is_some_and(|(g, _)| g == generation);
+            if !keep {
+                io.remove(&format!("{}/{name}", cfg.dir))?;
+                report.stray_files_removed += 1;
+            }
+        }
+
+        let mut index = BTreeMap::new();
+        let mut tail_len = 0u64;
+        for &num in &seg_nums {
+            let path = format!("{}/{}", cfg.dir, seg_name(generation, num));
+            let buf = io.read(&path)?;
+            let mut off = 0usize;
+            while off < buf.len() {
+                match frame::decode_at(&buf, off) {
+                    Ok(d) => {
+                        index.insert(
+                            d.key,
+                            IndexEntry {
+                                config_fp: d.config_fp,
+                                seg: num,
+                                offset: off as u64,
+                                payload_len: d.payload_len as u32,
+                            },
+                        );
+                        report.records_scanned += 1;
+                        off = d.next_off;
+                    }
+                    Err(_) => {
+                        // Valid-prefix recovery: trust everything
+                        // before the first bad frame, cut the rest.
+                        report.bytes_truncated += (buf.len() - off) as u64;
+                        io.truncate(&path, off as u64)?;
+                        io.sync(&path)?;
+                        break;
+                    }
+                }
+            }
+            report.segments_scanned += 1;
+            tail_len = off as u64;
+        }
+
+        if manifest_gen.is_none() {
+            write_manifest(io.as_ref(), &cfg.dir, generation)?;
+            report.manifest_rewritten = true;
+        }
+
+        report.live_records = index.len();
+        let records_total = report.records_scanned;
+        let tail_num = seg_nums.last().copied().unwrap_or(0);
+        Ok((
+            Store {
+                io,
+                cfg,
+                inner: Mutex::new(Inner {
+                    index,
+                    generation,
+                    tail_num,
+                    tail_len,
+                    seg_nums,
+                    records_total,
+                    unsynced_appends: 0,
+                    wedged: false,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// Opens the store on the real filesystem.
+    pub fn open_fs(cfg: StoreConfig) -> Result<(Store, RecoveryReport), StoreError> {
+        Store::open(cfg, Box::new(crate::io::StdIo))
+    }
+
+    fn seg_path(&self, generation: u64, num: u64) -> String {
+        format!("{}/{}", self.cfg.dir, seg_name(generation, num))
+    }
+
+    /// Appends (or supersedes) the record for `key`. Under
+    /// [`FsyncPolicy::Always`], `Ok` means the record is durable.
+    pub fn put(&self, key: u64, config_fp: u64, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() > frame::MAX_PAYLOAD {
+            return Err(StoreError::Io(IoError::Failed(format!(
+                "payload of {} bytes exceeds the {} byte frame cap",
+                payload.len(),
+                frame::MAX_PAYLOAD
+            ))));
+        }
+        let mut inner = lock(&self.inner);
+        if inner.wedged {
+            return Err(StoreError::Wedged);
+        }
+        let encoded = frame::encode(key, config_fp, payload);
+
+        if inner.seg_nums.is_empty() {
+            inner.tail_num = 0;
+            inner.tail_len = 0;
+            inner.seg_nums.push(0);
+        } else if inner.tail_len > 0
+            && inner.tail_len + encoded.len() as u64 > self.cfg.segment_max_bytes
+        {
+            // Roll: a closing segment is always synced, so only the
+            // live tail can ever hold unsynced bytes.
+            let closing = self.seg_path(inner.generation, inner.tail_num);
+            self.io.sync(&closing)?;
+            inner.unsynced_appends = 0;
+            let next = inner.tail_num + 1;
+            inner.tail_num = next;
+            inner.tail_len = 0;
+            inner.seg_nums.push(next);
+        }
+
+        let path = self.seg_path(inner.generation, inner.tail_num);
+        let start = inner.tail_len;
+        let wrote = self.io.append(&path, &encoded);
+        let complete = matches!(wrote, Ok(n) if n == encoded.len());
+        if !complete {
+            // A torn tail is now on disk; restore the valid prefix or
+            // refuse to write anything further on top of it.
+            let restored = self
+                .io
+                .truncate(&path, start)
+                .and_then(|()| self.io.sync(&path));
+            if restored.is_err() {
+                inner.wedged = true;
+            }
+            return Err(match wrote {
+                Ok(n) => StoreError::Io(IoError::Failed(format!(
+                    "short write: {n} of {} bytes",
+                    encoded.len()
+                ))),
+                Err(e) => StoreError::Io(e),
+            });
+        }
+        inner.tail_len = start + encoded.len() as u64;
+        inner.records_total += 1;
+        inner.unsynced_appends += 1;
+
+        let need_sync = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval(n) => inner.unsynced_appends >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if need_sync {
+            // Failing here means the record is on disk but not known
+            // durable: do not acknowledge and do not index (recovery
+            // adjudicates it if the bytes survive).
+            self.io.sync(&path)?;
+            inner.unsynced_appends = 0;
+        }
+
+        let entry = IndexEntry {
+            config_fp,
+            seg: inner.tail_num,
+            offset: start,
+            payload_len: payload.len() as u32,
+        };
+        inner.index.insert(key, entry);
+
+        if self.should_compact(&inner) {
+            // Best effort: the put itself succeeded, and a failed
+            // compaction leaves the old generation fully intact.
+            let _compacted = self.compact_locked(&mut inner);
+        }
+        Ok(())
+    }
+
+    /// Fetches the payload for `key` if present *and* recorded under
+    /// the same `config_fp`. The frame is checksum-verified again on
+    /// the way out, so corruption yields [`StoreError::Corrupt`],
+    /// never wrong bytes.
+    pub fn get(&self, key: u64, config_fp: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let inner = lock(&self.inner);
+        let Some(entry) = inner.index.get(&key).copied() else {
+            return Ok(None);
+        };
+        if entry.config_fp != config_fp {
+            return Ok(None);
+        }
+        let path = self.seg_path(inner.generation, entry.seg);
+        let want = frame::frame_len(entry.payload_len as usize);
+        let buf = self.io.read_at(&path, entry.offset, want)?;
+        match frame::decode_at(&buf, 0) {
+            Ok(d) if d.key == key && d.config_fp == config_fp => {
+                Ok(Some(buf[d.payload_off..d.payload_off + d.payload_len].to_vec()))
+            }
+            _ => Err(StoreError::Corrupt {
+                path,
+                offset: entry.offset,
+            }),
+        }
+    }
+
+    /// Live record count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.inner).index.len()
+    }
+
+    /// Whether the store holds no live records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = lock(&self.inner);
+        StoreStats {
+            live_records: inner.index.len(),
+            total_records: inner.records_total,
+            dead_records: inner.records_total - inner.index.len() as u64,
+            segments: inner.seg_nums.len(),
+            generation: inner.generation,
+        }
+    }
+
+    /// Syncs the tail segment regardless of policy.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        if inner.seg_nums.is_empty() {
+            return Ok(());
+        }
+        let path = self.seg_path(inner.generation, inner.tail_num);
+        self.io.sync(&path)?;
+        inner.unsynced_appends = 0;
+        Ok(())
+    }
+
+    /// Rewrites live records into a fresh generation and removes the
+    /// old one. A crash at any point leaves one generation intact.
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        self.compact_locked(&mut inner)
+    }
+
+    fn should_compact(&self, inner: &Inner) -> bool {
+        if self.cfg.compact_dead_pct == 0 || inner.records_total < self.cfg.compact_min_records
+        {
+            return false;
+        }
+        let dead = inner.records_total - inner.index.len() as u64;
+        dead * 100 >= inner.records_total * u64::from(self.cfg.compact_dead_pct)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        let new_gen = inner.generation + 1;
+        let mut new_index: BTreeMap<u64, IndexEntry> = BTreeMap::new();
+        let mut new_segs: Vec<u64> = Vec::new();
+        let mut tail_num = 0u64;
+        let mut tail_len = 0u64;
+
+        // Copy every live, still-verifying frame into the new
+        // generation. On any I/O error, delete the partial new files
+        // and leave `inner` untouched — the old generation is current
+        // until the manifest says otherwise.
+        let mut failed: Option<StoreError> = None;
+        'copy: for (&key, entry) in &inner.index {
+            let src = self.seg_path(inner.generation, entry.seg);
+            let want = frame::frame_len(entry.payload_len as usize);
+            let buf = match self.io.read_at(&src, entry.offset, want) {
+                Ok(buf) => buf,
+                Err(e) => {
+                    failed = Some(StoreError::Io(e));
+                    break 'copy;
+                }
+            };
+            // A record that no longer verifies is dropped: it could
+            // never have been served anyway.
+            if frame::decode_at(&buf, 0).is_err() {
+                continue;
+            }
+            if !new_segs.is_empty()
+                && tail_len > 0
+                && tail_len + buf.len() as u64 > self.cfg.segment_max_bytes
+            {
+                let closing = self.seg_path(new_gen, tail_num);
+                if let Err(e) = self.io.sync(&closing) {
+                    failed = Some(StoreError::Io(e));
+                    break 'copy;
+                }
+                tail_num += 1;
+                tail_len = 0;
+                new_segs.push(tail_num);
+            }
+            if new_segs.is_empty() {
+                new_segs.push(0);
+            }
+            let dst = self.seg_path(new_gen, tail_num);
+            match self.io.append(&dst, &buf) {
+                Ok(n) if n == buf.len() => {}
+                Ok(_) | Err(_) => {
+                    failed = Some(StoreError::Io(IoError::Failed(format!(
+                        "compaction append to {dst} failed"
+                    ))));
+                    break 'copy;
+                }
+            }
+            new_index.insert(
+                key,
+                IndexEntry {
+                    config_fp: entry.config_fp,
+                    seg: tail_num,
+                    offset: tail_len,
+                    payload_len: entry.payload_len,
+                },
+            );
+            tail_len += buf.len() as u64;
+        }
+
+        // Make the whole new generation durable before committing.
+        if failed.is_none() {
+            for &num in &new_segs {
+                if let Err(e) = self.io.sync(&self.seg_path(new_gen, num)) {
+                    failed = Some(StoreError::Io(e));
+                    break;
+                }
+            }
+        }
+        if failed.is_none() {
+            if let Err(e) = write_manifest(self.io.as_ref(), &self.cfg.dir, new_gen) {
+                failed = Some(e);
+            }
+        }
+        if let Some(e) = failed {
+            for &num in &new_segs {
+                let _ = self.io.remove(&self.seg_path(new_gen, num));
+            }
+            return Err(e);
+        }
+
+        // Committed: the old generation is garbage now. Removal is
+        // best effort; open() sweeps leftovers as strays.
+        for &num in &inner.seg_nums {
+            let _ = self.io.remove(&self.seg_path(inner.generation, num));
+        }
+
+        inner.generation = new_gen;
+        inner.records_total = new_index.len() as u64;
+        inner.index = new_index;
+        inner.tail_num = tail_num;
+        inner.tail_len = tail_len;
+        inner.seg_nums = new_segs;
+        inner.unsynced_appends = 0;
+        Ok(())
+    }
+}
+
+/// Stages and atomically installs a manifest naming `generation`.
+fn write_manifest(io: &dyn Io, dir: &str, generation: u64) -> Result<(), StoreError> {
+    let tmp = format!("{dir}/{MANIFEST_TMP}");
+    let dst = format!("{dir}/{MANIFEST}");
+    io.remove(&tmp)?;
+    let content = format!("{MANIFEST_HEADER}\ngeneration {generation}\n");
+    let wrote = io.append(&tmp, content.as_bytes())?;
+    if wrote != content.len() {
+        return Err(StoreError::Io(IoError::Failed(
+            "short write staging manifest".to_string(),
+        )));
+    }
+    io.sync(&tmp)?;
+    io.rename(&tmp, &dst)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimIo;
+
+    fn sim_store(cfg: StoreConfig, sim: &SimIo) -> (Store, RecoveryReport) {
+        Store::open(cfg, Box::new(sim.clone())).expect("open store")
+    }
+
+    fn small_cfg() -> StoreConfig {
+        let mut cfg = StoreConfig::new("store");
+        cfg.segment_max_bytes = 256;
+        cfg.compact_dead_pct = 0;
+        cfg
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(
+            FsyncPolicy::parse("interval:8"),
+            Some(FsyncPolicy::Interval(8))
+        );
+        assert_eq!(FsyncPolicy::parse("interval:0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn seg_names_round_trip() {
+        assert_eq!(parse_seg_name(&seg_name(3, 14)), Some((3, 14)));
+        assert_eq!(parse_seg_name("seg-000001-00002.dat"), None);
+        assert_eq!(parse_seg_name("MANIFEST"), None);
+        assert_eq!(parse_seg_name("seg-abcdef-000001.dat"), None);
+    }
+
+    #[test]
+    fn put_get_overwrite_and_reopen() {
+        let sim = SimIo::new();
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report, RecoveryReport {
+            manifest_rewritten: true,
+            ..RecoveryReport::default()
+        });
+        assert!(store.is_empty());
+        store.put(1, 9, b"one").unwrap();
+        store.put(2, 9, b"two").unwrap();
+        store.put(1, 9, b"one v2").unwrap();
+        assert_eq!(store.get(1, 9).unwrap().as_deref(), Some(&b"one v2"[..]));
+        assert_eq!(store.get(2, 9).unwrap().as_deref(), Some(&b"two"[..]));
+        assert_eq!(store.get(3, 9).unwrap(), None);
+        // Wrong fingerprint is a miss, not an error.
+        assert_eq!(store.get(1, 8).unwrap(), None);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().dead_records, 1);
+        drop(store);
+
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report.live_records, 2);
+        assert_eq!(report.records_scanned, 3);
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(store.get(1, 9).unwrap().as_deref(), Some(&b"one v2"[..]));
+    }
+
+    #[test]
+    fn segments_roll_and_survive_reopen() {
+        let sim = SimIo::new();
+        let (store, _) = sim_store(small_cfg(), &sim);
+        let payload = [7u8; 100];
+        for key in 0..10 {
+            store.put(key, 1, &payload).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.segments > 1, "{stats:?}");
+        drop(store);
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report.live_records, 10);
+        assert_eq!(report.segments_scanned, stats.segments);
+        for key in 0..10 {
+            assert_eq!(store.get(key, 1).unwrap().as_deref(), Some(&payload[..]));
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let sim = SimIo::new();
+        let (store, _) = sim_store(small_cfg(), &sim);
+        store.put(1, 1, b"keep me").unwrap();
+        store.put(2, 1, b"tear me").unwrap();
+        drop(store);
+        let path = "store/seg-000000-000000.dat";
+        let len = sim.file_size(path).expect("segment exists");
+        sim.corrupt_truncate(path, len - 3);
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report.live_records, 1);
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(store.get(1, 1).unwrap().as_deref(), Some(&b"keep me"[..]));
+        assert_eq!(store.get(2, 1).unwrap(), None);
+        // The store keeps appending cleanly after the repair.
+        store.put(3, 1, b"after repair").unwrap();
+        drop(store);
+        let (store, _) = sim_store(small_cfg(), &sim);
+        assert_eq!(store.get(3, 1).unwrap().as_deref(), Some(&b"after repair"[..]));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_records_and_bumps_generation() {
+        let sim = SimIo::new();
+        let (store, _) = sim_store(small_cfg(), &sim);
+        for round in 0..5 {
+            for key in 0..4 {
+                store.put(key, 1, format!("round {round} key {key}").as_bytes()).unwrap();
+            }
+        }
+        assert_eq!(store.stats().dead_records, 16);
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.dead_records, 0);
+        assert_eq!(stats.live_records, 4);
+        assert_eq!(stats.generation, 1);
+        for key in 0..4 {
+            assert_eq!(
+                store.get(key, 1).unwrap().as_deref(),
+                Some(format!("round 4 key {key}").as_bytes())
+            );
+        }
+        drop(store);
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.live_records, 4);
+        assert_eq!(store.get(2, 1).unwrap().as_deref(), Some(&b"round 4 key 2"[..]));
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_ratio() {
+        let sim = SimIo::new();
+        let mut cfg = small_cfg();
+        cfg.compact_dead_pct = 50;
+        cfg.compact_min_records = 8;
+        let (store, _) = sim_store(cfg.clone(), &sim);
+        for round in 0..8 {
+            store.put(1, 1, format!("round {round}").as_bytes()).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.generation, 1, "{stats:?}");
+        assert_eq!(stats.live_records, 1);
+        assert_eq!(store.get(1, 1).unwrap().as_deref(), Some(&b"round 7"[..]));
+    }
+
+    #[test]
+    fn oversized_payload_is_refused() {
+        let sim = SimIo::new();
+        let (store, _) = sim_store(small_cfg(), &sim);
+        let payload = vec![0u8; frame::MAX_PAYLOAD + 1];
+        assert!(matches!(
+            store.put(1, 1, &payload),
+            Err(StoreError::Io(IoError::Failed(_)))
+        ));
+    }
+
+    #[test]
+    fn short_write_rolls_back_and_next_put_succeeds() {
+        let sim = SimIo::new();
+        let (store, _) = sim_store(small_cfg(), &sim);
+        store.put(1, 1, b"good").unwrap();
+        // The next append op gets torn short by the simulator.
+        let next_op = sim.op_count();
+        sim.short_write_at_op(next_op, 5);
+        assert!(matches!(store.put(2, 1, b"torn"), Err(StoreError::Io(_))));
+        // The tail was restored: appends keep working and reopen sees
+        // a clean stream.
+        store.put(3, 1, b"after").unwrap();
+        assert_eq!(store.get(3, 1).unwrap().as_deref(), Some(&b"after"[..]));
+        drop(store);
+        let (store, report) = sim_store(small_cfg(), &sim);
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(report.live_records, 2);
+        assert_eq!(store.get(1, 1).unwrap().as_deref(), Some(&b"good"[..]));
+    }
+}

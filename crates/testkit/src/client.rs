@@ -40,6 +40,14 @@ impl HttpResponse {
     }
 }
 
+/// First wait of the retry ladder in [`TestClient::post_json_retry`].
+const RETRY_BASE: Duration = Duration::from_millis(2);
+
+/// Ceiling on any single retry wait — also clamps an honored
+/// `Retry-After`, so a server advising whole seconds cannot stretch a
+/// test run into minutes.
+const RETRY_CAP: Duration = Duration::from_millis(250);
+
 /// A client pinned to one server address.
 #[derive(Debug, Clone, Copy)]
 pub struct TestClient {
@@ -97,6 +105,50 @@ impl TestClient {
     /// `POST path` with a JSON body.
     pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         self.request("POST", path, body.as_bytes())
+    }
+
+    /// `POST path` with a JSON body, retrying bounded-many times while
+    /// the server answers `429` (backpressure) or the connection fails
+    /// outright.
+    ///
+    /// The wait between attempts honors the server's `Retry-After`
+    /// header (whole seconds) when one is present, clamped to
+    /// [`RETRY_CAP`] so a harness round-trip stays bounded; without the
+    /// header it backs off exponentially from [`RETRY_BASE`]. The last
+    /// response (or error) is returned as-is once attempts run out, so
+    /// callers still observe the `429` they asked the server to emit.
+    pub fn post_json_retry(
+        &self,
+        path: &str,
+        body: &str,
+        max_attempts: u32,
+    ) -> std::io::Result<HttpResponse> {
+        let mut backoff = RETRY_BASE;
+        let mut last: Option<std::io::Result<HttpResponse>> = None;
+        for attempt in 0..max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RETRY_CAP);
+            }
+            match self.post_json(path, body) {
+                Ok(response) if response.status == 429 => {
+                    // A 429 carries advice; prefer it over blind
+                    // doubling for the *next* wait.
+                    if let Some(secs) = response
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                    {
+                        backoff = Duration::from_secs(secs).min(RETRY_CAP);
+                    }
+                    last = Some(Ok(response));
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => last = Some(Err(e)),
+            }
+        }
+        last.unwrap_or_else(|| {
+            Err(std::io::Error::other("post_json_retry: zero attempts"))
+        })
     }
 
     /// Writes raw bytes on a fresh connection and reads whatever comes

@@ -107,6 +107,90 @@ impl FaultPlan {
     }
 }
 
+/// One injected storage-I/O fault. Like [`Fault`], this is pure data:
+/// the durability suite (`tests/store.rs`) interprets each variant
+/// against `mebl-store`'s simulated filesystem and asserts the
+/// crash-safety contract — every fault yields a clean rebuild or a
+/// typed store error, never a panic and never a wrong payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Die mid-way through I/O operation number `op` (data operations
+    /// tear; everything after errors until reboot).
+    CrashAtOp {
+        /// Zero-based global operation index to crash on.
+        op: u64,
+    },
+    /// Operation `op` is an append that persists only `keep` bytes.
+    ShortWriteAtOp {
+        /// Zero-based global operation index to shorten.
+        op: u64,
+        /// Bytes of the append that actually land.
+        keep: usize,
+    },
+    /// Chop `drop` bytes off the end of the newest segment file
+    /// post-shutdown (a torn tail the next open must recover from).
+    TruncateTail {
+        /// Bytes to remove from the file end.
+        drop: u32,
+    },
+    /// Flip one stored bit of the newest segment file post-shutdown
+    /// (index wrapped modulo the file's bit length).
+    FlipStoredBit {
+        /// Bit index into the file, wrapped modulo `len * 8`.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for IoFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFault::CrashAtOp { op } => write!(f, "crash-at-op({op})"),
+            IoFault::ShortWriteAtOp { op, keep } => {
+                write!(f, "short-write-at-op({op}, keep {keep})")
+            }
+            IoFault::TruncateTail { drop } => write!(f, "truncate-tail({drop})"),
+            IoFault::FlipStoredBit { index } => write!(f, "flip-stored-bit({index})"),
+        }
+    }
+}
+
+/// A reproducible battery of storage faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// The faults, each injected against a fresh store.
+    pub faults: Vec<IoFault>,
+}
+
+impl IoFaultPlan {
+    /// The standard battery: crashes and short writes sprinkled across
+    /// the first `ops` I/O operations of a workload, plus post-shutdown
+    /// corruption, with seed-derived parameters.
+    pub fn standard(seed: u64, ops: u64) -> Self {
+        let mut rng = SplitMix64::from_seed(seed);
+        let mut faults = Vec::new();
+        for _ in 0..12 {
+            faults.push(IoFault::CrashAtOp {
+                op: rng.next_u64() % ops.max(1),
+            });
+        }
+        for _ in 0..6 {
+            faults.push(IoFault::ShortWriteAtOp {
+                op: rng.next_u64() % ops.max(1),
+                keep: rng.gen_range(0usize..48),
+            });
+        }
+        for drop in [1u32, 7, 8, 24] {
+            faults.push(IoFault::TruncateTail { drop });
+        }
+        for _ in 0..8 {
+            faults.push(IoFault::FlipStoredBit {
+                index: rng.next_u64(),
+            });
+        }
+        Self { faults }
+    }
+}
+
 /// Keeps the first `permille`/1000 bytes of `text` (clamped to a char
 /// boundary so the result stays valid UTF-8).
 pub fn truncate_text(text: &str, permille: u32) -> String {
@@ -157,6 +241,25 @@ mod tests {
             .faults
             .iter()
             .any(|f| matches!(f, Fault::FlipBit { .. })));
+    }
+
+    #[test]
+    fn standard_io_plan_is_deterministic_and_covers_all_families() {
+        let a = IoFaultPlan::standard(3, 40);
+        assert_eq!(a, IoFaultPlan::standard(3, 40));
+        assert_ne!(a, IoFaultPlan::standard(4, 40));
+        assert!(a.faults.iter().all(|f| match *f {
+            IoFault::CrashAtOp { op } | IoFault::ShortWriteAtOp { op, .. } => op < 40,
+            _ => true,
+        }));
+        for probe in [
+            |f: &IoFault| matches!(f, IoFault::CrashAtOp { .. }),
+            |f: &IoFault| matches!(f, IoFault::ShortWriteAtOp { .. }),
+            |f: &IoFault| matches!(f, IoFault::TruncateTail { .. }),
+            |f: &IoFault| matches!(f, IoFault::FlipStoredBit { .. }),
+        ] {
+            assert!(a.faults.iter().any(probe));
+        }
     }
 
     #[test]

@@ -35,5 +35,7 @@ pub mod prop;
 pub mod rng;
 
 pub use client::{HttpResponse, TestClient};
-pub use fault::{flip_bit, shuffle_lines, truncate_text, Fault, FaultPlan};
+pub use fault::{
+    flip_bit, shuffle_lines, truncate_text, Fault, FaultPlan, IoFault, IoFaultPlan,
+};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};

@@ -1,14 +1,21 @@
 //! End-to-end smoke test for the `mebl serve` daemon, run by
 //! `scripts/ci.sh` against the release binary.
 //!
-//! Drives the real process the way an operator would: spawn it on an
-//! ephemeral port, scrape the `listening on <addr>` line off stdout,
-//! route a benchmark twice through `mebl_testkit::TestClient` (the
-//! second hit must come from the cache, byte-identical), read the
-//! metrics, then close the child's stdin and require a clean exit —
-//! the graceful-drain path. No raw sockets here (`no-raw-net`): the
-//! testkit client is the only sanctioned HTTP speaker outside the
-//! service crate.
+//! Drives the real process the way an operator would, twice:
+//!
+//! 1. Spawn the daemon on an ephemeral port with a persistent result
+//!    store, scrape the `listening on <addr>` line off stdout, route a
+//!    benchmark twice through `mebl_testkit::TestClient` (the second
+//!    hit must come from the memory cache, byte-identical), read the
+//!    metrics, then close the child's stdin and require a clean exit —
+//!    the graceful-drain path.
+//! 2. Boot a fresh daemon on the *same* store directory — its LRU is
+//!    empty, so the same request must come back as an `x-cache: disk`
+//!    hit, byte-identical to the pre-restart cold response. That is the
+//!    kill-and-restart durability probe for the store tier.
+//!
+//! No raw sockets here (`no-raw-net`): the testkit client is the only
+//! sanctioned HTTP speaker outside the service crate.
 
 use mebl_testkit::TestClient;
 use std::io::{BufRead, BufReader};
@@ -21,16 +28,47 @@ use std::time::Duration;
 /// declaring the drain hung (10 s total; a drain takes milliseconds).
 const EXIT_POLLS: u32 = 200;
 
-/// Spawns `binary serve` and runs the smoke sequence against it. The
-/// child is killed on any failure so CI never leaks a daemon.
+const PAYLOAD: &str = r#"{"bench":"S5378","seed":1,"scale":0.035}"#;
+
+/// Spawns `binary serve` twice over one store directory and runs the
+/// smoke + warm-restart sequence. Children are killed on any failure so
+/// CI never leaks a daemon.
 pub fn run(binary: &Path) -> Result<(), String> {
+    let store_dir = std::env::temp_dir().join(format!("mebl-servesmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_arg = store_dir.to_string_lossy().into_owned();
+
+    let cold_body = session(binary, &store_arg, None)?;
+    println!("servesmoke: daemon drained; restarting over {store_arg}");
+    let restart_body = session(binary, &store_arg, Some(&cold_body));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    restart_body?;
+    println!("servesmoke: warm restart served a bit-identical disk hit");
+    Ok(())
+}
+
+/// One daemon lifetime. With `expect_disk: None` this is the cold
+/// session (miss, then memory hit); with `Some(body)` it is the
+/// restarted session, whose first response must be an `x-cache: disk`
+/// hit byte-identical to `body`. Returns the first response body.
+fn session(binary: &Path, store_dir: &str, expect_disk: Option<&[u8]>) -> Result<Vec<u8>, String> {
     let mut child = Command::new(binary)
-        .args(["serve", "--port", "0", "--workers", "2", "--queue-depth", "8"])
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--store",
+            store_dir,
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()
         .map_err(|e| format!("cannot spawn {}: {e}", binary.display()))?;
-    let result = drive(&mut child);
+    let result = drive(&mut child, expect_disk);
     if result.is_err() {
         let _ = child.kill();
         let _ = child.wait();
@@ -38,7 +76,7 @@ pub fn run(binary: &Path) -> Result<(), String> {
     result
 }
 
-fn drive(child: &mut Child) -> Result<(), String> {
+fn drive(child: &mut Child, expect_disk: Option<&[u8]>) -> Result<Vec<u8>, String> {
     let stdout = child.stdout.take().ok_or("child stdout was not piped")?;
     let mut line = String::new();
     BufReader::new(stdout)
@@ -53,39 +91,66 @@ fn drive(child: &mut Child) -> Result<(), String> {
     println!("servesmoke: daemon up on {addr}");
 
     let client = TestClient::new(addr).with_timeout(Duration::from_secs(120));
-    let payload = r#"{"bench":"S5378","seed":1,"scale":0.035}"#;
+    let want_first = match expect_disk {
+        Some(_) => "disk",
+        None => "miss",
+    };
 
-    let cold = client
-        .post_json("/route", payload)
-        .map_err(|e| format!("cold /route failed: {e}"))?;
-    if cold.status != 200 {
+    let first = client
+        .post_json("/route", PAYLOAD)
+        .map_err(|e| format!("first /route failed: {e}"))?;
+    if first.status != 200 {
         return Err(format!(
-            "cold /route: want 200, got {}: {}",
-            cold.status,
-            cold.body_text()
+            "first /route: want 200, got {}: {}",
+            first.status,
+            first.body_text()
         ));
     }
-    if cold.header("x-cache") != Some("miss") {
-        return Err(format!("cold /route: want x-cache miss, got {:?}", cold.header("x-cache")));
+    if first.header("x-cache") != Some(want_first) {
+        return Err(format!(
+            "first /route: want x-cache {want_first}, got {:?}",
+            first.header("x-cache")
+        ));
+    }
+    if let Some(cold_body) = expect_disk {
+        if first.body != cold_body {
+            return Err("disk hit body differs from the pre-restart cold run".to_string());
+        }
     }
 
     let warm = client
-        .post_json("/route", payload)
+        .post_json("/route", PAYLOAD)
         .map_err(|e| format!("warm /route failed: {e}"))?;
     if warm.header("x-cache") != Some("hit") {
-        return Err(format!("warm /route: want x-cache hit, got {:?}", warm.header("x-cache")));
+        return Err(format!(
+            "warm /route: want x-cache hit, got {:?}",
+            warm.header("x-cache")
+        ));
     }
-    if warm.body != cold.body {
-        return Err("cache hit body differs from the cold run".to_string());
+    if warm.body != first.body {
+        return Err("cache hit body differs from the first response".to_string());
     }
-    println!("servesmoke: cache hit is byte-identical ({} bytes)", cold.body.len());
+    println!(
+        "servesmoke: {want_first} then memory hit, byte-identical ({} bytes)",
+        first.body.len()
+    );
 
     let metrics = client
         .get("/metrics")
         .map_err(|e| format!("/metrics failed: {e}"))?;
     let text = metrics.body_text();
     if metrics.status != 200 || !text.contains("\"cache_hits\":1") {
-        return Err(format!("unexpected /metrics response ({}): {text}", metrics.status));
+        return Err(format!(
+            "unexpected /metrics response ({}): {text}",
+            metrics.status
+        ));
+    }
+    let want_store = match expect_disk {
+        Some(_) => "\"store_hits\":1",
+        None => "\"store_hits\":0",
+    };
+    if !text.contains(want_store) {
+        return Err(format!("metrics missing {want_store}: {text}"));
     }
 
     // Graceful drain: closing stdin is the daemon's SIGTERM stand-in.
@@ -97,7 +162,7 @@ fn drive(child: &mut Child) -> Result<(), String> {
         {
             return if status.success() {
                 println!("servesmoke: clean drain, exit 0");
-                Ok(())
+                Ok(first.body)
             } else {
                 Err(format!("server exited uncleanly after drain: {status}"))
             };

@@ -100,8 +100,35 @@ if [ "$gate_ok" != 1 ]; then
     exit 1
 fi
 
+echo "=== bench-regression gate (store latencies vs committed baseline) ==="
+# Store numbers are dominated by fsync and page-cache behavior, which
+# vary across CI disks far more than compute benches do; the loose
+# tolerance plus the min-of-samples comparison (set in the committed
+# benchgate rules) catches gross regressions only — a lost index, an
+# accidental full-scan per get.
+baseline_tmp=$(mktemp)
+cp results/bench_store.json "$baseline_tmp"
+gate_ok=0
+for try in 1 2 3; do
+    cargo bench --offline -q -p mebl-bench --bench store
+    if cargo run --release --offline -q -p mebl-xtask -- \
+        benchgate "$baseline_tmp" results/bench_store.json --tolerance 150; then
+        gate_ok=1
+        break
+    fi
+    echo "benchgate (store): attempt $try over tolerance; retrying" >&2
+done
+mv "$baseline_tmp" results/bench_store.json
+if [ "$gate_ok" != 1 ]; then
+    echo "benchgate (store): latencies regressed on 3 consecutive runs" >&2
+    exit 1
+fi
+
 echo "=== robustness (fault injection, typed failure model) ==="
 cargo test -q --release --offline -p mebl-bench --test robustness
+
+echo "=== store durability (crash matrix, corruption battery) ==="
+cargo test -q --release --offline -p mebl-bench --test store
 
 echo "=== degraded-run smoke (budget bites -> exit 2, still audit-clean) ==="
 set +e

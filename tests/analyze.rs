@@ -54,6 +54,7 @@ fn file_rule_fixtures() {
     check_pair("MEBL008", "crates/detailed/src/router.rs");
     check_pair("MEBL010", "crates/route/src/api.rs");
     check_pair("MEBL011", "crates/assign/src/ilp.rs");
+    check_pair("MEBL017", "crates/route/src/api.rs");
 }
 
 #[test]

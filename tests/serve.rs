@@ -344,6 +344,112 @@ fn full_queue_backpressures_and_drain_cancels_in_flight() {
 }
 
 #[test]
+fn warm_restart_serves_bit_identical_disk_hits() {
+    let dir = std::env::temp_dir().join(format!("mebl-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.to_string_lossy().into_owned();
+    let config = || ServeConfig {
+        store_dir: Some(store_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let payload = small_payload(2026, 1);
+    let cold_body: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+    with_server(config(), |client, _| {
+        let cold = client.post_json("/route", &payload).expect("cold route");
+        assert_eq!(cold.status, 200, "{}", cold.body_text());
+        assert_eq!(cold.header("x-cache"), Some("miss"));
+        // Same process, so the LRU still holds it: a repeat is a
+        // memory hit, never touching the disk tier.
+        let warm = client.post_json("/route", &payload).expect("warm route");
+        assert_eq!(warm.header("x-cache"), Some("hit"));
+        *cold_body.lock().expect("cold body") = cold.body;
+    });
+
+    // "Restart": a brand-new server — empty LRU — over the same
+    // directory. The first hit must come from disk, byte-identical to
+    // the pre-restart cold response, and promote back into the LRU.
+    with_server(config(), |client, _| {
+        let disk = client.post_json("/route", &payload).expect("disk route");
+        assert_eq!(disk.status, 200, "{}", disk.body_text());
+        assert_eq!(disk.header("x-cache"), Some("disk"), "{}", disk.body_text());
+        let cold_body = cold_body.lock().expect("cold body");
+        assert_eq!(
+            disk.body, *cold_body,
+            "disk hit must be bit-identical across restart"
+        );
+        let promoted = client.post_json("/route", &payload).expect("promoted route");
+        assert_eq!(promoted.header("x-cache"), Some("hit"));
+        assert_eq!(promoted.body, *cold_body);
+        let metrics = client.get("/metrics").expect("metrics").body_text();
+        assert!(metrics.contains("\"store_hits\":1"), "metrics: {metrics}");
+        assert!(
+            !metrics.contains("\"store_records\":null"),
+            "store gauge must be live: {metrics}"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_worker_survives_an_injected_panic() {
+    let config = ServeConfig {
+        workers: 1,
+        inject_panic_seed: Some(666),
+        ..ServeConfig::default()
+    };
+    let report = with_server(config, |client, _| {
+        let r = client
+            .post_json("/route", &small_payload(666, 1))
+            .expect("panicking job still answered");
+        assert_eq!(r.status, 500, "{}", r.body_text());
+        assert!(r.body_text().contains("worker-panic"), "{}", r.body_text());
+
+        // The lone worker was supervised, not killed: the very next
+        // job on the same pool routes cleanly.
+        let ok = client
+            .post_json("/route", &small_payload(667, 1))
+            .expect("route after panic");
+        assert_eq!(ok.status, 200, "{}", ok.body_text());
+        let metrics = client.get("/metrics").expect("metrics").body_text();
+        assert!(metrics.contains("\"worker_panics\":1"), "metrics: {metrics}");
+    });
+    assert!(report.requests >= 3, "report: {report:?}");
+    assert_eq!(report.cancelled_in_flight, 0);
+}
+
+#[test]
+fn bounded_retry_rides_out_backpressure() {
+    const CLIENTS: usize = 6;
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let report = with_server(config, |client, _| {
+        let outcomes: Mutex<Vec<u16>> = Mutex::new(Vec::new());
+        run_scoped(CLIENTS, |role| {
+            // The simultaneous burst overruns the one-slot queue, so
+            // early attempts bounce with 429 (or a loopback reset);
+            // the bounded retry must ride all of that out.
+            let r = client
+                .post_json_retry("/route", &small_payload(500 + role as u64, 1), 200)
+                .expect("retry exhausted on transport errors");
+            outcomes.lock().expect("outcomes").push(r.status);
+        });
+        let outcomes = outcomes.lock().expect("outcomes");
+        assert!(
+            outcomes.iter().all(|s| *s == 200),
+            "every client must land after bounded retry: {outcomes:?}"
+        );
+    });
+    assert!(
+        report.queue_rejects >= 1,
+        "the burst never hit backpressure: {report:?}"
+    );
+}
+
+#[test]
 fn shutdown_endpoint_drains_and_run_returns() {
     let report = with_server(ServeConfig::default(), |client, handle| {
         let r = client.post_json("/shutdown", "").expect("shutdown");

@@ -1,0 +1,393 @@
+//! Durability proofs for `mebl-store` under injected filesystem faults.
+//!
+//! The contract these tests enforce, exhaustively rather than by
+//! sampling where feasible:
+//!
+//! 1. **Acknowledged implies durable** (fsync `Always`): any `put` that
+//!    returned `Ok` before a crash is byte-identical after reboot and
+//!    recovery, no matter which syscall the crash landed on.
+//! 2. **No wrong payloads, ever**: whatever the fault — torn appends,
+//!    short writes, tail truncation, bit flips, a shredded manifest —
+//!    a `get` returns bytes that were actually written for that exact
+//!    key, `None`, or a typed error. Never something else.
+//! 3. **No panics**: every fault surfaces as a clean recovery or a
+//!    typed [`StoreError`].
+//!
+//! The crash matrix replays one deterministic workload once per
+//! syscall index; `mebl_testkit::IoFaultPlan` adds a seeded battery on
+//! top so different seeds probe different corruptions.
+
+use std::collections::BTreeMap;
+
+use mebl_store::{FsyncPolicy, SimIo, Store, StoreConfig, StoreError};
+use mebl_testkit::{IoFault, IoFaultPlan, Rng, SplitMix64};
+
+/// Config fingerprint stamped on every workload record.
+const FP: u64 = 0x5eed_f00d_u64;
+
+/// Latest value each `put` acknowledged, per key.
+type Acked = BTreeMap<u64, Vec<u8>>;
+
+/// Every value ever *attempted* per key (acknowledged or not).
+type History = BTreeMap<u64, Vec<Vec<u8>>>;
+
+fn config() -> StoreConfig {
+    let mut cfg = StoreConfig::new("db");
+    // Tiny segments force rolls mid-workload so the matrix covers the
+    // closing-segment sync and multi-segment recovery paths.
+    cfg.segment_max_bytes = 256;
+    // The workload compacts explicitly at a fixed step instead, so the
+    // syscall sequence stays deterministic.
+    cfg.compact_dead_pct = 0;
+    cfg
+}
+
+/// Deterministic payload for workload step `step`.
+fn value(step: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::from_seed(0xda7a_0000 ^ step);
+    let len = 24 + (rng.next_u64() % 80) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// The reference workload: overwrites to create dead records, an
+/// explicit compaction so its commit protocol sits inside the crash
+/// window, then more puts on top of the new generation. Records what
+/// was acknowledged and everything that was attempted.
+fn run_workload(store: &Store, acked: &mut Acked, history: &mut History) {
+    for step in 0..30u64 {
+        let key = step % 7;
+        let val = value(step);
+        history.entry(key).or_default().push(val.clone());
+        if store.put(key, FP, &val).is_ok() {
+            acked.insert(key, val);
+        }
+    }
+    // Compaction failure is legal at any time (the old generation
+    // stays current until the manifest commit), so the result is
+    // deliberately ignored — recovery adjudicates.
+    let _ = store.compact();
+    for step in 30..42u64 {
+        let key = step % 5;
+        let val = value(step);
+        history.entry(key).or_default().push(val.clone());
+        if store.put(key, FP, &val).is_ok() {
+            acked.insert(key, val);
+        }
+    }
+}
+
+/// Runs the workload fault-free and returns the syscall count — the
+/// size of the crash window the matrices sweep.
+fn fault_free_ops() -> u64 {
+    let io = SimIo::new();
+    let (store, _) = Store::open(config(), Box::new(io.clone())).expect("fault-free open");
+    let (mut acked, mut history) = (Acked::new(), History::new());
+    run_workload(&store, &mut acked, &mut history);
+    io.op_count()
+}
+
+/// Opens the store over a rebooted filesystem and checks the full
+/// contract: recovery never fails, acknowledged records (when `strict`)
+/// come back byte-identical, nothing comes back that was never
+/// written, and the store accepts new writes.
+fn verify_recovery(io: &SimIo, acked: &Acked, history: &History, strict: bool, label: &str) {
+    let (store, _report) = Store::open(config(), Box::new(io.clone()))
+        .unwrap_or_else(|e| panic!("{label}: recovery open failed: {e}"));
+    if strict {
+        for (&key, val) in acked {
+            let got = store
+                .get(key, FP)
+                .unwrap_or_else(|e| panic!("{label}: get key {key}: {e}"));
+            assert_eq!(
+                got.as_deref(),
+                Some(val.as_slice()),
+                "{label}: acknowledged record for key {key} lost or altered"
+            );
+        }
+    }
+    for &key in history.keys() {
+        match store.get(key, FP) {
+            Ok(None) | Err(StoreError::Corrupt { .. }) => {}
+            Ok(Some(found)) => {
+                let legitimate = history
+                    .get(&key)
+                    .is_some_and(|vals| vals.contains(&found));
+                assert!(
+                    legitimate,
+                    "{label}: key {key} returned bytes that were never written"
+                );
+            }
+            Err(e) => panic!("{label}: get key {key} failed unexpectedly: {e}"),
+        }
+    }
+    let probe_key = 0xdead_0001_u64;
+    store
+        .put(probe_key, FP, b"post-recovery probe")
+        .unwrap_or_else(|e| panic!("{label}: recovered store refused a write: {e}"));
+    assert_eq!(
+        store.get(probe_key, FP).ok().flatten().as_deref(),
+        Some(&b"post-recovery probe"[..]),
+        "{label}: post-recovery write did not read back"
+    );
+}
+
+/// One faulted lifetime: open + workload over a filesystem with `fault`
+/// armed, then reboot and verify. Returns what the run acknowledged.
+fn faulted_lifetime(io: &SimIo) -> (Acked, History) {
+    let (mut acked, mut history) = (Acked::new(), History::new());
+    match Store::open(config(), Box::new(io.clone())) {
+        Ok((store, _)) => run_workload(&store, &mut acked, &mut history),
+        // A crash during open is a typed error; nothing was
+        // acknowledged, so there is nothing to prove durable.
+        Err(StoreError::Io(_) | StoreError::Corrupt { .. } | StoreError::Wedged) => {}
+    }
+    (acked, history)
+}
+
+#[test]
+fn crash_matrix_preserves_every_acknowledged_record() {
+    let total = fault_free_ops();
+    assert!(total > 80, "workload too small to be interesting: {total} ops");
+    for op in 0..total {
+        let io = SimIo::new();
+        io.crash_at_op(op);
+        let (acked, history) = faulted_lifetime(&io);
+        io.reboot();
+        verify_recovery(&io, &acked, &history, true, &format!("crash at op {op}"));
+    }
+}
+
+#[test]
+fn crash_matrix_under_fsync_never_still_yields_no_wrong_payloads() {
+    // Without fsync, acknowledged records may legally die with the
+    // page cache — but recovery must still be clean and gets must
+    // still never invent bytes.
+    let mut cfg = config();
+    cfg.fsync = FsyncPolicy::Never;
+    let ops = {
+        let io = SimIo::new();
+        let (store, _) = Store::open(cfg.clone(), Box::new(io.clone())).expect("open");
+        let (mut acked, mut history) = (Acked::new(), History::new());
+        run_workload(&store, &mut acked, &mut history);
+        io.op_count()
+    };
+    for op in 0..ops {
+        let io = SimIo::new();
+        io.crash_at_op(op);
+        let (mut acked, mut history) = (Acked::new(), History::new());
+        if let Ok((store, _)) = Store::open(cfg.clone(), Box::new(io.clone())) {
+            run_workload(&store, &mut acked, &mut history);
+        }
+        io.reboot();
+        verify_recovery(
+            &io,
+            &acked,
+            &history,
+            false,
+            &format!("fsync-never crash at op {op}"),
+        );
+    }
+}
+
+#[test]
+fn short_write_battery_rolls_back_and_the_store_stays_writable() {
+    let total = fault_free_ops();
+    for op in 0..total {
+        let io = SimIo::new();
+        io.short_write_at_op(op, (op % 17) as usize);
+        let (acked, history) = faulted_lifetime(&io);
+        io.reboot();
+        verify_recovery(
+            &io,
+            &acked,
+            &history,
+            true,
+            &format!("short write at op {op}"),
+        );
+    }
+}
+
+/// The newest (largest generation, then segment number) segment file —
+/// lexicographic order on the zero-padded names matches that.
+fn newest_segment(io: &SimIo) -> String {
+    io.file_paths()
+        .into_iter()
+        .rfind(|p| p.contains("/seg-"))
+        .expect("workload left no segment files")
+}
+
+/// Runs the workload fault-free and reboots, leaving durable files
+/// ready for post-shutdown corruption.
+fn settled_filesystem() -> (SimIo, Acked, History) {
+    let io = SimIo::new();
+    let (store, _) = Store::open(config(), Box::new(io.clone())).expect("open");
+    let (mut acked, mut history) = (Acked::new(), History::new());
+    run_workload(&store, &mut acked, &mut history);
+    store.sync().expect("final sync");
+    io.reboot();
+    (io, acked, history)
+}
+
+#[test]
+fn every_tail_truncation_of_the_newest_segment_recovers() {
+    let len = {
+        let (io, _, _) = settled_filesystem();
+        let newest = newest_segment(&io);
+        io.file_size(&newest).expect("newest segment exists")
+    };
+    for keep in 0..len {
+        let (io, _acked, history) = settled_filesystem();
+        let newest = newest_segment(&io);
+        io.corrupt_truncate(&newest, keep);
+        // Records cut off (or torn) by the truncation are legally
+        // gone, so this is the loose contract: clean recovery, no
+        // invented bytes.
+        verify_recovery(
+            &io,
+            &Acked::new(),
+            &history,
+            false,
+            &format!("tail truncated to {keep} of {len} bytes"),
+        );
+    }
+}
+
+#[test]
+fn every_byte_of_the_newest_segment_survives_a_bit_flip() {
+    let len = {
+        let (io, _, _) = settled_filesystem();
+        let newest = newest_segment(&io);
+        io.file_size(&newest).expect("newest segment exists")
+    };
+    for offset in 0..len {
+        let (io, _acked, history) = settled_filesystem();
+        let newest = newest_segment(&io);
+        io.corrupt_flip_bit(&newest, offset, (offset % 8) as u8);
+        verify_recovery(
+            &io,
+            &Acked::new(),
+            &history,
+            false,
+            &format!("bit flip at byte {offset} of {len}"),
+        );
+    }
+}
+
+#[test]
+fn corruption_in_one_segment_spares_the_others() {
+    let (io, acked, _history) = settled_filesystem();
+    let segments: Vec<String> = io
+        .file_paths()
+        .into_iter()
+        .filter(|p| p.contains("/seg-"))
+        .collect();
+    assert!(
+        segments.len() >= 2,
+        "workload must span segments, got {segments:?}"
+    );
+    // Shred the *first* segment entirely; records whose live copy sits
+    // in later segments must still be served byte-identical.
+    io.corrupt_truncate(&segments[0], 3);
+    let (store, _) = Store::open(config(), Box::new(io.clone())).expect("recovery open");
+    let mut survivors = 0usize;
+    for (&key, val) in &acked {
+        match store.get(key, FP) {
+            Ok(Some(found)) => {
+                assert_eq!(found, *val, "key {key} altered by another segment's corruption");
+                survivors += 1;
+            }
+            Ok(None) => {} // lived in the shredded segment
+            Err(e) => panic!("get key {key}: {e}"),
+        }
+    }
+    assert!(survivors > 0, "no record survived outside the shredded segment");
+}
+
+#[test]
+fn a_shredded_manifest_falls_back_and_is_rewritten() {
+    let (io, acked, history) = settled_filesystem();
+    io.corrupt_truncate("db/MANIFEST", 2);
+    let (store, report) = Store::open(config(), Box::new(io.clone())).expect("recovery open");
+    assert!(report.manifest_rewritten, "manifest should be restored");
+    for (&key, val) in &acked {
+        assert_eq!(
+            store.get(key, FP).expect("get").as_deref(),
+            Some(val.as_slice()),
+            "key {key} lost with the manifest"
+        );
+    }
+    drop(store);
+    verify_recovery(&io, &acked, &history, true, "after manifest rewrite");
+}
+
+#[test]
+fn seeded_fault_plan_battery_holds_the_contract() {
+    let ops = fault_free_ops();
+    for seed in 0..3u64 {
+        for fault in IoFaultPlan::standard(seed, ops).faults {
+            let label = format!("seed {seed}, fault {fault}");
+            match fault {
+                IoFault::CrashAtOp { op } => {
+                    let io = SimIo::new();
+                    io.crash_at_op(op);
+                    let (acked, history) = faulted_lifetime(&io);
+                    io.reboot();
+                    verify_recovery(&io, &acked, &history, true, &label);
+                }
+                IoFault::ShortWriteAtOp { op, keep } => {
+                    let io = SimIo::new();
+                    io.short_write_at_op(op, keep);
+                    let (acked, history) = faulted_lifetime(&io);
+                    io.reboot();
+                    verify_recovery(&io, &acked, &history, true, &label);
+                }
+                IoFault::TruncateTail { drop } => {
+                    let (io, _acked, history) = settled_filesystem();
+                    let newest = newest_segment(&io);
+                    let len = io.file_size(&newest).unwrap_or(0);
+                    io.corrupt_truncate(&newest, len.saturating_sub(drop as usize));
+                    verify_recovery(&io, &Acked::new(), &history, false, &label);
+                }
+                IoFault::FlipStoredBit { index } => {
+                    let (io, _acked, history) = settled_filesystem();
+                    let newest = newest_segment(&io);
+                    let len = io.file_size(&newest).unwrap_or(1).max(1);
+                    let bit = (index % (len as u64 * 8)) as usize;
+                    io.corrupt_flip_bit(&newest, bit / 8, (bit % 8) as u8);
+                    verify_recovery(&io, &Acked::new(), &history, false, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_fsync_bounds_the_loss_window() {
+    // With interval:4, a crash may lose at most the last 3
+    // acknowledged records (plus the in-flight one).
+    let mut cfg = config();
+    cfg.fsync = FsyncPolicy::Interval(4);
+    let io = SimIo::new();
+    let (store, _) = Store::open(cfg.clone(), Box::new(io.clone())).expect("open");
+    let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+    for step in 0..20u64 {
+        let val = value(step);
+        if store.put(step, FP, &val).is_ok() {
+            acked.push((step, val));
+        }
+    }
+    io.reboot();
+    let (store, _) = Store::open(cfg, Box::new(io.clone())).expect("recovery open");
+    let recovered = acked
+        .iter()
+        .filter(|(key, val)| {
+            store.get(*key, FP).ok().flatten().as_deref() == Some(val.as_slice())
+        })
+        .count();
+    assert!(
+        recovered + 3 >= acked.len(),
+        "interval fsync lost {} of {} acknowledged records",
+        acked.len() - recovered,
+        acked.len()
+    );
+}

@@ -35,6 +35,9 @@ pub enum FindingKind {
     /// A via's upper layer is outside the circuit's stack, so it does not
     /// join two existing layers.
     ViaLayerOutOfStack,
+    /// Drawn geometry (segment or via) intersects an all-layer keep-out
+    /// blockage of the circuit.
+    GeometryOnBlockage,
     /// Hard MEBL violation: a via on a stitching line away from any fixed
     /// pin of its net.
     OffPinViaOnLine,

@@ -8,9 +8,57 @@
 //! the preferred-direction grid.
 
 use crate::finding::{AuditFinding, AuditReport, FindingKind};
-use mebl_geom::{GridPoint, Point, Rect, RouteGeometry};
+use mebl_geom::{GridPoint, Point, RTree, Rect, RouteGeometry};
 use mebl_netlist::{Net, NetId};
 use std::collections::BTreeMap;
+
+/// Checks that no drawn geometry intersects an all-layer blockage.
+///
+/// Blockages are keep-outs on every layer, so 2-D overlap of a segment's
+/// bounding box (exact for rectilinear wires) or a via's point is a
+/// violation. With `tree` set (the R-tree scan backend) each element
+/// costs one window query; otherwise the blockage list is scanned
+/// linearly. Finding content is independent of which blockage matched,
+/// so both backends emit bit-identical findings.
+pub(crate) fn check_blockages(
+    net: NetId,
+    geometry: &RouteGeometry,
+    blockages: &[Rect],
+    tree: Option<&RTree<usize>>,
+    out: &mut AuditReport,
+) {
+    if blockages.is_empty() {
+        return;
+    }
+    let hit = |r: Rect| -> bool {
+        match tree {
+            Some(t) => !t.query(r).is_empty(),
+            None => blockages.iter().any(|b| b.overlaps(r)),
+        }
+    };
+    for seg in geometry.segments() {
+        let bb = Rect::from_intervals(seg.x_interval(), seg.y_interval());
+        if hit(bb) {
+            let (a, b) = seg.endpoints();
+            out.push(finding(
+                FindingKind::GeometryOnBlockage,
+                net,
+                Some(a),
+                format!("segment {a}-{b} crosses an all-layer blockage"),
+            ));
+        }
+    }
+    for via in geometry.vias() {
+        if hit(Rect::new(via.x, via.y, via.x, via.y)) {
+            out.push(finding(
+                FindingKind::GeometryOnBlockage,
+                net,
+                Some(via.point()),
+                "via lands inside a blockage".to_string(),
+            ));
+        }
+    }
+}
 
 /// Minimal union-find, local to the auditor so the audit does not depend
 /// on the structure used by the routing stages it verifies.

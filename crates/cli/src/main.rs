@@ -5,6 +5,9 @@
 //! mebl gen  <bench> [--scale f] [--seed n] [-o file]
 //! mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n]
 //!            [--time-budget ms] [--max-expansions n] [--threads n] [--json]
+//!            [--save-outcome out.mebl]
+//! mebl route --from outcome.mebl [--edits edits.json] [--save-outcome f]
+//!            [--svg out.svg] [--time-budget ms] [--threads n] [--json]
 //! mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f]
 //!            [--baseline] [--period n] [--strict]
 //!            [--time-budget ms] [--max-expansions n] [--threads n] [--json]
@@ -89,7 +92,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n] [--store dir] [--fsync always|never|interval:<n>]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json] [--save-outcome f]\n  mebl route --from outcome.mebl [--edits edits.json] [--save-outcome f] [--svg out.svg] [--time-budget ms] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n] [--store dir] [--fsync always|never|interval:<n>]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
@@ -371,28 +374,44 @@ fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
 
 fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     let mut it = args.iter();
-    let path = it
-        .next()
-        .ok_or(CliError::Usage("route: missing circuit file".into()))?;
+    let mut file: Option<String> = None;
     let mut flags = RunFlags::new();
     let mut svg: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut edits_path: Option<String> = None;
+    let mut save_outcome: Option<String> = None;
     while let Some(flag) = it.next() {
         if flags.parse(flag, &mut it)? {
             continue;
         }
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
+        };
         match flag.as_str() {
-            "--svg" => {
-                svg = Some(
-                    it.next()
-                        .ok_or(CliError::Usage("missing value for --svg".into()))?
-                        .clone(),
-                )
-            }
+            "--svg" => svg = Some(val("--svg")?.clone()),
+            "--from" => from = Some(val("--from")?.clone()),
+            "--edits" => edits_path = Some(val("--edits")?.clone()),
+            "--save-outcome" => save_outcome = Some(val("--save-outcome")?.clone()),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(CliError::usage(format!("route: unknown flag {other}"))),
         }
     }
 
-    let circuit = load_circuit(path)?;
+    if let Some(from_path) = from {
+        if file.is_some() {
+            return Err(CliError::usage(
+                "route: give a circuit file or --from, not both",
+            ));
+        }
+        return cmd_route_delta(&from_path, edits_path.as_deref(), &flags, svg, save_outcome);
+    }
+    if edits_path.is_some() {
+        return Err(CliError::usage("route: --edits requires --from"));
+    }
+    let path = file.ok_or(CliError::Usage("route: missing circuit file".into()))?;
+
+    let circuit = load_circuit(&path)?;
     let router = Router::new(flags.router_config());
     for d in router.validation_degradations(&circuit) {
         eprintln!("tolerated: {d}");
@@ -429,17 +448,128 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
             "hard MEBL violation in result (bug)".into(),
         ));
     }
-    if let Some(svg_path) = svg {
-        let doc = mebl_viz::layout_svg(&circuit, &outcome.plan, &outcome.detailed.geometry, 4.0);
-        std::fs::write(&svg_path, doc)
-            .map_err(|e| CliError::Invalid(format!("writing {svg_path}: {e}")))?;
-        eprintln!("wrote {svg_path}");
-    }
+    finish_route(&circuit, &outcome, flags.baseline, svg, save_outcome)?;
     if outcome.is_degraded() {
         Ok(Outcome::Degraded)
     } else {
         Ok(Outcome::Clean)
     }
+}
+
+/// The incremental path of `mebl route`: load a saved outcome, apply an
+/// edit list, rip up and re-route only the affected nets.
+///
+/// Mode and stitch period come from the saved file's header, so
+/// `--baseline` / `--period` are rejected here — a mismatched preset
+/// would silently invalidate the preserved nets.
+fn cmd_route_delta(
+    from_path: &str,
+    edits_path: Option<&str>,
+    flags: &RunFlags,
+    svg: Option<String>,
+    save_outcome: Option<String>,
+) -> Result<Outcome, CliError> {
+    if flags.baseline {
+        return Err(CliError::usage(
+            "route: --baseline conflicts with --from (the mode is recorded in the outcome file)",
+        ));
+    }
+    if flags.period.is_some() {
+        return Err(CliError::usage(
+            "route: --period conflicts with --from (the period is recorded in the outcome file)",
+        ));
+    }
+
+    let text = std::fs::read_to_string(from_path)
+        .map_err(|e| CliError::Invalid(format!("reading {from_path}: {e}")))?;
+    let saved = mebl_delta::outcome_from_str(&text)
+        .map_err(|e| CliError::Invalid(format!("{from_path}: {e}")))?;
+    let edits = match edits_path {
+        None => Vec::new(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Invalid(format!("reading {path}: {e}")))?;
+            let doc = mebl_serve::json::parse(&text)
+                .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+            mebl_serve::delta::edits_from_json(&doc)
+                .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?
+        }
+    };
+
+    let mut config = saved.config();
+    config.budget = flags.budget;
+    config.pool = match flags.threads {
+        Some(n) => Pool::new(n),
+        None => Pool::available(),
+    };
+    let mode = if saved.baseline {
+        Mode::Baseline
+    } else {
+        Mode::StitchAware
+    };
+
+    let delta = mebl_delta::route_delta(&saved.circuit, &saved.outcome, &edits, &config)
+        .map_err(|e| CliError::Invalid(format!("delta: {e}")))?;
+    eprintln!(
+        "delta: re-routed {} of {} net(s)",
+        delta.rerouted.len(),
+        delta.circuit.net_count()
+    );
+    for d in &delta.outcome.degradations {
+        eprintln!("degraded: {d}");
+    }
+    if flags.json {
+        println!(
+            "{}",
+            route_response_json(delta.circuit.name(), mode, &delta.outcome, true).encode()
+        );
+    } else {
+        println!(
+            "{} [{}]: {}",
+            delta.circuit.name(),
+            mode.name(),
+            delta.outcome.report
+        );
+    }
+    if !delta.outcome.report.hard_clean() {
+        return Err(CliError::Internal(
+            "hard MEBL violation in result (bug)".into(),
+        ));
+    }
+    finish_route(&delta.circuit, &delta.outcome, saved.baseline, svg, save_outcome)?;
+    if delta.outcome.is_degraded() {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Clean)
+    }
+}
+
+/// Output side shared by the scratch and delta routes: optional SVG
+/// rendering and optional outcome serialization for later `--from` use.
+fn finish_route(
+    circuit: &mebl_netlist::Circuit,
+    outcome: &mebl_route::RoutingOutcome,
+    baseline: bool,
+    svg: Option<String>,
+    save_outcome: Option<String>,
+) -> Result<(), CliError> {
+    if let Some(svg_path) = svg {
+        let doc = mebl_viz::layout_svg(circuit, &outcome.plan, &outcome.detailed.geometry, 4.0);
+        std::fs::write(&svg_path, doc)
+            .map_err(|e| CliError::Invalid(format!("writing {svg_path}: {e}")))?;
+        eprintln!("wrote {svg_path}");
+    }
+    if let Some(out_path) = save_outcome {
+        let saved = mebl_delta::SavedOutcome {
+            circuit: circuit.clone(),
+            outcome: outcome.clone(),
+            baseline,
+        };
+        std::fs::write(&out_path, mebl_delta::outcome_to_string(&saved))
+            .map_err(|e| CliError::Invalid(format!("writing {out_path}: {e}")))?;
+        eprintln!("saved outcome to {out_path}");
+    }
+    Ok(())
 }
 
 /// Runs the routing service daemon until it drains.

@@ -1,0 +1,222 @@
+//! Affected-net closure: which nets must rip up and re-route.
+//!
+//! The closure is computed against the **prior** outcome's geometry,
+//! indexed once into an [`RTree`] so blockage-overlap and pin-coverage
+//! queries cost a tree descent instead of a scan over every segment of
+//! every net. It must be *complete*: the auditor has no inter-net short
+//! check, so a preserved net that actually conflicts with an edit would
+//! ship silently. Three rules cover every conflict an edit can create:
+//!
+//! 1. **Dirty nets** (added or moved) have no or stale geometry.
+//! 2. A preserved net whose geometry overlaps an **added blockage**
+//!    (blockages are all-layer, so 2-D overlap suffices).
+//! 3. A preserved net whose geometry covers a **pin cell** (exact
+//!    x, y, layer) of a dirty net — the pin's owner must be able to
+//!    occupy that cell.
+//!
+//! Prior-unrouted nets are also re-targeted: ripping nothing up, they
+//! get the same second chance a from-scratch route of the edited
+//! circuit would give them.
+
+use crate::edit::EditPlan;
+use mebl_geom::{RTree, Rect};
+use mebl_route::RoutingOutcome;
+
+/// One indexed piece of prior geometry: owning net (base index) plus
+/// the layer span it occupies (`lo..=hi`; vias span two layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GeomItem {
+    net: u32,
+    layer_lo: u8,
+    layer_hi: u8,
+}
+
+/// Builds the spatial index over the prior outcome's routed geometry.
+fn index_prior(prior: &RoutingOutcome) -> RTree<GeomItem> {
+    let mut items: Vec<(Rect, GeomItem)> = Vec::new();
+    for (net, geom) in prior.detailed.geometry.iter().enumerate() {
+        for seg in geom.segments() {
+            let l = seg.layer.index();
+            items.push((
+                Rect::from_intervals(seg.x_interval(), seg.y_interval()),
+                GeomItem {
+                    net: net as u32,
+                    layer_lo: l,
+                    layer_hi: l,
+                },
+            ));
+        }
+        for via in geom.vias() {
+            items.push((
+                Rect::new(via.x, via.y, via.x, via.y),
+                GeomItem {
+                    net: net as u32,
+                    layer_lo: via.lower.index(),
+                    layer_hi: via.upper().index(),
+                },
+            ));
+        }
+    }
+    RTree::bulk_load(items)
+}
+
+/// Computes the set of nets (edited-circuit indices, sorted ascending)
+/// that must be ripped up and re-routed.
+pub fn affected_nets(prior: &RoutingOutcome, plan: &EditPlan) -> Vec<usize> {
+    let n = plan.circuit.net_count();
+    // Base-index -> edited-index for surviving nets.
+    let base_nets = prior.detailed.geometry.len();
+    let mut base_to_new: Vec<Option<usize>> = vec![None; base_nets];
+    for (new, origin) in plan.origin.iter().enumerate() {
+        if let Some(old) = origin {
+            base_to_new[*old] = Some(new);
+        }
+    }
+
+    let mut affected = vec![false; n];
+    for (i, dirty) in plan.dirty.iter().enumerate() {
+        if *dirty {
+            affected[i] = true;
+        }
+    }
+    // Rule: prior-unrouted surviving nets re-route (a scratch run of
+    // the edited circuit would try them again too).
+    for (old, new) in base_to_new.iter().enumerate() {
+        if let Some(new) = new {
+            if !prior.detailed.routed[old] {
+                affected[*new] = true;
+            }
+        }
+    }
+
+    let tree = index_prior(prior);
+    let mut hit = |item: &GeomItem| {
+        if let Some(new) = base_to_new[item.net as usize] {
+            affected[new] = true;
+        }
+    };
+
+    // Rule: geometry under an added blockage.
+    for rect in &plan.added_blockages {
+        for (_, item) in tree.query(*rect) {
+            hit(item);
+        }
+    }
+
+    // Rule: geometry covering a dirty net's pin cell (layer-exact).
+    for (i, net) in plan.circuit.nets().iter().enumerate() {
+        if !plan.dirty[i] {
+            continue;
+        }
+        for pin in net.pins() {
+            let cell = Rect::new(pin.position.x, pin.position.y, pin.position.x, pin.position.y);
+            let l = pin.layer.index();
+            for (_, item) in tree.query(cell) {
+                if item.layer_lo <= l && l <= item.layer_hi {
+                    hit(item);
+                }
+            }
+        }
+    }
+
+    (0..n).filter(|&i| affected[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{apply_edits, CircuitEdit};
+    use mebl_geom::{Layer, Point};
+    use mebl_netlist::{Circuit, Net, Pin};
+    use mebl_route::{Router, RouterConfig};
+
+    fn pin(x: i32, y: i32, l: u8) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(l))
+    }
+
+    #[test]
+    fn blockage_overlap_pulls_net_into_closure() {
+        // Net "a" runs along y=30; a blockage dropped on its corridor
+        // must pull it into the closure, while far-away "b" stays out.
+        let circuit = Circuit::new(
+            "t",
+            Rect::new(0, 0, 79, 79),
+            4,
+            vec![
+                Net::new("a", vec![pin(2, 30, 0), pin(70, 30, 0)]),
+                Net::new("b", vec![pin(2, 70, 0), pin(70, 70, 0)]),
+            ],
+        );
+        let prior = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+        assert_eq!(prior.report.routed_nets, 2);
+
+        let geom_a = &prior.detailed.geometry[0];
+        // Pick a routed cell of "a" away from every pin so the blockage
+        // is a legal edit.
+        let pins: Vec<Point> = circuit
+            .nets()
+            .iter()
+            .flat_map(|n| n.pins().iter().map(|p| p.position))
+            .collect();
+        let cell = geom_a
+            .segments()
+            .iter()
+            .flat_map(|s| s.points())
+            .map(|gp| Point::new(gp.x, gp.y))
+            .find(|p| !pins.contains(p))
+            .unwrap();
+        let edits = vec![CircuitEdit::AddBlockage {
+            rect: Rect::new(cell.x, cell.y, cell.x, cell.y),
+        }];
+        let plan = apply_edits(&circuit, &edits).unwrap();
+        let affected = affected_nets(&prior, &plan);
+        assert!(affected.contains(&0));
+        assert!(!affected.contains(&1));
+    }
+
+    #[test]
+    fn added_net_and_covered_pin_owner_both_in_closure() {
+        let circuit = Circuit::new(
+            "t",
+            Rect::new(0, 0, 79, 79),
+            4,
+            vec![Net::new("a", vec![pin(2, 30, 0), pin(70, 30, 0)])],
+        );
+        let prior = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+        // Drop a new net's pin directly onto a's routed cell.
+        let p = prior.detailed.geometry[0]
+            .segments()
+            .iter()
+            .find(|s| s.layer.index() == 0)
+            .map(|s| s.endpoints().0);
+        let Some(p) = p else {
+            // a routed entirely off layer 0: use its pin cell instead.
+            panic!("expected some layer-0 geometry for a 2-pin layer-0 net");
+        };
+        let edits = vec![CircuitEdit::AddNet {
+            name: "c".into(),
+            pins: vec![pin(p.x, p.y, 0), pin(50, 60, 0)],
+        }];
+        let plan = apply_edits(&circuit, &edits).unwrap();
+        let affected = affected_nets(&prior, &plan);
+        assert_eq!(affected, vec![0, 1]);
+    }
+
+    #[test]
+    fn removed_net_geometry_pulls_nothing() {
+        let circuit = Circuit::new(
+            "t",
+            Rect::new(0, 0, 79, 79),
+            4,
+            vec![
+                Net::new("a", vec![pin(2, 30, 0), pin(70, 30, 0)]),
+                Net::new("b", vec![pin(2, 70, 0), pin(70, 70, 0)]),
+            ],
+        );
+        let prior = Router::new(RouterConfig::stitch_aware()).route(&circuit);
+        let plan =
+            apply_edits(&circuit, &[CircuitEdit::RemoveNet { name: "a".into() }]).unwrap();
+        // Removing a net dirties nothing that survives.
+        assert!(affected_nets(&prior, &plan).is_empty());
+    }
+}

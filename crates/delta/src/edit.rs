@@ -1,0 +1,492 @@
+//! The typed edit vocabulary and its sequential application semantics.
+
+use mebl_geom::{Coord, Point, Rect};
+use mebl_netlist::{Circuit, CircuitIssue, Net, Pin};
+use std::fmt;
+
+/// One typed change to a circuit.
+///
+/// Edits are applied **sequentially**: each edit is validated against
+/// the circuit state produced by the edits before it, so e.g. a net
+/// added by an earlier edit can be moved or removed by a later one, and
+/// a blockage may not be dropped onto a pin that still exists at that
+/// point in the sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitEdit {
+    /// Add a new net with the given pins.
+    AddNet {
+        /// Name of the new net; must not collide with a live net.
+        name: String,
+        /// Pin list (at least two, inside the outline and layer stack).
+        pins: Vec<Pin>,
+    },
+    /// Remove a live net (and free every resource it occupied).
+    RemoveNet {
+        /// Name of the net to remove.
+        name: String,
+    },
+    /// Translate every pin of a live net by `(dx, dy)` pitches.
+    MoveNet {
+        /// Name of the net to move.
+        name: String,
+        /// x displacement in pitches.
+        dx: Coord,
+        /// y displacement in pitches.
+        dy: Coord,
+    },
+    /// Add an all-layer keep-out rectangle.
+    AddBlockage {
+        /// The keep-out rectangle; must lie inside the outline and must
+        /// not cover any live pin.
+        rect: Rect,
+    },
+    /// Remove an existing blockage (matched exactly by rectangle).
+    RemoveBlockage {
+        /// The rectangle of the blockage to remove.
+        rect: Rect,
+    },
+}
+
+/// Why an edit list (or a delta run) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// An edit referenced a net name that does not exist at that point
+    /// in the sequence.
+    UnknownNet(String),
+    /// `AddNet` reused a name that is still live.
+    DuplicateNet(String),
+    /// `AddNet` supplied fewer than two pins.
+    TooFewPins(String),
+    /// A pin (added or moved) would land outside the chip outline.
+    PinOutsideOutline {
+        /// Net the pin belongs to.
+        net: String,
+        /// Offending pin position.
+        pin: Point,
+    },
+    /// An added pin's layer is at or above the layer stack height.
+    PinLayerOutOfStack {
+        /// Net the pin belongs to.
+        net: String,
+        /// Offending layer index.
+        layer: u8,
+    },
+    /// A pin (added or moved) would land inside a live blockage.
+    PinCoveredByBlockage {
+        /// Net the pin belongs to.
+        net: String,
+        /// Offending pin position.
+        pin: Point,
+    },
+    /// `RemoveBlockage` named a rectangle that is not a live blockage.
+    UnknownBlockage(Rect),
+    /// `AddBlockage` duplicated a live blockage exactly.
+    DuplicateBlockage(Rect),
+    /// `AddBlockage` lies (partly) outside the chip outline.
+    BlockageOutsideOutline(Rect),
+    /// `AddBlockage` would cover a pin of a live net.
+    BlockageCoversPin {
+        /// The offending rectangle.
+        rect: Rect,
+        /// A net whose pin it covers.
+        net: String,
+    },
+    /// The routing configuration's stitch plan differs from the plan
+    /// the prior outcome was produced under, so preserved geometry
+    /// would be checked against the wrong lines.
+    PlanMismatch,
+    /// The prior outcome does not describe the base circuit (net-count
+    /// or geometry-shape mismatch).
+    PriorMismatch(String),
+    /// The edited circuit failed pre-flight validation.
+    InvalidCircuit(Vec<CircuitIssue>),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownNet(name) => write!(f, "edit references unknown net '{name}'"),
+            DeltaError::DuplicateNet(name) => {
+                write!(f, "cannot add net '{name}': the name is already in use")
+            }
+            DeltaError::TooFewPins(name) => {
+                write!(f, "added net '{name}' needs at least two pins")
+            }
+            DeltaError::PinOutsideOutline { net, pin } => {
+                write!(f, "net '{net}': pin ({}, {}) outside outline", pin.x, pin.y)
+            }
+            DeltaError::PinLayerOutOfStack { net, layer } => {
+                write!(f, "net '{net}': pin layer {layer} above the stack")
+            }
+            DeltaError::PinCoveredByBlockage { net, pin } => write!(
+                f,
+                "net '{net}': pin ({}, {}) lands inside a blockage",
+                pin.x, pin.y
+            ),
+            DeltaError::UnknownBlockage(r) => {
+                write!(f, "no blockage {r} to remove")
+            }
+            DeltaError::DuplicateBlockage(r) => {
+                write!(f, "blockage {r} already exists")
+            }
+            DeltaError::BlockageOutsideOutline(r) => {
+                write!(f, "blockage {r} outside outline")
+            }
+            DeltaError::BlockageCoversPin { rect, net } => {
+                write!(f, "blockage {rect} covers a pin of net '{net}'")
+            }
+            DeltaError::PlanMismatch => write!(
+                f,
+                "stitch plan of the configuration differs from the prior outcome's plan"
+            ),
+            DeltaError::PriorMismatch(what) => {
+                write!(f, "prior outcome does not match the base circuit: {what}")
+            }
+            DeltaError::InvalidCircuit(issues) => {
+                write!(f, "edited circuit failed validation ({} issues)", issues.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The result of applying an edit list: the edited circuit plus the
+/// provenance bookkeeping the closure and patch stages need.
+#[derive(Debug, Clone)]
+pub struct EditPlan {
+    /// The edited circuit. Surviving nets keep their original relative
+    /// order; added nets are appended in edit order.
+    pub circuit: Circuit,
+    /// For each net of the edited circuit, its index in the base
+    /// circuit — `None` for nets added by the edit list.
+    pub origin: Vec<Option<usize>>,
+    /// For each net of the edited circuit, whether an edit touched it
+    /// directly (added or moved). Dirty nets always re-route.
+    pub dirty: Vec<bool>,
+    /// Blockage rectangles added (and not re-removed) by the edit list.
+    pub added_blockages: Vec<Rect>,
+}
+
+struct NetState {
+    net: Net,
+    origin: Option<usize>,
+    dirty: bool,
+}
+
+/// Applies `edits` to `base` sequentially, validating each edit against
+/// the intermediate state.
+///
+/// # Errors
+///
+/// Returns the first [`DeltaError`] encountered, leaving no partial
+/// state behind; an `Err` means no edit was applied.
+pub fn apply_edits(base: &Circuit, edits: &[CircuitEdit]) -> Result<EditPlan, DeltaError> {
+    let outline = base.outline();
+    let layer_count = base.layer_count();
+    let mut nets: Vec<NetState> = base
+        .nets()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| NetState {
+            net: n.clone(),
+            origin: Some(i),
+            dirty: false,
+        })
+        .collect();
+    let mut blockages: Vec<Rect> = base.blockages().to_vec();
+    let mut added_blockages: Vec<Rect> = Vec::new();
+
+    let check_pin = |name: &str, pin: &Pin, blockages: &[Rect]| -> Result<(), DeltaError> {
+        if !outline.contains(pin.position) {
+            return Err(DeltaError::PinOutsideOutline {
+                net: name.to_string(),
+                pin: pin.position,
+            });
+        }
+        if pin.layer.index() >= layer_count {
+            return Err(DeltaError::PinLayerOutOfStack {
+                net: name.to_string(),
+                layer: pin.layer.index(),
+            });
+        }
+        if blockages.iter().any(|b| b.contains(pin.position)) {
+            return Err(DeltaError::PinCoveredByBlockage {
+                net: name.to_string(),
+                pin: pin.position,
+            });
+        }
+        Ok(())
+    };
+
+    for edit in edits {
+        match edit {
+            CircuitEdit::AddNet { name, pins } => {
+                if nets.iter().any(|s| s.net.name() == name) {
+                    return Err(DeltaError::DuplicateNet(name.clone()));
+                }
+                if pins.len() < 2 {
+                    return Err(DeltaError::TooFewPins(name.clone()));
+                }
+                for pin in pins {
+                    check_pin(name, pin, &blockages)?;
+                }
+                nets.push(NetState {
+                    net: Net::new(name.clone(), pins.clone()),
+                    origin: None,
+                    dirty: true,
+                });
+            }
+            CircuitEdit::RemoveNet { name } => {
+                let pos = nets
+                    .iter()
+                    .position(|s| s.net.name() == name)
+                    .ok_or_else(|| DeltaError::UnknownNet(name.clone()))?;
+                nets.remove(pos);
+            }
+            CircuitEdit::MoveNet { name, dx, dy } => {
+                let pos = nets
+                    .iter()
+                    .position(|s| s.net.name() == name)
+                    .ok_or_else(|| DeltaError::UnknownNet(name.clone()))?;
+                let moved: Vec<Pin> = nets[pos]
+                    .net
+                    .pins()
+                    .iter()
+                    .map(|p| {
+                        Pin::new(
+                            Point::new(
+                                p.position.x.saturating_add(*dx),
+                                p.position.y.saturating_add(*dy),
+                            ),
+                            p.layer,
+                        )
+                    })
+                    .collect();
+                for pin in &moved {
+                    check_pin(name, pin, &blockages)?;
+                }
+                nets[pos].net = Net::new(name.clone(), moved);
+                nets[pos].dirty = true;
+            }
+            CircuitEdit::AddBlockage { rect } => {
+                if !outline.contains_rect(*rect) {
+                    return Err(DeltaError::BlockageOutsideOutline(*rect));
+                }
+                if blockages.contains(rect) {
+                    return Err(DeltaError::DuplicateBlockage(*rect));
+                }
+                if let Some(s) = nets
+                    .iter()
+                    .find(|s| s.net.pins().iter().any(|p| rect.contains(p.position)))
+                {
+                    return Err(DeltaError::BlockageCoversPin {
+                        rect: *rect,
+                        net: s.net.name().to_string(),
+                    });
+                }
+                blockages.push(*rect);
+                added_blockages.push(*rect);
+            }
+            CircuitEdit::RemoveBlockage { rect } => {
+                let pos = blockages
+                    .iter()
+                    .position(|b| b == rect)
+                    .ok_or(DeltaError::UnknownBlockage(*rect))?;
+                blockages.remove(pos);
+                // An add-then-remove pair inside one edit list cancels
+                // out and must not widen the affected-net closure.
+                if let Some(p) = added_blockages.iter().position(|b| b == rect) {
+                    added_blockages.remove(p);
+                }
+            }
+        }
+    }
+
+    let origin: Vec<Option<usize>> = nets.iter().map(|s| s.origin).collect();
+    let dirty: Vec<bool> = nets.iter().map(|s| s.dirty).collect();
+    let circuit = Circuit::with_blockages(
+        base.name().to_string(),
+        outline,
+        layer_count,
+        nets.into_iter().map(|s| s.net).collect(),
+        blockages,
+    );
+    Ok(EditPlan {
+        circuit,
+        origin,
+        dirty,
+        added_blockages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mebl_geom::Layer;
+
+    fn pin(x: Coord, y: Coord, l: u8) -> Pin {
+        Pin::new(Point::new(x, y), Layer::new(l))
+    }
+
+    fn base() -> Circuit {
+        Circuit::with_blockages(
+            "t",
+            Rect::new(0, 0, 59, 59),
+            4,
+            vec![
+                Net::new("a", vec![pin(0, 0, 0), pin(20, 20, 0)]),
+                Net::new("b", vec![pin(5, 40, 0), pin(40, 5, 0)]),
+            ],
+            vec![Rect::new(50, 50, 55, 55)],
+        )
+    }
+
+    #[test]
+    fn add_remove_move_track_provenance() {
+        let edits = vec![
+            CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(1, 1, 0), pin(10, 10, 0)],
+            },
+            CircuitEdit::RemoveNet { name: "a".into() },
+            CircuitEdit::MoveNet {
+                name: "b".into(),
+                dx: 2,
+                dy: -1,
+            },
+        ];
+        let plan = apply_edits(&base(), &edits).unwrap();
+        assert_eq!(plan.circuit.net_count(), 2);
+        assert_eq!(plan.circuit.nets()[0].name(), "b");
+        assert_eq!(plan.circuit.nets()[0].pins()[0].position, Point::new(7, 39));
+        assert_eq!(plan.circuit.nets()[1].name(), "c");
+        assert_eq!(plan.origin, vec![Some(1), None]);
+        assert_eq!(plan.dirty, vec![true, true]);
+    }
+
+    #[test]
+    fn sequential_semantics_see_earlier_edits() {
+        // A net added earlier in the list can be removed later.
+        let edits = vec![
+            CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(1, 1, 0), pin(10, 10, 0)],
+            },
+            CircuitEdit::RemoveNet { name: "c".into() },
+        ];
+        let plan = apply_edits(&base(), &edits).unwrap();
+        assert_eq!(plan.circuit.net_count(), 2);
+        assert_eq!(plan.dirty, vec![false, false]);
+    }
+
+    #[test]
+    fn add_then_remove_blockage_cancels() {
+        let r = Rect::new(30, 30, 33, 33);
+        let edits = vec![
+            CircuitEdit::AddBlockage { rect: r },
+            CircuitEdit::RemoveBlockage { rect: r },
+        ];
+        let plan = apply_edits(&base(), &edits).unwrap();
+        assert!(plan.added_blockages.is_empty());
+        assert_eq!(plan.circuit.blockages().len(), 1);
+    }
+
+    #[test]
+    fn edit_errors_are_typed() {
+        let c = base();
+        let e = apply_edits(&c, &[CircuitEdit::RemoveNet { name: "zz".into() }]).unwrap_err();
+        assert_eq!(e, DeltaError::UnknownNet("zz".into()));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddNet {
+                name: "a".into(),
+                pins: vec![pin(1, 1, 0), pin(2, 2, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(e, DeltaError::DuplicateNet("a".into()));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(1, 1, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(e, DeltaError::TooFewPins("c".into()));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::MoveNet {
+                name: "a".into(),
+                dx: 1000,
+                dy: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::PinOutsideOutline { .. }));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(1, 1, 9), pin(2, 2, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::PinLayerOutOfStack { .. }));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddBlockage {
+                rect: Rect::new(0, 0, 2, 2),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::BlockageCoversPin { .. }));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::RemoveBlockage {
+                rect: Rect::new(1, 1, 2, 2),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::UnknownBlockage(_)));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddBlockage {
+                rect: Rect::new(50, 50, 55, 55),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::DuplicateBlockage(_)));
+
+        let e = apply_edits(
+            &c,
+            &[CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(51, 51, 0), pin(2, 2, 0)],
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, DeltaError::PinCoveredByBlockage { .. }));
+    }
+
+    #[test]
+    fn failed_edit_list_applies_nothing() {
+        let c = base();
+        let edits = vec![
+            CircuitEdit::AddNet {
+                name: "c".into(),
+                pins: vec![pin(1, 1, 0), pin(10, 10, 0)],
+            },
+            CircuitEdit::RemoveNet { name: "zz".into() },
+        ];
+        assert!(apply_edits(&c, &edits).is_err());
+    }
+}

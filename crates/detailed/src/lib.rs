@@ -32,5 +32,7 @@ mod seeds;
 
 pub use dense::GridWindow;
 pub use grid::DetailedGrid;
-pub use router::{route_detailed, DetailedConfig, DetailedResult, SearchEngine};
+pub use router::{
+    route_detailed, route_incremental, DetailedConfig, DetailedResult, SearchEngine, BLOCKAGE_NET,
+};
 pub use seeds::realize_seeds;

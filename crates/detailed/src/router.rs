@@ -98,6 +98,30 @@ impl DetailedConfig {
     }
 }
 
+/// Sentinel occupant for blockage cells. The stored raw occupancy is
+/// `BLOCKAGE_NET + 1 == u32::MAX`, far above any real net index, so
+/// blockage cells are impassable to every net and are never freed by
+/// rip-up (which always names a concrete net).
+pub const BLOCKAGE_NET: u32 = u32::MAX - 1;
+
+/// Marks every cell covered by the circuit's blockages, on all layers,
+/// as owned by [`BLOCKAGE_NET`]. Runs before pins are placed, so a pin
+/// inside a blockage (already a validation error upstream) still ends up
+/// owned by its net rather than silently walling the net in.
+fn occupy_blockages(grid: &mut DetailedGrid, circuit: &Circuit) {
+    for b in circuit.blockages() {
+        for l in 0..grid.layers() {
+            let layer = mebl_geom::Layer::new(l);
+            for y in b.y0()..=b.y1() {
+                for x in b.x0()..=b.x1() {
+                    let node = grid.node(GridPoint::new(x, y, layer));
+                    grid.occupy(node, BLOCKAGE_NET);
+                }
+            }
+        }
+    }
+}
+
 /// Outcome of detailed routing.
 #[derive(Debug, Clone)]
 pub struct DetailedResult {
@@ -139,6 +163,7 @@ pub fn route_detailed(
         config.stitch_costs,
     );
     let mut solver = DialSolver::new(field.span);
+    occupy_blockages(&mut grid, circuit);
 
     // Fixed pins block their cells for everyone else, and allow the
     // pin-owning net to drop vias on stitching lines.
@@ -251,7 +276,7 @@ pub fn route_detailed(
     if result.routed_count < n && !config.cancel.is_cancelled_now() {
         blocker_ripup_round(
             circuit, plan, &field, config, &mut grid, &mut solver, &pin_cells, &pin_points,
-            &mut result,
+            &FastSet::default(), &order, &mut result,
         );
     }
 
@@ -270,6 +295,169 @@ pub fn route_detailed(
                     "search window widening exhausted; net left unrouted",
                 ));
             }
+        }
+    }
+    result
+}
+
+/// Incrementally routes only the nets whose `preserved` entry is `None`,
+/// reconstructing grid occupancy from every preserved net's geometry.
+///
+/// `preserved[i] = Some((routed, geometry))` keeps net `i` exactly as the
+/// prior outcome left it — including a preserved *failure*, which is not
+/// retried; `None` marks net `i` as a target for (re-)routing. Preserved
+/// occupancy is rebuilt from segment points and via endpoints plus every
+/// net's pins, which is exactly the state the prior detailed run left
+/// behind (geometry extraction frees all other cells), so ripping up the
+/// target nets is an exact-inverse undo.
+///
+/// Target nets route seedless (pin-to-pin, like rip-up rounds) through
+/// the same deterministic batched passes, relaxed rounds and blocker
+/// rip-up as [`route_detailed`] — except rip-up victims are restricted
+/// to target nets and preserved geometry is frozen, so a delta run never
+/// disturbs what it promised to keep.
+///
+/// # Panics
+///
+/// Panics if `preserved.len() != circuit.net_count()`.
+pub fn route_incremental(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    config: &DetailedConfig,
+    preserved: &[Option<(bool, RouteGeometry)>],
+) -> DetailedResult {
+    let n = circuit.net_count();
+    assert!(
+        preserved.len() == n,
+        "preserved state must cover every net"
+    );
+    let mut grid = DetailedGrid::new(circuit.outline(), circuit.layer_count());
+    let field = CostField::build(
+        &grid,
+        plan,
+        config.alpha,
+        config.beta,
+        config.gamma,
+        config.via_cost,
+        config.stitch_costs,
+    );
+    let mut solver = DialSolver::new(field.span);
+    occupy_blockages(&mut grid, circuit);
+
+    let mut result = DetailedResult {
+        geometry: vec![RouteGeometry::new(); n],
+        routed: vec![false; n],
+        routed_count: 0,
+    };
+
+    // Re-occupy preserved geometry first, then pins: a pin cell always
+    // ends up owned by the pin's net, matching [`route_detailed`].
+    let mut frozen: FastSet<u32> = FastSet::default();
+    for (i, kept) in preserved.iter().enumerate() {
+        let Some((routed, geometry)) = kept else {
+            continue;
+        };
+        for seg in geometry.segments() {
+            for gp in seg.points() {
+                let node = grid.node(gp);
+                grid.occupy(node, i as u32);
+                frozen.insert(node);
+            }
+        }
+        for via in geometry.vias() {
+            for gp in [
+                GridPoint::new(via.x, via.y, via.lower),
+                GridPoint::new(via.x, via.y, via.upper()),
+            ] {
+                let node = grid.node(gp);
+                grid.occupy(node, i as u32);
+                frozen.insert(node);
+            }
+        }
+        result.geometry[i] = geometry.clone();
+        result.routed[i] = *routed;
+        if *routed {
+            result.routed_count += 1;
+        }
+    }
+    let mut pin_cells: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut pin_points: Vec<FastSet<Point>> = vec![FastSet::default(); n];
+    for (id, net) in circuit.iter_nets() {
+        for pin in net.pins() {
+            let node = grid.node(pin.position.on_layer(pin.layer));
+            grid.occupy(node, id.0);
+            pin_cells[id.0 as usize].push(node);
+            pin_points[id.0 as usize].insert(pin.position);
+        }
+    }
+
+    let mut targets: Vec<usize> = (0..n).filter(|&i| preserved[i].is_none()).collect();
+    let target_count = targets.len();
+    targets.sort_by_key(|&i| (circuit.nets()[i].hpwl(), i));
+
+    let no_seeds: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+    route_pass(
+        plan, &field, config, &targets, &mut grid, &mut solver, &pin_cells,
+        &pin_points, &no_seeds, &mut result,
+    );
+
+    let routed_targets =
+        |result: &DetailedResult| targets.iter().filter(|&&i| result.routed[i]).count();
+    for round in 1..=2u32 {
+        if routed_targets(&result) == target_count {
+            break;
+        }
+        if config.cancel.is_cancelled_now() {
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::BudgetExhausted,
+                None,
+                format!(
+                    "rip-up/reroute rounds {round}..2 skipped ({} nets still failed)",
+                    target_count - routed_targets(&result)
+                ),
+            ));
+            break;
+        }
+        let mut failed: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| !result.routed[i])
+            .collect();
+        failed.sort_by_key(|&i| (circuit.nets()[i].hpwl(), i));
+        let relaxed = DetailedConfig {
+            node_cap: config.node_cap.checked_shl(2 * round).unwrap_or(usize::MAX),
+            margin: config.margin.checked_shl(round).unwrap_or(Coord::MAX),
+            ..config.clone()
+        };
+        route_pass(
+            plan, &field, &relaxed, &failed, &mut grid, &mut solver, &pin_cells,
+            &pin_points, &no_seeds, &mut result,
+        );
+    }
+
+    if routed_targets(&result) < target_count && !config.cancel.is_cancelled_now() {
+        blocker_ripup_round(
+            circuit, plan, &field, config, &mut grid, &mut solver, &pin_cells, &pin_points,
+            &frozen, &targets, &mut result,
+        );
+    }
+
+    if !config.cancel.is_cancelled_now() {
+        // Net-index order, matching `route_detailed`'s record stream.
+        let mut missing: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| !result.routed[i])
+            .collect();
+        missing.sort_unstable();
+        for net in missing {
+            config.cancel.record(Degradation::new(
+                Stage::Detailed,
+                DegradationKind::SearchExhausted,
+                Some(net),
+                "search window widening exhausted; net left unrouted",
+            ));
         }
     }
     result
@@ -833,6 +1021,10 @@ const BLOCK_PENALTY: u64 = 1 << 32;
 /// One rip-up/reroute round for walled-in nets (see the call site in
 /// [`route_detailed`]). Serial on the master grid in deterministic net
 /// order, so the outcome never depends on the worker count.
+///
+/// Only nets in `candidates` are recovered or ripped as blockers; cells
+/// in `frozen` (preserved geometry in an incremental run) and blockage
+/// cells are hard obstacles even for the soft search.
 #[allow(clippy::too_many_arguments)]
 fn blocker_ripup_round(
     circuit: &Circuit,
@@ -843,12 +1035,22 @@ fn blocker_ripup_round(
     solver: &mut DialSolver,
     pin_cells: &[Vec<u32>],
     pin_points: &[FastSet<Point>],
+    frozen: &FastSet<u32>,
+    candidates: &[usize],
     result: &mut DetailedResult,
 ) {
     let n = pin_cells.len();
-    // Other nets' pins can never be ripped up; the soft search treats
-    // them as hard obstacles.
-    let all_pins: FastSet<u32> = pin_cells.iter().flatten().copied().collect();
+    // Other nets' pins can never be ripped up, and neither can blockage
+    // cells or preserved geometry; the soft search treats them all as
+    // hard obstacles.
+    let mut all_pins: FastSet<u32> = pin_cells.iter().flatten().copied().collect();
+    all_pins.extend(frozen.iter().copied());
+    for node in 0..grid.cell_count() as u32 {
+        if grid.occupant(node) == Some(BLOCKAGE_NET) {
+            all_pins.insert(node);
+        }
+    }
+    let rippable: FastSet<usize> = candidates.iter().copied().collect();
     let no_seeds: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
     // The soft search and the recovery attempts get the expansion budget
     // one widening step past the retry ladder's last rung — still
@@ -866,7 +1068,13 @@ fn blocker_ripup_round(
         retries: 0,
         ..config.clone()
     };
-    let mut failed: Vec<usize> = (0..n).filter(|&i| !result.routed[i]).collect();
+    let mut failed: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| !result.routed[i])
+        .collect();
+    failed.sort_unstable();
+    failed.dedup();
     failed.sort_by_key(|&i| (circuit.nets()[i].hpwl(), i));
     for net in failed {
         if result.routed[net] || config.cancel.is_cancelled_now() {
@@ -905,8 +1113,9 @@ fn blocker_ripup_round(
             let mut blockers: Vec<usize> = path
                 .iter()
                 .filter_map(|&c| grid.occupant(c))
-                .filter(|&o| o != net as u32)
+                .filter(|&o| o != net as u32 && o != BLOCKAGE_NET)
                 .map(|o| o as usize)
+                .filter(|o| rippable.contains(o))
                 .collect();
             blockers.sort_unstable();
             blockers.dedup();
@@ -1395,6 +1604,89 @@ mod tests {
         );
         assert_eq!(dial.routed_count, legacy.routed_count);
         assert_eq!(dial.routed, legacy.routed);
+    }
+
+    #[test]
+    fn blockages_are_avoided() {
+        let outline = Rect::new(0, 0, 89, 89);
+        let plan = StitchPlan::new(outline, StitchConfig::default());
+        // A wall across the net's straight-line path, with room around it.
+        let blockage = Rect::new(40, 10, 42, 70);
+        let circuit = Circuit::with_blockages(
+            "t",
+            outline,
+            3,
+            vec![Net::new("a", vec![pin(2, 30), pin(80, 30)])],
+            vec![blockage],
+        );
+        let global =
+            mebl_global::route_circuit(&circuit, &plan, &mebl_global::GlobalConfig::default());
+        let panels = extract_panels(&global);
+        let tracks = assign_tracks(&panels, &global.graph, &plan, 3, &TrackConfig::default());
+        let res = route_detailed(
+            &circuit,
+            &plan,
+            &global.graph,
+            &tracks,
+            &DetailedConfig::default(),
+        );
+        assert_eq!(res.routed_count, 1);
+        let g = &res.geometry[0];
+        for s in g.segments() {
+            for p in s.points() {
+                assert!(!blockage.contains(p.point()), "segment cell {p:?} in blockage");
+            }
+        }
+        for v in g.vias() {
+            assert!(
+                !blockage.contains(Point::new(v.x, v.y)),
+                "via ({}, {}) in blockage",
+                v.x,
+                v.y
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_preserves_and_reroutes() {
+        let nets = vec![
+            Net::new("a", vec![pin(2, 2), pin(60, 60)]),
+            Net::new("b", vec![pin(5, 60), pin(60, 5)]),
+            Net::new("c", vec![pin(30, 2), pin(30, 85)]),
+        ];
+        let (c, plan, full) = route(nets, &DetailedConfig::default());
+        assert_eq!(full.routed_count, 3);
+
+        // All preserved: the result must be exactly the prior one.
+        let all: Vec<Option<(bool, RouteGeometry)>> = (0..3)
+            .map(|i| Some((full.routed[i], full.geometry[i].clone())))
+            .collect();
+        let same = route_incremental(&c, &plan, &DetailedConfig::default(), &all);
+        assert_eq!(same.routed, full.routed);
+        for i in 0..3 {
+            assert_eq!(same.geometry[i], full.geometry[i], "net {i}");
+        }
+
+        // One target: nets 0 and 2 stay untouched, net 1 re-routes.
+        let mut partial = all;
+        partial[1] = None;
+        let inc = route_incremental(&c, &plan, &DetailedConfig::default(), &partial);
+        assert_eq!(inc.routed_count, 3);
+        assert_eq!(inc.geometry[0], full.geometry[0]);
+        assert_eq!(inc.geometry[2], full.geometry[2]);
+        assert_connected(&c, 1, &inc.geometry[1]);
+        // No shorts between the re-routed net and the preserved ones.
+        let mut seen: HashMap<GridPoint, usize> = HashMap::new();
+        for (i, g) in inc.geometry.iter().enumerate() {
+            for s in g.segments() {
+                for p in s.points() {
+                    if let Some(&other) = seen.get(&p) {
+                        assert_eq!(other, i, "short between nets {other} and {i} at {p}");
+                    }
+                    seen.insert(p, i);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,777 @@
+//! A deterministic R-tree over inclusive grid rectangles.
+//!
+//! The spatial index behind delta-routing conflict detection and the
+//! auditor's geometry queries. Zero dependencies, no `unsafe`, and —
+//! critically for the workspace's byte-identical-output contract —
+//! **fully deterministic**: the same sequence of operations always
+//! produces the same tree shape, the same traversal order and the same
+//! tie-breaking in [`RTree::nearest`], regardless of platform or thread
+//! count. Every ordering decision falls back to item insertion index,
+//! never to pointer values or hash order.
+//!
+//! Construction is either incremental ([`RTree::insert`], Guttman
+//! quadratic split) or bulk via Sort-Tile-Recursive packing
+//! ([`RTree::bulk_load`]): sort by center x, cut into vertical slices,
+//! sort each slice by center y, pack fixed-size leaves, and repeat one
+//! level up until a single root remains. STR yields near-optimal packing
+//! for the static geometry sets the auditor indexes (a routed net's
+//! segments, a circuit's blockages).
+//!
+//! ```
+//! use mebl_geom::{Point, Rect, RTree};
+//!
+//! let tree = RTree::bulk_load(vec![
+//!     (Rect::new(0, 0, 2, 2), "a"),
+//!     (Rect::new(10, 10, 12, 12), "b"),
+//! ]);
+//! let hits = tree.query(Rect::new(1, 1, 5, 5));
+//! assert_eq!(hits, vec![(Rect::new(0, 0, 2, 2), &"a")]);
+//! assert_eq!(tree.nearest(Point::new(9, 9)).map(|(_, v)| *v), Some("b"));
+//! ```
+
+use crate::{Point, Rect};
+
+/// Maximum entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node; an underfull node is condensed away and its
+/// contents reinserted.
+const MIN_ENTRIES: usize = 3;
+
+/// One arena node: a leaf holding item slots or an inner node holding
+/// child node ids, plus the bounding box of everything below it.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Bounding box of the subtree; `None` only for an empty root leaf.
+    mbr: Option<Rect>,
+    /// Leaf nodes hold item indices, inner nodes hold node indices.
+    children: Vec<usize>,
+    /// Whether `children` are item slots (leaf) or node ids.
+    leaf: bool,
+}
+
+impl Node {
+    fn empty_leaf() -> Self {
+        Node {
+            mbr: None,
+            children: Vec::new(),
+            leaf: true,
+        }
+    }
+}
+
+/// A deterministic R-tree mapping [`Rect`] keys to values.
+///
+/// Duplicate rectangles are allowed; [`RTree::remove`] disambiguates by
+/// value. See the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    /// Item slots; `None` marks a removed slot awaiting reuse.
+    items: Vec<Option<(Rect, T)>>,
+    /// Free item slots, reused LIFO so slot ids stay dense.
+    free: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RTree {
+            items: Vec::new(),
+            free: Vec::new(),
+            nodes: vec![Node::empty_leaf()],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Builds a tree from `items` by Sort-Tile-Recursive packing.
+    ///
+    /// Item slot ids equal the input positions, so [`RTree::nearest`]
+    /// tie-breaking and [`RTree::traversal`] fingerprints are functions
+    /// of the input order alone.
+    pub fn bulk_load(items: Vec<(Rect, T)>) -> Self {
+        let mut tree = RTree::new();
+        if items.is_empty() {
+            return tree;
+        }
+        tree.len = items.len();
+        let rects: Vec<Rect> = items.iter().map(|(r, _)| *r).collect();
+        tree.items = items.into_iter().map(Some).collect();
+        tree.nodes.clear();
+
+        // Pack the leaf level from item slots, then pack node levels
+        // until one node remains.
+        let slots: Vec<usize> = (0..rects.len()).collect();
+        let rect_of = |i: &usize| rects[*i];
+        let mut level: Vec<usize> = str_pack(&slots, rect_of)
+            .into_iter()
+            .map(|(mbr, children)| push_node(&mut tree.nodes, mbr, children, true))
+            .collect();
+        while level.len() > 1 {
+            let nodes = &tree.nodes;
+            let packed = {
+                let rect_of = |i: &usize| nodes[*i].mbr.unwrap_or(Rect::new(0, 0, 0, 0));
+                str_pack(&level, rect_of)
+            };
+            level = packed
+                .into_iter()
+                .map(|(mbr, children)| push_node(&mut tree.nodes, mbr, children, false))
+                .collect();
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Inserts one item (Guttman: least-enlargement descent, quadratic
+    /// split on overflow).
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.items[s] = Some((rect, value));
+                s
+            }
+            None => {
+                self.items.push(Some((rect, value)));
+                self.items.len() - 1
+            }
+        };
+        self.len += 1;
+        self.insert_slot(slot, rect);
+    }
+
+    /// Removes the first item equal to `(rect, value)`; returns whether
+    /// anything was removed. Underfull nodes are condensed away and
+    /// their surviving contents reinserted.
+    pub fn remove(&mut self, rect: Rect, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some((leaf, pos, slot)) = self.find_leaf(self.root, rect, value) else {
+            return false;
+        };
+        self.nodes[leaf].children.remove(pos);
+        self.items[slot] = None;
+        self.free.push(slot);
+        self.len -= 1;
+        self.condense(leaf);
+        true
+    }
+
+    /// All items whose rectangle overlaps `window`, in deterministic
+    /// traversal order.
+    pub fn query(&self, window: Rect) -> Vec<(Rect, &T)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            match node.mbr {
+                Some(mbr) if mbr.overlaps(window) => {}
+                _ => continue,
+            }
+            if node.leaf {
+                for &slot in &node.children {
+                    if let Some((r, v)) = &self.items[slot] {
+                        if r.overlaps(window) {
+                            out.push((*r, v));
+                        }
+                    }
+                }
+            } else {
+                // Push in reverse so children pop in stored order.
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// The stored item nearest to `p` by squared Euclidean distance to
+    /// its rectangle (zero when `p` is inside). Ties resolve to the
+    /// smallest item slot id — a pure function of operation history.
+    pub fn nearest(&self, p: Point) -> Option<(Rect, &T)> {
+        let mut best: Option<(u128, usize)> = None;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            let Some(mbr) = node.mbr else { continue };
+            if let Some((bd, _)) = best {
+                // Equal distances may still hide a smaller slot id, so
+                // prune strictly-worse subtrees only.
+                if dist2(mbr, p) > bd {
+                    continue;
+                }
+            }
+            if node.leaf {
+                for &slot in &node.children {
+                    if let Some((r, _)) = &self.items[slot] {
+                        let d = dist2(*r, p);
+                        if best.is_none_or(|(bd, bs)| (d, slot) < (bd, bs)) {
+                            best = Some((d, slot));
+                        }
+                    }
+                }
+            } else {
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+        let (_, slot) = best?;
+        self.items[slot].as_ref().map(|(r, v)| (*r, v))
+    }
+
+    /// Every item in deterministic pre-order traversal (the order
+    /// [`RTree::query`] would report them for an all-covering window).
+    /// This is the sequence fingerprint tests hash.
+    pub fn traversal(&self) -> Vec<(Rect, &T)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.leaf {
+                for &slot in &node.children {
+                    if let Some((r, v)) = &self.items[slot] {
+                        out.push((*r, v));
+                    }
+                }
+            } else {
+                for &child in node.children.iter().rev() {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    /// Descends to the best leaf for `rect` and inserts `slot` there,
+    /// splitting and propagating on overflow.
+    fn insert_slot(&mut self, slot: usize, rect: Rect) {
+        // Path of node ids from root to the chosen leaf.
+        let mut path = vec![self.root];
+        loop {
+            let id = *path.last().unwrap_or(&self.root);
+            if self.nodes[id].leaf {
+                break;
+            }
+            let mut pick: Option<(u64, u64, usize)> = None;
+            for &child in &self.nodes[id].children {
+                let mbr = match self.nodes[child].mbr {
+                    Some(m) => m,
+                    None => continue,
+                };
+                let grown = mbr.hull(rect);
+                let enlargement = grown.area() - mbr.area();
+                let key = (enlargement, mbr.area(), child);
+                if pick.is_none_or(|p| key < p) {
+                    pick = Some(key);
+                }
+            }
+            match pick {
+                Some((_, _, child)) => path.push(child),
+                // An inner node never has zero children, but stay total.
+                None => break,
+            }
+        }
+        let leaf = *path.last().unwrap_or(&self.root);
+        self.nodes[leaf].children.push(slot);
+        self.refit(leaf);
+        self.handle_overflow(&path);
+        // MBRs along the path may have grown.
+        for &id in path.iter().rev() {
+            self.refit(id);
+        }
+    }
+
+    /// Splits the deepest overflowing node on `path` and propagates.
+    fn handle_overflow(&mut self, path: &[usize]) {
+        for depth in (0..path.len()).rev() {
+            let id = path[depth];
+            if self.nodes[id].children.len() <= MAX_ENTRIES {
+                continue;
+            }
+            let sibling = self.split(id);
+            if depth == 0 {
+                // Root split: grow the tree by one level.
+                let mbr = hull_of(&[self.mbr_of(id), self.mbr_of(sibling)]);
+                let new_root = push_node(&mut self.nodes, mbr, vec![id, sibling], false);
+                self.root = new_root;
+            } else {
+                let parent = path[depth - 1];
+                self.nodes[parent].children.push(sibling);
+                self.refit(parent);
+            }
+        }
+    }
+
+    /// Quadratic split of node `id`; returns the new sibling node id.
+    fn split(&mut self, id: usize) -> usize {
+        let leaf = self.nodes[id].leaf;
+        let children = std::mem::take(&mut self.nodes[id].children);
+        let rect_at = |this: &Self, c: usize| -> Rect {
+            if leaf {
+                this.items[c].as_ref().map(|(r, _)| *r).unwrap_or(Rect::new(0, 0, 0, 0))
+            } else {
+                this.nodes[c].mbr.unwrap_or(Rect::new(0, 0, 0, 0))
+            }
+        };
+
+        // Pick the two seeds wasting the most area if paired.
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, 0u64);
+        for i in 0..children.len() {
+            for j in (i + 1)..children.len() {
+                let (ri, rj) = (rect_at(self, children[i]), rect_at(self, children[j]));
+                let dead = ri.hull(rj).area().saturating_sub(ri.area() + rj.area());
+                if dead > worst {
+                    (s1, s2, worst) = (i, j, dead);
+                }
+            }
+        }
+        let mut group_a = vec![children[s1]];
+        let mut group_b = vec![children[s2]];
+        let (mut mbr_a, mut mbr_b) = (rect_at(self, children[s1]), rect_at(self, children[s2]));
+        let mut rest: Vec<usize> = children
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != s1 && i != s2)
+            .map(|(_, &c)| c)
+            .collect();
+
+        // Assign the remaining entries by strongest preference; keep the
+        // scan order (and thus the result) deterministic.
+        while !rest.is_empty() {
+            let need_a = MIN_ENTRIES.saturating_sub(group_a.len());
+            let need_b = MIN_ENTRIES.saturating_sub(group_b.len());
+            if need_a >= rest.len() {
+                for c in rest.drain(..) {
+                    mbr_a = mbr_a.hull(rect_at(self, c));
+                    group_a.push(c);
+                }
+                break;
+            }
+            if need_b >= rest.len() {
+                for c in rest.drain(..) {
+                    mbr_b = mbr_b.hull(rect_at(self, c));
+                    group_b.push(c);
+                }
+                break;
+            }
+            // Entry whose enlargement difference is largest.
+            let mut pick = 0usize;
+            let mut pick_diff = 0i128;
+            let mut pick_da = 0u64;
+            let mut pick_db = 0u64;
+            for (i, &c) in rest.iter().enumerate() {
+                let r = rect_at(self, c);
+                let da = mbr_a.hull(r).area() - mbr_a.area();
+                let db = mbr_b.hull(r).area() - mbr_b.area();
+                let diff = (i128::from(da) - i128::from(db)).abs();
+                if i == 0 || diff > pick_diff {
+                    (pick, pick_diff, pick_da, pick_db) = (i, diff, da, db);
+                }
+            }
+            let c = rest.remove(pick);
+            let r = rect_at(self, c);
+            // Ties go to A: group order is part of the determinism
+            // contract, not a quality knob.
+            let to_a = pick_da < pick_db
+                || (pick_da == pick_db && (mbr_a.area(), group_a.len()) <= (mbr_b.area(), group_b.len()));
+            if to_a {
+                mbr_a = mbr_a.hull(r);
+                group_a.push(c);
+            } else {
+                mbr_b = mbr_b.hull(r);
+                group_b.push(c);
+            }
+        }
+
+        self.nodes[id].children = group_a;
+        self.nodes[id].mbr = Some(mbr_a);
+        push_node(&mut self.nodes, Some(mbr_b), group_b, leaf)
+    }
+
+    /// Finds the leaf, child position and item slot of `(rect, value)`.
+    fn find_leaf(&self, id: usize, rect: Rect, value: &T) -> Option<(usize, usize, usize)>
+    where
+        T: PartialEq,
+    {
+        let node = &self.nodes[id];
+        match node.mbr {
+            Some(mbr) if mbr.contains_rect(rect) => {}
+            _ => return None,
+        }
+        if node.leaf {
+            for (pos, &slot) in node.children.iter().enumerate() {
+                if let Some((r, v)) = &self.items[slot] {
+                    if *r == rect && v == value {
+                        return Some((id, pos, slot));
+                    }
+                }
+            }
+            return None;
+        }
+        for &child in &node.children {
+            if let Some(found) = self.find_leaf(child, rect, value) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// After a removal from `leaf`: if the tree root became a trivial
+    /// chain, shrink it; underfull non-root leaves dump their items for
+    /// reinsertion. Parent links are not stored, so condensation works
+    /// top-down: a full rebuild of ancestors' MBRs plus orphan handling.
+    fn condense(&mut self, leaf: usize) {
+        let mut orphans: Vec<usize> = Vec::new();
+        if leaf != self.root && self.nodes[leaf].children.len() < MIN_ENTRIES {
+            orphans = std::mem::take(&mut self.nodes[leaf].children);
+            self.detach(self.root, leaf);
+        }
+        self.refit_deep(self.root);
+        // Shrink a root with a single inner child.
+        while !self.nodes[self.root].leaf && self.nodes[self.root].children.len() == 1 {
+            self.root = self.nodes[self.root].children[0];
+        }
+        if self.nodes[self.root].children.is_empty() {
+            self.nodes[self.root].leaf = true;
+            self.nodes[self.root].mbr = None;
+        }
+        for slot in orphans {
+            if let Some((rect, _)) = &self.items[slot] {
+                let rect = *rect;
+                self.insert_slot(slot, rect);
+            }
+        }
+    }
+
+    /// Removes node `target` from whichever inner node holds it.
+    fn detach(&mut self, id: usize, target: usize) -> bool {
+        if self.nodes[id].leaf {
+            return false;
+        }
+        if let Some(pos) = self.nodes[id].children.iter().position(|&c| c == target) {
+            self.nodes[id].children.remove(pos);
+            return true;
+        }
+        let children = self.nodes[id].children.clone();
+        for child in children {
+            if self.detach(child, target) {
+                // Cascade: an inner node emptied by the detach must
+                // leave the tree too, or a later insertion descent
+                // dead-ends in it and grafts an item slot into an inner
+                // node's child list.
+                if !self.nodes[child].leaf && self.nodes[child].children.is_empty() {
+                    self.nodes[id].children.retain(|&c| c != child);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recomputes every MBR in the subtree under `id`.
+    fn refit_deep(&mut self, id: usize) {
+        if !self.nodes[id].leaf {
+            let children = self.nodes[id].children.clone();
+            for child in children {
+                self.refit_deep(child);
+            }
+        }
+        self.refit(id);
+    }
+
+    /// Recomputes one node's MBR from its children.
+    fn refit(&mut self, id: usize) {
+        let node = &self.nodes[id];
+        let mut mbr: Option<Rect> = None;
+        if node.leaf {
+            for &slot in &node.children {
+                if let Some((r, _)) = &self.items[slot] {
+                    mbr = Some(match mbr {
+                        Some(m) => m.hull(*r),
+                        None => *r,
+                    });
+                }
+            }
+        } else {
+            for &child in &node.children {
+                if let Some(m) = self.nodes[child].mbr {
+                    mbr = Some(match mbr {
+                        Some(acc) => acc.hull(m),
+                        None => m,
+                    });
+                }
+            }
+        }
+        self.nodes[id].mbr = mbr;
+    }
+
+    fn mbr_of(&self, id: usize) -> Option<Rect> {
+        self.nodes[id].mbr
+    }
+}
+
+/// Appends a node to the arena, returning its id.
+fn push_node(nodes: &mut Vec<Node>, mbr: Option<Rect>, children: Vec<usize>, leaf: bool) -> usize {
+    nodes.push(Node {
+        mbr,
+        children,
+        leaf,
+    });
+    nodes.len() - 1
+}
+
+fn hull_of(rects: &[Option<Rect>]) -> Option<Rect> {
+    let mut acc: Option<Rect> = None;
+    for r in rects.iter().flatten() {
+        acc = Some(match acc {
+            Some(m) => m.hull(*r),
+            None => *r,
+        });
+    }
+    acc
+}
+
+/// Squared Euclidean distance from `p` to the nearest point of `r`
+/// (zero when inside). Exact in `u128` for any `i32` coordinates.
+fn dist2(r: Rect, p: Point) -> u128 {
+    let dx = if p.x < r.x0() {
+        u128::from(p.x.abs_diff(r.x0()))
+    } else if p.x > r.x1() {
+        u128::from(p.x.abs_diff(r.x1()))
+    } else {
+        0
+    };
+    let dy = if p.y < r.y0() {
+        u128::from(p.y.abs_diff(r.y0()))
+    } else if p.y > r.y1() {
+        u128::from(p.y.abs_diff(r.y1()))
+    } else {
+        0
+    };
+    dx * dx + dy * dy
+}
+
+/// One Sort-Tile-Recursive packing pass: groups `entries` (sorted by
+/// center-x slices, then center-y within each slice) into chunks of at
+/// most [`MAX_ENTRIES`], returning each chunk with its bounding box.
+/// All sort keys end in the entry id, so packing is deterministic even
+/// with coincident centers.
+fn str_pack<F: Fn(&usize) -> Rect>(entries: &[usize], rect_of: F) -> Vec<(Option<Rect>, Vec<usize>)> {
+    let n = entries.len();
+    let node_count = n.div_ceil(MAX_ENTRIES);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(slice_count.max(1));
+
+    let center = |r: Rect| -> (i64, i64) {
+        (
+            i64::from(r.x0()) + i64::from(r.x1()),
+            i64::from(r.y0()) + i64::from(r.y1()),
+        )
+    };
+    let mut by_x: Vec<usize> = entries.to_vec();
+    by_x.sort_by_key(|e| (center(rect_of(e)).0, *e));
+
+    let mut out = Vec::with_capacity(node_count);
+    for slice in by_x.chunks(slice_size.max(1)) {
+        let mut by_y: Vec<usize> = slice.to_vec();
+        by_y.sort_by_key(|e| (center(rect_of(e)).1, *e));
+        for chunk in by_y.chunks(MAX_ENTRIES) {
+            let mbr = hull_of(&chunk.iter().map(|e| Some(rect_of(e))).collect::<Vec<_>>());
+            out.push((mbr, chunk.to_vec()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(i: i32) -> Rect {
+        Rect::new(i * 3, i * 2, i * 3 + 2, i * 2 + 1)
+    }
+
+    #[test]
+    fn empty_tree_answers_empty() {
+        let tree: RTree<u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.query(Rect::new(-100, -100, 100, 100)).is_empty());
+        assert!(tree.nearest(Point::new(0, 0)).is_none());
+        assert!(tree.traversal().is_empty());
+    }
+
+    #[test]
+    fn bulk_load_finds_everything() {
+        let items: Vec<(Rect, i32)> = (0..100).map(|i| (rect(i), i)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        assert_eq!(tree.len(), 100);
+        let all = tree.query(Rect::new(-1000, -1000, 1000, 1000));
+        assert_eq!(all.len(), 100);
+        for (r, v) in &items {
+            let hits = tree.query(*r);
+            assert!(hits.iter().any(|(hr, hv)| hr == r && *hv == v));
+        }
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let items: Vec<(Rect, usize)> = (0..60)
+            .map(|i| {
+                let x = (i * 37) % 90;
+                let y = (i * 53) % 70;
+                (Rect::new(x, y, x + (i % 7), y + (i % 5)), i as usize)
+            })
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        for wx in [0, 20, 45] {
+            for wy in [0, 15, 40] {
+                let window = Rect::new(wx, wy, wx + 25, wy + 18);
+                let mut got: Vec<usize> = tree.query(window).iter().map(|(_, v)| **v).collect();
+                got.sort_unstable();
+                let mut want: Vec<usize> = items
+                    .iter()
+                    .filter(|(r, _)| r.overlaps(window))
+                    .map(|(_, v)| *v)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_query_and_nearest() {
+        let mut tree = RTree::new();
+        for i in 0..50 {
+            tree.insert(rect(i), i);
+        }
+        assert_eq!(tree.len(), 50);
+        assert_eq!(tree.query(rect(17)).iter().map(|(_, v)| **v).max(), Some(17));
+        // Nearest to a point inside rect(30).
+        let (r, v) = tree.nearest(Point::new(91, 61)).expect("non-empty");
+        assert_eq!((r, *v), (rect(30), 30));
+    }
+
+    #[test]
+    fn nearest_tie_breaks_on_slot_id() {
+        let same = Rect::new(10, 10, 12, 12);
+        let tree = RTree::bulk_load(vec![(same, 'b'), (same, 'a')]);
+        // Equal distance: smallest slot id (input position 0) wins.
+        assert_eq!(tree.nearest(Point::new(0, 0)).map(|(_, v)| *v), Some('b'));
+    }
+
+    #[test]
+    fn remove_round_trip() {
+        let mut tree = RTree::new();
+        for i in 0..40 {
+            tree.insert(rect(i), i);
+        }
+        for i in (0..40).step_by(2) {
+            assert!(tree.remove(rect(i), &i), "remove {i}");
+        }
+        assert!(!tree.remove(rect(0), &0), "double remove must miss");
+        assert_eq!(tree.len(), 20);
+        let survivors: Vec<i32> = tree
+            .query(Rect::new(-1000, -1000, 1000, 1000))
+            .iter()
+            .map(|(_, v)| **v)
+            .collect();
+        assert_eq!(survivors.len(), 20);
+        assert!(survivors.iter().all(|v| v % 2 == 1));
+        // Reinsert into freed slots and find everything again.
+        for i in (0..40).step_by(2) {
+            tree.insert(rect(i), i);
+        }
+        assert_eq!(tree.len(), 40);
+        assert_eq!(tree.query(Rect::new(-1000, -1000, 1000, 1000)).len(), 40);
+    }
+
+    #[test]
+    fn remove_down_to_empty_and_reuse() {
+        let mut tree = RTree::new();
+        for i in 0..20 {
+            tree.insert(rect(i), i);
+        }
+        for i in 0..20 {
+            assert!(tree.remove(rect(i), &i));
+        }
+        assert!(tree.is_empty());
+        assert!(tree.nearest(Point::new(0, 0)).is_none());
+        tree.insert(Rect::new(0, 0, 1, 1), 99);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.query(Rect::new(0, 0, 0, 0)).len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_traversal_is_deterministic() {
+        let items: Vec<(Rect, i32)> = (0..75).map(|i| (rect(i % 25), i)).collect();
+        let a = RTree::bulk_load(items.clone());
+        let b = RTree::bulk_load(items);
+        let ta: Vec<(Rect, i32)> = a.traversal().iter().map(|(r, v)| (*r, **v)).collect();
+        let tb: Vec<(Rect, i32)> = b.traversal().iter().map(|(r, v)| (*r, **v)).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(ta.len(), 75);
+    }
+
+    #[test]
+    fn interleaved_removals_never_strand_empty_inner_nodes() {
+        // Regression: condensing a leaf out of a one-child inner node
+        // used to leave the emptied inner node in the tree; a later
+        // insertion descent dead-ended there and grafted an item slot
+        // into the inner node's child list, corrupting the arena.
+        // STR packing leaves trailing one-child inner nodes (9 leaves
+        // pack as 8 + 1), so a three-level bulk-loaded tree is the
+        // cheapest way to manufacture them: 65 items make 9 leaves
+        // under inner nodes of 8 and 1. Draining the population then
+        // empties both inner nodes, and the final condensations must
+        // reinsert their orphans through a root whose children are all
+        // exhausted.
+        for reverse in [false, true] {
+            let mut items: Vec<(Rect, i32)> = (0..65).map(|i| (rect(i), i)).collect();
+            let mut tree = RTree::bulk_load(items.clone());
+            if reverse {
+                items.reverse();
+            }
+            while let Some((r, v)) = items.pop() {
+                assert!(tree.remove(r, &v), "live item {v} missing");
+                assert_eq!(tree.len(), items.len());
+                let census = tree.query(Rect::new(-1000, -1000, 1000, 1000));
+                assert_eq!(census.len(), items.len(), "census after removing {v}");
+            }
+            assert!(tree.is_empty());
+        }
+    }
+
+    #[test]
+    fn degenerate_point_rects_work() {
+        let tree = RTree::bulk_load(vec![
+            (Rect::from_point(Point::new(5, 5)), 0),
+            (Rect::from_point(Point::new(5, 5)), 1),
+            (Rect::from_point(Point::new(-3, 8)), 2),
+        ]);
+        assert_eq!(tree.query(Rect::from_point(Point::new(5, 5))).len(), 2);
+        assert_eq!(tree.nearest(Point::new(-3, 9)).map(|(_, v)| *v), Some(2));
+    }
+}

@@ -27,5 +27,8 @@ mod router;
 mod tilegraph;
 
 pub use multilevel::{CoarseningLadder, Level};
-pub use router::{route_circuit, GlobalConfig, GlobalMetrics, GlobalResult, GlobalRoute, TileRun};
+pub use router::{
+    rebuild_result, route_circuit, route_incremental, GlobalConfig, GlobalMetrics, GlobalResult,
+    GlobalRoute, TileRun,
+};
 pub use tilegraph::{TileGraph, TileId};

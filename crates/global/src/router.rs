@@ -273,7 +273,153 @@ pub fn route_circuit(
         ));
     }
 
-    // Negotiation: penalise overflowed resources and reroute their nets.
+    negotiate(circuit, &graph, &mut state, config, &order, &mut routes);
+
+    let metrics = compute_metrics(&graph, &state, &routes);
+    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state, &config.cancel);
+    GlobalResult {
+        routes,
+        graph,
+        metrics,
+        tile_congestion,
+        vertex_utilization,
+    }
+}
+
+/// Incrementally routes only the nets whose `preserved` entry is `None`.
+///
+/// Every preserved route's demand is re-applied first — the exact
+/// inverse of ripping up the target nets from the prior state — then the
+/// targets route in multilevel order against that demand. Negotiation
+/// passes run over *all* nets: at the tile level any net crossing an
+/// overflowed resource may be ripped and rerouted (the capacity model is
+/// a pure function of the routes, and detailed routing never reads
+/// them), which lets a delta run converge to zero overflow exactly like
+/// a from-scratch run instead of inheriting overflow the preserved
+/// routes pin in place.
+///
+/// # Panics
+///
+/// Panics if `preserved.len() != circuit.net_count()`.
+pub fn route_incremental(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    config: &GlobalConfig,
+    preserved: &[Option<GlobalRoute>],
+) -> GlobalResult {
+    incremental_impl(circuit, plan, config, preserved)
+}
+
+/// Reconstructs a [`GlobalResult`] from already-known per-net routes.
+///
+/// Demands, metrics and the utilisation maps are pure functions of the
+/// routes, so a result serialised as routes alone round-trips through
+/// this function bit-identically. No routing, rip-up or negotiation
+/// happens — the routes come back exactly as given.
+///
+/// # Panics
+///
+/// Panics if `routes.len() != circuit.net_count()`.
+pub fn rebuild_result(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    config: &GlobalConfig,
+    routes: Vec<GlobalRoute>,
+) -> GlobalResult {
+    assert!(
+        routes.len() == circuit.net_count(),
+        "one route slot per net"
+    );
+    let graph = TileGraph::new(
+        circuit.outline(),
+        config.tile_size,
+        circuit.layer_count(),
+        plan,
+        config.stitch_aware_capacity,
+    );
+    let mut state = State::new(&graph);
+    for route in &routes {
+        state.apply_route(&graph, route, 1, &config.cancel);
+    }
+    let metrics = compute_metrics(&graph, &state, &routes);
+    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state, &config.cancel);
+    GlobalResult {
+        routes,
+        graph,
+        metrics,
+        tile_congestion,
+        vertex_utilization,
+    }
+}
+
+fn incremental_impl(
+    circuit: &Circuit,
+    plan: &StitchPlan,
+    config: &GlobalConfig,
+    preserved: &[Option<GlobalRoute>],
+) -> GlobalResult {
+    assert!(
+        preserved.len() == circuit.net_count(),
+        "preserved state must cover every net"
+    );
+    let graph = TileGraph::new(
+        circuit.outline(),
+        config.tile_size,
+        circuit.layer_count(),
+        plan,
+        config.stitch_aware_capacity,
+    );
+    let mut state = State::new(&graph);
+    let ladder = crate::CoarseningLadder::build(circuit, &graph);
+    let order: Vec<usize> = ladder.order().to_vec();
+
+    let mut routes: Vec<GlobalRoute> = vec![GlobalRoute::default(); circuit.net_count()];
+    for (i, kept) in preserved.iter().enumerate() {
+        if let Some(route) = kept {
+            state.apply_route(&graph, route, 1, &config.cancel);
+            routes[i] = route.clone();
+        }
+    }
+
+    let targets: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| preserved[i].is_none())
+        .collect();
+    let skipped = route_batched(circuit, &graph, &mut state, config, &targets, &mut routes);
+    if skipped > 0 {
+        config.cancel.record(Degradation::new(
+            Stage::Global,
+            DegradationKind::BudgetExhausted,
+            None,
+            format!("{skipped} nets left unrouted at tile level"),
+        ));
+    }
+
+    negotiate(circuit, &graph, &mut state, config, &order, &mut routes);
+
+    let metrics = compute_metrics(&graph, &state, &routes);
+    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state, &config.cancel);
+    GlobalResult {
+        routes,
+        graph,
+        metrics,
+        tile_congestion,
+        vertex_utilization,
+    }
+}
+
+/// Negotiation rounds: penalise overflowed resources and rip up and
+/// reroute the nets crossing them, up to `config.reroute_passes` times
+/// or until nothing overflows.
+fn negotiate(
+    circuit: &Circuit,
+    graph: &TileGraph,
+    state: &mut State,
+    config: &GlobalConfig,
+    order: &[usize],
+    routes: &mut [GlobalRoute],
+) {
     for pass in 0..config.reroute_passes {
         if config.cancel.is_cancelled_now() {
             config.cancel.record(Degradation::new(
@@ -288,7 +434,7 @@ pub fn route_circuit(
             ));
             break;
         }
-        let metrics = compute_metrics(&graph, &state, &routes);
+        let metrics = compute_metrics(graph, state, routes);
         if metrics.total_edge_overflow == 0 && metrics.total_vertex_overflow == 0 {
             break;
         }
@@ -334,11 +480,10 @@ pub fn route_circuit(
         // capacity model out of sync with the routes (a victim skipped by
         // a mid-reroute cancellation keeps its empty default route).
         for &i in &victims {
-            state.apply_route(&graph, &routes[i], -1, &config.cancel);
+            state.apply_route(graph, &routes[i], -1, &config.cancel);
             routes[i] = GlobalRoute::default();
         }
-        let skipped =
-            route_batched(circuit, &graph, &mut state, config, &victims, &mut routes);
+        let skipped = route_batched(circuit, graph, state, config, &victims, routes);
         if skipped > 0 {
             config.cancel.record(Degradation::new(
                 Stage::Global,
@@ -347,16 +492,6 @@ pub fn route_circuit(
                 format!("{skipped} ripped-up nets left unrouted in pass {}", pass + 1),
             ));
         }
-    }
-
-    let metrics = compute_metrics(&graph, &state, &routes);
-    let (tile_congestion, vertex_utilization) = utilization_maps(&graph, &state, &config.cancel);
-    GlobalResult {
-        routes,
-        graph,
-        metrics,
-        tile_congestion,
-        vertex_utilization,
     }
 }
 
@@ -888,6 +1023,26 @@ mod tests {
         assert!(events
             .iter()
             .any(|d| d.kind == DegradationKind::BudgetExhausted && d.stage == Stage::Global));
+    }
+
+    #[test]
+    fn incremental_with_all_preserved_matches_scratch() {
+        let (c, plan) = tiny_circuit(vec![
+            Net::new("a", vec![pin(1, 1), pin(80, 50)]),
+            Net::new("b", vec![pin(5, 50), pin(85, 2)]),
+        ]);
+        let full = route_circuit(&c, &plan, &GlobalConfig::default());
+        let all: Vec<Option<GlobalRoute>> = full.routes.iter().cloned().map(Some).collect();
+        let inc = route_incremental(&c, &plan, &GlobalConfig::default(), &all);
+        assert_eq!(inc.routes, full.routes);
+        assert_eq!(inc.metrics, full.metrics);
+
+        let mut partial = all;
+        partial[0] = None;
+        let inc = route_incremental(&c, &plan, &GlobalConfig::default(), &partial);
+        assert_eq!(inc.routes[1], full.routes[1]);
+        assert!(!inc.routes[0].tiles.is_empty());
+        assert_route_connected(&inc.routes[0]);
     }
 
     #[test]

@@ -102,10 +102,11 @@ pub struct Circuit {
     outline: Rect,
     layer_count: u8,
     nets: Vec<Net>,
+    blockages: Vec<Rect>,
 }
 
 impl Circuit {
-    /// Creates a circuit.
+    /// Creates a circuit without blockages.
     ///
     /// # Panics
     ///
@@ -117,6 +118,28 @@ impl Circuit {
         outline: Rect,
         layer_count: u8,
         nets: Vec<Net>,
+    ) -> Self {
+        Self::with_blockages(name, outline, layer_count, nets, Vec::new())
+    }
+
+    /// Creates a circuit with routing blockages.
+    ///
+    /// A blockage is an all-layer keep-out rectangle: the detailed router
+    /// treats every cell it covers as permanently occupied. A blockage
+    /// covering a pin makes the circuit unroutable — the constructor
+    /// tolerates it so such circuits can be built and rejected through
+    /// [`Circuit::validate`] with a typed error instead of a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Circuit::new`], plus any
+    /// blockage not fully inside the outline.
+    pub fn with_blockages(
+        name: impl Into<String>,
+        outline: Rect,
+        layer_count: u8,
+        nets: Vec<Net>,
+        blockages: Vec<Rect>,
     ) -> Self {
         assert!(layer_count >= 2, "need at least two routing layers");
         for net in &nets {
@@ -134,11 +157,18 @@ impl Circuit {
                 );
             }
         }
+        for b in &blockages {
+            assert!(
+                outline.contains_rect(*b),
+                "blockage {b} outside outline {outline}"
+            );
+        }
         Self {
             name: name.into(),
             outline,
             layer_count,
             nets,
+            blockages,
         }
     }
 
@@ -160,6 +190,11 @@ impl Circuit {
     /// All nets.
     pub fn nets(&self) -> &[Net] {
         &self.nets
+    }
+
+    /// All-layer routing blockages (keep-out rectangles).
+    pub fn blockages(&self) -> &[Rect] {
+        &self.blockages
     }
 
     /// The net with the given id.
@@ -233,6 +268,15 @@ impl Circuit {
             ));
         }
 
+        for b in &self.blockages {
+            if !o.contains_rect(*b) {
+                issues.push(CircuitIssue::error(
+                    None,
+                    format!("blockage {b} extends outside outline {o}"),
+                ));
+            }
+        }
+
         let mut seen: std::collections::BTreeMap<(i32, i32, u8), usize> =
             std::collections::BTreeMap::new();
         for (idx, net) in self.nets.iter().enumerate() {
@@ -251,6 +295,16 @@ impl Circuit {
                             "pin layer {} above the {}-layer stack",
                             pin.layer.index(),
                             self.layer_count
+                        ),
+                    ));
+                }
+                if let Some(b) = self.blockages.iter().find(|b| b.contains(p)) {
+                    issues.push(CircuitIssue::error(
+                        Some(idx),
+                        format!(
+                            "pin ({}, {}) is covered by blockage {b}: the net \
+                             cannot reach it",
+                            p.x, p.y
                         ),
                     ));
                 }
@@ -369,6 +423,50 @@ mod tests {
     fn out_of_outline_pin_rejected() {
         let net = Net::new("a", vec![pin(0, 0), pin(50, 50)]);
         let _ = Circuit::new("c", Rect::new(0, 0, 9, 9), 3, vec![net]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside outline")]
+    fn out_of_outline_blockage_rejected() {
+        let net = Net::new("a", vec![pin(0, 0), pin(1, 1)]);
+        let _ = Circuit::with_blockages(
+            "c",
+            Rect::new(0, 0, 9, 9),
+            3,
+            vec![net],
+            vec![Rect::new(5, 5, 12, 7)],
+        );
+    }
+
+    #[test]
+    fn blockage_covering_pin_is_a_validate_error() {
+        let net = Net::new("a", vec![pin(2, 2), pin(8, 8)]);
+        let c = Circuit::with_blockages(
+            "c",
+            Rect::new(0, 0, 9, 9),
+            3,
+            vec![net],
+            vec![Rect::new(1, 1, 3, 3)],
+        );
+        assert_eq!(c.blockages().len(), 1);
+        let issues = c.validate(&[]);
+        assert!(
+            issues.iter().any(|i| i.is_error() && i.message.contains("blockage")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn clear_blockage_passes_validate() {
+        let net = Net::new("a", vec![pin(0, 0), pin(9, 9)]);
+        let c = Circuit::with_blockages(
+            "c",
+            Rect::new(0, 0, 9, 9),
+            3,
+            vec![net],
+            vec![Rect::new(4, 4, 5, 5)],
+        );
+        assert!(c.validate(&[]).iter().all(|i| !i.is_error()));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ```text
 //! circuit <name> <x0> <y0> <x1> <y1> <layers>
 //! net <name> <x>,<y>,<layer> <x>,<y>,<layer> ...
+//! blockage <x0> <y0> <x1> <y1>
 //! ```
 //!
 //! Lines starting with `#` and blank lines are ignored.
@@ -73,6 +74,9 @@ pub fn circuit_to_string(circuit: &Circuit) -> String {
         }
         out.push('\n');
     }
+    for b in circuit.blockages() {
+        let _ = writeln!(out, "blockage {} {} {} {}", b.x0(), b.y0(), b.x1(), b.y1());
+    }
     out
 }
 
@@ -91,6 +95,7 @@ pub fn circuit_from_str(text: &str) -> Result<Circuit, ParseCircuitError> {
 
     let mut header: Option<(String, Rect, u8)> = None;
     let mut nets: Vec<Net> = Vec::new();
+    let mut blockages: Vec<Rect> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -156,6 +161,24 @@ pub fn circuit_from_str(text: &str) -> Result<Circuit, ParseCircuitError> {
                 }
                 nets.push(Net::new(name, pins));
             }
+            Some("blockage") => {
+                let (_, outline, _) = header
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "blockage before circuit header"))?;
+                let mut coord = |what: &str| -> Result<i32, ParseCircuitError> {
+                    tok.next()
+                        .ok_or_else(|| err(lineno, &format!("missing blockage {what}")))?
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("bad blockage {what}")))
+                };
+                let (x0, y0, x1, y1) =
+                    (coord("x0")?, coord("y0")?, coord("x1")?, coord("y1")?);
+                let rect = Rect::new(x0, y0, x1, y1);
+                if !outline.contains_rect(rect) {
+                    return Err(err(lineno, "blockage outside outline"));
+                }
+                blockages.push(rect);
+            }
             Some(other) => {
                 return Err(err(lineno, &format!("unknown directive '{other}'")));
             }
@@ -167,7 +190,7 @@ pub fn circuit_from_str(text: &str) -> Result<Circuit, ParseCircuitError> {
 
     let (name, outline, layers) =
         header.ok_or_else(|| err(0, "missing circuit header"))?;
-    Ok(Circuit::new(name, outline, layers, nets))
+    Ok(Circuit::with_blockages(name, outline, layers, nets, blockages))
 }
 
 #[cfg(test)]
@@ -229,6 +252,47 @@ mod tests {
     fn error_display_includes_line() {
         let e = circuit_from_str("bogus\n").unwrap_err();
         assert!(e.to_string().starts_with("line 1:"));
+    }
+
+    #[test]
+    fn roundtrip_with_blockages() {
+        let net = Net::new(
+            "a",
+            vec![
+                Pin::new(Point::new(0, 0), Layer::new(0)),
+                Pin::new(Point::new(9, 9), Layer::new(0)),
+            ],
+        );
+        let c = Circuit::with_blockages(
+            "t",
+            Rect::new(0, 0, 9, 9),
+            3,
+            vec![net],
+            vec![Rect::new(2, 2, 4, 4), Rect::new(6, 1, 7, 8)],
+        );
+        let text = circuit_to_string(&c);
+        assert!(text.contains("blockage 2 2 4 4"));
+        let back = circuit_from_str(&text).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn error_on_blockage_outside_outline() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nblockage 5 5 12 7\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("outside outline"));
+    }
+
+    #[test]
+    fn error_on_blockage_before_header() {
+        let e = circuit_from_str("blockage 0 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("before circuit header"));
+    }
+
+    #[test]
+    fn error_on_malformed_blockage() {
+        let e = circuit_from_str("circuit t 0 0 9 9 3\nblockage 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("missing blockage y1"));
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl RunBudget {
 
     /// Arms a run-wide [`CancelToken`] for this budget. The deadline
     /// clock starts now.
-    pub(crate) fn arm(&self) -> CancelToken {
+    ///
+    /// Public so out-of-crate drivers (e.g. the delta router) can run
+    /// individual stages under the same budget machinery the full flow
+    /// uses.
+    pub fn arm(&self) -> CancelToken {
         let deadline: Option<DeadlineProbe> = self.time.map(|limit| {
             let sw = Stopwatch::start();
             Box::new(move || sw.elapsed() >= limit) as DeadlineProbe
@@ -78,7 +82,7 @@ impl RunBudget {
     /// compose server shutdown into every in-flight job without giving
     /// jobs a way to cancel each other — `interrupt` stays owned by the
     /// caller; only its cancelled state is observed.
-    pub(crate) fn arm_under(&self, interrupt: &CancelToken) -> CancelToken {
+    pub fn arm_under(&self, interrupt: &CancelToken) -> CancelToken {
         let time_probe = self.time.map(|limit| {
             let sw = Stopwatch::start();
             move || sw.elapsed() >= limit
@@ -92,7 +96,7 @@ impl RunBudget {
 
     /// Scopes `token` with this budget's per-stage deadline, if any.
     /// The stage clock starts now.
-    pub(crate) fn stage_scope(&self, token: &CancelToken) -> CancelToken {
+    pub fn stage_scope(&self, token: &CancelToken) -> CancelToken {
         match self.stage_time {
             Some(limit) => {
                 let sw = Stopwatch::start();

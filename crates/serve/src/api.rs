@@ -280,6 +280,7 @@ fn finding_kind_code(kind: FindingKind) -> &'static str {
         FindingKind::DegenerateSegment => "degenerate-segment",
         FindingKind::ViaOutsideOutline => "via-outside-outline",
         FindingKind::ViaLayerOutOfStack => "via-layer-out-of-stack",
+        FindingKind::GeometryOnBlockage => "geometry-on-blockage",
         FindingKind::OffPinViaOnLine => "off-pin-via-on-line",
         FindingKind::VerticalRideOnLine => "vertical-ride-on-line",
         FindingKind::ViaViolationMismatch => "via-violation-mismatch",

@@ -1,9 +1,11 @@
 //! A zero-dependency routing service daemon for the MEBL flow.
 //!
 //! `mebl-serve` wraps the stitch-aware router in a small HTTP/1.1
-//! server built on nothing but `std::net`: `POST /route` and
-//! `POST /audit` run jobs, `GET /healthz` and `GET /metrics` observe
-//! the daemon, `POST /shutdown` (or closing the CLI's stdin) drains it.
+//! server built on nothing but `std::net`: `POST /route`, `POST /audit`
+//! and `POST /route/delta` (incremental re-route of an edited circuit
+//! against a cached prior outcome) run jobs, `GET /healthz` and
+//! `GET /metrics` observe the daemon, `POST /shutdown` (or closing the
+//! CLI's stdin) drains it.
 //! The design goals, in order:
 //!
 //! 1. **Determinism is preserved over the wire.** Response bodies carry
@@ -29,12 +31,14 @@
 
 pub mod api;
 pub mod cache;
+pub mod delta;
 pub mod http;
 pub mod json;
 pub mod metrics;
 
 use crate::api::{audit_response_json, error_json, route_response_json, JobRequest};
-use crate::cache::ResultCache;
+use crate::cache::{fnv1a_extend, ResultCache};
+use crate::delta::{canonical_edits, DeltaRequest, OutcomeCache, PriorOutcome};
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -53,6 +57,11 @@ use std::time::Duration;
 /// listener is non-blocking so the acceptor can notice a drain request
 /// without another connection arriving.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Prior-outcome cache capacity for `/route/delta`. Full outcomes hold
+/// per-net geometry for a whole circuit, so this tier stays small; the
+/// encoded-response cache handles repeat requests at scale.
+const OUTCOME_CACHE_CAPACITY: usize = 16;
 
 /// Locks a mutex, recovering the data on poisoning: all protected state
 /// here is plain data (queues, maps), never left logically torn by a
@@ -235,6 +244,9 @@ struct Shared {
     queue: JobQueue,
     metrics: Metrics,
     cache: ResultCache,
+    /// Prior outcomes for `/route/delta`, keyed by the base `/route`
+    /// cache key.
+    outcomes: OutcomeCache,
     /// Persistent second cache tier, when mounted.
     store: Option<Store>,
     /// Fingerprint stored records are written and verified under.
@@ -321,6 +333,11 @@ impl Server {
                 queue: JobQueue::new(config.queue_depth),
                 metrics: Metrics::default(),
                 cache: ResultCache::new(config.cache_capacity),
+                outcomes: OutcomeCache::new(if config.cache_capacity == 0 {
+                    0
+                } else {
+                    OUTCOME_CACHE_CAPACITY
+                }),
                 store,
                 store_fp: store_fingerprint(),
                 draining: AtomicBool::new(false),
@@ -511,7 +528,8 @@ impl Server {
             }
             ("POST", "/route") => self.job(request, Endpoint::Route),
             ("POST", "/audit") => self.job(request, Endpoint::Audit),
-            (_, "/healthz" | "/metrics" | "/shutdown" | "/route" | "/audit") => {
+            ("POST", "/route/delta") => self.delta_job(request),
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/route" | "/audit" | "/route/delta") => {
                 self.shared.metrics.bad_requests.inc();
                 Response::json(
                     405,
@@ -730,6 +748,206 @@ impl Server {
                 } else {
                     m.clean.inc();
                 }
+                let cacheable = !degraded && !interrupt.is_cancelled_now();
+                (Response::json(200, body.encode()), cacheable)
+            }
+        }
+    }
+
+    /// The `POST /route/delta` path: same parse/cache/store tiers as
+    /// [`Server::job`], but execution patches a prior outcome instead of
+    /// routing from scratch. The delta cache key chains the base
+    /// `/route` key with a canonical rendering of the edit list, so an
+    /// empty edit list still keys differently from `/route` while its
+    /// *body* stays byte-identical to the `/route` response.
+    fn delta_job(&self, request: &Request) -> Response {
+        let m = &self.shared.metrics;
+        m.delta_requests.inc();
+        if self.shared.draining.load(Ordering::SeqCst) {
+            m.shutdown_rejects.inc();
+            return Response::json(
+                503,
+                error_json("shutting-down", "server is draining").encode(),
+            );
+        }
+
+        let req = match std::str::from_utf8(&request.body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(|text| crate::json::parse(text).map_err(|e| e.to_string()))
+            .and_then(|doc| DeltaRequest::from_json(&doc))
+        {
+            Ok(req) => req,
+            Err(detail) => {
+                m.bad_requests.inc();
+                return Response::json(400, error_json("bad-request", &detail).encode());
+            }
+        };
+
+        let (circuit_text, circuit) = match req.job.resolve_circuit() {
+            Ok(resolved) => resolved,
+            Err((kind @ "invalid-circuit", detail)) => {
+                m.invalid_circuits.inc();
+                return Response::json(422, error_json(kind, &detail).encode());
+            }
+            Err((kind, detail)) => {
+                m.bad_requests.inc();
+                return Response::json(400, error_json(kind, &detail).encode());
+            }
+        };
+
+        let base_key = req
+            .job
+            .cache_key("route", &circuit_text, self.shared.default_budget);
+        let key = fnv1a_extend(
+            base_key,
+            format!("endpoint=route-delta;edits={}", canonical_edits(&req.edits)).bytes(),
+        );
+        if let Some((status, body)) = self.shared.cache.get(key) {
+            m.cache_hits.inc();
+            return Response::json(status, body).with_header("x-cache", "hit");
+        }
+        m.cache_misses.inc();
+
+        if let Some(store) = &self.shared.store {
+            match store.get(key, self.shared.store_fp) {
+                Ok(Some(bytes)) => {
+                    if let Some((status, body)) = decode_stored(&bytes) {
+                        m.store_hits.inc();
+                        self.shared.cache.put(key, status, body.clone());
+                        return Response::json(status, body).with_header("x-cache", "disk");
+                    }
+                    m.store_errors.inc();
+                }
+                Ok(None) => m.store_misses.inc(),
+                Err(_) => m.store_errors.inc(),
+            }
+        }
+
+        let work = Stopwatch::start();
+        let (response, cacheable) = self.execute_delta(&req, base_key, &circuit);
+        m.work_hist.observe(work.elapsed());
+
+        if cacheable {
+            self.shared
+                .cache
+                .put(key, response.status, response.body.clone());
+            if let Some(store) = &self.shared.store {
+                let stored = encode_stored(response.status, &response.body);
+                if store.put(key, self.shared.store_fp, &stored).is_err() {
+                    m.store_errors.inc();
+                }
+            }
+        }
+        response.with_header("x-cache", "miss")
+    }
+
+    /// Runs one delta job: the prior outcome comes from the outcome
+    /// cache (routed from scratch under the same budget on a miss), then
+    /// `mebl-delta` rips up and re-routes only the affected-net closure.
+    /// Returns the response plus whether it may be cached.
+    fn execute_delta(
+        &self,
+        req: &DeltaRequest,
+        base_key: u64,
+        circuit: &mebl_netlist::Circuit,
+    ) -> (Response, bool) {
+        let m = &self.shared.metrics;
+        let interrupt = &self.shared.interrupt;
+        let circuit_name = req.job.bench.as_deref().unwrap_or("inline").to_string();
+        let router = Router::new(req.job.router_config(self.shared.default_budget));
+
+        let result = mebl_par::supervise(|| {
+            let prior: PriorOutcome = match self.shared.outcomes.get(base_key) {
+                Some(prior) => prior,
+                None => {
+                    let outcome = router.try_route_under(circuit, interrupt)?;
+                    let prior: PriorOutcome = Arc::new((circuit.clone(), outcome));
+                    // Only clean priors are worth keeping: a degraded
+                    // prior reflects the budget that produced it, and
+                    // patching on top of it would bake that in.
+                    if !prior.1.is_degraded() {
+                        self.shared.outcomes.put(base_key, prior.clone());
+                    }
+                    prior
+                }
+            };
+            let delta = mebl_delta::route_delta_under(
+                circuit,
+                &prior.1,
+                &req.edits,
+                router.config(),
+                interrupt,
+            );
+            Ok((delta, prior.1.is_degraded()))
+        });
+
+        match result {
+            Err(_panic_message) => {
+                m.worker_panics.inc();
+                (
+                    Response::json(
+                        500,
+                        error_json("worker-panic", "job panicked; worker recovered").encode(),
+                    ),
+                    false,
+                )
+            }
+            Ok(Err(RouteError::InvalidConfig(detail))) => {
+                m.bad_requests.inc();
+                (
+                    Response::json(400, error_json("invalid-config", &detail).encode()),
+                    false,
+                )
+            }
+            Ok(Err(e @ RouteError::InvalidCircuit(_))) => {
+                m.invalid_circuits.inc();
+                (
+                    Response::json(422, error_json("invalid-circuit", &e.to_string()).encode()),
+                    false,
+                )
+            }
+            Ok(Err(RouteError::BudgetExhausted)) => {
+                if interrupt.is_cancelled_now() {
+                    m.cancelled_by_shutdown.inc();
+                    (
+                        Response::json(
+                            503,
+                            error_json("shutting-down", "cancelled before routing started")
+                                .encode(),
+                        ),
+                        false,
+                    )
+                } else {
+                    m.budget_exhausted.inc();
+                    (
+                        Response::json(
+                            504,
+                            error_json("budget-exhausted", "budget spent before routing")
+                                .encode(),
+                        ),
+                        false,
+                    )
+                }
+            }
+            Ok(Ok((Err(e), _))) => {
+                m.invalid_circuits.inc();
+                (
+                    Response::json(422, error_json("invalid-edits", &e.to_string()).encode()),
+                    false,
+                )
+            }
+            Ok(Ok((Ok(delta), prior_degraded))) => {
+                let degraded = prior_degraded || delta.outcome.is_degraded();
+                if degraded {
+                    m.degraded.inc();
+                    if interrupt.is_cancelled_now() {
+                        m.cancelled_by_shutdown.inc();
+                    }
+                } else {
+                    m.clean.inc();
+                }
+                let body =
+                    route_response_json(&circuit_name, req.job.mode, &delta.outcome, false);
                 let cacheable = !degraded && !interrupt.is_cancelled_now();
                 (Response::json(200, body.encode()), cacheable)
             }

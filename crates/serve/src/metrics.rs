@@ -100,6 +100,8 @@ pub struct Metrics {
     pub route_requests: Counter,
     /// `POST /audit` jobs.
     pub audit_requests: Counter,
+    /// `POST /route/delta` jobs.
+    pub delta_requests: Counter,
     /// Responses served straight from the result cache.
     pub cache_hits: Counter,
     /// Jobs that had to run because the cache missed.
@@ -158,6 +160,7 @@ impl Metrics {
             ("requests", Json::Int(self.requests.get() as i64)),
             ("route_requests", Json::Int(self.route_requests.get() as i64)),
             ("audit_requests", Json::Int(self.audit_requests.get() as i64)),
+            ("delta_requests", Json::Int(self.delta_requests.get() as i64)),
             ("cache_hits", Json::Int(self.cache_hits.get() as i64)),
             ("cache_misses", Json::Int(self.cache_misses.get() as i64)),
             ("cache_entries", Json::Int(cache_len as i64)),

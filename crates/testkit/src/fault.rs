@@ -215,6 +215,81 @@ pub fn flip_bit(text: &str, index: u64) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
+/// Hostile `CircuitEdit` lists as raw JSON, for battering the delta
+/// routing endpoint and CLI: dangling net references, contradictory
+/// sequences, out-of-range pins and layers, and structurally broken
+/// JSON. `live_nets` supplies real net names so the contradiction
+/// cases reference nets that genuinely exist; an empty slice still
+/// yields the full battery (the reference cases then dangle too, which
+/// is equally fair game). Every returned string must parse to a typed
+/// error or apply to a typed error / audit-clean outcome — never a
+/// panic. Deterministic in `seed`.
+pub fn hostile_edit_lists(seed: u64, live_nets: &[&str]) -> Vec<String> {
+    let mut rng = SplitMix64::from_seed(seed);
+    let live = |rng: &mut SplitMix64| -> String {
+        if live_nets.is_empty() {
+            "no_such_net".to_string()
+        } else {
+            live_nets[rng.gen_index(live_nets.len())].to_string()
+        }
+    };
+    let mut out = vec![
+        // Dangling references.
+        r#"[{"op":"remove_net","name":"ghost_net_404"}]"#.to_string(),
+        r#"[{"op":"move_net","name":"ghost_net_404","dx":1,"dy":1}]"#.to_string(),
+        r#"[{"op":"remove_blockage","rect":[1,1,2,2]}]"#.to_string(),
+        // Contradictory sequences against real nets.
+        format!(
+            r#"[{{"op":"remove_net","name":"{0}"}},{{"op":"move_net","name":"{0}","dx":1,"dy":0}}]"#,
+            live(&mut rng)
+        ),
+        format!(
+            r#"[{{"op":"remove_net","name":"{0}"}},{{"op":"remove_net","name":"{0}"}}]"#,
+            live(&mut rng)
+        ),
+        format!(
+            r#"[{{"op":"add_net","name":"{0}","pins":[[1,1,0],[2,2,0]]}}]"#,
+            live(&mut rng)
+        ),
+        r#"[{"op":"add_net","name":"twin","pins":[[1,1,0],[2,2,0]]},{"op":"add_net","name":"twin","pins":[[3,3,0],[4,4,0]]}]"#
+            .to_string(),
+        r#"[{"op":"add_blockage","rect":[5,5,6,6]},{"op":"add_blockage","rect":[5,5,6,6]}]"#
+            .to_string(),
+        // Geometric nonsense: far outside any plausible outline, layers
+        // above any stack, too few pins, blockage over a fresh pin.
+        r#"[{"op":"add_net","name":"far","pins":[[1000000,1000000,0],[-1000000,-1000000,0]]}]"#
+            .to_string(),
+        r#"[{"op":"add_net","name":"high","pins":[[1,1,250],[2,2,0]]}]"#.to_string(),
+        r#"[{"op":"add_net","name":"lonely","pins":[[1,1,0]]}]"#.to_string(),
+        r#"[{"op":"add_net","name":"pinned","pins":[[7,7,0],[9,9,0]]},{"op":"add_blockage","rect":[6,6,8,8]}]"#
+            .to_string(),
+        format!(
+            r#"[{{"op":"move_net","name":"{0}","dx":2147483647,"dy":-2147483648}}]"#,
+            live(&mut rng)
+        ),
+        // Structurally broken JSON: wrong shapes, unknown vocabulary,
+        // not-an-array, bare garbage.
+        r#"[{"op":"add_net","name":"bad","pins":"north"}]"#.to_string(),
+        r#"[{"op":"add_net","name":"bad","pins":[[1,1],[2,2]]}]"#.to_string(),
+        r#"[{"op":"move_net","name":"bad","dx":"east","dy":0}]"#.to_string(),
+        r#"[{"op":"add_blockage","rect":[1,2,3]}]"#.to_string(),
+        r#"[{"op":"teleport_net","name":"bad"}]"#.to_string(),
+        r#"[{"op":"remove_net","name":"bad","surprise":true}]"#.to_string(),
+        r#"[{"name":"bad"}]"#.to_string(),
+        r#"{"op":"remove_net","name":"bad"}"#.to_string(),
+        "[1,2,3]".to_string(),
+        "null".to_string(),
+        "".to_string(),
+    ];
+    // Truncations of a syntactically valid list, at seeded cut points.
+    let whole =
+        r#"[{"op":"add_net","name":"cut","pins":[[3,3,0],[12,12,1]]},{"op":"add_blockage","rect":[20,20,22,22]}]"#;
+    for _ in 0..8 {
+        out.push(truncate_text(whole, rng.gen_range(1u32..1000)));
+    }
+    out
+}
+
 /// Shuffles the lines of `text` with a seeded Fisher–Yates pass.
 pub fn shuffle_lines(text: &str, seed: u64) -> String {
     let mut lines: Vec<&str> = text.lines().collect();
@@ -281,6 +356,19 @@ mod tests {
         // Flipping the same bit again restores the original.
         assert_eq!(flip_bit(&flipped, 3), text);
         assert_eq!(flip_bit("", 42), "");
+    }
+
+    #[test]
+    fn hostile_edit_lists_are_seeded_and_varied() {
+        let nets = ["n1", "n2"];
+        let a = hostile_edit_lists(7, &nets);
+        let b = hostile_edit_lists(7, &nets);
+        assert_eq!(a, b, "same seed, same battery");
+        assert!(a.len() >= 20, "battery too small: {}", a.len());
+        // The battery must exercise real net names, not just ghosts.
+        assert!(a.iter().any(|s| s.contains("n1") || s.contains("n2")));
+        // An empty live-net slice still yields the full battery.
+        assert_eq!(hostile_edit_lists(7, &[]).len(), a.len());
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //!    store, scrape the `listening on <addr>` line off stdout, route a
 //!    benchmark twice through `mebl_testkit::TestClient` (the second
 //!    hit must come from the memory cache, byte-identical), read the
-//!    metrics, then close the child's stdin and require a clean exit —
-//!    the graceful-drain path.
+//!    metrics, probe `POST /route/delta` with an empty edit list (its
+//!    body must be byte-identical to the `/route` answer), then close
+//!    the child's stdin and require a clean exit — the graceful-drain
+//!    path.
 //! 2. Boot a fresh daemon on the *same* store directory — its LRU is
 //!    empty, so the same request must come back as an `x-cache: disk`
 //!    hit, byte-identical to the pre-restart cold response. That is the
@@ -152,6 +154,27 @@ fn drive(child: &mut Child, expect_disk: Option<&[u8]>) -> Result<Vec<u8>, Strin
     if !text.contains(want_store) {
         return Err(format!("metrics missing {want_store}: {text}"));
     }
+
+    // The delta endpoint's reproduction contract: an empty edit list
+    // must yield a response byte-identical to the plain /route answer,
+    // whatever cache tier serves either of them.
+    let delta = client
+        .post_json(
+            "/route/delta",
+            r#"{"bench":"S5378","seed":1,"scale":0.035,"edits":[]}"#,
+        )
+        .map_err(|e| format!("/route/delta failed: {e}"))?;
+    if delta.status != 200 {
+        return Err(format!(
+            "/route/delta: want 200, got {}: {}",
+            delta.status,
+            delta.body_text()
+        ));
+    }
+    if delta.body != first.body {
+        return Err("empty-edit /route/delta body differs from /route".to_string());
+    }
+    println!("servesmoke: empty-edit /route/delta byte-identical to /route");
 
     // Graceful drain: closing stdin is the daemon's SIGTERM stand-in.
     drop(child.stdin.take());

@@ -124,6 +124,31 @@ if [ "$gate_ok" != 1 ]; then
     exit 1
 fi
 
+echo "=== bench-regression gate (delta routing vs committed baseline) ==="
+# The delta bench also asserts the subsystem's acceptance bar inline: a
+# single-net ECO at least 5x faster than the from-scratch reference.
+# The gate on top catches slower erosion of the incremental win.
+baseline_tmp=$(mktemp)
+cp results/bench_delta.json "$baseline_tmp"
+gate_ok=0
+for try in 1 2 3; do
+    cargo bench --offline -q -p mebl-bench --bench delta
+    if cargo run --release --offline -q -p mebl-xtask -- \
+        benchgate "$baseline_tmp" results/bench_delta.json --tolerance 60; then
+        gate_ok=1
+        break
+    fi
+    echo "benchgate (delta): attempt $try over tolerance; retrying" >&2
+done
+mv "$baseline_tmp" results/bench_delta.json
+if [ "$gate_ok" != 1 ]; then
+    echo "benchgate (delta): latencies regressed on 3 consecutive runs" >&2
+    exit 1
+fi
+
+echo "=== delta differential harness (incremental vs from-scratch) ==="
+cargo test -q --release --offline -p mebl-bench --test delta
+
 echo "=== robustness (fault injection, typed failure model) ==="
 cargo test -q --release --offline -p mebl-bench --test robustness
 

@@ -210,3 +210,103 @@ fn mutation_unrouted_net_with_geometry_is_detected() {
         audit.findings
     );
 }
+
+// ---------------------------------------------------------------------
+// Scan-backend equivalence: the R-tree-backed auditor must be a pure
+// drop-in for the linear reference scans — identical findings in
+// identical order, identical recount — on clean solutions and on
+// defective ones alike.
+// ---------------------------------------------------------------------
+
+use mebl_audit::{audit_outcome_with_backend, ScanBackend};
+
+/// Audits with both backends and asserts the full reports match.
+fn assert_backends_agree(
+    circuit: &Circuit,
+    config: &RouterConfig,
+    outcome: &RoutingOutcome,
+    ctx: &str,
+) {
+    let linear = audit_outcome_with_backend(circuit, config, outcome, ScanBackend::Linear);
+    let rtree = audit_outcome_with_backend(circuit, config, outcome, ScanBackend::RTree);
+    assert_eq!(
+        linear.findings, rtree.findings,
+        "{ctx}: backend findings diverge"
+    );
+    assert_eq!(linear.recount, rtree.recount, "{ctx}: recounts diverge");
+    assert_eq!(
+        linear.nets_audited, rtree.nets_audited,
+        "{ctx}: audited-net counts diverge"
+    );
+}
+
+/// Clean solutions across the bench suite and both presets: the two
+/// backends agree bit for bit (and find nothing).
+#[test]
+fn backend_equivalence_on_clean_bench_suite() {
+    for name in ["S5378", "S9234", "S13207"] {
+        let circuit = BenchmarkSpec::by_name(name)
+            .expect("known benchmark")
+            .generate(&GenerateConfig::quick(2));
+        for config in [RouterConfig::stitch_aware(), RouterConfig::baseline()] {
+            let outcome = routed(&circuit, &config);
+            assert_backends_agree(&circuit, &config, &outcome, name);
+        }
+    }
+}
+
+/// Defective solutions: inject one representative of each scan-heavy
+/// defect class and require identical findings from both backends.
+#[test]
+fn backend_equivalence_on_injected_defects() {
+    // Off-pin via on a stitching line.
+    let (circuit, config, mut outcome) = mutated_base();
+    let net = pick_routed_net(&circuit, &outcome);
+    let line = outcome.plan.lines()[0];
+    let y = (circuit.outline().y0()..=circuit.outline().y1())
+        .find(|&y| {
+            circuit.nets()[net]
+                .pins()
+                .iter()
+                .all(|p| p.position != Point::new(line, y))
+        })
+        .expect("some line cell is pin-free");
+    outcome.detailed.geometry[net].push_via(Via::new(line, y, Layer::new(0)));
+    outcome.detailed.geometry[net].push_segment(Segment::vertical(
+        Layer::new(1),
+        line,
+        circuit.outline().y0(),
+        circuit.outline().y0() + 3,
+    ));
+    let audit = audit_outcome(&circuit, &config, &outcome);
+    assert!(!audit.is_clean(), "defects must register");
+    assert_backends_agree(&circuit, &config, &outcome, "line defects");
+
+    // Geometry crossing a blockage the circuit gained after routing:
+    // re-home the solution onto a copy of the circuit that declares a
+    // keep-out right on top of some routed net's wire.
+    let (circuit, config, outcome) = mutated_base();
+    let net = pick_routed_net(&circuit, &outcome);
+    let seg = outcome.detailed.geometry[net]
+        .segments()
+        .iter()
+        .find(|s| s.is_horizontal())
+        .copied()
+        .expect("routed net has a horizontal segment");
+    let (a, _) = seg.endpoints();
+    let rect = mebl_geom::Rect::new(a.x, a.y, a.x, a.y);
+    let blocked = Circuit::with_blockages(
+        circuit.name().to_string(),
+        circuit.outline(),
+        circuit.layer_count(),
+        circuit.nets().to_vec(),
+        vec![rect],
+    );
+    let audit = audit_outcome(&blocked, &config, &outcome);
+    assert!(
+        audit.of_kind(FindingKind::GeometryOnBlockage).count() >= 1,
+        "{:#?}",
+        audit.findings
+    );
+    assert_backends_agree(&blocked, &config, &outcome, "blockage defect");
+}

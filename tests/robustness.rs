@@ -377,3 +377,43 @@ fn try_and_audit(circuit: &Circuit, config: RouterConfig) {
         ) => {}
     }
 }
+
+/// Hostile `CircuitEdit` lists — dangling references, contradictory
+/// sequences, out-of-range geometry, broken JSON — must yield a typed
+/// parse error, a typed `DeltaError`, or a strict-audit-clean patched
+/// outcome. Never a panic, at any stage of the delta pipeline.
+#[test]
+fn hostile_edit_lists_are_survived() {
+    let circuit = quick("S5378", 1);
+    let config = RouterConfig::stitch_aware();
+    let prior = Router::new(config.clone()).route(&circuit);
+    let names: Vec<&str> = circuit.nets().iter().map(|n| n.name()).collect();
+    let battery = fault::hostile_edit_lists(0xed17_0bad, &names);
+    for (i, raw) in battery.iter().enumerate() {
+        let survived = catch_unwind(AssertUnwindSafe(|| {
+            // Stage 1: JSON -> typed edits (the serve wire format).
+            let json = match mebl_serve::json::parse(raw) {
+                Ok(j) => j,
+                Err(_) => return, // typed parse error: survived
+            };
+            let edits = match mebl_serve::delta::edits_from_json(&json) {
+                Ok(e) => e,
+                Err(_) => return, // typed shape error: survived
+            };
+            // Stage 2: typed edits -> patched outcome.
+            match mebl_delta::route_delta(&circuit, &prior, &edits, &config) {
+                Err(_) => {} // typed DeltaError: survived
+                Ok(delta) => {
+                    let audit = audit_outcome(&delta.circuit, &config, &delta.outcome);
+                    assert_eq!(
+                        (audit.error_count(), audit.warning_count()),
+                        (0, 0),
+                        "case {i} ({raw:?}): accepted edits must stay strict-clean: {:#?}",
+                        audit.findings
+                    );
+                }
+            }
+        }));
+        assert!(survived.is_ok(), "hostile edit case {i} panicked: {raw:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! MEBL018 fixture: the listening side of a socket is fine; only
+//! outbound connects are confined to the coordinator.
+pub fn f() -> bool {
+    std::net::TcpListener::bind("127.0.0.1:0").is_ok()
+}

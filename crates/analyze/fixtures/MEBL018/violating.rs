@@ -1,0 +1,5 @@
+//! MEBL018 fixture: dialing a worker directly instead of going through
+//! the coordinator.
+pub fn f(addr: &str) -> bool {
+    std::net::TcpStream::connect(addr).is_ok()
+}

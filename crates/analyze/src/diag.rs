@@ -265,6 +265,20 @@ pub const RULES: &[RuleInfo] = &[
                     analyzer's workspace walker, the CLI's file arguments and the \
                     bench/xtask drivers are the sanctioned direct users.",
     },
+    RuleInfo {
+        code: "MEBL018",
+        name: "no-client-net",
+        severity: Severity::Error,
+        summary: "outbound TCP (`TcpStream::connect`) is confined to the coordinator \
+                  (crates/coord) and the testkit's loopback client",
+        rationale: "no-raw-net keeps sockets out of the routing crates; this rule pins \
+                    the *dialing* side. The coordinator owns worker placement, health \
+                    probing, bounded retry/backoff and dead-marking — a crate opening \
+                    its own outbound connections would re-introduce untyped distributed \
+                    failure modes (hangs, partial reads, silent retries) that its fault \
+                    battery cannot see. Harness traffic goes through \
+                    `mebl_testkit::TestClient`.",
+    },
 ];
 
 /// Looks up a rule by code (`MEBL010`) or name (`no-std-hashmap`).

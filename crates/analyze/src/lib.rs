@@ -81,6 +81,7 @@ pub fn analyze(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
         rules::legacy::check_file(file, &mut raw);
         rules::determinism::check_file(file, &mut raw);
         rules::rawfs::check_file(file, &mut raw);
+        rules::clientnet::check_file(file, &mut raw);
     }
     rules::layering::check(ws, &mut raw);
     rules::taxonomy::check(ws, &mut raw);

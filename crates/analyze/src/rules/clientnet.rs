@@ -1,0 +1,94 @@
+//! MEBL018: outbound TCP connections are confined to the coordinator.
+//!
+//! MEBL007 (`no-raw-net`) already keeps raw sockets out of the routing
+//! crates, but with the coordinator in the tree the *direction* of
+//! socket use matters too: the service crate may listen, yet nothing in
+//! the library tree except `crates/coord` (and the testkit's loopback
+//! client, for harness traffic) may *dial*. A stage, witness, or
+//! service crate opening outbound connections would smuggle untyped
+//! distributed failure modes — hangs, partial reads, silent retries —
+//! past the coordinator's bounded retry/backoff machinery and its
+//! fault battery.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::workspace::{crate_of, SourceFile};
+
+use super::{col_at, find_token};
+
+/// Whether the no-client-net rule applies to this file. Root `tests/`
+/// are *not* exempt: harness traffic goes through
+/// `mebl_testkit::TestClient`.
+fn client_net_rule_applies(rel: &str) -> bool {
+    crate_of(rel) != Some("coord") && rel != "crates/testkit/src/client.rs"
+}
+
+/// Runs MEBL018 over one file. The token prefix-matches
+/// `TcpStream::connect_timeout` as well.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !client_net_rule_applies(file.rel.as_str()) {
+        return;
+    }
+    for (idx, code) in file.view.code_lines.iter().enumerate() {
+        if let Some(pos) = find_token(code, "TcpStream::connect") {
+            out.push(Diagnostic {
+                code: "MEBL018",
+                rule: "no-client-net",
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: idx + 1,
+                col: col_at(code, pos),
+                message: "`TcpStream::connect` outside crates/coord; outbound worker \
+                          traffic goes through `mebl_coord::Coordinator` (tests use \
+                          `mebl_testkit::TestClient`) so retries, backoff and \
+                          dead-marking stay typed and bounded"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn diags_for(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let short = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("geom");
+        let manifest = format!("[package]\nname = \"mebl-{short}\"\n");
+        let layering = format!("[[layer]]\nname = \"only\"\ncrates = [\"{short}\"]\n");
+        let ws = Workspace::in_memory(&[(rel, src)], &[(short, &manifest)], &layering).unwrap();
+        let mut out = Vec::new();
+        check_file(&ws.files[0], &mut out);
+        out
+    }
+
+    #[test]
+    fn connect_flagged_outside_the_coordinator() {
+        let src = "pub fn f() { let _ = std::net::TcpStream::connect(\"x\"); }\n";
+        for flagged in [
+            "crates/serve/src/lib.rs",
+            "crates/route/src/lib.rs",
+            "crates/cli/src/main.rs",
+            "tests/shard.rs",
+            "crates/testkit/src/fault.rs",
+        ] {
+            let hits = diags_for(flagged, src);
+            assert_eq!(hits.len(), 1, "{flagged} should be flagged");
+            assert_eq!(hits[0].code, "MEBL018");
+        }
+        for exempt in ["crates/coord/src/client.rs", "crates/testkit/src/client.rs"] {
+            assert!(diags_for(exempt, src).is_empty(), "{exempt} should be exempt");
+        }
+    }
+
+    #[test]
+    fn connect_timeout_is_covered_and_listening_is_not() {
+        let dial = "pub fn f() { let _ = TcpStream::connect_timeout(&a, t); }\n";
+        assert_eq!(diags_for("crates/serve/src/lib.rs", dial).len(), 1);
+        let listen = "pub fn f() { let _ = TcpListener::bind(\"127.0.0.1:0\"); }\n";
+        assert!(diags_for("crates/serve/src/lib.rs", listen).is_empty());
+    }
+}

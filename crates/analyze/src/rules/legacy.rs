@@ -43,10 +43,13 @@ fn spawn_rule_applies(rel: &str) -> bool {
     crate_of(rel) != Some("par")
 }
 
-/// Only the service crate and the testkit's loopback client may touch
-/// raw sockets.
+/// Only the service crate, the coordinator, and the testkit's loopback
+/// client may touch raw sockets (MEBL018 further confines *outbound*
+/// connects to the latter two).
 fn net_rule_applies(rel: &str) -> bool {
-    crate_of(rel) != Some("serve") && rel != "crates/testkit/src/client.rs"
+    crate_of(rel) != Some("serve")
+        && crate_of(rel) != Some("coord")
+        && rel != "crates/testkit/src/client.rs"
 }
 
 fn diag(
@@ -360,6 +363,7 @@ fn f() { let s = \".unwrap() panic!(\"; let r = r#\"dbg!(\"#; }
         let stream = "fn f(s: std::net::TcpStream) {}\n";
         assert_eq!(rules("crates/audit/src/lib.rs", stream), vec!["no-raw-net"]);
         assert!(rules("crates/testkit/src/client.rs", stream).is_empty());
+        assert!(rules("crates/coord/src/dispatch.rs", stream).is_empty());
     }
 
     #[test]

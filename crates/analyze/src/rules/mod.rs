@@ -1,6 +1,7 @@
 //! The rule families. Each module exposes `check_file` (per-file rules)
 //! or `check` (workspace rules) pushing [`crate::diag::Diagnostic`]s.
 
+pub mod clientnet;
 pub mod determinism;
 pub mod layering;
 pub mod legacy;

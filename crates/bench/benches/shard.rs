@@ -1,0 +1,156 @@
+//! Sharded-pipeline overhead benchmark for `mebl-shard` / `mebl-coord`.
+//!
+//! On a one-core CI box the sharded pipeline cannot be *faster* than
+//! the monolithic router — panels route sequentially whatever the pool
+//! width — so the enforced property is **bounded overhead**, not
+//! speedup: splitting, per-panel routing and seam merging must stay
+//! within a small factor of a from-scratch route, and widening the pool
+//! must not add cost (the decomposition is fixed; shards only change
+//! the worker count the job list fans out across). Measured:
+//!
+//! - `shard/split` — the stripe decomposition itself.
+//! - `shard/merge` — stitching pre-routed fragments back together.
+//! - `shard/route_shards{1,2,4}` — the full split→route→merge pipeline
+//!   at each fan-out width (asserted within 2× of width 1).
+//! - `shard/monolithic_reference` — the `Router::route` cost the
+//!   pipeline is compared against (pipeline asserted within 4×).
+//! - `shard/coord_dispatch` — one coordinator dispatch round-trip
+//!   (hash, dial, request, reply) against a loopback worker.
+//!
+//! Written to `results/bench_shard.json` and gated by `xtask benchgate`
+//! in `scripts/ci.sh`.
+
+use mebl_coord::{CoordConfig, Coordinator};
+use mebl_netlist::{BenchmarkSpec, Circuit, GenerateConfig};
+use mebl_par::run_scoped;
+use mebl_route::{CancelToken, Router, RouterConfig, Stopwatch};
+use mebl_shard::{merge_fragments, route_sharded, FragmentOutcome, ShardOptions, ShardPlan};
+use mebl_testkit::bench::BenchSuite;
+use mebl_testkit::{FaultMode, FaultWorker};
+
+const PIPELINE_SAMPLES: usize = 10;
+const MICRO_SAMPLES: usize = 40;
+
+fn circuit() -> Circuit {
+    BenchmarkSpec::by_name("S9234")
+        .expect("known benchmark")
+        .generate(&GenerateConfig::quick(7))
+}
+
+/// Full-pipeline samples at one fan-out width.
+fn bench_pipeline(suite: &mut BenchSuite, circuit: &Circuit, shards: usize) -> u64 {
+    let opts = ShardOptions::new(shards);
+    let mut samples = Vec::with_capacity(PIPELINE_SAMPLES);
+    for _ in 0..PIPELINE_SAMPLES {
+        let sw = Stopwatch::start();
+        let run = route_sharded(circuit, &opts).expect("sharded route");
+        samples.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert!(run.jobs >= 2, "bench circuit must split into panels");
+    }
+    suite
+        .record_manual(format!("shard/route_shards{shards}"), samples)
+        .min_ns
+}
+
+fn main() {
+    let circuit = circuit();
+    let opts = ShardOptions::new(1);
+    let mut suite = BenchSuite::new("shard");
+
+    // The decomposition alone: pure function of (circuit, stitch).
+    let mut samples = Vec::with_capacity(MICRO_SAMPLES);
+    for _ in 0..MICRO_SAMPLES {
+        let sw = Stopwatch::start();
+        let plan = ShardPlan::new(&circuit, opts.stitch());
+        samples.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert!(plan.jobs.len() >= 2);
+    }
+    suite.record_manual("shard/split", samples);
+
+    // The merge alone, over fragments routed once up front.
+    let plan = ShardPlan::new(&circuit, opts.stitch());
+    let fragments: Vec<FragmentOutcome> = plan
+        .jobs
+        .iter()
+        .map(|job| {
+            let config =
+                mebl_shard::fragment_config(opts.baseline, job.period, opts.budget);
+            FragmentOutcome::from_outcome(&Router::new(config).route(&job.circuit))
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(MICRO_SAMPLES);
+    for _ in 0..MICRO_SAMPLES {
+        let sw = Stopwatch::start();
+        let outcome = merge_fragments(&circuit, opts.baseline, &plan, &fragments);
+        samples.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert!(outcome.detailed.routed.iter().any(|&r| r));
+    }
+    suite.record_manual("shard/merge", samples);
+
+    // The monolithic reference the overhead bound is measured against.
+    let config = RouterConfig::stitch_aware();
+    let mut samples = Vec::with_capacity(PIPELINE_SAMPLES);
+    for _ in 0..PIPELINE_SAMPLES {
+        let sw = Stopwatch::start();
+        let outcome = Router::new(config.clone()).route(&circuit);
+        samples.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        assert!(outcome.report.routed_nets > 0);
+    }
+    let mono_min = suite
+        .record_manual("shard/monolithic_reference", samples)
+        .min_ns;
+
+    let one = bench_pipeline(&mut suite, &circuit, 1);
+    let two = bench_pipeline(&mut suite, &circuit, 2);
+    let four = bench_pipeline(&mut suite, &circuit, 4);
+
+    // One coordinator dispatch round-trip against a loopback worker.
+    // `dispatch` does not parse bodies, so any 200-answering endpoint
+    // measures the wire path; the corrupt-JSON fault worker is exactly
+    // that with zero compute behind it.
+    let worker = FaultWorker::bind(FaultMode::CorruptJson).expect("bind loopback worker");
+    let coordinator = Coordinator::new(CoordConfig {
+        workers: vec![worker.addr()],
+        ..CoordConfig::default()
+    });
+    let samples = std::sync::Mutex::new(Vec::with_capacity(MICRO_SAMPLES));
+    run_scoped(2, |role| {
+        if role == 0 {
+            worker.serve();
+        } else {
+            let deadline = CancelToken::armed(None, None);
+            let mut local = Vec::with_capacity(MICRO_SAMPLES);
+            for i in 0..MICRO_SAMPLES {
+                let key = format!("panel-{i}");
+                let sw = Stopwatch::start();
+                let (_, reply) = coordinator
+                    .dispatch(&key, "GET", "/healthz", b"", &deadline)
+                    .expect("loopback dispatch");
+                local.push(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                assert_eq!(reply.status, 200);
+            }
+            *samples.lock().expect("samples lock") = local;
+            worker.stop();
+        }
+    });
+    let samples = samples.into_inner().expect("samples lock");
+    suite.record_manual("shard/coord_dispatch", samples);
+
+    // The honest one-core bars: widening the pool must not add cost
+    // beyond scheduling noise, and the whole pipeline must stay within
+    // a small factor of the monolithic route it decomposes.
+    for (width, min) in [(2u32, two), (4, four)] {
+        assert!(
+            min <= one.saturating_mul(2),
+            "shards={width} ({min} ns) costs more than 2x shards=1 ({one} ns)"
+        );
+    }
+    assert!(
+        one <= mono_min.saturating_mul(4),
+        "sharded pipeline ({one} ns) exceeds 4x the monolithic route ({mono_min} ns)"
+    );
+
+    suite
+        .finish_to(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+        .expect("write bench report");
+}

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("coord") => cmd_coord(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Outcome::Clean)
@@ -92,7 +93,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--time-budget ms] [--max-expansions n] [--threads n] [--json] [--save-outcome f]\n  mebl route --from outcome.mebl [--edits edits.json] [--save-outcome f] [--svg out.svg] [--time-budget ms] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n] [--store dir] [--fsync always|never|interval:<n>]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --json prints the service daemon's\nresponse object. serve drains when stdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
+        "usage:\n  mebl list\n  mebl gen <bench> [--scale f] [--seed n] [-o file]\n  mebl route <circuit.txt> [--baseline] [--svg out.svg] [--period n] [--shards n] [--time-budget ms] [--max-expansions n] [--threads n] [--json] [--save-outcome f]\n  mebl route --from outcome.mebl [--edits edits.json] [--save-outcome f] [--svg out.svg] [--time-budget ms] [--threads n] [--json]\n  mebl audit (<circuit.txt> | --bench NAME) [--seed n] [--scale f] [--baseline] [--period n] [--strict] [--time-budget ms] [--max-expansions n] [--threads n] [--json]\n  mebl serve [--port n] [--workers n] [--queue-depth n] [--default-budget-ms n] [--cache-capacity n] [--store dir] [--fsync always|never|interval:<n>]\n  mebl coord (--workers addr,addr,... | --spawn n) [--port n] [--store dir] [--budget-ms n]\n\n--threads defaults to the machine's available parallelism; results are\nbit-identical at every thread count. --shards splits the die at stitch\nboundaries into panel jobs (byte-identical at every shard count). --json\nprints the service daemon's response object. serve and coord drain when\nstdin closes or POST /shutdown arrives.\n\nexit codes: 0 clean, 1 usage, 2 degraded result, 3 invalid input, 4 internal error"
     );
 }
 
@@ -171,6 +172,9 @@ struct RunFlags {
     period: Option<i32>,
     budget: RunBudget,
     threads: Option<usize>,
+    /// Sharded panel routing: split the die at stitch boundaries and
+    /// fan the panels out this wide (`mebl route` only).
+    shards: Option<usize>,
     /// Print the service daemon's JSON response object (with timing)
     /// instead of the human-readable report lines.
     json: bool,
@@ -183,6 +187,7 @@ impl RunFlags {
             period: None,
             budget: RunBudget::default(),
             threads: None,
+            shards: None,
             json: false,
         }
     }
@@ -230,6 +235,15 @@ impl RunFlags {
                     return Err(CliError::usage("--threads must be >= 1"));
                 }
                 self.threads = Some(n);
+            }
+            "--shards" => {
+                let n: usize = val("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --shards"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--shards must be >= 1"));
+                }
+                self.shards = Some(n);
             }
             "--json" => self.json = true,
             _ => return Ok(false),
@@ -305,6 +319,11 @@ fn cmd_audit(args: &[String]) -> Result<Outcome, CliError> {
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             other => return Err(CliError::usage(format!("audit: unknown flag {other}"))),
         }
+    }
+    if flags.shards.is_some() {
+        return Err(CliError::usage(
+            "audit: --shards is a routing flag; audit a `mebl route --shards --save-outcome` file instead",
+        ));
     }
 
     let circuit = match (file, bench) {
@@ -412,20 +431,54 @@ fn cmd_route(args: &[String]) -> Result<Outcome, CliError> {
     let path = file.ok_or(CliError::Usage("route: missing circuit file".into()))?;
 
     let circuit = load_circuit(&path)?;
-    let router = Router::new(flags.router_config());
-    for d in router.validation_degradations(&circuit) {
-        eprintln!("tolerated: {d}");
-    }
-    let outcome = match router.try_route(&circuit) {
-        Ok(outcome) => outcome,
-        Err(e @ RouteError::BudgetExhausted) => {
-            if flags.json {
-                println!("{}", error_json("budget-exhausted", &e.to_string()).encode());
+    let outcome = if let Some(shards) = flags.shards {
+        let opts = mebl_shard::ShardOptions {
+            baseline: flags.baseline,
+            period: flags.period,
+            shards,
+            budget: flags.budget,
+        };
+        match mebl_shard::route_sharded(&circuit, &opts) {
+            Ok(run) => {
+                eprintln!(
+                    "sharded: {} panel job(s) ({} cut, {} residual net(s)) across {} worker(s)",
+                    run.jobs, run.cut_nets, run.residual_nets, run.shards
+                );
+                run.outcome
             }
-            eprintln!("degraded: {e}");
-            return Ok(Outcome::Degraded);
+            Err(
+                e @ (mebl_shard::ShardError::BudgetExhausted
+                | mebl_shard::ShardError::Panel { .. }),
+            ) => {
+                if flags.json {
+                    println!("{}", error_json("budget-exhausted", &e.to_string()).encode());
+                }
+                eprintln!("degraded: {e}");
+                return Ok(Outcome::Degraded);
+            }
+            Err(mebl_shard::ShardError::InvalidConfig(msg)) => {
+                return Err(CliError::Usage(format!("route: {msg}")));
+            }
+            Err(e @ mebl_shard::ShardError::InvalidCircuit(_)) => {
+                return Err(CliError::Invalid(e.to_string()));
+            }
         }
-        Err(e) => return Err(map_route_error(e)),
+    } else {
+        let router = Router::new(flags.router_config());
+        for d in router.validation_degradations(&circuit) {
+            eprintln!("tolerated: {d}");
+        }
+        match router.try_route(&circuit) {
+            Ok(outcome) => outcome,
+            Err(e @ RouteError::BudgetExhausted) => {
+                if flags.json {
+                    println!("{}", error_json("budget-exhausted", &e.to_string()).encode());
+                }
+                eprintln!("degraded: {e}");
+                return Ok(Outcome::Degraded);
+            }
+            Err(e) => return Err(map_route_error(e)),
+        }
     };
     for d in &outcome.degradations {
         eprintln!("degraded: {d}");
@@ -477,6 +530,11 @@ fn cmd_route_delta(
     if flags.period.is_some() {
         return Err(CliError::usage(
             "route: --period conflicts with --from (the period is recorded in the outcome file)",
+        ));
+    }
+    if flags.shards.is_some() {
+        return Err(CliError::usage(
+            "route: --shards conflicts with --from (delta runs re-route a saved outcome in place)",
         ));
     }
 
@@ -684,6 +742,187 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, CliError> {
     });
     // Role 0 always exits the process above; this is never reached.
     Ok(Outcome::Clean)
+}
+
+/// Runs the multi-process coordinator in front of `mebl serve` workers.
+///
+/// Workers are either given (`--workers addr,addr,...`) or spawned
+/// (`--spawn n` forks this binary as `mebl serve --port 0`, optionally
+/// sharing one `--store` directory, and scrapes each child's
+/// `listening on` line). Prints `listening on <addr>` on stdout, then
+/// coordinates until stdin closes or `POST /shutdown` arrives; spawned
+/// workers drain (stdin close) when the coordinator stops.
+fn cmd_coord(args: &[String]) -> Result<Outcome, CliError> {
+    let mut port: u16 = 0;
+    let mut workers_arg: Option<String> = None;
+    let mut spawn: Option<usize> = None;
+    let mut store: Option<String> = None;
+    let mut config = mebl_coord::CoordConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--port" => {
+                port = val("--port")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --port"))?
+            }
+            "--workers" => workers_arg = Some(val("--workers")?.clone()),
+            "--spawn" => {
+                let n: usize = val("--spawn")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --spawn"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--spawn must be >= 1"));
+                }
+                spawn = Some(n);
+            }
+            "--store" => store = Some(val("--store")?.clone()),
+            "--budget-ms" => {
+                let ms: u64 = val("--budget-ms")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --budget-ms"))?;
+                config.budget = RunBudget::with_time(Duration::from_millis(ms));
+            }
+            other => return Err(CliError::usage(format!("coord: unknown flag {other}"))),
+        }
+    }
+
+    let mut children: Vec<std::process::Child> = Vec::new();
+    match (workers_arg, spawn) {
+        (Some(list), None) => {
+            if store.is_some() {
+                return Err(CliError::usage(
+                    "coord: --store only applies with --spawn (pass it to each worker otherwise)",
+                ));
+            }
+            for part in list.split(',') {
+                let addr = part.trim().parse().map_err(|_| {
+                    CliError::usage(format!("coord: bad worker address '{}'", part.trim()))
+                })?;
+                config.workers.push(addr);
+            }
+            if config.workers.is_empty() {
+                return Err(CliError::usage("coord: --workers lists no addresses"));
+            }
+        }
+        (None, Some(n)) => {
+            for _ in 0..n {
+                let (child, addr) = spawn_worker(store.as_deref())?;
+                children.push(child);
+                config.workers.push(addr);
+            }
+        }
+        _ => {
+            return Err(CliError::usage(
+                "coord: give exactly one of --workers or --spawn",
+            ));
+        }
+    }
+
+    let coordinator = std::sync::Arc::new(mebl_coord::Coordinator::new(config));
+    let live = coordinator.probe();
+    let server = mebl_coord::CoordServer::bind(
+        &format!("127.0.0.1:{port}"),
+        std::sync::Arc::clone(&coordinator),
+    )
+    .map_err(|e| CliError::Invalid(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "coordinating {} worker(s), {} live (close stdin or POST /shutdown to stop)",
+        coordinator.config().workers.len(),
+        live
+    );
+
+    let handle = server.handle();
+    let children = std::sync::Mutex::new(children);
+    // Role 0 coordinates; role 1 watches stdin and stops at EOF. As
+    // with `serve`, the stop may arrive over HTTP while the watcher is
+    // still blocked on stdin, so role 0 exits the process directly.
+    mebl_par::run_scoped(2, |role| {
+        if role == 0 {
+            server.run();
+            if let Ok(mut kids) = children.lock() {
+                for child in kids.iter_mut() {
+                    drop(child.stdin.take()); // ask the worker to drain
+                }
+                for child in kids.iter_mut() {
+                    let _ = child.wait();
+                }
+            }
+            let m = coordinator.metrics();
+            eprintln!(
+                "stopped: {} request(s) ({} proxied, {} sharded, {} fragment(s)), \
+                 {} redispatch(es), {} dead-mark(s)",
+                m.requests.get(),
+                m.proxied.get(),
+                m.sharded_routes.get(),
+                m.fragment_requests.get(),
+                m.redispatches.get(),
+                m.dead_marked.get()
+            );
+            std::process::exit(0);
+        } else {
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            handle.shutdown();
+        }
+    });
+    // Role 0 always exits the process above; this is never reached.
+    Ok(Outcome::Clean)
+}
+
+/// Forks this binary as a `mebl serve --port 0` worker and scrapes the
+/// bound address off its first stdout line. The child's stdin stays
+/// piped (and open) so it drains when the coordinator closes it.
+fn spawn_worker(
+    store: Option<&str>,
+) -> Result<(std::process::Child, std::net::SocketAddr), CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Invalid(format!("cannot locate own binary: {e}")))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--port")
+        .arg("0")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped());
+    if let Some(dir) = store {
+        cmd.arg("--store").arg(dir);
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| CliError::Invalid(format!("cannot spawn worker: {e}")))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| CliError::Invalid("worker stdout not captured".into()))?;
+    let mut line = String::new();
+    let mut reader = std::io::BufReader::new(stdout);
+    std::io::BufRead::read_line(&mut reader, &mut line)
+        .map_err(|e| CliError::Invalid(format!("reading worker address: {e}")))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .and_then(|a| a.parse().ok());
+    match addr {
+        Some(addr) => Ok((child, addr)),
+        None => {
+            let _ = child.kill();
+            Err(CliError::Invalid(format!(
+                "worker did not report an address (got {line:?})"
+            )))
+        }
+    }
 }
 
 fn load_circuit(path: &str) -> Result<mebl_netlist::Circuit, CliError> {

@@ -1,0 +1,98 @@
+//! Minimal blocking HTTP/1.1 client for talking to `mebl serve` workers.
+//!
+//! The coordinator is the one sanctioned *outbound* socket user in the
+//! library tree (the `no-client-net` lint, MEBL018, confines
+//! `TcpStream::connect` to this crate and the testkit's loopback
+//! client). It speaks exactly the worker dialect: one request per
+//! connection, `Connection: close` framing, read-to-EOF bodies — so no
+//! keep-alive or chunked-transfer logic exists to get wrong.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One worker response: status plus body (headers are dropped — the
+/// coordinator routes on status codes, and bodies are forwarded
+/// verbatim so nothing downstream needs them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Sends one request to `addr` and reads the full response.
+///
+/// `connect_timeout` bounds the dial; `io_timeout` bounds every read
+/// and write after that, so a worker that accepts and then stalls
+/// surfaces as a timeout error, never a hang.
+pub fn exchange(
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<WorkerReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw).map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+}
+
+/// Parses response bytes: status line, header block (skipped), body.
+/// The worker closes the connection after one response, so EOF delimits
+/// the body and `Content-Length` never needs honoring.
+fn parse_reply(raw: &[u8]) -> Result<WorkerReply, String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("no header terminator in response")?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| "non-UTF-8 response head".to_string())?;
+    let status_line = head.split("\r\n").next().unwrap_or_default();
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad status line `{status_line}`"));
+    }
+    let status: u16 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| format!("bad status code in `{status_line}`"))?;
+    Ok(WorkerReply {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n{\"a\":1}";
+        let r = parse_reply(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply(b"nope").is_err());
+        assert!(parse_reply(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(parse_reply(b"SMTP/1.1 200 OK\r\n\r\n").is_err());
+    }
+}

@@ -65,6 +65,13 @@ pub struct JobRequest {
     /// Worker threads for the routing pool (output is bit-identical at
     /// every value, so this is excluded from the cache key).
     pub threads: usize,
+    /// Sharded panel routing: split the circuit at stitch boundaries
+    /// and route the panels over a pool this wide. Whether a job is
+    /// sharded changes its output (the sharded pipeline is its own
+    /// deterministic algorithm), so the *flag* enters the cache key —
+    /// but like `threads`, the shard *count* is output-invisible and
+    /// stays out of it.
+    pub shards: Option<usize>,
     /// Audit strictness (warnings fail the audit) — `/audit` only.
     pub strict: bool,
 }
@@ -81,6 +88,7 @@ impl Default for JobRequest {
             budget_ms: None,
             max_expansions: None,
             threads: 1,
+            shards: None,
             strict: false,
         }
     }
@@ -140,6 +148,13 @@ impl JobRequest {
                         return Err("`threads` must be in 1..=256".into());
                     }
                     req.threads = t as usize;
+                }
+                "shards" => {
+                    let s = v.as_u64().ok_or("`shards` must be a positive integer")?;
+                    if s == 0 || s > 256 {
+                        return Err("`shards` must be in 1..=256".into());
+                    }
+                    req.shards = Some(s as usize);
                 }
                 "strict" => req.strict = v.as_bool().ok_or("`strict` must be a boolean")?,
                 other => return Err(format!("unknown field `{other}`")),
@@ -202,6 +217,16 @@ impl JobRequest {
         config
     }
 
+    /// The sharded-run options for this job, when `shards` is set.
+    pub fn shard_options(&self, default_budget: RunBudget) -> Option<mebl_shard::ShardOptions> {
+        self.shards.map(|shards| mebl_shard::ShardOptions {
+            baseline: self.mode == Mode::Baseline,
+            period: self.period,
+            shards,
+            budget: self.budget(default_budget),
+        })
+    }
+
     /// The canonical cache key: FNV-1a over the circuit bytes chained
     /// with a canonical rendering of every result-affecting field plus
     /// the endpoint.
@@ -212,7 +237,7 @@ impl JobRequest {
     /// spelling that default out.
     pub fn cache_key(&self, endpoint: &str, circuit_text: &str, default_budget: RunBudget) -> u64 {
         let budget = self.budget(default_budget);
-        let canonical = format!(
+        let mut canonical = format!(
             "endpoint={endpoint};mode={};period={:?};time_ms={:?};stage_ms={:?};exp={:?};strict={}",
             self.mode.name(),
             self.period,
@@ -221,6 +246,11 @@ impl JobRequest {
             budget.max_expansions,
             self.strict,
         );
+        // Appended only when set, so every pre-shard cache key (and
+        // persisted store record) stays valid.
+        if self.shards.is_some() {
+            canonical.push_str(";sharded=true");
+        }
         fnv1a_extend(fnv1a(circuit_text.bytes()), canonical.bytes())
     }
 }
@@ -315,6 +345,43 @@ fn degradations_to_json(degradations: &[Degradation]) -> Json {
             })
             .collect(),
     )
+}
+
+/// The `/route/outcome` success body: the routed outcome in the
+/// canonical `meblout` text format (wall-clock-free, embeds the
+/// circuit, round-trips byte-identically through
+/// `mebl_delta::outcome_from_str`). This is the wire vehicle the
+/// coordinator uses to collect panel fragments from workers.
+pub fn outcome_response_json(
+    circuit_name: &str,
+    mode: Mode,
+    circuit: &Circuit,
+    outcome: &RoutingOutcome,
+) -> Json {
+    let saved = mebl_delta::SavedOutcome {
+        circuit: circuit.clone(),
+        outcome: outcome.clone(),
+        baseline: mode == Mode::Baseline,
+    };
+    Json::obj(vec![
+        (
+            "status",
+            Json::Str(
+                if outcome.is_degraded() {
+                    "degraded"
+                } else {
+                    "ok"
+                }
+                .to_string(),
+            ),
+        ),
+        ("circuit", Json::Str(circuit_name.to_string())),
+        ("mode", Json::Str(mode.name().to_string())),
+        (
+            "outcome",
+            Json::Str(mebl_delta::outcome_to_string(&saved)),
+        ),
+    ])
 }
 
 /// The `/route` success body (also `mebl route --json`).

@@ -36,7 +36,9 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 
-use crate::api::{audit_response_json, error_json, route_response_json, JobRequest};
+use crate::api::{
+    audit_response_json, error_json, outcome_response_json, route_response_json, JobRequest,
+};
 use crate::cache::{fnv1a_extend, ResultCache};
 use crate::delta::{canonical_edits, DeltaRequest, OutcomeCache, PriorOutcome};
 use crate::http::{read_request, ReadError, Request, Response};
@@ -290,6 +292,10 @@ impl ServerHandle {
 enum Endpoint {
     Route,
     Audit,
+    /// `/route/outcome`: same job semantics as `/route`, but the body
+    /// carries the canonical `meblout` outcome text — the fragment
+    /// vehicle the coordinator collects from workers.
+    RouteOutcome,
 }
 
 impl Endpoint {
@@ -297,6 +303,27 @@ impl Endpoint {
         match self {
             Endpoint::Route => "route",
             Endpoint::Audit => "audit",
+            Endpoint::RouteOutcome => "route-outcome",
+        }
+    }
+}
+
+/// Typed failure of one job execution: either the router's own error
+/// taxonomy, or a panel job inside a sharded run failing with one.
+enum JobError {
+    Route(RouteError),
+    Panel { key: String, detail: String },
+}
+
+impl From<mebl_shard::ShardError> for JobError {
+    fn from(e: mebl_shard::ShardError) -> Self {
+        match e {
+            mebl_shard::ShardError::InvalidConfig(d) => JobError::Route(RouteError::InvalidConfig(d)),
+            mebl_shard::ShardError::InvalidCircuit(issues) => {
+                JobError::Route(RouteError::InvalidCircuit(issues))
+            }
+            mebl_shard::ShardError::BudgetExhausted => JobError::Route(RouteError::BudgetExhausted),
+            mebl_shard::ShardError::Panel { key, detail } => JobError::Panel { key, detail },
         }
     }
 }
@@ -528,8 +555,13 @@ impl Server {
             }
             ("POST", "/route") => self.job(request, Endpoint::Route),
             ("POST", "/audit") => self.job(request, Endpoint::Audit),
+            ("POST", "/route/outcome") => self.job(request, Endpoint::RouteOutcome),
             ("POST", "/route/delta") => self.delta_job(request),
-            (_, "/healthz" | "/metrics" | "/shutdown" | "/route" | "/audit" | "/route/delta") => {
+            (
+                _,
+                "/healthz" | "/metrics" | "/shutdown" | "/route" | "/audit" | "/route/delta"
+                | "/route/outcome",
+            ) => {
                 self.shared.metrics.bad_requests.inc();
                 Response::json(
                     405,
@@ -571,6 +603,7 @@ impl Server {
         match endpoint {
             Endpoint::Route => m.route_requests.inc(),
             Endpoint::Audit => m.audit_requests.inc(),
+            Endpoint::RouteOutcome => m.outcome_requests.inc(),
         }
         if self.shared.draining.load(Ordering::SeqCst) {
             m.shutdown_rejects.inc();
@@ -662,6 +695,10 @@ impl Server {
         let interrupt = &self.shared.interrupt;
         let circuit_name = job.bench.as_deref().unwrap_or("inline").to_string();
         let router = Router::new(job.router_config(self.shared.default_budget));
+        let shard_opts = job.shard_options(self.shared.default_budget);
+        if shard_opts.is_some() {
+            m.sharded_jobs.inc();
+        }
 
         // Supervision: a panicking job must cost one typed 500, not the
         // worker thread. The unwind boundary lives in `mebl_par` so the
@@ -671,10 +708,20 @@ impl Server {
             if self.shared.inject_panic_seed.is_some_and(|seed| seed == job.seed) {
                 std::panic::panic_any("injected fault: panic_on_seed".to_string());
             }
-            let outcome = router.try_route_under(circuit, interrupt)?;
+            let outcome = match &shard_opts {
+                Some(opts) => mebl_shard::route_sharded_under(circuit, opts, interrupt)
+                    .map(|run| run.outcome)
+                    .map_err(JobError::from)?,
+                None => router
+                    .try_route_under(circuit, interrupt)
+                    .map_err(JobError::Route)?,
+            };
             let body = match endpoint {
                 Endpoint::Route => {
                     route_response_json(&circuit_name, job.mode, &outcome, false)
+                }
+                Endpoint::RouteOutcome => {
+                    outcome_response_json(&circuit_name, job.mode, circuit, &outcome)
                 }
                 Endpoint::Audit => {
                     let audit = mebl_audit::audit_outcome(circuit, router.config(), &outcome);
@@ -702,21 +749,31 @@ impl Server {
                     false,
                 )
             }
-            Ok(Err(RouteError::InvalidConfig(detail))) => {
+            Ok(Err(JobError::Panel { key, detail })) => {
+                m.internal_errors.inc();
+                (
+                    Response::json(
+                        500,
+                        error_json("panel-failed", &format!("panel {key}: {detail}")).encode(),
+                    ),
+                    false,
+                )
+            }
+            Ok(Err(JobError::Route(RouteError::InvalidConfig(detail)))) => {
                 m.bad_requests.inc();
                 (
                     Response::json(400, error_json("invalid-config", &detail).encode()),
                     false,
                 )
             }
-            Ok(Err(e @ RouteError::InvalidCircuit(_))) => {
+            Ok(Err(JobError::Route(e @ RouteError::InvalidCircuit(_)))) => {
                 m.invalid_circuits.inc();
                 (
                     Response::json(422, error_json("invalid-circuit", &e.to_string()).encode()),
                     false,
                 )
             }
-            Ok(Err(RouteError::BudgetExhausted)) => {
+            Ok(Err(JobError::Route(RouteError::BudgetExhausted))) => {
                 if interrupt.is_cancelled_now() {
                     m.cancelled_by_shutdown.inc();
                     (

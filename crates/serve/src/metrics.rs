@@ -102,6 +102,10 @@ pub struct Metrics {
     pub audit_requests: Counter,
     /// `POST /route/delta` jobs.
     pub delta_requests: Counter,
+    /// `POST /route/outcome` jobs (fragment requests from a coordinator).
+    pub outcome_requests: Counter,
+    /// Jobs that ran through the sharded panel pipeline (`shards` set).
+    pub sharded_jobs: Counter,
     /// Responses served straight from the result cache.
     pub cache_hits: Counter,
     /// Jobs that had to run because the cache missed.
@@ -161,6 +165,11 @@ impl Metrics {
             ("route_requests", Json::Int(self.route_requests.get() as i64)),
             ("audit_requests", Json::Int(self.audit_requests.get() as i64)),
             ("delta_requests", Json::Int(self.delta_requests.get() as i64)),
+            (
+                "outcome_requests",
+                Json::Int(self.outcome_requests.get() as i64),
+            ),
+            ("sharded_jobs", Json::Int(self.sharded_jobs.get() as i64)),
             ("cache_hits", Json::Int(self.cache_hits.get() as i64)),
             ("cache_misses", Json::Int(self.cache_misses.get() as i64)),
             ("cache_entries", Json::Int(cache_len as i64)),
@@ -230,5 +239,63 @@ mod tests {
         assert!(matches!(json.get("store_records"), Some(Json::Null)));
         let json = m.to_json(3, 1, 7, Some(5));
         assert_eq!(json.get("store_records").and_then(Json::as_u64), Some(5));
+    }
+
+    /// Pins the /metrics JSON schema: exact key set, in order. The
+    /// coordinator and the CI smoke driver route on these names, so
+    /// adding a counter means extending this list deliberately —
+    /// renames and re-orderings are breaking changes.
+    #[test]
+    fn metrics_json_schema_is_pinned() {
+        let json = Metrics::default().to_json(0, 0, 0, None);
+        let Json::Obj(pairs) = &json else {
+            panic!("metrics JSON is not an object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "requests",
+                "route_requests",
+                "audit_requests",
+                "delta_requests",
+                "outcome_requests",
+                "sharded_jobs",
+                "cache_hits",
+                "cache_misses",
+                "cache_entries",
+                "queue_depth",
+                "in_flight",
+                "queue_rejects",
+                "shutdown_rejects",
+                "bad_requests",
+                "invalid_circuits",
+                "budget_exhausted",
+                "internal_errors",
+                "worker_panics",
+                "store_hits",
+                "store_misses",
+                "store_errors",
+                "store_records",
+                "degraded",
+                "clean",
+                "disconnects",
+                "cancelled_by_shutdown",
+                "parse_latency",
+                "work_latency",
+                "total_latency",
+            ]
+        );
+        // Everything except the histograms and the store gauge is an
+        // integer, so scrapers can sum across workers without casts.
+        for (key, value) in pairs {
+            match key.as_str() {
+                "parse_latency" | "work_latency" | "total_latency" => {
+                    assert!(value.get("count").is_some(), "{key} lost its histogram")
+                }
+                "store_records" => assert!(matches!(value, Json::Null | Json::Int(_))),
+                _ => assert!(matches!(value, Json::Int(_)), "{key} is not an integer"),
+            }
+        }
     }
 }

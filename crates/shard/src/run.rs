@@ -1,0 +1,199 @@
+//! The in-process sharded routing driver.
+//!
+//! `route_sharded` is the `--shards <n>` entry point: decompose, route
+//! every panel as an ordinary job over the `mebl-par` pool, merge, and
+//! hand back a full-die [`RoutingOutcome`].
+//!
+//! Determinism contract: the panel decomposition is a pure function of
+//! `(circuit, stitch config)` and each panel routes with a serial
+//! single-fragment configuration, so `shards` controls only how many
+//! pool workers the fixed job list fans out across — the merged outcome
+//! is byte-identical at every shard count. As with thread counts
+//! (DESIGN.md §9), wall-clock-budgeted multi-shard runs are the one
+//! sanctioned nonreproducibility: each fragment arms the full budget at
+//! its own start time. Expansion budgets stay deterministic — the cap
+//! applies per fragment.
+
+use crate::merge::{merge_fragments, FragmentOutcome};
+use crate::split::ShardPlan;
+use mebl_geom::Coord;
+use mebl_netlist::{Circuit, CircuitIssue};
+use mebl_par::Pool;
+use mebl_route::{CancelToken, Router, RouterConfig, RoutingOutcome, RunBudget};
+use mebl_stitch::StitchConfig;
+
+/// Options for one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Route panels with the baseline (non-stitch-aware) presets.
+    pub baseline: bool,
+    /// Stitch-period override for the die (`None` = default geometry).
+    pub period: Option<Coord>,
+    /// Requested fan-out width; clamped to the panel count. Has no
+    /// effect on the output bytes.
+    pub shards: usize,
+    /// Budget applied to **each** panel job independently.
+    pub budget: RunBudget,
+}
+
+impl ShardOptions {
+    /// Default options at the given fan-out width.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            baseline: false,
+            period: None,
+            shards,
+            budget: RunBudget::default(),
+        }
+    }
+
+    /// The stitch geometry this run splits and audits against.
+    pub fn stitch(&self) -> StitchConfig {
+        let mut stitch = StitchConfig::default();
+        if let Some(p) = self.period {
+            stitch.period = p;
+        }
+        stitch
+    }
+}
+
+/// Typed failures of the sharded driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The options are unusable (zero shards, degenerate period).
+    InvalidConfig(String),
+    /// Pre-flight validation found error-severity issues.
+    InvalidCircuit(Vec<CircuitIssue>),
+    /// The budget was spent before any panel could route.
+    BudgetExhausted,
+    /// One panel job failed with a typed routing error.
+    Panel {
+        /// The panel's stable key.
+        key: String,
+        /// The underlying error, rendered.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::InvalidConfig(msg) => write!(f, "invalid shard configuration: {msg}"),
+            ShardError::InvalidCircuit(issues) => {
+                let errors = issues.iter().filter(|i| i.is_error()).count();
+                write!(f, "invalid circuit: {errors} error(s)")
+            }
+            ShardError::BudgetExhausted => f.write_str("budget exhausted before routing"),
+            ShardError::Panel { key, detail } => write!(f, "panel {key} failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A completed sharded run: the merged outcome plus decomposition stats.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// The merged full-die outcome.
+    pub outcome: RoutingOutcome,
+    /// Number of panel jobs the circuit split into.
+    pub jobs: usize,
+    /// Nets cut across at least one stitching line.
+    pub cut_nets: usize,
+    /// Nets owned by the residual panel.
+    pub residual_nets: usize,
+    /// Effective pool width the jobs fanned out across.
+    pub shards: usize,
+}
+
+/// The exact configuration one panel job routes with: the same
+/// derivation the serve wire schema applies to a fragment request
+/// (`mode` preset, `period` coupled into both the stitch geometry and
+/// the global tile size, serial pool), so in-process fragments and
+/// worker-routed fragments are the same computation.
+pub fn fragment_config(baseline: bool, period: Coord, budget: RunBudget) -> RouterConfig {
+    let mut config = if baseline {
+        RouterConfig::baseline()
+    } else {
+        RouterConfig::stitch_aware()
+    };
+    config.stitch.period = period;
+    config.global.tile_size = period;
+    config.budget = budget;
+    config.pool = Pool::serial();
+    config
+}
+
+/// Splits `circuit` at its stitch boundaries, routes every panel, and
+/// merges the fragments into one audited-shape outcome.
+pub fn route_sharded(circuit: &Circuit, opts: &ShardOptions) -> Result<ShardedRun, ShardError> {
+    // Armed but boundless: cancellable in principle, never cancelled —
+    // behaviorally identical to running without an interrupt.
+    route_sharded_under(circuit, opts, &CancelToken::armed(None, None))
+}
+
+/// Like [`route_sharded`], but every panel job additionally stops when
+/// `interrupt` latches — the hook a draining service composes its
+/// shutdown token through, mirroring `Router::try_route_under`.
+pub fn route_sharded_under(
+    circuit: &Circuit,
+    opts: &ShardOptions,
+    interrupt: &CancelToken,
+) -> Result<ShardedRun, ShardError> {
+    if opts.shards == 0 {
+        return Err(ShardError::InvalidConfig(
+            "shard count must be at least 1".to_string(),
+        ));
+    }
+    let stitch = opts.stitch();
+    if stitch.period <= 1 {
+        return Err(ShardError::InvalidConfig(format!(
+            "stitch period must be > 1, got {}",
+            stitch.period
+        )));
+    }
+    // Pre-flight against the *monolithic* stitch geometry: pins on
+    // stitching lines are warnings there (they land in the residual
+    // panel here), errors stay errors.
+    let mut probe = if opts.baseline {
+        RouterConfig::baseline()
+    } else {
+        RouterConfig::stitch_aware()
+    };
+    probe.stitch = stitch;
+    probe.global.tile_size = stitch.period;
+    let issues = Router::new(probe).validate(circuit);
+    if issues.iter().any(CircuitIssue::is_error) {
+        return Err(ShardError::InvalidCircuit(issues));
+    }
+    if opts.budget.is_dead_on_arrival() {
+        return Err(ShardError::BudgetExhausted);
+    }
+
+    let plan = ShardPlan::new(circuit, stitch);
+    let width = opts.shards.min(plan.jobs.len()).max(1);
+    let pool = Pool::new(width);
+    let results: Vec<Result<FragmentOutcome, ShardError>> =
+        pool.par_map_indexed(&plan.jobs, |_, job| {
+            let config = fragment_config(opts.baseline, job.period, opts.budget);
+            match Router::new(config).try_route_under(&job.circuit, interrupt) {
+                Ok(outcome) => Ok(FragmentOutcome::from_outcome(&outcome)),
+                Err(e) => Err(ShardError::Panel {
+                    key: job.key.clone(),
+                    detail: e.to_string(),
+                }),
+            }
+        });
+    let mut fragments = Vec::with_capacity(results.len());
+    for r in results {
+        fragments.push(r?);
+    }
+    let outcome = merge_fragments(circuit, opts.baseline, &plan, &fragments);
+    Ok(ShardedRun {
+        outcome,
+        jobs: plan.jobs.len(),
+        cut_nets: plan.cut_net_count(),
+        residual_nets: plan.residual_net_count(),
+        shards: width,
+    })
+}

@@ -1,0 +1,451 @@
+//! Deterministic panel decomposition of a circuit at stitch boundaries.
+//!
+//! The die is cut into vertical **stripes**: the regions strictly
+//! between consecutive stitching lines (line columns belong to no
+//! stripe). Each stripe becomes one panel job that routes as an
+//! ordinary circuit with *no* stitching lines of its own — fragment
+//! geometry therefore can never touch a line column, so the merged
+//! result satisfies the on-line pattern rules by construction.
+//!
+//! Ownership rule for nets, applied in net-id order:
+//!
+//! * a net with any pin **exactly on** a stitching line joins the
+//!   *residual* panel (the full die, routed stitch-aware like a
+//!   monolithic run — the only panel that may draw on line columns);
+//!   so does any net touching a **degenerate stripe** (fewer than two
+//!   columns wide — too narrow to route as a standalone circuit);
+//! * a net whose pins all fall in one stripe is **interior** to it;
+//! * every other net is **cut**: it gets one fragment per stripe it
+//!   spans, joined at *fixed crossing terminals* — for every line the
+//!   net crosses, a deterministic y is reserved and the two flanking
+//!   cells `(line-1, y)` / `(line+1, y)` become extra layer-0 pins of
+//!   the adjacent fragments. At merge time a three-cell horizontal
+//!   layer-0 **bridge** `(line-1..line+1, y)` stitches the fragments
+//!   together across the line.
+//!
+//! Everything here is a pure function of `(circuit, stitch config)`:
+//! the shard *count* never enters the decomposition, which is what
+//! makes sharded output byte-identical at every shard width.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mebl_geom::{Coord, Layer, Point, Rect};
+use mebl_netlist::{Circuit, Net, Pin};
+use mebl_stitch::{StitchConfig, StitchPlan};
+
+/// Smallest period override the serve wire schema accepts (`period > 1`),
+/// so stripe jobs stay expressible as ordinary wire jobs.
+pub const MIN_FRAGMENT_PERIOD: Coord = 2;
+
+/// Where one net lives in the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPlace {
+    /// All pins inside one stripe; routes entirely within that panel.
+    Interior {
+        /// Index into [`ShardPlan::stripes`].
+        stripe: usize,
+    },
+    /// Pins span several stripes; one fragment per stripe in the span.
+    Cut {
+        /// First (leftmost) stripe the net touches.
+        first: usize,
+        /// Last (rightmost) stripe the net touches.
+        last: usize,
+    },
+    /// Owned by the residual panel (a pin sits on a stitching line, or
+    /// no crossing terminal could be reserved for it).
+    Residual,
+}
+
+/// One reserved seam crossing: net `net` passes line `line` at row `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossing {
+    /// Original net id.
+    pub net: usize,
+    /// Index into [`ShardPlan::lines`].
+    pub line: usize,
+    /// The line's x column.
+    pub x: Coord,
+    /// Reserved row; unique per line, clear of pins and blockages in
+    /// the three columns the bridge will cover.
+    pub y: Coord,
+}
+
+/// One panel: an ordinary circuit plus the bookkeeping to map its nets
+/// back onto the original circuit.
+#[derive(Debug, Clone)]
+pub struct PanelJob {
+    /// Stable panel key (`stripe<k>` or `residual`); feeds the
+    /// coordinator's FNV worker hash, so it must not depend on anything
+    /// but the decomposition itself.
+    pub key: String,
+    /// The fragment circuit, in full-die coordinates.
+    pub circuit: Circuit,
+    /// Stitch-period override to route this panel with. Stripe panels
+    /// get a period at least their own width, which places zero lines;
+    /// the residual panel keeps the true period.
+    pub period: Coord,
+    /// `members[i]` = original net id of fragment net `i`.
+    pub members: Vec<usize>,
+}
+
+/// The full decomposition: stripes, per-net placement, panel jobs and
+/// the seam crossings to bridge at merge time.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    outline: Rect,
+    stitch: StitchConfig,
+    /// Stitching-line x columns (as the monolithic plan places them).
+    pub lines: Vec<Coord>,
+    /// Stripe rectangles, left to right, excluding line columns.
+    pub stripes: Vec<Rect>,
+    /// Placement of every net, indexed by net id.
+    pub places: Vec<NetPlace>,
+    /// Panel jobs in a fixed order: stripes left to right, then the
+    /// residual panel (when non-empty). Stripes with no member nets get
+    /// no job.
+    pub jobs: Vec<PanelJob>,
+    /// All reserved crossings, ordered by (net, line).
+    pub crossings: Vec<Crossing>,
+}
+
+impl ShardPlan {
+    /// Decomposes `circuit` against the stitch geometry in `stitch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stitch` is degenerate (non-positive period), same as
+    /// [`StitchPlan::new`]. Callers that need a typed error validate
+    /// the configuration first (as `route_sharded` does).
+    pub fn new(circuit: &Circuit, stitch: StitchConfig) -> Self {
+        let outline = circuit.outline();
+        let plan = StitchPlan::new(outline, stitch);
+        let lines = plan.lines().to_vec();
+        let stripes = stripes_between(outline, &lines);
+
+        let mut builder = Builder {
+            circuit,
+            outline,
+            lines: &lines,
+            stripes: &stripes,
+            forbidden: forbidden_rows(circuit, &lines),
+            used: vec![BTreeSet::new(); lines.len()],
+        };
+        let (places, crossings) = builder.place_nets();
+        let jobs = builder.build_jobs(&places, &crossings, stitch);
+
+        Self {
+            outline,
+            stitch,
+            lines,
+            stripes,
+            places,
+            jobs,
+            crossings,
+        }
+    }
+
+    /// The die outline the plan was built for.
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// The stitch configuration the plan was built for.
+    pub fn stitch(&self) -> StitchConfig {
+        self.stitch
+    }
+
+    /// Count of nets cut across at least one line.
+    pub fn cut_net_count(&self) -> usize {
+        self.places
+            .iter()
+            .filter(|p| matches!(p, NetPlace::Cut { .. }))
+            .count()
+    }
+
+    /// Count of nets owned by the residual panel.
+    pub fn residual_net_count(&self) -> usize {
+        self.places
+            .iter()
+            .filter(|p| matches!(p, NetPlace::Residual))
+            .count()
+    }
+}
+
+/// The stripe rectangles strictly between consecutive lines.
+fn stripes_between(outline: Rect, lines: &[Coord]) -> Vec<Rect> {
+    let mut stripes = Vec::with_capacity(lines.len() + 1);
+    let mut start = outline.x0();
+    for &line in lines {
+        stripes.push(Rect::new(start, outline.y0(), line - 1, outline.y1()));
+        start = line + 1;
+    }
+    stripes.push(Rect::new(start, outline.y0(), outline.x1(), outline.y1()));
+    stripes
+}
+
+/// Rows unusable as crossings, per line: any row where a blockage or a
+/// pin (of any net) touches the three columns a bridge would cover.
+fn forbidden_rows(circuit: &Circuit, lines: &[Coord]) -> Vec<BTreeSet<Coord>> {
+    let mut forbidden = vec![BTreeSet::new(); lines.len()];
+    for (k, &line) in lines.iter().enumerate() {
+        for b in circuit.blockages() {
+            if b.x0() <= line + 1 && b.x1() >= line - 1 {
+                for y in b.y0()..=b.y1() {
+                    forbidden[k].insert(y);
+                }
+            }
+        }
+        for (_, net) in circuit.iter_nets() {
+            for pin in net.pins() {
+                if (pin.position.x - line).abs() <= 1 {
+                    forbidden[k].insert(pin.position.y);
+                }
+            }
+        }
+    }
+    forbidden
+}
+
+struct Builder<'a> {
+    circuit: &'a Circuit,
+    outline: Rect,
+    lines: &'a [Coord],
+    stripes: &'a [Rect],
+    forbidden: Vec<BTreeSet<Coord>>,
+    used: Vec<BTreeSet<Coord>>,
+}
+
+impl Builder<'_> {
+    /// Whether stripe `s` is too narrow (fewer than two columns) to
+    /// route as a standalone circuit.
+    fn degenerate_stripe(&self, s: usize) -> bool {
+        self.stripes
+            .get(s)
+            .is_none_or(|r| r.x1() <= r.x0())
+    }
+
+    /// The stripe containing column `x`, or `None` when `x` is a line
+    /// column.
+    fn stripe_of(&self, x: Coord) -> Option<usize> {
+        // lines is sorted; count lines strictly left of x, then check
+        // x is not itself a line.
+        let idx = self.lines.partition_point(|&l| l < x);
+        if self.lines.get(idx) == Some(&x) {
+            return None;
+        }
+        Some(idx)
+    }
+
+    /// Classifies every net and reserves crossing rows, in net-id order
+    /// so the reservation outcome is deterministic.
+    fn place_nets(&mut self) -> (Vec<NetPlace>, Vec<Crossing>) {
+        let mut places = Vec::with_capacity(self.circuit.net_count());
+        let mut crossings = Vec::new();
+        for (id, net) in self.circuit.iter_nets() {
+            let net_id = id.0 as usize;
+            let mut stripes_touched = BTreeSet::new();
+            let mut on_line = false;
+            for pin in net.pins() {
+                match self.stripe_of(pin.position.x) {
+                    Some(s) => {
+                        stripes_touched.insert(s);
+                    }
+                    None => on_line = true,
+                }
+            }
+            if on_line {
+                places.push(NetPlace::Residual);
+                continue;
+            }
+            let first = *stripes_touched.iter().next().unwrap_or(&0);
+            let last = *stripes_touched.iter().next_back().unwrap_or(&0);
+            // A stripe under two columns wide cannot route as its own
+            // circuit (the grid router needs at least 2x2); every net
+            // whose span touches one routes monolithically instead. A
+            // cut net materializes a fragment in *every* stripe of its
+            // span, so the whole span must be non-degenerate.
+            if (first..=last).any(|s| self.degenerate_stripe(s)) {
+                places.push(NetPlace::Residual);
+                continue;
+            }
+            if first == last {
+                places.push(NetPlace::Interior { stripe: first });
+                continue;
+            }
+            match self.reserve_crossings(net, first, last) {
+                Some(rows) => {
+                    for (k, y) in rows {
+                        self.used[k].insert(y);
+                        crossings.push(Crossing {
+                            net: net_id,
+                            line: k,
+                            x: self.lines[k],
+                            y,
+                        });
+                    }
+                    places.push(NetPlace::Cut { first, last });
+                }
+                // No legal row on some line: fall back to the residual
+                // panel rather than mis-stitching.
+                None => places.push(NetPlace::Residual),
+            }
+        }
+        (places, crossings)
+    }
+
+    /// Tries to reserve one row per crossed line (lines `first..last`).
+    /// All-or-nothing: rows are only committed by the caller once every
+    /// line succeeded.
+    fn reserve_crossings(&self, net: &Net, first: usize, last: usize) -> Option<Vec<(usize, Coord)>> {
+        let mut ys: Vec<Coord> = net.pins().iter().map(|p| p.position.y).collect();
+        ys.sort_unstable();
+        let base = ys[(ys.len() - 1) / 2];
+        let mut rows = Vec::with_capacity(last - first);
+        let mut taken = BTreeSet::new();
+        for k in first..last {
+            let y = self.probe_row(k, base, &taken)?;
+            taken.insert((k, y));
+            rows.push((k, y));
+        }
+        Some(rows)
+    }
+
+    /// First free row for line `k`, probing outward from `base`
+    /// (`base`, `base+1`, `base-1`, `base+2`, ...).
+    fn probe_row(&self, k: usize, base: Coord, taken: &BTreeSet<(usize, Coord)>) -> Option<Coord> {
+        let (y0, y1) = (self.outline.y0(), self.outline.y1());
+        let base = base.clamp(y0, y1);
+        let span = y1 - y0;
+        for delta in 0..=span {
+            for cand in [base + delta, base - delta] {
+                if delta == 0 && cand != base {
+                    continue;
+                }
+                if cand < y0 || cand > y1 {
+                    continue;
+                }
+                if self.used[k].contains(&cand)
+                    || self.forbidden[k].contains(&cand)
+                    || taken.contains(&(k, cand))
+                {
+                    continue;
+                }
+                // With a stripe narrower than two columns between lines
+                // k and k±1, the flanking terminal columns coincide —
+                // the neighbor line's reservations block this row too.
+                let near = |j: usize| (self.lines[j] - self.lines[k]).abs() <= 2;
+                if k > 0
+                    && near(k - 1)
+                    && (self.used[k - 1].contains(&cand) || taken.contains(&(k - 1, cand)))
+                {
+                    continue;
+                }
+                if k + 1 < self.lines.len()
+                    && near(k + 1)
+                    && (self.used[k + 1].contains(&cand) || taken.contains(&(k + 1, cand)))
+                {
+                    continue;
+                }
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Builds the panel jobs: one per non-empty stripe, plus the
+    /// residual panel when any net landed there.
+    fn build_jobs(
+        &self,
+        places: &[NetPlace],
+        crossings: &[Crossing],
+        stitch: StitchConfig,
+    ) -> Vec<PanelJob> {
+        let rows: BTreeMap<(usize, usize), Coord> = crossings
+            .iter()
+            .map(|c| ((c.net, c.line), c.y))
+            .collect();
+        let mut jobs = Vec::new();
+        for (k, &stripe) in self.stripes.iter().enumerate() {
+            let mut members = Vec::new();
+            let mut nets = Vec::new();
+            for (id, net) in self.circuit.iter_nets() {
+                let net_id = id.0 as usize;
+                let (first, last) = match places[net_id] {
+                    NetPlace::Interior { stripe: s } if s == k => (k, k),
+                    NetPlace::Cut { first, last } if first <= k && k <= last => (first, last),
+                    _ => continue,
+                };
+                let mut pins: Vec<Pin> = net
+                    .pins()
+                    .iter()
+                    .filter(|p| self.stripe_of(p.position.x) == Some(k))
+                    .copied()
+                    .collect();
+                if k > first {
+                    if let Some(&y) = rows.get(&(net_id, k - 1)) {
+                        pins.push(Pin::new(Point::new(self.lines[k - 1] + 1, y), Layer::new(0)));
+                    }
+                }
+                if k < last {
+                    if let Some(&y) = rows.get(&(net_id, k)) {
+                        pins.push(Pin::new(Point::new(self.lines[k] - 1, y), Layer::new(0)));
+                    }
+                }
+                members.push(net_id);
+                nets.push(Net::new(net.name(), pins));
+            }
+            if members.is_empty() {
+                continue;
+            }
+            let blockages: Vec<Rect> = self
+                .circuit
+                .blockages()
+                .iter()
+                .filter_map(|b| b.intersect(stripe))
+                .collect();
+            let circuit = Circuit::with_blockages(
+                format!("{}.s{k}", self.circuit.name()),
+                stripe,
+                self.circuit.layer_count(),
+                nets,
+                blockages,
+            );
+            jobs.push(PanelJob {
+                key: format!("stripe{k}"),
+                circuit,
+                period: MIN_FRAGMENT_PERIOD.max(stripe.x1() - stripe.x0()),
+                members,
+            });
+        }
+
+        let residual: Vec<usize> = places
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, NetPlace::Residual))
+            .map(|(i, _)| i)
+            .collect();
+        if !residual.is_empty() {
+            let nets: Vec<Net> = self
+                .circuit
+                .iter_nets()
+                .filter(|(id, _)| residual.contains(&(id.0 as usize)))
+                .map(|(_, net)| net.clone())
+                .collect();
+            let circuit = Circuit::with_blockages(
+                format!("{}.res", self.circuit.name()),
+                self.outline,
+                self.circuit.layer_count(),
+                nets,
+                self.circuit.blockages().to_vec(),
+            );
+            jobs.push(PanelJob {
+                key: "residual".to_string(),
+                circuit,
+                period: stitch.period,
+                members: residual,
+            });
+        }
+        jobs
+    }
+}

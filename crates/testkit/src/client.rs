@@ -10,7 +10,8 @@
 //! harness.
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// A parsed response.
@@ -170,6 +171,142 @@ impl TestClient {
         stream.shutdown(Shutdown::Both)?;
         Ok(())
     }
+}
+
+/// How a [`FaultWorker`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The address refuses connections outright (the port was bound
+    /// once to reserve it, then released — dials get `ECONNREFUSED`).
+    Refuse,
+    /// Accepts the connection, then hangs up without reading or
+    /// writing a byte.
+    AcceptThenDrop,
+    /// Answers every request with `429 Too Many Requests`, forever.
+    Always429,
+    /// Answers `200 OK` with a body that is not valid JSON.
+    CorruptJson,
+}
+
+/// A deliberately broken `mebl serve` stand-in for coordinator fault
+/// tests: never routes anything, only exhibits one failure mode.
+///
+/// The accept loop is cooperative, not threaded — run [`serve`] on a
+/// `mebl_par::run_scoped` role and latch [`stop`] from the driving
+/// role when the scenario is over (the loop polls a nonblocking
+/// listener, so it notices within milliseconds).
+///
+/// [`serve`]: FaultWorker::serve
+/// [`stop`]: FaultWorker::stop
+#[derive(Debug)]
+pub struct FaultWorker {
+    listener: Option<TcpListener>,
+    addr: SocketAddr,
+    mode: FaultMode,
+    stop: AtomicBool,
+}
+
+/// How often [`FaultWorker::serve`] re-checks its stop flag when idle.
+const FAULT_POLL: Duration = Duration::from_millis(2);
+
+impl FaultWorker {
+    /// Binds a loopback port exhibiting `mode`.
+    pub fn bind(mode: FaultMode) -> std::io::Result<FaultWorker> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let listener = if mode == FaultMode::Refuse {
+            None // release the port; dials now fail outright
+        } else {
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        };
+        Ok(FaultWorker {
+            listener,
+            addr,
+            mode,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The worker's address (valid even for [`FaultMode::Refuse`],
+    /// where nothing listens on it).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks [`FaultWorker::serve`] to return.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves connections in this thread until [`FaultWorker::stop`].
+    /// Returns immediately for [`FaultMode::Refuse`] (its fault needs
+    /// no loop).
+    pub fn serve(&self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        while !self.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => self.answer(stream),
+                Err(_) => std::thread::sleep(FAULT_POLL),
+            }
+        }
+    }
+
+    fn answer(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        match self.mode {
+            FaultMode::Refuse => {}
+            FaultMode::AcceptThenDrop => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            FaultMode::Always429 => {
+                drain_request(&mut stream);
+                let body = br#"{"error":"backpressure","detail":"always busy"}"#;
+                let _ = write_response(&mut stream, 429, "Too Many Requests", body);
+            }
+            FaultMode::CorruptJson => {
+                drain_request(&mut stream);
+                let _ = write_response(&mut stream, 200, "OK", b"{\"outcome\": not-json");
+            }
+        }
+    }
+}
+
+/// Reads until the request's blank line (or a read error/timeout), so
+/// the peer's write completes before the scripted answer goes out.
+fn drain_request(stream: &mut TcpStream) {
+    let mut seen = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\nretry-after: 1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
 }
 
 /// Reads a full `Connection: close` response from `stream`.

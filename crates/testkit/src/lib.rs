@@ -34,7 +34,7 @@ pub mod fault;
 pub mod prop;
 pub mod rng;
 
-pub use client::{HttpResponse, TestClient};
+pub use client::{FaultMode, FaultWorker, HttpResponse, TestClient};
 pub use fault::{
     flip_bit, shuffle_lines, truncate_text, Fault, FaultPlan, IoFault, IoFaultPlan,
 };

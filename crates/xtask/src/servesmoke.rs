@@ -15,6 +15,12 @@
 //!    empty, so the same request must come back as an `x-cache: disk`
 //!    hit, byte-identical to the pre-restart cold response. That is the
 //!    kill-and-restart durability probe for the store tier.
+//! 3. Boot **two** workers and a `mebl coord` in front of them, route a
+//!    sharded job through the coordinator and require its body to be
+//!    byte-identical to a single worker's in-process sharded answer;
+//!    then drain one worker and require a fresh sharded job to complete
+//!    on the survivor — still byte-identical — before draining the
+//!    whole fleet cleanly.
 //!
 //! No raw sockets here (`no-raw-net`): the testkit client is the only
 //! sanctioned HTTP speaker outside the service crate.
@@ -46,7 +52,141 @@ pub fn run(binary: &Path) -> Result<(), String> {
     let _ = std::fs::remove_dir_all(&store_dir);
     restart_body?;
     println!("servesmoke: warm restart served a bit-identical disk hit");
+    coord_probe(binary)?;
     Ok(())
+}
+
+/// Reads the `listening on <addr>` startup line off a child's stdout.
+fn scrape_addr(child: &mut Child, what: &str) -> Result<SocketAddr, String> {
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| format!("{what} stdout was not piped"))?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading {what} startup line: {e}"))?;
+    line.trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected {what} startup line `{}`", line.trim()))?
+        .parse()
+        .map_err(|e| format!("bad {what} address in `{}`: {e}", line.trim()))
+}
+
+/// Closes a child's stdin (the daemon's SIGTERM stand-in) and polls for
+/// a clean exit.
+fn drain_child(child: &mut Child, what: &str) -> Result<(), String> {
+    drop(child.stdin.take());
+    for _ in 0..EXIT_POLLS {
+        if let Some(status) = child
+            .try_wait()
+            .map_err(|e| format!("waiting for {what} exit: {e}"))?
+        {
+            return if status.success() {
+                Ok(())
+            } else {
+                Err(format!("{what} exited uncleanly after drain: {status}"))
+            };
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(format!("{what} did not exit within 10s of stdin closing"))
+}
+
+/// The two-worker coordinator probe (step 3 of the module docs).
+fn coord_probe(binary: &Path) -> Result<(), String> {
+    let spawn = |args: &[&str], what: &str| -> Result<Child, String> {
+        Command::new(binary)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {what}: {e}"))
+    };
+    let mut children: Vec<Child> = Vec::new();
+    let result = (|| {
+        let mut addrs = Vec::new();
+        for i in 0..2 {
+            let mut child = spawn(&["serve", "--port", "0", "--workers", "2"], "worker")?;
+            let addr = scrape_addr(&mut child, "worker");
+            children.push(child);
+            let addr = addr?;
+            println!("servesmoke: worker {i} up on {addr}");
+            addrs.push(addr);
+        }
+        let ring = format!("{},{}", addrs[0], addrs[1]);
+        let mut coord = spawn(&["coord", "--workers", &ring], "coordinator")?;
+        let coord_addr = scrape_addr(&mut coord, "coordinator");
+        children.push(coord);
+        let coord_addr = coord_addr?;
+        println!("servesmoke: coordinator up on {coord_addr} over [{ring}]");
+
+        let coord_client = TestClient::new(coord_addr).with_timeout(Duration::from_secs(120));
+        let survivor = TestClient::new(addrs[1]).with_timeout(Duration::from_secs(120));
+
+        let sharded = r#"{"bench":"S5378","seed":1,"scale":0.035,"shards":2}"#;
+        let reference = survivor
+            .post_json("/route", sharded)
+            .map_err(|e| format!("worker sharded /route failed: {e}"))?;
+        let routed = coord_client
+            .post_json("/route", sharded)
+            .map_err(|e| format!("coordinator sharded /route failed: {e}"))?;
+        if reference.status != 200 || routed.status != 200 {
+            return Err(format!(
+                "sharded /route: worker {} / coordinator {}: {}",
+                reference.status,
+                routed.status,
+                routed.body_text()
+            ));
+        }
+        if routed.body != reference.body {
+            return Err("coordinator sharded body differs from a single worker".to_string());
+        }
+        println!(
+            "servesmoke: coordinator sharded /route byte-identical to a worker ({} bytes)",
+            routed.body.len()
+        );
+
+        // Drain worker 0 and require the next sharded job to complete
+        // entirely on the survivor, bytes unchanged.
+        drain_child(&mut children[0], "worker 0")?;
+        let fresh = r#"{"bench":"S5378","seed":2,"scale":0.035,"shards":2}"#;
+        let expect = survivor
+            .post_json("/route", fresh)
+            .map_err(|e| format!("survivor sharded /route failed: {e}"))?;
+        let rerouted = coord_client
+            .post_json("/route", fresh)
+            .map_err(|e| format!("post-kill sharded /route failed: {e}"))?;
+        if rerouted.status != 200 || rerouted.body != expect.body {
+            return Err(format!(
+                "post-kill sharded /route diverged ({}): {}",
+                rerouted.status,
+                rerouted.body_text()
+            ));
+        }
+        let health = coord_client
+            .get("/healthz")
+            .map_err(|e| format!("coordinator /healthz failed: {e}"))?;
+        if !health.body_text().contains("\"live_workers\":1") {
+            return Err(format!(
+                "coordinator should see one survivor: {}",
+                health.body_text()
+            ));
+        }
+        println!("servesmoke: worker kill re-dispatched cleanly, bytes unchanged");
+
+        drain_child(&mut children[2], "coordinator")?;
+        drain_child(&mut children[1], "worker 1")?;
+        println!("servesmoke: coordinator fleet drained, exit 0");
+        Ok(())
+    })();
+    if result.is_err() {
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    result
 }
 
 /// One daemon lifetime. With `expect_disk: None` this is the cold

@@ -146,8 +146,33 @@ if [ "$gate_ok" != 1 ]; then
     exit 1
 fi
 
+echo "=== bench-regression gate (sharded pipeline vs committed baseline) ==="
+# The shard bench asserts the one-core acceptance bars inline (widening
+# the pool within 2x of width 1, the whole pipeline within 4x of the
+# monolithic route); the gate catches slower erosion on top.
+baseline_tmp=$(mktemp)
+cp results/bench_shard.json "$baseline_tmp"
+gate_ok=0
+for try in 1 2 3; do
+    cargo bench --offline -q -p mebl-bench --bench shard
+    if cargo run --release --offline -q -p mebl-xtask -- \
+        benchgate "$baseline_tmp" results/bench_shard.json --tolerance 60; then
+        gate_ok=1
+        break
+    fi
+    echo "benchgate (shard): attempt $try over tolerance; retrying" >&2
+done
+mv "$baseline_tmp" results/bench_shard.json
+if [ "$gate_ok" != 1 ]; then
+    echo "benchgate (shard): latencies regressed on 3 consecutive runs" >&2
+    exit 1
+fi
+
 echo "=== delta differential harness (incremental vs from-scratch) ==="
 cargo test -q --release --offline -p mebl-bench --test delta
+
+echo "=== shard differential harness (shard-count invariance, coordinator fleet) ==="
+cargo test -q --release --offline -p mebl-bench --test shard
 
 echo "=== robustness (fault injection, typed failure model) ==="
 cargo test -q --release --offline -p mebl-bench --test robustness

@@ -55,6 +55,7 @@ fn file_rule_fixtures() {
     check_pair("MEBL010", "crates/route/src/api.rs");
     check_pair("MEBL011", "crates/assign/src/ilp.rs");
     check_pair("MEBL017", "crates/route/src/api.rs");
+    check_pair("MEBL018", "crates/serve/src/client.rs");
 }
 
 #[test]

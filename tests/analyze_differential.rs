@@ -113,6 +113,7 @@ mod legacy {
 
     fn net_rule_applies(rel: &str) -> bool {
         crate_of(rel) != Some("serve")
+            && crate_of(rel) != Some("coord")
             && rel != "crates/testkit/src/client.rs"
             && rel != "crates/xtask/src/lint.rs"
     }
